@@ -1,0 +1,66 @@
+// Ablation A5: spatial fault distribution -- uniform vs clustered.
+//
+// The paper places faults uniformly at random; real ReRAM defect maps
+// cluster. At identical injection rates this bench compares the accuracy
+// impact of uniform and clustered placements on the LeNet workload, at both
+// injection granularities. Clustering concentrates damage on neighbouring
+// virtual slots -- i.e. on neighbouring output elements / product terms --
+// which changes how much of the damage the popcount accumulators average
+// away.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "models/zoo.hpp"
+
+using namespace flim;
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
+
+  core::CampaignConfig campaign;
+  campaign.repetitions = options.repetitions;
+  campaign.master_seed = options.master_seed;
+
+  core::Table table({"rate_%", "uniform_out_%", "clustered_out_%",
+                     "uniform_term_%", "clustered_term_%"});
+
+  for (const double rate : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    std::vector<std::string> row{core::format_double(rate * 100.0, 0)};
+    for (const auto granularity : {fault::FaultGranularity::kOutputElement,
+                                   fault::FaultGranularity::kProductTerm}) {
+      for (const auto distribution : {fault::FaultDistribution::kUniform,
+                                      fault::FaultDistribution::kClustered}) {
+        const core::Summary s =
+            core::run_repeated(campaign, [&](std::uint64_t seed) {
+              fault::FaultSpec spec;
+              spec.kind = fault::FaultKind::kStuckAt;
+              spec.injection_rate = rate;
+              spec.granularity = granularity;
+              spec.distribution = distribution;
+              spec.cluster_radius = 2.0;
+              return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
+                                                  fx.layers, {}, spec, seed,
+                                                  {64, 64});
+            });
+        row.push_back(benchx::pct(s.mean));
+      }
+    }
+    table.add_row(std::move(row));
+    std::cerr << "[distribution] rate " << rate * 100.0 << "% done\n";
+  }
+
+  benchx::emit(
+      "Ablation A5: uniform vs clustered fault placement (stuck-at, equal "
+      "rates)",
+      "ablation_distribution", table);
+  std::cout << "clean accuracy: " << benchx::pct(fx.clean_accuracy) << "%\n";
+  std::cout
+      << "expected shape: equal fault budgets need not hurt equally -- "
+         "clustered placement concentrates corruption on a few output "
+         "regions, typically sparing more of the network at low rates "
+         "(and the paper's uniform assumption is the pessimistic case at "
+         "output-element granularity).\n";
+  return 0;
+}

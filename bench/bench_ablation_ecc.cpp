@@ -1,0 +1,121 @@
+// Ablation A4: SEC-DED code organization -- word size and interleaving.
+//
+// Sweeps the ECC design space at mask level: the fraction of stuck-at
+// faults hidden from computation ("correction rate") under random cell
+// defects and under burst defects (a damaged row segment), for word sizes
+// 32/64 and interleave 1/4, together with the parity-cell overhead each
+// organization pays. Demonstrates the design rule that interleaving, not
+// shorter words, is what rescues spatially correlated defects.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/rng.hpp"
+#include "fault/fault_generator.hpp"
+#include "reliability/ecc.hpp"
+
+using namespace flim;
+
+namespace {
+
+constexpr std::int64_t kRows = 64;
+constexpr std::int64_t kCols = 64;
+
+/// Random stuck-at defects at `rate`.
+fault::FaultMask random_mask(double rate, std::uint64_t seed) {
+  core::Rng rng(seed);
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kStuckAt;
+  spec.injection_rate = rate;
+  fault::FaultGenerator gen({kRows, kCols});
+  return gen.generate(spec, rng);
+}
+
+/// Burst defects: `bursts` damaged 8-cell row segments.
+fault::FaultMask burst_mask(int bursts, std::uint64_t seed) {
+  core::Rng rng(seed);
+  fault::FaultMask mask(kRows, kCols);
+  for (int b = 0; b < bursts; ++b) {
+    const auto r = static_cast<std::int64_t>(rng.uniform(kRows));
+    const auto c0 = static_cast<std::int64_t>(rng.uniform(kCols - 8));
+    for (std::int64_t c = c0; c < c0 + 8; ++c) {
+      mask.set_sa0(r * kCols + c, true);
+    }
+  }
+  return mask;
+}
+
+/// Fraction of faulty bits removed by the scrub.
+double correction_rate(const fault::FaultMask& mask,
+                       const reliability::EccOptions& options) {
+  reliability::EccScrubStats stats;
+  (void)reliability::apply_secded_scrub(mask, options, &stats);
+  if (stats.faulty_bits_before == 0) return 1.0;
+  return 1.0 - static_cast<double>(stats.faulty_bits_after) /
+                   static_cast<double>(stats.faulty_bits_before);
+}
+
+}  // namespace
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  core::CampaignConfig campaign;
+  campaign.repetitions = options.repetitions;
+  campaign.master_seed = options.master_seed;
+
+  const std::vector<reliability::EccOptions> organizations{
+      {32, 1}, {64, 1}, {64, 4}, {64, 8}};
+
+  core::Table random_table({"stuckat_rate_%", "w32_i1_%", "w64_i1_%",
+                            "w64_i4_%", "w64_i8_%"});
+  for (const double rate : {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02}) {
+    std::vector<std::string> row{core::format_double(rate * 100.0, 2)};
+    for (const auto& org : organizations) {
+      const core::Summary s =
+          core::run_repeated(campaign, [&](std::uint64_t seed) {
+            return correction_rate(random_mask(rate, seed), org);
+          });
+      row.push_back(core::format_double(s.mean * 100.0, 1));
+    }
+    random_table.add_row(std::move(row));
+  }
+  benchx::emit(
+      "Ablation A4a: ECC correction rate vs random stuck-at rate "
+      "(word x interleave)",
+      "ablation_ecc_random", random_table);
+
+  core::Table burst_table({"bursts", "w32_i1_%", "w64_i1_%", "w64_i4_%",
+                           "w64_i8_%"});
+  for (const int bursts : {1, 2, 4, 8}) {
+    std::vector<std::string> row{std::to_string(bursts)};
+    for (const auto& org : organizations) {
+      const core::Summary s =
+          core::run_repeated(campaign, [&](std::uint64_t seed) {
+            return correction_rate(burst_mask(bursts, seed), org);
+          });
+      row.push_back(core::format_double(s.mean * 100.0, 1));
+    }
+    burst_table.add_row(std::move(row));
+  }
+  benchx::emit("Ablation A4b: ECC correction rate vs 8-cell burst defects",
+               "ablation_ecc_burst", burst_table);
+
+  core::Table overhead({"organization", "parity_overhead_%"});
+  for (const auto& org : organizations) {
+    reliability::EccScrubStats stats;
+    overhead.add("w" + std::to_string(org.word_bits) + "_i" +
+                     std::to_string(org.interleave),
+                 core::format_double(stats.overhead(org) * 100.0, 1));
+  }
+  benchx::emit("Ablation A4c: parity overhead per organization",
+               "ablation_ecc_overhead", overhead);
+
+  std::cout
+      << "expected shape: at low random rates every organization corrects "
+         "nearly everything (faults are isolated); shorter words help as "
+         "rates grow (fewer collisions per word). Bursts expose the design "
+         "rule that the interleave degree must cover the burst length: an "
+         "8-cell burst defeats interleave 1 and 4 (>= 2 faults per word) "
+         "and only interleave 8 isolates every cell.\n";
+  return 0;
+}

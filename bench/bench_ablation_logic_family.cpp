@@ -1,0 +1,53 @@
+// Ablation A2: stateful logic family (MAGIC vs IMPLY) -- pulses, modeled
+// latency and energy per XNOR, and the projected cost of the LeNet layers.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lim/crossbar.hpp"
+#include "lim/logic_family.hpp"
+#include "lim/mapper.hpp"
+
+using namespace flim;
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
+
+  core::Table cost({"family", "pulses_per_xnor", "latency_ns_per_xnor",
+                    "energy_pJ_per_xnor"});
+  lim::CrossbarConfig electrical;
+  for (const auto kind :
+       {lim::LogicFamilyKind::kMagic, lim::LogicFamilyKind::kImply}) {
+    const auto family = lim::make_logic_family(kind);
+    const lim::XnorCost c = lim::calibrate_xnor_cost(electrical, *family);
+    cost.add(lim::to_string(kind), c.pulses,
+             core::format_double(c.latency_seconds * 1e9, 2),
+             core::format_double(c.avg_energy_joules * 1e12, 3));
+  }
+  benchx::emit("Ablation A2a: calibrated per-XNOR cost by logic family",
+               "ablation_logic_family_cost", cost);
+
+  core::Table layers({"layer", "xnor_ops_per_image", "MAGIC_passes",
+                      "MAGIC_latency_us", "IMPLY_latency_us",
+                      "IMPLY_overhead_x"});
+  const lim::CrossbarGeometry geom{128, 128};
+  lim::CrossbarMapper magic(geom, 4, lim::LogicFamilyKind::kMagic, electrical);
+  lim::CrossbarMapper imply(geom, 4, lim::LogicFamilyKind::kImply, electrical);
+  for (const auto& layer : fx.layers) {
+    const auto ops = layer.product_terms_per_image();
+    const auto rm = magic.map_ops(ops);
+    const auto ri = imply.map_ops(ops);
+    layers.add(layer.layer_name, ops, rm.passes,
+               core::format_double(rm.latency_seconds * 1e6, 1),
+               core::format_double(ri.latency_seconds * 1e6, 1),
+               core::format_double(ri.latency_seconds / rm.latency_seconds, 2));
+  }
+  benchx::emit(
+      "Ablation A2b: projected LeNet layer latency by family (4x 128x128 "
+      "arrays)",
+      "ablation_logic_family_layers", layers);
+  std::cout << "reading: IMPLY's longer micro-op schedule (11 vs 8 pulses) "
+               "translates directly into per-layer latency overhead; both "
+               "families compute identical XNOR results (see lim tests).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bnn/flim_engine.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "fault/fault_generator.hpp"
+#include "models/pretrained.hpp"
+#include "models/zoo.hpp"
+
+namespace flim::benchx {
+
+namespace {
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    return std::strtoll(v, nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+BenchOptions options_from_env() {
+  BenchOptions o;
+  o.repetitions = static_cast<int>(env_i64("FLIM_BENCH_REPS", o.repetitions));
+  o.eval_images = env_i64("FLIM_BENCH_EVAL_IMAGES", o.eval_images);
+  o.train_samples = env_i64("FLIM_BENCH_TRAIN_SAMPLES", o.train_samples);
+  o.epochs = static_cast<int>(env_i64("FLIM_BENCH_EPOCHS", o.epochs));
+  return o;
+}
+
+LenetFixture make_lenet_fixture(const BenchOptions& options) {
+  LenetFixture fx;
+  data::SyntheticMnistOptions d;
+  d.size = options.train_samples + options.eval_images;
+  fx.dataset = data::SyntheticMnist(d);
+
+  models::PretrainOptions p;
+  p.epochs = options.epochs;
+  p.train_samples = options.train_samples;
+  p.verbose = true;
+  fx.model = models::pretrained_lenet(fx.dataset, p);
+
+  fx.layers = fx.model
+                  .analyze(tensor::FloatTensor(tensor::Shape{1, 1, 28, 28},
+                                               0.5f))
+                  .binarized_layers;
+  fx.eval_batch =
+      data::load_batch(fx.dataset, options.train_samples, options.eval_images);
+
+  bnn::ReferenceEngine ref;
+  fx.clean_accuracy = fx.model.evaluate(fx.eval_batch, ref);
+  std::cerr << "[bench] LeNet clean accuracy: " << pct(fx.clean_accuracy)
+            << "% on " << options.eval_images << " images\n";
+  return fx;
+}
+
+ZooFixture make_zoo_fixture(const BenchOptions& options) {
+  ZooFixture fx;
+  data::SyntheticImagenetOptions d;
+  d.size = options.train_samples + options.eval_images;
+  fx.dataset = data::SyntheticImagenet(d);
+  fx.eval_batch =
+      data::load_batch(fx.dataset, options.train_samples, options.eval_images);
+  return fx;
+}
+
+bnn::Model load_zoo_model(const std::string& name, const ZooFixture& fixture,
+                          const BenchOptions& options) {
+  models::PretrainOptions p;
+  p.epochs = options.epochs;
+  p.train_samples = options.train_samples;
+  p.verbose = true;
+  return models::pretrained_zoo_model(name, fixture.dataset, p);
+}
+
+double evaluate_with_faults(const bnn::Model& model, const data::Batch& batch,
+                            const std::vector<bnn::LayerWorkload>& layers,
+                            const std::vector<std::string>& layer_filter,
+                            const fault::FaultSpec& spec, std::uint64_t seed,
+                            lim::CrossbarGeometry grid) {
+  fault::FaultGenerator gen(grid);
+  core::Rng rng(seed);
+  bnn::FlimEngine engine;
+  for (const auto& layer : layers) {
+    if (!layer_filter.empty()) {
+      bool selected = false;
+      for (const auto& f : layer_filter) {
+        if (f == layer.layer_name) selected = true;
+      }
+      if (!selected) continue;
+    }
+    fault::FaultVectorEntry entry;
+    entry.layer_name = layer.layer_name;
+    entry.kind = spec.kind;
+    entry.granularity = spec.granularity;
+    entry.dynamic_period = spec.dynamic_period;
+    entry.mask = gen.generate(spec, rng);
+    engine.set_layer_fault(entry);
+  }
+  return model.evaluate(batch, engine);
+}
+
+void emit(const std::string& title, const std::string& csv_name,
+          const core::Table& table) {
+  core::print_table(std::cout, title, table);
+  const std::string path = core::results_dir() + "/" + csv_name + ".csv";
+  table.write_csv(path);
+  std::cout << "[csv] " << path << "\n\n";
+}
+
+std::string pct(double accuracy_fraction) {
+  return core::format_double(accuracy_fraction * 100.0, 1);
+}
+
+}  // namespace flim::benchx

@@ -1,0 +1,80 @@
+// Shared infrastructure for the figure/table bench binaries.
+//
+// Every bench prints the paper-shaped table to stdout and writes a CSV into
+// the results directory ($FLIM_RESULTS_DIR, default ./results). Scale knobs
+// come from the environment so CI can run quick passes while a full
+// reproduction can match the paper's 100 repetitions:
+//   FLIM_BENCH_REPS          campaign repetitions (default 10, paper: 100)
+//   FLIM_BENCH_EVAL_IMAGES   evaluation images per repetition (default 200)
+//   FLIM_BENCH_TRAIN_SAMPLES training samples for the cached models
+//   FLIM_BENCH_EPOCHS        training epochs for the cached models
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/engine.hpp"
+#include "bnn/model.hpp"
+#include "core/report.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "fault/fault_spec.hpp"
+#include "lim/mapper.hpp"
+
+namespace flim::benchx {
+
+/// Scale configuration resolved from the environment.
+struct BenchOptions {
+  int repetitions = 10;
+  std::int64_t eval_images = 200;
+  std::int64_t train_samples = 3000;
+  int epochs = 3;
+  std::uint64_t master_seed = 2023;  // DAC'23
+};
+
+/// Reads the environment knobs.
+BenchOptions options_from_env();
+
+/// Shared LeNet fixture: synthetic MNIST, the cached pretrained binary
+/// LeNet, its binarized-layer workloads, and a held-out evaluation batch.
+struct LenetFixture {
+  data::SyntheticMnist dataset;
+  bnn::Model model;
+  std::vector<bnn::LayerWorkload> layers;
+  data::Batch eval_batch;
+  double clean_accuracy = 0.0;
+};
+
+/// Builds (or loads from the weight cache) the LeNet fixture.
+LenetFixture make_lenet_fixture(const BenchOptions& options);
+
+/// Shared zoo fixture for the Fig 5 / Table II benches.
+struct ZooFixture {
+  data::SyntheticImagenet dataset;
+  data::Batch eval_batch;
+};
+
+ZooFixture make_zoo_fixture(const BenchOptions& options);
+
+/// Loads (or trains and caches) one zoo model.
+bnn::Model load_zoo_model(const std::string& name, const ZooFixture& fixture,
+                          const BenchOptions& options);
+
+/// Evaluates `model` on `batch` with a FLIM engine configured from `spec`
+/// applied to the named layers (empty = all `layers`), drawing mask
+/// randomness from `seed` on the given virtual grid.
+double evaluate_with_faults(const bnn::Model& model, const data::Batch& batch,
+                            const std::vector<bnn::LayerWorkload>& layers,
+                            const std::vector<std::string>& layer_filter,
+                            const fault::FaultSpec& spec, std::uint64_t seed,
+                            lim::CrossbarGeometry grid);
+
+/// Prints the table and writes `<name>.csv` into the results directory.
+void emit(const std::string& title, const std::string& csv_name,
+          const core::Table& table);
+
+/// Formats an accuracy fraction as percent with one decimal.
+std::string pct(double accuracy_fraction);
+
+}  // namespace flim::benchx

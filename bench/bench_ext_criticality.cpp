@@ -1,0 +1,73 @@
+// Extension E6: column criticality and selective hardening.
+//
+// Exercises the fine-grained end of FLIM's methodology: on the Fig 4d
+// scenario (40x10 virtual crossbar per layer) every virtual column of each
+// LeNet layer is faulted in isolation to produce a criticality ranking, and
+// the ranking is then used to decide which failed columns a limited spare
+// budget repairs -- criticality-guided vs random repair.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "reliability/criticality.hpp"
+
+using namespace flim;
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
+
+  reliability::CriticalityConfig cfg;
+  cfg.grid = {40, 10};
+  cfg.kind = fault::FaultKind::kStuckAt;
+  cfg.repetitions = std::max(2, options.repetitions / 2);
+  cfg.master_seed = options.master_seed;
+
+  // Per-layer ranking: top and bottom columns by accuracy drop.
+  core::Table ranking({"layer", "clean_%", "worst_col", "worst_drop_pp",
+                       "median_drop_pp", "best_col", "best_drop_pp"});
+  std::vector<reliability::CriticalityReport> reports;
+  for (const auto& layer : fx.layers) {
+    const reliability::CriticalityReport report = reliability::rank_columns(
+        fx.model, fx.eval_batch, layer.layer_name, cfg);
+    const auto& cols = report.columns;
+    ranking.add(layer.layer_name, benchx::pct(report.clean_accuracy),
+                cols.front().column,
+                core::format_double(cols.front().drop * 100.0, 1),
+                core::format_double(cols[cols.size() / 2].drop * 100.0, 1),
+                cols.back().column,
+                core::format_double(cols.back().drop * 100.0, 1));
+    reports.push_back(report);
+    std::cerr << "[criticality] " << layer.layer_name << " ranked\n";
+  }
+  benchx::emit("Extension E6a: column criticality per layer (40x10 grid, "
+               "stuck-at columns)",
+               "ext_criticality_ranking", ranking);
+
+  // Selective hardening: 2k columns fail, k spares repair guided vs random.
+  const int budget = 2;
+  core::Table hardening({"layer", "faulty_acc_%", "random_repair_%",
+                         "guided_repair_%"});
+  for (std::size_t i = 0; i < fx.layers.size(); ++i) {
+    const reliability::HardeningOutcome outcome =
+        reliability::evaluate_selective_hardening(
+            fx.model, fx.eval_batch, fx.layers[i].layer_name, reports[i],
+            budget, cfg);
+    hardening.add(fx.layers[i].layer_name,
+                  benchx::pct(outcome.faulty_accuracy),
+                  benchx::pct(outcome.random_hardening),
+                  benchx::pct(outcome.guided_hardening));
+    std::cerr << "[criticality] " << fx.layers[i].layer_name
+              << " hardening done\n";
+  }
+  benchx::emit("Extension E6b: selective hardening, 4 columns fail / 2 "
+               "spares (guided by ranking vs random)",
+               "ext_criticality_hardening", hardening);
+
+  std::cout
+      << "expected shape: column drops are far from uniform (deeper layers "
+         "and busier columns cost more, cf. Fig 4d); spending the spare "
+         "budget on the ranking's most critical columns recovers at least "
+         "as much accuracy as random repair, with the gap widest where the "
+         "ranking contrast is largest.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension E2: fault mitigation by N-modular redundancy.
+//
+// The paper's conclusion: tolerating in-field faults requires fault-tolerant
+// approaches. This bench quantifies the classic one -- executing each
+// binarized layer on N crossbar replicas with independent defect maps and
+// majority-voting the results -- across stuck-at rates.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "bnn/flim_engine.hpp"
+#include "bnn/redundancy.hpp"
+#include "core/campaign.hpp"
+#include "core/rng.hpp"
+#include "fault/fault_generator.hpp"
+#include "models/zoo.hpp"
+
+using namespace flim;
+
+namespace {
+
+// Builds a vote engine over `n` FLIM replicas with independent masks drawn
+// from `seed` at the given stuck-at rate.
+std::unique_ptr<bnn::XnorExecutionEngine> make_replicated_engine(
+    int n, double rate, std::uint64_t seed,
+    const std::vector<bnn::LayerWorkload>& layers) {
+  fault::FaultGenerator gen({64, 64});
+  core::Rng rng(seed);
+  std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> replicas;
+  for (int i = 0; i < n; ++i) {
+    auto engine = std::make_unique<bnn::FlimEngine>();
+    for (const auto& layer : layers) {
+      fault::FaultSpec spec;
+      spec.kind = fault::FaultKind::kStuckAt;
+      spec.injection_rate = rate;
+      fault::FaultVectorEntry e;
+      e.layer_name = layer.layer_name;
+      e.kind = spec.kind;
+      e.mask = gen.generate(spec, rng);  // independent defects per replica
+      engine->set_layer_fault(std::move(e));
+    }
+    replicas.push_back(std::move(engine));
+  }
+  if (n == 1) return std::move(replicas[0]);
+  return std::make_unique<bnn::MedianVoteEngine>(std::move(replicas));
+}
+
+}  // namespace
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
+
+  const std::vector<double> rates{0.0, 0.05, 0.10, 0.15, 0.20};
+  core::Table table({"rate_%", "single_acc_%", "tmr3_acc_%", "nmr5_acc_%"});
+
+  core::CampaignConfig campaign;
+  campaign.repetitions = options.repetitions;
+  campaign.master_seed = options.master_seed;
+
+  for (const double rate : rates) {
+    std::vector<std::string> row{core::format_double(rate * 100.0, 0)};
+    for (const int n : {1, 3, 5}) {
+      const core::Summary s =
+          core::run_repeated(campaign, [&](std::uint64_t seed) {
+            const auto engine =
+                make_replicated_engine(n, rate, seed, fx.layers);
+            return fx.model.evaluate(fx.eval_batch, *engine);
+          });
+      row.push_back(benchx::pct(s.mean));
+    }
+    table.add_row(std::move(row));
+    std::cerr << "[ext-mitigation] rate " << rate * 100.0 << "% done\n";
+  }
+
+  benchx::emit(
+      "Extension E2: N-modular redundancy vs stuck-at rate (majority vote)",
+      "ext_mitigation", table);
+  std::cout << "clean accuracy: " << benchx::pct(fx.clean_accuracy) << "%\n";
+  std::cout << "expected shape: voting over replicas with independent defect "
+               "maps recovers most of the lost accuracy; 5-way beats 3-way "
+               "at high rates, at proportional area/energy cost.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension E4: online canary monitoring -- detection latency vs overhead.
+//
+// Complements the offline March coverage bench: a deployed LIM accelerator
+// cannot be taken out of service for a 10N March pass, so a concurrent
+// monitor probes a few canary slots between inferences. This bench sweeps
+// the canary budget and compares the round-robin and random policies,
+// reporting mean detection latency (inferences until a fresh stuck-at
+// defect is flagged) and the steady-state canary-op overhead.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/rng.hpp"
+#include "fault/fault_generator.hpp"
+#include "reliability/monitor.hpp"
+
+using namespace flim;
+
+namespace {
+
+double detection_latency(reliability::CanaryPolicy policy, int slots_per_round,
+                         double fault_rate, std::uint64_t seed) {
+  const lim::CrossbarGeometry grid{64, 64};
+  core::Rng rng(seed);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kStuckAt;
+  spec.injection_rate = fault_rate;
+  fault::FaultGenerator gen(grid);
+  const fault::FaultMask mask = gen.generate(spec, rng);
+
+  reliability::MonitorConfig cfg;
+  cfg.grid = grid;
+  cfg.test_period = 8;
+  cfg.slots_per_round = slots_per_round;
+  cfg.policy = policy;
+  cfg.seed = seed ^ 0x5bd1e995u;
+  const reliability::OnlineMonitor monitor(cfg);
+
+  const auto outcome = monitor.run_until_detection(mask, 1 << 22);
+  return static_cast<double>(outcome.inferences_elapsed);
+}
+
+}  // namespace
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+
+  core::CampaignConfig campaign;
+  campaign.repetitions = options.repetitions;
+  campaign.master_seed = options.master_seed;
+
+  const double fault_rate = 0.001;  // a handful of fresh defects in 64x64
+  core::Table table({"slots_per_round", "overhead_ops_per_inf",
+                     "roundrobin_latency_inf", "random_latency_inf"});
+
+  for (const int slots : {2, 4, 8, 16, 32, 64}) {
+    reliability::MonitorConfig probe;
+    probe.grid = {64, 64};
+    probe.test_period = 8;
+    probe.slots_per_round = slots;
+    const double overhead =
+        reliability::OnlineMonitor(probe).overhead_ops_per_inference();
+
+    const core::Summary rr =
+        core::run_repeated(campaign, [&](std::uint64_t seed) {
+          return detection_latency(reliability::CanaryPolicy::kRoundRobin,
+                                   slots, fault_rate, seed);
+        });
+    const core::Summary rnd =
+        core::run_repeated(campaign, [&](std::uint64_t seed) {
+          return detection_latency(reliability::CanaryPolicy::kRandom, slots,
+                                   fault_rate, seed);
+        });
+    table.add(slots, core::format_double(overhead, 2),
+              core::format_double(rr.mean, 1),
+              core::format_double(rnd.mean, 1));
+    std::cerr << "[monitor] " << slots << " slots/round done\n";
+  }
+
+  benchx::emit(
+      "Extension E4: canary monitor detection latency vs overhead "
+      "(64x64 grid, 0.1% fresh stuck-ats, period 8)",
+      "ext_online_monitor", table);
+  std::cout
+      << "expected shape: latency falls roughly inversely with the canary "
+         "budget; round-robin beats random at equal overhead (bounded "
+         "worst case, no slot revisited before a full sweep).\n";
+  return 0;
+}

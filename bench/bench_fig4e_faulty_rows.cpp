@@ -1,0 +1,54 @@
+// Fig 4e: whole faulty rows on a 40x10 crossbar per layer.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "models/zoo.hpp"
+
+using namespace flim;
+
+int main() {
+  const benchx::BenchOptions options = benchx::options_from_env();
+  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
+
+  std::vector<std::string> series = models::lenet_faultable_layers();
+  series.push_back("combined");
+  const lim::CrossbarGeometry grid{40, 10};
+
+  std::vector<std::string> columns{"affected_rows"};
+  for (const auto& s : series) columns.push_back(s + "_acc_%");
+  core::Table table(columns);
+
+  core::CampaignConfig campaign;
+  campaign.repetitions = options.repetitions;
+  campaign.master_seed = options.master_seed;
+
+  for (int rows = 0; rows <= 20; rows += 2) {
+    std::vector<std::string> row{std::to_string(rows)};
+    for (const auto& s : series) {
+      const std::vector<std::string> filter =
+          s == "combined" ? std::vector<std::string>{}
+                          : std::vector<std::string>{s};
+      const core::Summary summary =
+          core::run_repeated(campaign, [&](std::uint64_t seed) {
+            fault::FaultSpec spec;
+            spec.kind = fault::FaultKind::kBitFlip;
+            spec.faulty_rows = rows;
+            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
+                                                fx.layers, filter, spec, seed,
+                                                grid);
+          });
+      row.push_back(benchx::pct(summary.mean));
+    }
+    table.add_row(std::move(row));
+    std::cerr << "[fig4e] " << rows << " affected rows done\n";
+  }
+
+  benchx::emit("Fig 4e: affected rows on a 40x10 crossbar vs accuracy",
+               "fig4e_faulty_rows", table);
+  std::cout << "clean accuracy: " << benchx::pct(fx.clean_accuracy) << "%\n";
+  std::cout << "expected shape: each row corrupts only 1/40 of the mapped "
+               "ops, so the impact per faulty row is weaker than per faulty "
+               "column (Fig 4d).\n";
+  return 0;
+}

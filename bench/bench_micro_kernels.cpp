@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark) for the arithmetic kernels that set the
+// FLIM/vanilla/device performance hierarchy of Fig 4f.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "lim/crossbar.hpp"
+#include "lim/logic_family.hpp"
+#include "tensor/bit_matrix.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/xnor_gemm.hpp"
+
+namespace {
+
+using namespace flim;
+
+tensor::BitMatrix random_bits(std::int64_t rows, std::int64_t cols,
+                              std::uint64_t seed) {
+  core::Rng rng(seed);
+  tensor::BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      m.set_bit(r, c, rng.bernoulli(0.5));
+    }
+  }
+  return m;
+}
+
+void BM_XnorGemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  const tensor::BitMatrix a = random_bits(n, 256, 1);
+  const tensor::BitMatrix w = random_bits(64, 256, 2);
+  tensor::IntTensor out;
+  for (auto _ : state) {
+    tensor::xnor_gemm(a, w, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 256);
+}
+BENCHMARK(BM_XnorGemm)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_XnorGemmTermFaults(benchmark::State& state) {
+  const auto n = state.range(0);
+  const tensor::BitMatrix a = random_bits(n, 256, 3);
+  const tensor::BitMatrix w = random_bits(64, 256, 4);
+  const tensor::BitMatrix flip = random_bits(64, 256, 5);
+  const tensor::BitMatrix none(64, 256);
+  tensor::IntTensor out;
+  for (auto _ : state) {
+    tensor::xnor_gemm_term_faults(a, w, flip, none, none, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 256);
+}
+BENCHMARK(BM_XnorGemmTermFaults)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FloatGemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  core::Rng rng(6);
+  tensor::FloatTensor a(tensor::Shape{n, 256});
+  tensor::FloatTensor b(tensor::Shape{64, 256});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b[i] = static_cast<float>(rng.normal());
+  }
+  tensor::FloatTensor c;
+  for (auto _ : state) {
+    tensor::gemm_bt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 256);
+}
+BENCHMARK(BM_FloatGemm)->Arg(64)->Arg(256);
+
+void BM_DeviceXnor(benchmark::State& state) {
+  lim::CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = lim::kCellsPerGate;
+  lim::CrossbarArray xbar(cfg);
+  const auto family =
+      lim::make_logic_family(state.range(0) == 0 ? lim::LogicFamilyKind::kMagic
+                                                 : lim::LogicFamilyKind::kImply);
+  bool a = false;
+  for (auto _ : state) {
+    a = !a;
+    benchmark::DoNotOptimize(xbar.execute_xnor(*family, 0, 0, a, !a));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(family->name());
+}
+BENCHMARK(BM_DeviceXnor)->Arg(0)->Arg(1);
+
+}  // namespace

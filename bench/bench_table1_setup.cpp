@@ -1,0 +1,27 @@
+// Table I: adopted experimental setup (host and build introspection).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sysinfo.hpp"
+#include "core/version.hpp"
+
+using namespace flim;
+
+int main() {
+  const core::SystemInfo info = core::collect_system_info();
+  core::Table table({"category", "component", "value"});
+  table.add("Hardware", "CPU", info.cpu_model);
+  table.add("Hardware", "Logical cores", info.logical_cores);
+  table.add("Hardware", "RAM",
+            std::to_string(info.total_ram_bytes / (1024ull * 1024ull)) +
+                " MiB");
+  table.add("Software", "OS", info.os);
+  table.add("Software", "Compiler", info.compiler);
+  table.add("Software", "Build type", info.build_type);
+  table.add("Software", "FLIM library", info.library_version);
+  table.add("Software", "Accelerator",
+            std::string("none (thread-pool parallel FLIM substitutes the "
+                        "paper's GPU; see DESIGN.md)"));
+  benchx::emit("Table I: adopted experimental setup", "table1_setup", table);
+  return 0;
+}

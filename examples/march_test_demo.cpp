@@ -1,0 +1,72 @@
+// March-test demo: offline testing of a memristive crossbar.
+//
+//   $ ./march_test_demo
+//
+// Builds a small crossbar, plants one device fault of each kind from the
+// ReRAM taxonomy, and runs the four bundled March algorithms against each,
+// showing which algorithm catches which fault and what the failure log
+// pinpoints. No training involved; runs in milliseconds.
+#include <iomanip>
+#include <iostream>
+
+#include "lim/crossbar.hpp"
+#include "lim/memristor.hpp"
+#include "reliability/march.hpp"
+
+int main() {
+  using namespace flim;
+
+  std::cout << "March algorithms under test:\n";
+  for (const auto& test : reliability::standard_march_tests()) {
+    std::cout << "  " << std::left << std::setw(11) << test.name
+              << test.notation() << "   (" << test.ops_per_cell()
+              << "N)\n";
+  }
+
+  // Detection matrix: one fault per run, every algorithm against it.
+  std::cout << "\ndetection matrix (single fault at cell (2,3), severity "
+               "1.0 / weak 0.3 for read-disturb):\n";
+  std::cout << "  " << std::left << std::setw(16) << "fault";
+  for (const auto& test : reliability::standard_march_tests()) {
+    std::cout << std::setw(12) << test.name;
+  }
+  std::cout << "\n";
+
+  for (const lim::DeviceFaultKind kind : lim::all_device_fault_kinds()) {
+    const double severity =
+        kind == lim::DeviceFaultKind::kReadDisturb ? 0.3 : 1.0;
+    std::cout << "  " << std::left << std::setw(16) << lim::to_string(kind);
+    for (const auto& test : reliability::standard_march_tests()) {
+      lim::CrossbarConfig cfg;
+      cfg.rows = 8;
+      cfg.cols = 8;
+      lim::CrossbarArray array(cfg);
+      array.inject_device_fault(2, 3, kind, severity);
+      const reliability::MarchResult result =
+          reliability::run_march(test, array);
+      std::cout << std::setw(12) << (result.detected() ? "DETECTED" : "-");
+    }
+    std::cout << "\n";
+  }
+
+  // The failure log localizes the defect for repair/remapping.
+  lim::CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  lim::CrossbarArray array(cfg);
+  array.inject_device_fault(11, 4, lim::DeviceFaultKind::kStuckAt0, 1.0);
+  array.inject_device_fault(3, 9, lim::DeviceFaultKind::kSlowReset, 1.0);
+  const reliability::MarchResult result =
+      reliability::run_march(reliability::march_cminus(), array);
+  std::cout << "\nMarch C- failure log on a 16x16 array with two defects:\n";
+  for (const reliability::MarchFailure& f : result.failures) {
+    std::cout << "  cell (" << f.row << "," << f.col << ") element "
+              << f.element_index << " op " << f.op_index << ": expected "
+              << f.expected << ", got " << f.got << "\n";
+  }
+  std::cout << "\ntakeaway: March C- localizes both defects; the cheaper "
+               "MATS+ would have shipped the slow-reset cell (see the "
+               "matrix above), and parametric drift escapes every offline "
+               "test -- use the online monitor for those.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Model-zoo tour: build each Table-II architecture (untrained) and print its
+// structural characteristics -- a fast way to inspect what the scaled
+// families look like without any training.
+#include <iostream>
+
+#include "bnn/model.hpp"
+#include "core/report.hpp"
+#include "models/zoo.hpp"
+
+int main() {
+  using namespace flim;
+
+  core::Table table({"model", "size_MB", "params", "binary_params", "MACs",
+                     "binarized_%", "crossbar_layers"});
+  for (const auto& name : models::zoo_model_names()) {
+    train::Graph graph = models::build_zoo_graph(name, /*seed=*/1);
+    bnn::Model model = graph.to_inference_model();
+    const bnn::ModelCharacteristics c =
+        model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f));
+    table.add(name, core::format_double(c.size_megabytes, 3), c.total_params,
+              c.binary_params, c.total_macs,
+              core::format_double(c.binarized_percent, 2),
+              static_cast<int>(c.binarized_layers.size()));
+  }
+  core::print_table(std::cout, "FLIM model zoo (scaled Table II families)",
+                    table);
+
+  std::cout << "\nbinarized (crossbar-mapped) layers of BinaryResNetE18:\n";
+  train::Graph resnet = models::build_zoo_graph("BinaryResNetE18", 1);
+  bnn::Model model = resnet.to_inference_model();
+  const auto c =
+      model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f));
+  for (const auto& layer : c.binarized_layers) {
+    std::cout << "  " << layer.layer_name << ": "
+              << layer.output_elements_per_image() << " XNOR outputs, K = "
+              << layer.k << " product terms each\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "bnn/activations.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+Sign::Sign(std::string name) : Layer(std::move(name)) {}
+
+tensor::FloatTensor Sign::forward(const tensor::FloatTensor& input,
+                                  InferenceContext& ctx) const {
+  tensor::FloatTensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  record_profile(ctx, 0, 0);
+  return out;
+}
+
+ReLU::ReLU(std::string name) : Layer(std::move(name)) {}
+
+tensor::FloatTensor ReLU::forward(const tensor::FloatTensor& input,
+                                  InferenceContext& ctx) const {
+  tensor::FloatTensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    out[i] = std::max(0.0f, input[i]);
+  }
+  record_profile(ctx, 0, 0);
+  return out;
+}
+
+ChannelScale::ChannelScale(std::string name, tensor::FloatTensor gains)
+    : Layer(std::move(name)), gains_(std::move(gains)) {
+  FLIM_REQUIRE(gains_.shape().rank() == 1 && gains_.numel() > 0,
+               "channel scale gains must be a non-empty vector");
+}
+
+tensor::FloatTensor ChannelScale::forward(const tensor::FloatTensor& input,
+                                          InferenceContext& ctx) const {
+  const std::int64_t channels = gains_.numel();
+  tensor::FloatTensor out(input.shape());
+  if (input.shape().rank() == 4) {
+    FLIM_REQUIRE(input.shape()[1] == channels, "channel scale mismatch");
+    const std::int64_t n = input.shape()[0];
+    const std::int64_t hw = input.shape()[2] * input.shape()[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float g = gains_[c];
+        const float* in = input.data() + (b * channels + c) * hw;
+        float* o = out.data() + (b * channels + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) o[i] = g * in[i];
+      }
+    }
+  } else if (input.shape().rank() == 2) {
+    FLIM_REQUIRE(input.shape()[1] == channels, "channel scale mismatch");
+    const std::int64_t n = input.shape()[0];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* in = input.data() + b * channels;
+      float* o = out.data() + b * channels;
+      for (std::int64_t c = 0; c < channels; ++c) o[c] = gains_[c] * in[c];
+    }
+  } else {
+    FLIM_REQUIRE(false, "channel scale supports rank-2 and rank-4 inputs");
+  }
+  record_profile(ctx, input.numel() / ctx.batch, 0);
+  return out;
+}
+
+Identity::Identity(std::string name) : Layer(std::move(name)) {}
+
+tensor::FloatTensor Identity::forward(const tensor::FloatTensor& input,
+                                      InferenceContext& ctx) const {
+  record_profile(ctx, 0, 0);
+  return input;
+}
+
+Flatten::Flatten(std::string name) : Layer(std::move(name)) {}
+
+tensor::FloatTensor Flatten::forward(const tensor::FloatTensor& input,
+                                     InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() >= 2, "flatten expects rank >= 2");
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t features = input.numel() / n;
+  record_profile(ctx, 0, 0);
+  return input.reshaped(tensor::Shape{n, features});
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,61 @@
+// Elementwise layers: sign binarization, ReLU, per-channel scaling, flatten.
+#pragma once
+
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+/// Sign binarization: y = +1 when x >= 0, else -1.
+class Sign final : public Layer {
+ public:
+  explicit Sign(std::string name);
+  std::string type() const override { return "sign"; }
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+};
+
+/// Rectified linear unit (used by the partially binarized models).
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name);
+  std::string type() const override { return "relu"; }
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+};
+
+/// Per-channel multiplicative gain (XNOR-Net's alpha scaling: "weights are
+/// multiplied by an individual gain based on the magnitude of the channel").
+class ChannelScale final : public Layer {
+ public:
+  /// `gains` shaped [channels].
+  ChannelScale(std::string name, tensor::FloatTensor gains);
+  std::string type() const override { return "channel_scale"; }
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+  std::int64_t real_param_count() const override { return gains_.numel(); }
+  const tensor::FloatTensor& gains() const { return gains_; }
+
+ private:
+  tensor::FloatTensor gains_;
+};
+
+/// NCHW -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name);
+  std::string type() const override { return "flatten"; }
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+};
+
+/// Pass-through layer. Used where a training-only construct (e.g. a
+/// training-time fault-injection site) has no inference counterpart.
+class Identity final : public Layer {
+ public:
+  explicit Identity(std::string name);
+  std::string type() const override { return "identity"; }
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+};
+
+}  // namespace flim::bnn

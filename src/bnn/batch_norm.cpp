@@ -1,0 +1,70 @@
+#include "bnn/batch_norm.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+BatchNorm::BatchNorm(std::string name, std::int64_t channels,
+                     tensor::FloatTensor gamma, tensor::FloatTensor beta,
+                     tensor::FloatTensor mean, tensor::FloatTensor variance,
+                     float epsilon)
+    : Layer(std::move(name)),
+      channels_(channels),
+      gamma_(std::move(gamma)),
+      beta_(std::move(beta)),
+      mean_(std::move(mean)),
+      variance_(std::move(variance)),
+      epsilon_(epsilon) {
+  const tensor::Shape expected{channels_};
+  FLIM_REQUIRE(gamma_.shape() == expected && beta_.shape() == expected &&
+                   mean_.shape() == expected && variance_.shape() == expected,
+               "batch norm parameters must all be [channels]");
+  FLIM_REQUIRE(epsilon_ >= 0.0f, "batch norm epsilon must be non-negative");
+  // Fold into y = scale * x + shift once.
+  scale_ = tensor::FloatTensor(expected);
+  shift_ = tensor::FloatTensor(expected);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const float inv = 1.0f / std::sqrt(variance_[c] + epsilon_);
+    scale_[c] = gamma_[c] * inv;
+    shift_[c] = beta_[c] - mean_[c] * scale_[c];
+  }
+}
+
+tensor::FloatTensor BatchNorm::forward(const tensor::FloatTensor& input,
+                                       InferenceContext& ctx) const {
+  tensor::FloatTensor out(input.shape());
+  if (input.shape().rank() == 4) {
+    FLIM_REQUIRE(input.shape()[1] == channels_,
+                 "batch norm channel mismatch (NCHW dim 1)");
+    const std::int64_t n = input.shape()[0];
+    const std::int64_t hw = input.shape()[2] * input.shape()[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        const float s = scale_[c];
+        const float t = shift_[c];
+        const float* in = input.data() + (b * channels_ + c) * hw;
+        float* o = out.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) o[i] = s * in[i] + t;
+      }
+    }
+  } else if (input.shape().rank() == 2) {
+    FLIM_REQUIRE(input.shape()[1] == channels_,
+                 "batch norm feature mismatch (dim 1)");
+    const std::int64_t n = input.shape()[0];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* in = input.data() + b * channels_;
+      float* o = out.data() + b * channels_;
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        o[c] = scale_[c] * in[c] + shift_[c];
+      }
+    }
+  } else {
+    FLIM_REQUIRE(false, "batch norm supports rank-2 and rank-4 inputs");
+  }
+  record_profile(ctx, input.numel() / ctx.batch, 0);
+  return out;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,41 @@
+// Inference batch normalization (per-channel affine with frozen statistics).
+//
+// BNNs rely on batch norm to re-center the integer XNOR accumulators before
+// the sign activation; at inference time it is a per-channel affine
+// transform executed in CMOS.
+#pragma once
+
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+class BatchNorm final : public Layer {
+ public:
+  /// All parameter tensors are [channels]. For rank-4 inputs the channel is
+  /// dim 1 (NCHW); for rank-2 inputs it is dim 1 (features).
+  BatchNorm(std::string name, std::int64_t channels, tensor::FloatTensor gamma,
+            tensor::FloatTensor beta, tensor::FloatTensor mean,
+            tensor::FloatTensor variance, float epsilon = 1e-5f);
+
+  std::string type() const override { return "batch_norm"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override { return 4 * channels_; }
+
+  std::int64_t channels() const { return channels_; }
+  const tensor::FloatTensor& gamma() const { return gamma_; }
+  const tensor::FloatTensor& beta() const { return beta_; }
+  const tensor::FloatTensor& mean() const { return mean_; }
+  const tensor::FloatTensor& variance() const { return variance_; }
+  float epsilon() const { return epsilon_; }
+
+ private:
+  std::int64_t channels_;
+  tensor::FloatTensor gamma_, beta_, mean_, variance_;
+  float epsilon_;
+  tensor::FloatTensor scale_, shift_;  // folded y = scale*x + shift
+};
+
+}  // namespace flim::bnn

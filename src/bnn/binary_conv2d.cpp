@@ -1,0 +1,61 @@
+#include "bnn/binary_conv2d.hpp"
+
+#include "bnn/engine.hpp"
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+BinaryConv2D::BinaryConv2D(std::string name, std::int64_t in_channels,
+                           std::int64_t out_channels, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t pad,
+                           tensor::FloatTensor weights)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      packed_weights_(tensor::BitMatrix::from_float(weights)) {
+  const std::int64_t k = in_channels_ * kernel_ * kernel_;
+  FLIM_REQUIRE((weights.shape() == tensor::Shape{out_channels_, k}),
+               "binary conv2d weights must be [out_channels, in_ch*kh*kw]");
+}
+
+tensor::FloatTensor BinaryConv2D::forward(const tensor::FloatTensor& input,
+                                          InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "binary conv2d expects NCHW input");
+  FLIM_REQUIRE(ctx.engine != nullptr, "inference context needs an engine");
+  tensor::ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = input.shape()[2];
+  g.in_w = input.shape()[3];
+  g.kernel_h = g.kernel_w = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t positions = oh * ow;
+
+  const tensor::BitMatrix activations = tensor::im2col_binary(input, g);
+  tensor::IntTensor flat;
+  ctx.engine->execute(name(), activations, packed_weights_, positions, flat);
+
+  tensor::FloatTensor out(tensor::Shape{n, out_channels_, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const std::int32_t* src =
+            flat.data() + ((b * oh + y) * ow + x) * out_channels_;
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+          out.at4(b, c, y, x) = static_cast<float>(src[c]);
+        }
+      }
+    }
+  }
+  record_profile(ctx, 0, positions * out_channels_ * g.patch_size());
+  return out;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,50 @@
+// Binarized 2-D convolution executed as logic-in-memory XNOR operations.
+//
+// Input activations are binarized with sign() during patch extraction and
+// the stored ±1 weights are packed once at construction; the inner product
+// is delegated to the execution engine, which is where fault injection (or
+// device-level simulation) happens.
+#pragma once
+
+#include "bnn/layer.hpp"
+#include "tensor/bit_matrix.hpp"
+#include "tensor/im2col.hpp"
+
+namespace flim::bnn {
+
+class BinaryConv2D final : public Layer {
+ public:
+  /// Weights shaped [out_channels, in_channels*kh*kw] with ±1 entries
+  /// (values are re-binarized via sign() defensively).
+  BinaryConv2D(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad,
+               tensor::FloatTensor weights);
+
+  std::string type() const override { return "binary_conv2d"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t binary_param_count() const override {
+    return packed_weights_.rows() * packed_weights_.cols();
+  }
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
+  /// Packed ±1 weights [out_ch, K].
+  const tensor::BitMatrix& packed_weights() const { return packed_weights_; }
+
+  /// Weights as a ±1 float matrix (serialization, tests).
+  tensor::FloatTensor weights_float() const { return packed_weights_.to_float(); }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  tensor::BitMatrix packed_weights_;
+};
+
+}  // namespace flim::bnn

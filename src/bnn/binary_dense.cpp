@@ -1,0 +1,37 @@
+#include "bnn/binary_dense.hpp"
+
+#include "bnn/engine.hpp"
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace flim::bnn {
+
+BinaryDense::BinaryDense(std::string name, std::int64_t in_features,
+                         std::int64_t out_features,
+                         tensor::FloatTensor weights)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      packed_weights_(tensor::BitMatrix::from_float(weights)) {
+  FLIM_REQUIRE((weights.shape() == tensor::Shape{out_features_, in_features_}),
+               "binary dense weights must be [out_features, in_features]");
+}
+
+tensor::FloatTensor BinaryDense::forward(const tensor::FloatTensor& input,
+                                         InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 2,
+               "binary dense expects [batch, features]");
+  FLIM_REQUIRE(input.shape()[1] == in_features_,
+               "binary dense input feature mismatch");
+  FLIM_REQUIRE(ctx.engine != nullptr, "inference context needs an engine");
+
+  // Binarize the incoming activations (sign) and pack.
+  const tensor::BitMatrix activations = tensor::BitMatrix::from_float(input);
+  tensor::IntTensor flat;
+  // Dense layers produce one output position per image.
+  ctx.engine->execute(name(), activations, packed_weights_, 1, flat);
+  record_profile(ctx, 0, in_features_ * out_features_);
+  return tensor::to_float(flat);
+}
+
+}  // namespace flim::bnn

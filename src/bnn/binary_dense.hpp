@@ -1,0 +1,34 @@
+// Binarized fully connected layer executed as logic-in-memory XNOR ops.
+#pragma once
+
+#include "bnn/layer.hpp"
+#include "tensor/bit_matrix.hpp"
+
+namespace flim::bnn {
+
+class BinaryDense final : public Layer {
+ public:
+  /// Weights [out_features, in_features] with ±1 entries.
+  BinaryDense(std::string name, std::int64_t in_features,
+              std::int64_t out_features, tensor::FloatTensor weights);
+
+  std::string type() const override { return "binary_dense"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t binary_param_count() const override {
+    return packed_weights_.rows() * packed_weights_.cols();
+  }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  const tensor::BitMatrix& packed_weights() const { return packed_weights_; }
+  tensor::FloatTensor weights_float() const { return packed_weights_.to_float(); }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  tensor::BitMatrix packed_weights_;
+};
+
+}  // namespace flim::bnn

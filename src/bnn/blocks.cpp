@@ -1,0 +1,122 @@
+#include "bnn/blocks.hpp"
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace flim::bnn {
+
+namespace {
+
+std::int64_t sum_real(const std::vector<LayerPtr>& layers) {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l->real_param_count();
+  return n;
+}
+
+std::int64_t sum_binary(const std::vector<LayerPtr>& layers) {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l->binary_param_count();
+  return n;
+}
+
+tensor::FloatTensor run_chain(const std::vector<LayerPtr>& layers,
+                              const tensor::FloatTensor& input,
+                              InferenceContext& ctx) {
+  tensor::FloatTensor x = input;
+  for (const auto& l : layers) {
+    x = l->forward(x, ctx);
+  }
+  return x;
+}
+
+}  // namespace
+
+Sequential::Sequential(std::string name, std::vector<LayerPtr> children)
+    : Layer(std::move(name)), children_(std::move(children)) {
+  for (const auto& c : children_) {
+    FLIM_REQUIRE(c != nullptr, "sequential child must not be null");
+  }
+}
+
+tensor::FloatTensor Sequential::forward(const tensor::FloatTensor& input,
+                                        InferenceContext& ctx) const {
+  return run_chain(children_, input, ctx);
+}
+
+std::int64_t Sequential::real_param_count() const { return sum_real(children_); }
+std::int64_t Sequential::binary_param_count() const {
+  return sum_binary(children_);
+}
+
+ResidualBlock::ResidualBlock(std::string name, std::vector<LayerPtr> body,
+                             LayerPtr shortcut)
+    : Layer(std::move(name)),
+      body_(std::move(body)),
+      shortcut_(std::move(shortcut)) {
+  FLIM_REQUIRE(!body_.empty(), "residual block needs a body");
+  for (const auto& l : body_) {
+    FLIM_REQUIRE(l != nullptr, "residual body layer must not be null");
+  }
+}
+
+tensor::FloatTensor ResidualBlock::forward(const tensor::FloatTensor& input,
+                                           InferenceContext& ctx) const {
+  tensor::FloatTensor main = run_chain(body_, input, ctx);
+  tensor::FloatTensor bypass =
+      shortcut_ != nullptr ? shortcut_->forward(input, ctx) : input;
+  FLIM_REQUIRE(main.shape() == bypass.shape(),
+               "residual branch shapes must match (" + main.shape().to_string() +
+                   " vs " + bypass.shape().to_string() + ")");
+  tensor::add_inplace(main, bypass);
+  return main;
+}
+
+std::int64_t ResidualBlock::real_param_count() const {
+  return sum_real(body_) + (shortcut_ ? shortcut_->real_param_count() : 0);
+}
+std::int64_t ResidualBlock::binary_param_count() const {
+  return sum_binary(body_) + (shortcut_ ? shortcut_->binary_param_count() : 0);
+}
+
+ConcatBlock::ConcatBlock(std::string name, std::vector<LayerPtr> body)
+    : Layer(std::move(name)), body_(std::move(body)) {
+  FLIM_REQUIRE(!body_.empty(), "concat block needs a body");
+  for (const auto& l : body_) {
+    FLIM_REQUIRE(l != nullptr, "concat body layer must not be null");
+  }
+}
+
+tensor::FloatTensor ConcatBlock::forward(const tensor::FloatTensor& input,
+                                         InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "concat block expects NCHW input");
+  const tensor::FloatTensor grown = run_chain(body_, input, ctx);
+  FLIM_REQUIRE(grown.shape().rank() == 4 &&
+                   grown.shape()[0] == input.shape()[0] &&
+                   grown.shape()[2] == input.shape()[2] &&
+                   grown.shape()[3] == input.shape()[3],
+               "concat body must preserve batch and spatial dims");
+
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c0 = input.shape()[1];
+  const std::int64_t c1 = grown.shape()[1];
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  const std::int64_t hw = h * w;
+
+  tensor::FloatTensor out(tensor::Shape{n, c0 + c1, h, w});
+  for (std::int64_t b = 0; b < n; ++b) {
+    float* dst = out.data() + b * (c0 + c1) * hw;
+    const float* src0 = input.data() + b * c0 * hw;
+    const float* src1 = grown.data() + b * c1 * hw;
+    std::copy(src0, src0 + c0 * hw, dst);
+    std::copy(src1, src1 + c1 * hw, dst + c0 * hw);
+  }
+  return out;
+}
+
+std::int64_t ConcatBlock::real_param_count() const { return sum_real(body_); }
+std::int64_t ConcatBlock::binary_param_count() const {
+  return sum_binary(body_);
+}
+
+}  // namespace flim::bnn

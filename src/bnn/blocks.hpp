@@ -1,0 +1,81 @@
+// Composite blocks: sequential containers, residual shortcuts, and
+// DenseNet-style concatenation.
+//
+// Blocks let the model zoo express each family's distinguishing structure:
+// residual identity shortcuts (ResNet/Bi-Real: real-valued activations flow
+// around the binarized body), dense connectivity (BinaryDenseNet/MeliusNet),
+// and plain stacks.
+#pragma once
+
+#include <vector>
+
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+/// Runs children in order. Used standalone and as the body of other blocks.
+class Sequential final : public Layer {
+ public:
+  Sequential(std::string name, std::vector<LayerPtr> children);
+
+  std::string type() const override { return "sequential"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override;
+  std::int64_t binary_param_count() const override;
+
+  const std::vector<LayerPtr>& children() const { return children_; }
+
+ private:
+  std::vector<LayerPtr> children_;
+};
+
+/// y = body(x) + shortcut(x); shortcut is identity when empty.
+///
+/// The identity shortcut is what keeps Bi-Real-style networks "not strictly
+/// binarized": the real-valued pre-activation bypasses the binarized body.
+class ResidualBlock final : public Layer {
+ public:
+  /// `shortcut` may be null (identity); then body output shape must equal
+  /// the input shape.
+  ResidualBlock(std::string name, std::vector<LayerPtr> body,
+                LayerPtr shortcut);
+
+  std::string type() const override { return "residual"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override;
+  std::int64_t binary_param_count() const override;
+
+  const std::vector<LayerPtr>& body() const { return body_; }
+  const Layer* shortcut() const { return shortcut_.get(); }
+
+ private:
+  std::vector<LayerPtr> body_;
+  LayerPtr shortcut_;  // may be null
+};
+
+/// y = concat(x, body(x)) along channels (NCHW dim 1) -- DenseNet growth.
+class ConcatBlock final : public Layer {
+ public:
+  ConcatBlock(std::string name, std::vector<LayerPtr> body);
+
+  std::string type() const override { return "concat"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override;
+  std::int64_t binary_param_count() const override;
+
+  const std::vector<LayerPtr>& body() const { return body_; }
+
+ private:
+  std::vector<LayerPtr> body_;
+};
+
+}  // namespace flim::bnn

@@ -1,0 +1,63 @@
+#include "bnn/conv2d.hpp"
+
+#include "core/check.hpp"
+#include "tensor/gemm.hpp"
+
+namespace flim::bnn {
+
+Conv2D::Conv2D(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad,
+               tensor::FloatTensor weights, tensor::FloatTensor bias)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  const std::int64_t k = in_channels_ * kernel_ * kernel_;
+  FLIM_REQUIRE((weights_.shape() == tensor::Shape{out_channels_, k}),
+               "conv2d weights must be [out_channels, in_ch*kh*kw]");
+  FLIM_REQUIRE(
+(bias_.numel() == 0 || bias_.shape() == tensor::Shape{out_channels_}),
+               "conv2d bias must be empty or [out_channels]");
+}
+
+tensor::FloatTensor Conv2D::forward(const tensor::FloatTensor& input,
+                                    InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "conv2d expects NCHW input");
+  tensor::ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = input.shape()[2];
+  g.in_w = input.shape()[3];
+  g.kernel_h = g.kernel_w = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+
+  const tensor::FloatTensor patches = tensor::im2col(input, g);
+  tensor::FloatTensor flat;  // [n*oh*ow, out_ch]
+  tensor::gemm_bt(patches, weights_, flat);
+
+  tensor::FloatTensor out(tensor::Shape{n, out_channels_, oh, ow});
+  const bool has_bias = bias_.numel() > 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float* src = flat.data() + ((b * oh + y) * ow + x) * out_channels_;
+        for (std::int64_t c = 0; c < out_channels_; ++c) {
+          out.at4(b, c, y, x) = src[c] + (has_bias ? bias_[c] : 0.0f);
+        }
+      }
+    }
+  }
+  record_profile(ctx, oh * ow * out_channels_ * g.patch_size(), 0);
+  return out;
+}
+
+}  // namespace flim::bnn

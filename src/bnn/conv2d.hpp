@@ -1,0 +1,45 @@
+// Real-valued 2-D convolution (CMOS-executed).
+//
+// BNNs keep the first convolution in full precision (the paper follows
+// X-Fault's "conservative approach by assuming that these non-binary
+// operations are executed in CMOS"); this layer is that CMOS path and is
+// never mapped onto crossbars or faulted.
+#pragma once
+
+#include "bnn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace flim::bnn {
+
+class Conv2D final : public Layer {
+ public:
+  /// Weights shaped [out_channels, in_channels*kh*kw]; bias [out_channels]
+  /// (pass an empty tensor for no bias).
+  Conv2D(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+         tensor::FloatTensor weights, tensor::FloatTensor bias);
+
+  std::string type() const override { return "conv2d"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override {
+    return weights_.numel() + bias_.numel();
+  }
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  const tensor::FloatTensor& weights() const { return weights_; }
+  const tensor::FloatTensor& bias() const { return bias_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  tensor::FloatTensor weights_;  // [out_ch, K]
+  tensor::FloatTensor bias_;     // [out_ch] or empty
+};
+
+}  // namespace flim::bnn

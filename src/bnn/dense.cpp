@@ -1,0 +1,42 @@
+#include "bnn/dense.hpp"
+
+#include "core/check.hpp"
+#include "tensor/gemm.hpp"
+
+namespace flim::bnn {
+
+Dense::Dense(std::string name, std::int64_t in_features,
+             std::int64_t out_features, tensor::FloatTensor weights,
+             tensor::FloatTensor bias)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)) {
+  FLIM_REQUIRE((weights_.shape() == tensor::Shape{out_features_, in_features_}),
+               "dense weights must be [out_features, in_features]");
+  FLIM_REQUIRE(
+(bias_.numel() == 0 || bias_.shape() == tensor::Shape{out_features_}),
+      "dense bias must be empty or [out_features]");
+}
+
+tensor::FloatTensor Dense::forward(const tensor::FloatTensor& input,
+                                   InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 2, "dense expects [batch, features]");
+  FLIM_REQUIRE(input.shape()[1] == in_features_,
+               "dense input feature mismatch");
+  tensor::FloatTensor out;
+  tensor::gemm_bt(input, weights_, out);
+  if (bias_.numel() > 0) {
+    const std::int64_t n = out.shape()[0];
+    for (std::int64_t r = 0; r < n; ++r) {
+      for (std::int64_t c = 0; c < out_features_; ++c) {
+        out.at2(r, c) += bias_[c];
+      }
+    }
+  }
+  record_profile(ctx, in_features_ * out_features_, 0);
+  return out;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,34 @@
+// Real-valued fully connected layer (CMOS-executed).
+#pragma once
+
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+class Dense final : public Layer {
+ public:
+  /// Weights [out_features, in_features]; bias [out_features] or empty.
+  Dense(std::string name, std::int64_t in_features, std::int64_t out_features,
+        tensor::FloatTensor weights, tensor::FloatTensor bias);
+
+  std::string type() const override { return "dense"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t real_param_count() const override {
+    return weights_.numel() + bias_.numel();
+  }
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  const tensor::FloatTensor& weights() const { return weights_; }
+  const tensor::FloatTensor& bias() const { return bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  tensor::FloatTensor weights_;
+  tensor::FloatTensor bias_;
+};
+
+}  // namespace flim::bnn

@@ -1,0 +1,40 @@
+#include "bnn/engine.hpp"
+
+#include "core/check.hpp"
+#include "tensor/xnor_gemm.hpp"
+
+namespace flim::bnn {
+
+void ReferenceEngine::execute(const std::string& /*layer_name*/,
+                              const tensor::BitMatrix& activations,
+                              const tensor::BitMatrix& weights,
+                              std::int64_t /*positions_per_image*/,
+                              tensor::IntTensor& out) {
+  tensor::xnor_gemm(activations, weights, out);
+}
+
+void RecordingEngine::execute(const std::string& layer_name,
+                              const tensor::BitMatrix& activations,
+                              const tensor::BitMatrix& weights,
+                              std::int64_t positions_per_image,
+                              tensor::IntTensor& out) {
+  if (find(layer_name) == nullptr) {
+    LayerWorkload w;
+    w.layer_name = layer_name;
+    w.positions_per_image = positions_per_image;
+    w.out_channels = weights.rows();
+    w.k = weights.cols();
+    workloads_.push_back(std::move(w));
+  }
+  tensor::xnor_gemm(activations, weights, out);
+}
+
+const LayerWorkload* RecordingEngine::find(
+    const std::string& layer_name) const {
+  for (const auto& w : workloads_) {
+    if (w.layer_name == layer_name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace flim::bnn

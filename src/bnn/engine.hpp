@@ -1,0 +1,97 @@
+// XNOR execution engines: the seam between BNN layers and the substrate
+// that evaluates their binarized arithmetic.
+//
+// Binarized layers lower themselves to one call:
+//     engine->execute(layer, activations, weights, positions, out)
+// where activations is [batch*positions, K] and weights is [out_ch, K],
+// both ±1-packed, and out receives the integer accumulator feature map.
+//
+// Swapping the engine swaps the execution model with identical weights and
+// data -- the C++ analogue of FLIM overriding Larq's convolution:
+//   * ReferenceEngine  -- vanilla packed XNOR+popcount (the paper's
+//                         "vanilla Larq" baseline);
+//   * FlimEngine       -- same fast path plus mask-based fault injection
+//                         (flim_engine.hpp);
+//   * DeviceEngine     -- every XNOR routed through the memristive crossbar
+//                         device simulation (xfault/device_engine.hpp, the
+//                         X-Fault-style baseline);
+//   * RecordingEngine  -- reference + workload profiling (used for fault
+//                         mapping and Table II).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/bit_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::bnn {
+
+/// Abstract executor of binarized layer arithmetic.
+class XnorExecutionEngine {
+ public:
+  virtual ~XnorExecutionEngine() = default;
+
+  /// Computes out[i, j] = sum_k XNOR(activations[i, k], weights[j, k]) in
+  /// the ±1 encoding. `positions_per_image` rows of `activations` belong to
+  /// one image (conv: out_h*out_w, dense: 1); engines that model per-image
+  /// fault timing use it to delimit images.
+  virtual void execute(const std::string& layer_name,
+                       const tensor::BitMatrix& activations,
+                       const tensor::BitMatrix& weights,
+                       std::int64_t positions_per_image,
+                       tensor::IntTensor& out) = 0;
+
+  /// Resets any notion of time (dynamic-fault counters); called between
+  /// campaign repetitions.
+  virtual void reset_time() {}
+};
+
+/// Fault-free packed-bit engine.
+class ReferenceEngine final : public XnorExecutionEngine {
+ public:
+  void execute(const std::string& layer_name,
+               const tensor::BitMatrix& activations,
+               const tensor::BitMatrix& weights,
+               std::int64_t positions_per_image,
+               tensor::IntTensor& out) override;
+};
+
+/// Profile of one binarized layer execution.
+struct LayerWorkload {
+  std::string layer_name;
+  std::int64_t positions_per_image = 0;  // output positions per image
+  std::int64_t out_channels = 0;
+  std::int64_t k = 0;  // product terms per output element
+
+  /// XNOR ops per image at output-element granularity.
+  std::int64_t output_elements_per_image() const {
+    return positions_per_image * out_channels;
+  }
+  /// XNOR ops per image at product-term granularity.
+  std::int64_t product_terms_per_image() const {
+    return positions_per_image * out_channels * k;
+  }
+};
+
+/// Reference engine that additionally records per-layer workloads (first
+/// execution of each layer name wins; repeated executions are counted).
+class RecordingEngine final : public XnorExecutionEngine {
+ public:
+  void execute(const std::string& layer_name,
+               const tensor::BitMatrix& activations,
+               const tensor::BitMatrix& weights,
+               std::int64_t positions_per_image,
+               tensor::IntTensor& out) override;
+
+  const std::vector<LayerWorkload>& workloads() const { return workloads_; }
+
+  /// Finds a recorded workload; nullptr when the layer never executed.
+  const LayerWorkload* find(const std::string& layer_name) const;
+
+ private:
+  std::vector<LayerWorkload> workloads_;
+};
+
+}  // namespace flim::bnn

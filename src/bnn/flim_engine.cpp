@@ -1,0 +1,75 @@
+#include "bnn/flim_engine.hpp"
+
+#include "core/check.hpp"
+#include "tensor/xnor_gemm.hpp"
+
+namespace flim::bnn {
+
+FlimEngine::FlimEngine(const fault::FaultVectorFile& vectors) {
+  for (const auto& entry : vectors.entries()) {
+    set_layer_fault(entry);
+  }
+}
+
+void FlimEngine::set_layer_fault(fault::FaultVectorEntry entry) {
+  auto injector = std::make_unique<fault::FaultInjector>(std::move(entry));
+  injectors_[injector->entry().layer_name] = std::move(injector);
+}
+
+void FlimEngine::clear_faults() { injectors_.clear(); }
+
+void FlimEngine::execute(const std::string& layer_name,
+                         const tensor::BitMatrix& activations,
+                         const tensor::BitMatrix& weights,
+                         std::int64_t positions_per_image,
+                         tensor::IntTensor& out) {
+  const auto it = injectors_.find(layer_name);
+  if (it == injectors_.end()) {
+    tensor::xnor_gemm(activations, weights, out);
+    return;
+  }
+  fault::FaultInjector& injector = *it->second;
+
+  FLIM_REQUIRE(positions_per_image > 0, "positions_per_image must be > 0");
+  FLIM_REQUIRE(activations.rows() % positions_per_image == 0,
+               "activation rows must be a whole number of images");
+  const std::int64_t m = activations.rows();
+  const std::int64_t n = weights.rows();
+  if (out.shape() != tensor::Shape{m, n}) {
+    out = tensor::IntTensor(tensor::Shape{m, n});
+  }
+
+  if (injector.granularity() == fault::FaultGranularity::kProductTerm) {
+    const fault::TermMasks& masks =
+        injector.term_masks(weights.rows(), weights.cols());
+    for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
+      const std::int64_t end = begin + positions_per_image;
+      if (injector.advance_execution()) {
+        tensor::xnor_gemm_term_faults_rows(activations, weights, masks.flip,
+                                           masks.sa0, masks.sa1, out, begin,
+                                           end);
+      } else {
+        tensor::xnor_gemm_rows(activations, weights, out, begin, end);
+      }
+    }
+  } else {
+    // Output-element granularity: clean fast path, then per-image masking of
+    // the feature map ("another XNOR operation" in the paper). Stuck ops pin
+    // to the full-scale ±K accumulator value.
+    tensor::xnor_gemm(activations, weights, out);
+    const auto full_scale = static_cast<std::int32_t>(weights.cols());
+    for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
+      const std::int64_t end = begin + positions_per_image;
+      const bool active = injector.advance_execution();
+      injector.apply_output_element(out, begin, end, active, full_scale);
+    }
+  }
+}
+
+void FlimEngine::reset_time() {
+  for (auto& [name, injector] : injectors_) {
+    injector->reset_time();
+  }
+}
+
+}  // namespace flim::bnn

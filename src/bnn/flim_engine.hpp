@@ -1,0 +1,48 @@
+// FlimEngine: the FLIM fast path -- packed XNOR+popcount plus mask-based
+// fault injection at XNOR-operation level.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bnn/engine.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_vector_file.hpp"
+
+namespace flim::bnn {
+
+/// Fault-injecting execution engine.
+///
+/// Layers without a configured fault entry run the clean fast path; layers
+/// with one run the faulty kernel of the configured granularity. Dynamic
+/// faults advance per image.
+class FlimEngine final : public XnorExecutionEngine {
+ public:
+  FlimEngine() = default;
+
+  /// Builds injectors for every entry of a fault vector file.
+  explicit FlimEngine(const fault::FaultVectorFile& vectors);
+
+  /// Adds/replaces the fault entry of one layer.
+  void set_layer_fault(fault::FaultVectorEntry entry);
+
+  /// Removes all fault entries (engine becomes the reference fast path).
+  void clear_faults();
+
+  /// Number of layers with configured faults.
+  std::size_t num_faulty_layers() const { return injectors_.size(); }
+
+  void execute(const std::string& layer_name,
+               const tensor::BitMatrix& activations,
+               const tensor::BitMatrix& weights,
+               std::int64_t positions_per_image,
+               tensor::IntTensor& out) override;
+
+  void reset_time() override;
+
+ private:
+  std::map<std::string, std::unique_ptr<fault::FaultInjector>> injectors_;
+};
+
+}  // namespace flim::bnn

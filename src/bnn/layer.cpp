@@ -1,0 +1,18 @@
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+void Layer::record_profile(InferenceContext& ctx, std::int64_t real_macs,
+                           std::int64_t binary_macs) const {
+  if (ctx.profile == nullptr) return;
+  LayerProfile p;
+  p.name = name();
+  p.type = type();
+  p.real_params = real_param_count();
+  p.binary_params = binary_param_count();
+  p.real_macs_per_image = real_macs;
+  p.binary_macs_per_image = binary_macs;
+  ctx.profile->push_back(std::move(p));
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,74 @@
+// Layer base class and inference context.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flim::bnn {
+
+class XnorExecutionEngine;
+
+/// Per-layer profile row collected during Model::analyze (Table II inputs).
+struct LayerProfile {
+  std::string name;
+  std::string type;
+  std::int64_t real_params = 0;
+  std::int64_t binary_params = 0;
+  std::int64_t real_macs_per_image = 0;    // multiply-accumulates in CMOS
+  std::int64_t binary_macs_per_image = 0;  // XNOR-accumulates on crossbars
+};
+
+/// State threaded through a forward pass.
+struct InferenceContext {
+  /// Engine evaluating binarized arithmetic; never null during forward.
+  XnorExecutionEngine* engine = nullptr;
+
+  /// When non-null, layers append their profile (set by Model::analyze).
+  std::vector<LayerProfile>* profile = nullptr;
+
+  /// Batch images currently flowing through (for per-image MAC accounting).
+  std::int64_t batch = 1;
+};
+
+/// Base class of all inference layers.
+///
+/// Layers are immutable after construction (weights fixed); forward() is
+/// const so one model can serve concurrent threads, each with its own
+/// engine/context.
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Stable type tag used by serialization and reports.
+  virtual std::string type() const = 0;
+
+  /// Computes the layer output.
+  virtual tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                                      InferenceContext& ctx) const = 0;
+
+  /// Parameter counts (real-valued vs binarized).
+  virtual std::int64_t real_param_count() const { return 0; }
+  virtual std::int64_t binary_param_count() const { return 0; }
+
+ protected:
+  /// Appends a profile row when profiling is active.
+  void record_profile(InferenceContext& ctx, std::int64_t real_macs,
+                      std::int64_t binary_macs) const;
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace flim::bnn

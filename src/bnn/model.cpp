@@ -1,0 +1,72 @@
+#include "bnn/model.hpp"
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace flim::bnn {
+
+void Model::add(LayerPtr layer) {
+  FLIM_REQUIRE(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+}
+
+tensor::FloatTensor Model::forward(const tensor::FloatTensor& input,
+                                   XnorExecutionEngine& engine) const {
+  FLIM_REQUIRE(!layers_.empty(), "model has no layers");
+  InferenceContext ctx;
+  ctx.engine = &engine;
+  ctx.batch = input.shape().rank() >= 1 ? input.shape()[0] : 1;
+  tensor::FloatTensor x = input;
+  for (const auto& layer : layers_) {
+    x = layer->forward(x, ctx);
+  }
+  return x;
+}
+
+double Model::evaluate(const data::Batch& batch,
+                       XnorExecutionEngine& engine) const {
+  const tensor::FloatTensor logits = forward(batch.images, engine);
+  return tensor::accuracy(logits, batch.labels);
+}
+
+ModelCharacteristics Model::analyze(
+    const tensor::FloatTensor& sample_input) const {
+  FLIM_REQUIRE(sample_input.shape().rank() == 4 && sample_input.shape()[0] == 1,
+               "analyze expects a single NCHW sample");
+  RecordingEngine recorder;
+  InferenceContext ctx;
+  ctx.engine = &recorder;
+  ctx.batch = 1;
+  std::vector<LayerProfile> profile;
+  ctx.profile = &profile;
+
+  tensor::FloatTensor x = sample_input;
+  for (const auto& layer : layers_) {
+    x = layer->forward(x, ctx);
+  }
+
+  ModelCharacteristics c;
+  c.model_name = name_;
+  for (const auto& p : profile) {
+    c.real_params += p.real_params;
+    c.binary_params += p.binary_params;
+    c.real_macs += p.real_macs_per_image;
+    c.binary_macs += p.binary_macs_per_image;
+  }
+  c.total_params = c.real_params + c.binary_params;
+  c.total_macs = c.real_macs + c.binary_macs;
+  // Binary weights cost 1 bit, real parameters 4 bytes.
+  c.size_megabytes =
+      (static_cast<double>(c.binary_params) / 8.0 +
+       static_cast<double>(c.real_params) * 4.0) /
+      (1024.0 * 1024.0);
+  c.binarized_percent =
+      c.total_macs > 0
+          ? 100.0 * static_cast<double>(c.binary_macs) /
+                static_cast<double>(c.total_macs)
+          : 0.0;
+  c.binarized_layers = recorder.workloads();
+  return c;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,61 @@
+// Model: an ordered stack of layers plus analysis utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bnn/engine.hpp"
+#include "bnn/layer.hpp"
+#include "data/dataset.hpp"
+
+namespace flim::bnn {
+
+/// Aggregate model characteristics (Table II columns).
+struct ModelCharacteristics {
+  std::string model_name;
+  std::int64_t real_params = 0;
+  std::int64_t binary_params = 0;
+  std::int64_t total_params = 0;
+  std::int64_t real_macs = 0;    // per image
+  std::int64_t binary_macs = 0;  // per image (XNOR-accumulates)
+  std::int64_t total_macs = 0;
+  double size_megabytes = 0.0;   // binary params as bits + real as float32
+  double binarized_percent = 0.0;
+  std::vector<LayerWorkload> binarized_layers;
+};
+
+/// An inference model: ordered layers, engine-agnostic forward.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(std::string name) : name_(std::move(name)) {}
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a layer (builder style).
+  void add(LayerPtr layer);
+
+  const std::vector<LayerPtr>& layers() const { return layers_; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Runs the full stack; returns logits [batch, classes].
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              XnorExecutionEngine& engine) const;
+
+  /// Classification accuracy over a batch using `engine`.
+  double evaluate(const data::Batch& batch, XnorExecutionEngine& engine) const;
+
+  /// Dry-runs one sample to collect the binarized-layer workloads (fault
+  /// mapping inputs) and Table II characteristics.
+  ModelCharacteristics analyze(const tensor::FloatTensor& sample_input) const;
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace flim::bnn

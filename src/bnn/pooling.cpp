@@ -1,0 +1,114 @@
+#include "bnn/pooling.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+namespace {
+
+std::int64_t pooled_extent(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride) {
+  return (in - kernel) / stride + 1;
+}
+
+}  // namespace
+
+MaxPool2D::MaxPool2D(std::string name, std::int64_t kernel,
+                     std::int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  FLIM_REQUIRE(kernel_ >= 1 && stride_ >= 1, "pool kernel/stride must be >= 1");
+}
+
+tensor::FloatTensor MaxPool2D::forward(const tensor::FloatTensor& input,
+                                       InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "max pool expects NCHW input");
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  FLIM_REQUIRE(h >= kernel_ && w >= kernel_, "pool window exceeds input");
+  const std::int64_t oh = pooled_extent(h, kernel_, stride_);
+  const std::int64_t ow = pooled_extent(w, kernel_, stride_);
+
+  tensor::FloatTensor out(tensor::Shape{n, c, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = input.at4(b, ch, y * stride_, x * stride_);
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              best = std::max(best,
+                              input.at4(b, ch, y * stride_ + ky, x * stride_ + kx));
+            }
+          }
+          out.at4(b, ch, y, x) = best;
+        }
+      }
+    }
+  }
+  record_profile(ctx, 0, 0);
+  return out;
+}
+
+GlobalAvgPool::GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+
+tensor::FloatTensor GlobalAvgPool::forward(const tensor::FloatTensor& input,
+                                           InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "global avg pool expects NCHW");
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  tensor::FloatTensor out(tensor::Shape{n, c});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* in = input.data() + (b * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < hw; ++i) acc += in[i];
+      out.at2(b, ch) = acc / static_cast<float>(hw);
+    }
+  }
+  record_profile(ctx, input.numel() / ctx.batch, 0);
+  return out;
+}
+
+AvgPool2D::AvgPool2D(std::string name, std::int64_t kernel, std::int64_t stride)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride) {
+  FLIM_REQUIRE(kernel_ >= 1 && stride_ >= 1, "pool kernel/stride must be >= 1");
+}
+
+tensor::FloatTensor AvgPool2D::forward(const tensor::FloatTensor& input,
+                                       InferenceContext& ctx) const {
+  FLIM_REQUIRE(input.shape().rank() == 4, "avg pool expects NCHW input");
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  FLIM_REQUIRE(h >= kernel_ && w >= kernel_, "pool window exceeds input");
+  const std::int64_t oh = pooled_extent(h, kernel_, stride_);
+  const std::int64_t ow = pooled_extent(w, kernel_, stride_);
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  tensor::FloatTensor out(tensor::Shape{n, c, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              acc += input.at4(b, ch, y * stride_ + ky, x * stride_ + kx);
+            }
+          }
+          out.at4(b, ch, y, x) = acc * inv;
+        }
+      }
+    }
+  }
+  record_profile(ctx, 0, 0);
+  return out;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,53 @@
+// Spatial pooling layers (CMOS-executed).
+#pragma once
+
+#include "bnn/layer.hpp"
+
+namespace flim::bnn {
+
+/// Max pooling over square windows.
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(std::string name, std::int64_t kernel, std::int64_t stride);
+
+  std::string type() const override { return "max_pool2d"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+/// Global average pooling: NCHW -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name);
+
+  std::string type() const override { return "global_avg_pool"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+};
+
+/// Average pooling over square windows (used for DenseNet-style transitions).
+class AvgPool2D final : public Layer {
+ public:
+  AvgPool2D(std::string name, std::int64_t kernel, std::int64_t stride);
+
+  std::string type() const override { return "avg_pool2d"; }
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& input,
+                              InferenceContext& ctx) const override;
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t kernel_, stride_;
+};
+
+}  // namespace flim::bnn

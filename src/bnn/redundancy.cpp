@@ -1,0 +1,47 @@
+#include "bnn/redundancy.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+MedianVoteEngine::MedianVoteEngine(
+    std::vector<std::unique_ptr<XnorExecutionEngine>> replicas)
+    : replicas_(std::move(replicas)) {
+  FLIM_REQUIRE(!replicas_.empty() && replicas_.size() % 2 == 1,
+               "median voting needs an odd number of replicas");
+  for (const auto& r : replicas_) {
+    FLIM_REQUIRE(r != nullptr, "replica engine must not be null");
+  }
+}
+
+void MedianVoteEngine::execute(const std::string& layer_name,
+                               const tensor::BitMatrix& activations,
+                               const tensor::BitMatrix& weights,
+                               std::int64_t positions_per_image,
+                               tensor::IntTensor& out) {
+  std::vector<tensor::IntTensor> results(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->execute(layer_name, activations, weights,
+                          positions_per_image, results[i]);
+  }
+  out = results[0];
+  if (replicas_.size() == 1) return;
+
+  std::vector<std::int32_t> values(replicas_.size());
+  for (std::int64_t e = 0; e < out.numel(); ++e) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      values[i] = results[i][e];
+    }
+    const auto mid = values.begin() + static_cast<std::ptrdiff_t>(values.size() / 2);
+    std::nth_element(values.begin(), mid, values.end());
+    out[e] = *mid;
+  }
+}
+
+void MedianVoteEngine::reset_time() {
+  for (auto& r : replicas_) r->reset_time();
+}
+
+}  // namespace flim::bnn

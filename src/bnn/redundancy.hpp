@@ -1,0 +1,40 @@
+// Fault-mitigation engines.
+//
+// The paper concludes that "it is mandatory to adopt not only fault-tolerant
+// approaches but also strategies able to monitor and/or mitigate
+// applications' degradation". MedianVoteEngine is the classic such approach:
+// N-modular redundancy over crossbar replicas with independent fault
+// distributions, combined by an elementwise median (= majority vote for
+// monotone accumulator corruption).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bnn/engine.hpp"
+
+namespace flim::bnn {
+
+/// Executes every binarized operation on N replica engines and combines the
+/// accumulator outputs with an elementwise median.
+class MedianVoteEngine final : public XnorExecutionEngine {
+ public:
+  /// Takes ownership of the replica engines; requires an odd count >= 1.
+  explicit MedianVoteEngine(
+      std::vector<std::unique_ptr<XnorExecutionEngine>> replicas);
+
+  std::size_t num_replicas() const { return replicas_.size(); }
+
+  void execute(const std::string& layer_name,
+               const tensor::BitMatrix& activations,
+               const tensor::BitMatrix& weights,
+               std::int64_t positions_per_image,
+               tensor::IntTensor& out) override;
+
+  void reset_time() override;
+
+ private:
+  std::vector<std::unique_ptr<XnorExecutionEngine>> replicas_;
+};
+
+}  // namespace flim::bnn

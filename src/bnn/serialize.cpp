@@ -1,0 +1,299 @@
+#include "bnn/serialize.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "bnn/activations.hpp"
+#include "bnn/batch_norm.hpp"
+#include "bnn/binary_conv2d.hpp"
+#include "bnn/binary_dense.hpp"
+#include "bnn/blocks.hpp"
+#include "bnn/conv2d.hpp"
+#include "bnn/dense.hpp"
+#include "bnn/pooling.hpp"
+#include "core/check.hpp"
+
+namespace flim::bnn {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x314c444d4d494c46ull;  // "FLIMMDL1"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v) { os_.put(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void tensor(const tensor::FloatTensor& t) {
+    u32(static_cast<std::uint32_t>(t.shape().rank()));
+    for (std::size_t i = 0; i < t.shape().rank(); ++i) i64(t.shape()[i]);
+    raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
+  std::ostream& os_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8() {
+    char c = 0;
+    raw(&c, 1);
+    return static_cast<std::uint8_t>(c);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  float f32() {
+    float v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    FLIM_REQUIRE(len < (1u << 20), "implausible string length in model file");
+    std::string s(len, '\0');
+    raw(s.data(), len);
+    return s;
+  }
+  tensor::FloatTensor tensor() {
+    const std::uint32_t rank = u32();
+    FLIM_REQUIRE(rank <= 4, "implausible tensor rank in model file");
+    std::vector<std::int64_t> dims;
+    for (std::uint32_t i = 0; i < rank; ++i) dims.push_back(i64());
+    tensor::FloatTensor t((tensor::Shape(dims)));
+    raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+    return t;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    FLIM_REQUIRE(is_.good() || (is_.eof() && n == 0),
+                 "model file truncated");
+  }
+  std::istream& is_;
+};
+
+void write_layer(Writer& w, const Layer& layer);
+
+void write_layer_list(Writer& w, const std::vector<LayerPtr>& layers) {
+  w.u32(static_cast<std::uint32_t>(layers.size()));
+  for (const auto& l : layers) write_layer(w, *l);
+}
+
+void write_layer(Writer& w, const Layer& layer) {
+  const std::string type = layer.type();
+  w.str(type);
+  w.str(layer.name());
+  if (type == "conv2d") {
+    const auto& l = static_cast<const Conv2D&>(layer);
+    w.i64(l.in_channels());
+    w.i64(l.out_channels());
+    w.i64(l.kernel());
+    w.i64(l.stride());
+    w.i64(l.pad());
+    w.tensor(l.weights());
+    w.tensor(l.bias());
+  } else if (type == "binary_conv2d") {
+    const auto& l = static_cast<const BinaryConv2D&>(layer);
+    w.i64(l.in_channels());
+    w.i64(l.out_channels());
+    w.i64(l.kernel());
+    w.i64(l.stride());
+    w.i64(l.pad());
+    w.tensor(l.weights_float());
+  } else if (type == "dense") {
+    const auto& l = static_cast<const Dense&>(layer);
+    w.i64(l.in_features());
+    w.i64(l.out_features());
+    w.tensor(l.weights());
+    w.tensor(l.bias());
+  } else if (type == "binary_dense") {
+    const auto& l = static_cast<const BinaryDense&>(layer);
+    w.i64(l.in_features());
+    w.i64(l.out_features());
+    w.tensor(l.weights_float());
+  } else if (type == "batch_norm") {
+    const auto& l = static_cast<const BatchNorm&>(layer);
+    w.i64(l.channels());
+    w.f32(l.epsilon());
+    w.tensor(l.gamma());
+    w.tensor(l.beta());
+    w.tensor(l.mean());
+    w.tensor(l.variance());
+  } else if (type == "max_pool2d") {
+    const auto& l = static_cast<const MaxPool2D&>(layer);
+    w.i64(l.kernel());
+    w.i64(l.stride());
+  } else if (type == "avg_pool2d") {
+    const auto& l = static_cast<const AvgPool2D&>(layer);
+    w.i64(l.kernel());
+    w.i64(l.stride());
+  } else if (type == "global_avg_pool" || type == "sign" || type == "relu" ||
+             type == "flatten" || type == "identity") {
+    // no payload
+  } else if (type == "channel_scale") {
+    const auto& l = static_cast<const ChannelScale&>(layer);
+    w.tensor(l.gains());
+  } else if (type == "sequential") {
+    const auto& l = static_cast<const Sequential&>(layer);
+    write_layer_list(w, l.children());
+  } else if (type == "residual") {
+    const auto& l = static_cast<const ResidualBlock&>(layer);
+    write_layer_list(w, l.body());
+    w.u8(l.shortcut() != nullptr ? 1 : 0);
+    if (l.shortcut() != nullptr) write_layer(w, *l.shortcut());
+  } else if (type == "concat") {
+    const auto& l = static_cast<const ConcatBlock&>(layer);
+    write_layer_list(w, l.body());
+  } else {
+    FLIM_REQUIRE(false, "unknown layer type in serialization: " + type);
+  }
+}
+
+LayerPtr read_layer(Reader& r);
+
+std::vector<LayerPtr> read_layer_list(Reader& r) {
+  const std::uint32_t count = r.u32();
+  FLIM_REQUIRE(count < (1u << 16), "implausible layer count in model file");
+  std::vector<LayerPtr> layers;
+  layers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) layers.push_back(read_layer(r));
+  return layers;
+}
+
+LayerPtr read_layer(Reader& r) {
+  const std::string type = r.str();
+  const std::string name = r.str();
+  if (type == "conv2d") {
+    const auto in = r.i64(), out = r.i64(), k = r.i64(), s = r.i64(),
+               p = r.i64();
+    auto weights = r.tensor();
+    auto bias = r.tensor();
+    return std::make_unique<Conv2D>(name, in, out, k, s, p, std::move(weights),
+                                    std::move(bias));
+  }
+  if (type == "binary_conv2d") {
+    const auto in = r.i64(), out = r.i64(), k = r.i64(), s = r.i64(),
+               p = r.i64();
+    auto weights = r.tensor();
+    return std::make_unique<BinaryConv2D>(name, in, out, k, s, p,
+                                          std::move(weights));
+  }
+  if (type == "dense") {
+    const auto in = r.i64(), out = r.i64();
+    auto weights = r.tensor();
+    auto bias = r.tensor();
+    return std::make_unique<Dense>(name, in, out, std::move(weights),
+                                   std::move(bias));
+  }
+  if (type == "binary_dense") {
+    const auto in = r.i64(), out = r.i64();
+    auto weights = r.tensor();
+    return std::make_unique<BinaryDense>(name, in, out, std::move(weights));
+  }
+  if (type == "batch_norm") {
+    const auto channels = r.i64();
+    const float eps = r.f32();
+    auto gamma = r.tensor();
+    auto beta = r.tensor();
+    auto mean = r.tensor();
+    auto variance = r.tensor();
+    return std::make_unique<BatchNorm>(name, channels, std::move(gamma),
+                                       std::move(beta), std::move(mean),
+                                       std::move(variance), eps);
+  }
+  if (type == "max_pool2d") {
+    const auto k = r.i64(), s = r.i64();
+    return std::make_unique<MaxPool2D>(name, k, s);
+  }
+  if (type == "avg_pool2d") {
+    const auto k = r.i64(), s = r.i64();
+    return std::make_unique<AvgPool2D>(name, k, s);
+  }
+  if (type == "global_avg_pool") return std::make_unique<GlobalAvgPool>(name);
+  if (type == "sign") return std::make_unique<Sign>(name);
+  if (type == "relu") return std::make_unique<ReLU>(name);
+  if (type == "flatten") return std::make_unique<Flatten>(name);
+  if (type == "identity") return std::make_unique<Identity>(name);
+  if (type == "channel_scale") {
+    auto gains = r.tensor();
+    return std::make_unique<ChannelScale>(name, std::move(gains));
+  }
+  if (type == "sequential") {
+    auto children = read_layer_list(r);
+    return std::make_unique<Sequential>(name, std::move(children));
+  }
+  if (type == "residual") {
+    auto body = read_layer_list(r);
+    LayerPtr shortcut;
+    if (r.u8() != 0) shortcut = read_layer(r);
+    return std::make_unique<ResidualBlock>(name, std::move(body),
+                                           std::move(shortcut));
+  }
+  if (type == "concat") {
+    auto body = read_layer_list(r);
+    return std::make_unique<ConcatBlock>(name, std::move(body));
+  }
+  FLIM_REQUIRE(false, "unknown layer type in model file: " + type);
+  return nullptr;
+}
+
+}  // namespace
+
+void save_model(const Model& model, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FLIM_REQUIRE(os.good(), "cannot open model file for writing: " + path);
+  Writer w(os);
+  w.u64(kMagic);
+  w.u32(kVersion);
+  w.str(model.name());
+  w.u32(static_cast<std::uint32_t>(model.num_layers()));
+  for (const auto& layer : model.layers()) write_layer(w, *layer);
+  FLIM_REQUIRE(os.good(), "model file write failed: " + path);
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FLIM_REQUIRE(is.good(), "cannot open model file: " + path);
+  Reader r(is);
+  FLIM_REQUIRE(r.u64() == kMagic, "not a FLIM model file: " + path);
+  FLIM_REQUIRE(r.u32() == kVersion, "unsupported model file version");
+  Model model(r.str());
+  const std::uint32_t count = r.u32();
+  FLIM_REQUIRE(count < (1u << 16), "implausible layer count in model file");
+  for (std::uint32_t i = 0; i < count; ++i) model.add(read_layer(r));
+  return model;
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,18 @@
+// Model serialization: compact binary save/load so benches can train the
+// zoo once and reload it across runs.
+#pragma once
+
+#include <string>
+
+#include "bnn/model.hpp"
+
+namespace flim::bnn {
+
+/// Writes a model to `path` (creating parent directories).
+void save_model(const Model& model, const std::string& path);
+
+/// Reads a model saved by save_model. Throws std::invalid_argument on
+/// malformed files.
+Model load_model(const std::string& path);
+
+}  // namespace flim::bnn

@@ -1,0 +1,95 @@
+#include "cli/args.hpp"
+
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace flim::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command_ = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    FLIM_REQUIRE(token.rfind("--", 0) == 0,
+                 "expected --flag, got: " + token);
+    const std::string flag = token.substr(2);
+    FLIM_REQUIRE(!flag.empty(), "empty flag name");
+    FLIM_REQUIRE(args.values_.find(flag) == args.values_.end() &&
+                     args.switches_.find(flag) == args.switches_.end(),
+                 "duplicate flag: --" + flag);
+    // A flag followed by another flag (or nothing) is a boolean switch.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      args.switches_.insert(flag);
+    } else {
+      args.values_[flag] = argv[++i];
+    }
+  }
+  return args;
+}
+
+std::string Args::get_string(const std::string& flag,
+                             const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it != values_.end() ? it->second : fallback;
+}
+
+std::int64_t Args::get_int(const std::string& flag,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  FLIM_REQUIRE(pos == it->second.size(),
+               "flag --" + flag + " expects an integer, got " + it->second);
+  return v;
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  FLIM_REQUIRE(pos == it->second.size(),
+               "flag --" + flag + " expects a number, got " + it->second);
+  return v;
+}
+
+bool Args::has(const std::string& flag) const {
+  return switches_.count(flag) > 0 || values_.count(flag) > 0;
+}
+
+std::vector<std::string> Args::get_list(const std::string& flag) const {
+  std::vector<std::string> out;
+  const std::string raw = get_string(flag);
+  if (raw.empty()) return out;
+  std::istringstream is(raw);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<double> Args::get_double_list(const std::string& flag) const {
+  std::vector<double> out;
+  for (const auto& item : get_list(flag)) {
+    std::size_t pos = 0;
+    out.push_back(std::stod(item, &pos));
+    FLIM_REQUIRE(pos == item.size(),
+                 "flag --" + flag + " expects numbers, got " + item);
+  }
+  return out;
+}
+
+void Args::require_known(const std::set<std::string>& allowed) const {
+  for (const auto& [flag, value] : values_) {
+    FLIM_REQUIRE(allowed.count(flag) > 0, "unknown flag: --" + flag);
+  }
+  for (const auto& flag : switches_) {
+    FLIM_REQUIRE(allowed.count(flag) > 0, "unknown flag: --" + flag);
+  }
+}
+
+}  // namespace flim::cli

@@ -1,0 +1,48 @@
+// Minimal command-line argument parsing for the flim_cli tool.
+//
+// Grammar: flim_cli <command> [--flag value]... [--switch]...
+// Values are parsed on demand with type-checked accessors; unknown flags are
+// rejected so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flim::cli {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv[1..); argv[1] is the command. Throws std::invalid_argument
+  /// on malformed input (flag without value, duplicate flag).
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  /// Typed accessors; `fallback` is returned when the flag is absent.
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  bool has(const std::string& flag) const;
+
+  /// Comma-separated list accessor ("a,b,c" -> {"a","b","c"}).
+  std::vector<std::string> get_list(const std::string& flag) const;
+
+  /// Comma-separated doubles ("0,0.1,0.2").
+  std::vector<double> get_double_list(const std::string& flag) const;
+
+  /// Verifies that every provided flag is in `allowed`; throws otherwise.
+  void require_known(const std::set<std::string>& allowed) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> switches_;
+};
+
+}  // namespace flim::cli

@@ -1,0 +1,589 @@
+#include "cli/commands.hpp"
+
+#include <iostream>
+
+#include "bnn/engine.hpp"
+#include "bnn/flim_engine.hpp"
+#include "core/campaign.hpp"
+#include "core/check.hpp"
+#include "core/report.hpp"
+#include "core/rng.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "fault/fault_generator.hpp"
+#include "fault/fault_vector_file.hpp"
+#include "models/pretrained.hpp"
+#include "models/zoo.hpp"
+#include "reliability/ecc.hpp"
+#include "reliability/lifetime.hpp"
+#include "reliability/march.hpp"
+#include "reliability/monitor.hpp"
+
+namespace flim::cli {
+
+namespace {
+
+fault::FaultKind parse_kind(const std::string& s) {
+  if (s == "bitflip" || s == "bit-flip") return fault::FaultKind::kBitFlip;
+  if (s == "stuckat" || s == "stuck-at") return fault::FaultKind::kStuckAt;
+  if (s == "dynamic") return fault::FaultKind::kDynamic;
+  FLIM_REQUIRE(false, "unknown fault kind: " + s +
+                          " (expected bitflip|stuckat|dynamic)");
+  return fault::FaultKind::kBitFlip;
+}
+
+fault::FaultGranularity parse_granularity(const std::string& s) {
+  if (s == "output" || s == "output-element") {
+    return fault::FaultGranularity::kOutputElement;
+  }
+  if (s == "term" || s == "product-term") {
+    return fault::FaultGranularity::kProductTerm;
+  }
+  FLIM_REQUIRE(false, "unknown granularity: " + s + " (expected output|term)");
+  return fault::FaultGranularity::kOutputElement;
+}
+
+fault::FaultDistribution parse_distribution(const std::string& s) {
+  if (s == "uniform") return fault::FaultDistribution::kUniform;
+  if (s == "clustered") return fault::FaultDistribution::kClustered;
+  FLIM_REQUIRE(false, "unknown distribution: " + s +
+                          " (expected uniform|clustered)");
+  return fault::FaultDistribution::kUniform;
+}
+
+bool is_zoo_model(const std::string& name) {
+  for (const auto& m : models::zoo_model_names()) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+/// Loads/trains the requested model and returns it together with its
+/// binarized-layer workloads and a held-out evaluation batch.
+struct LoadedModel {
+  bnn::Model model;
+  std::vector<bnn::LayerWorkload> layers;
+  data::Batch eval_batch;
+};
+
+LoadedModel load_model_for(const Args& args) {
+  const std::string name = args.get_string("model", "lenet");
+  const std::int64_t images = args.get_int("images", 300);
+  models::PretrainOptions opts;
+  opts.epochs = static_cast<int>(args.get_int("epochs", 3));
+  opts.train_samples = args.get_int("samples", 3000);
+  opts.verbose = args.has("verbose");
+  if (args.has("weights-dir")) {
+    opts.cache_dir = args.get_string("weights-dir");
+  }
+  opts.force_retrain = args.has("retrain");
+
+  LoadedModel out;
+  if (name == "lenet") {
+    data::SyntheticMnistOptions d;
+    d.size = opts.train_samples + images;
+    data::SyntheticMnist ds(d);
+    out.model = models::pretrained_lenet(ds, opts);
+    out.eval_batch = data::load_batch(ds, opts.train_samples, images);
+    out.layers =
+        out.model.analyze(tensor::FloatTensor(tensor::Shape{1, 1, 28, 28}, 0.5f))
+            .binarized_layers;
+  } else if (is_zoo_model(name)) {
+    data::SyntheticImagenetOptions d;
+    d.size = opts.train_samples + images;
+    data::SyntheticImagenet ds(d);
+    out.model = models::pretrained_zoo_model(name, ds, opts);
+    out.eval_batch = data::load_batch(ds, opts.train_samples, images);
+    out.layers =
+        out.model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f))
+            .binarized_layers;
+  } else {
+    FLIM_REQUIRE(false, "unknown model: " + name +
+                            " (expected 'lenet' or a Table-II zoo name)");
+  }
+  return out;
+}
+
+}  // namespace
+
+void print_usage() {
+  std::cout <<
+      R"(flim_cli -- fault injection for logic-in-memory BNNs
+
+usage: flim_cli <command> [flags]
+
+commands:
+  generate   draw fault masks and write a fault-vector file
+             --out FILE (required), --layers a,b,c (required)
+             --kind bitflip|stuckat|dynamic  --rate R (0..1)
+             --grid RxC (default 64x64)  --faulty-rows N  --faulty-cols N
+             --period N (dynamic)  --sa1-fraction F  --granularity output|term
+             --distribution uniform|clustered [--clusters N]
+             [--cluster-radius R]  --seed S
+  inspect    summarize a fault-vector file: --file FILE
+  train      train and cache a model
+             --model lenet|<zoo name>  --epochs N  --samples N
+             [--weights-dir DIR] [--retrain] [--verbose]
+  evaluate   clean vs faulty accuracy
+             --model M  --vectors FILE  [--images N] [--weights-dir DIR]
+  campaign   repeated-seed sweep over injection rates
+             --model M  --kind K  --rates 0,0.05,0.1  [--reps N]
+             [--granularity output|term] [--grid RxC] [--csv FILE]
+  march      offline March test of a simulated crossbar
+             --algorithm mats+|marchx|marchc-|raw1|all  [--grid RxC]
+             single-fault mode: --inject KIND --at R,C [--severity S]
+             coverage mode:     --coverage [--samples N] [--severity S]
+             (KIND: stuckat0 stuckat1 stuckcurrent drift slowset slowreset
+              readdisturb incorrectread)
+  scrub      SEC-DED ECC scrub of a fault-vector file
+             --in FILE --out FILE [--word-bits N] [--interleave K]
+  monitor    canary-monitor detection latency against a fault-vector file
+             --vectors FILE --layer NAME [--period N] [--slots N]
+             [--policy roundrobin|random] [--reps N] [--seed S]
+  lifetime   accuracy-over-lifetime simulation with a mitigation stack
+             --model M  [--mitigation none|scrub|scrub+ecc|scrub+ecc+tmr]
+             [--horizon H] [--step H] [--wearout-scale H] [--wearout-shape B]
+             [--upsets-per-hour R] [--grid RxC] [--images N] [--csv FILE]
+)";
+}
+
+int cmd_generate(const Args& args) {
+  args.require_known({"out", "layers", "kind", "rate", "grid", "faulty-rows",
+                      "faulty-cols", "period", "sa1-fraction", "granularity",
+                      "seed", "distribution", "clusters", "cluster-radius"});
+  const std::string out_path = args.get_string("out");
+  FLIM_REQUIRE(!out_path.empty(), "--out is required");
+  const auto layers = args.get_list("layers");
+  FLIM_REQUIRE(!layers.empty(), "--layers is required (comma-separated)");
+
+  const std::string grid_str = args.get_string("grid", "64x64");
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC, e.g. 40x10");
+  const lim::CrossbarGeometry grid{std::stoll(grid_str.substr(0, x)),
+                                   std::stoll(grid_str.substr(x + 1))};
+
+  fault::FaultSpec spec;
+  spec.kind = parse_kind(args.get_string("kind", "bitflip"));
+  spec.injection_rate = args.get_double("rate", 0.0);
+  spec.faulty_rows = args.get_int("faulty-rows", 0);
+  spec.faulty_cols = args.get_int("faulty-cols", 0);
+  spec.dynamic_period = static_cast<int>(args.get_int("period", 0));
+  spec.stuck_at_one_fraction = args.get_double("sa1-fraction", 0.5);
+  spec.granularity = parse_granularity(args.get_string("granularity", "output"));
+  spec.distribution =
+      parse_distribution(args.get_string("distribution", "uniform"));
+  spec.cluster_count = static_cast<int>(args.get_int("clusters", 0));
+  spec.cluster_radius = args.get_double("cluster-radius", 2.0);
+  validate(spec);
+
+  fault::FaultGenerator generator(grid);
+  core::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  fault::FaultVectorFile file;
+  for (const auto& layer : layers) {
+    fault::FaultVectorEntry entry;
+    entry.layer_name = layer;
+    entry.kind = spec.kind;
+    entry.granularity = spec.granularity;
+    entry.dynamic_period = spec.dynamic_period;
+    entry.mask = generator.generate(spec, rng);
+    std::cout << layer << ": " << entry.mask.count_flip() << " flips, "
+              << entry.mask.count_sa0() << " SA0, " << entry.mask.count_sa1()
+              << " SA1 on " << grid.rows << "x" << grid.cols << "\n";
+    file.add(std::move(entry));
+  }
+  file.save(out_path);
+  std::cout << "wrote " << file.size() << " fault vectors to " << out_path
+            << "\n";
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  args.require_known({"file"});
+  const std::string path = args.get_string("file");
+  FLIM_REQUIRE(!path.empty(), "--file is required");
+  const fault::FaultVectorFile file = fault::FaultVectorFile::load(path);
+  core::Table table({"layer", "kind", "granularity", "period", "grid",
+                     "flips", "sa0", "sa1"});
+  for (const auto& e : file.entries()) {
+    table.add(e.layer_name, to_string(e.kind), to_string(e.granularity),
+              e.dynamic_period,
+              std::to_string(e.mask.rows()) + "x" +
+                  std::to_string(e.mask.cols()),
+              e.mask.count_flip(), e.mask.count_sa0(), e.mask.count_sa1());
+  }
+  core::print_table(std::cout, path, table);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  args.require_known({"model", "epochs", "samples", "weights-dir", "retrain",
+                      "verbose", "images"});
+  const LoadedModel loaded = load_model_for(args);
+  bnn::ReferenceEngine engine;
+  const double acc = loaded.model.evaluate(loaded.eval_batch, engine);
+  std::cout << loaded.model.name() << ": held-out accuracy "
+            << core::format_double(acc * 100.0, 2) << "% on "
+            << loaded.eval_batch.labels.size() << " images\n";
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  args.require_known({"model", "vectors", "images", "weights-dir", "epochs",
+                      "samples", "retrain", "verbose"});
+  const std::string vectors_path = args.get_string("vectors");
+  FLIM_REQUIRE(!vectors_path.empty(), "--vectors is required");
+  const LoadedModel loaded = load_model_for(args);
+  const fault::FaultVectorFile vectors =
+      fault::FaultVectorFile::load(vectors_path);
+
+  bnn::ReferenceEngine clean;
+  bnn::FlimEngine faulty(vectors);
+  const double clean_acc = loaded.model.evaluate(loaded.eval_batch, clean);
+  const double faulty_acc = loaded.model.evaluate(loaded.eval_batch, faulty);
+  core::Table table({"configuration", "accuracy_%"});
+  table.add("clean", core::format_double(clean_acc * 100.0, 2));
+  table.add("faulty (" + vectors_path + ")",
+            core::format_double(faulty_acc * 100.0, 2));
+  core::print_table(std::cout, loaded.model.name(), table);
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  args.require_known({"model", "kind", "rates", "reps", "granularity", "grid",
+                      "csv", "images", "weights-dir", "epochs", "samples",
+                      "retrain", "verbose", "seed"});
+  const LoadedModel loaded = load_model_for(args);
+  const fault::FaultKind kind = parse_kind(args.get_string("kind", "bitflip"));
+  const auto granularity =
+      parse_granularity(args.get_string("granularity", "output"));
+  auto rates = args.get_double_list("rates");
+  if (rates.empty()) rates = {0.0, 0.05, 0.10, 0.20};
+
+  const std::string grid_str = args.get_string("grid", "64x64");
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC");
+  const lim::CrossbarGeometry grid{std::stoll(grid_str.substr(0, x)),
+                                   std::stoll(grid_str.substr(x + 1))};
+
+  core::CampaignConfig campaign;
+  campaign.repetitions = static_cast<int>(args.get_int("reps", 10));
+  campaign.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+
+  core::Table table({"rate", "accuracy_%", "stddev", "min_%", "max_%"});
+  for (const double rate : rates) {
+    const core::Summary s =
+        core::run_repeated(campaign, [&](std::uint64_t seed) {
+          fault::FaultGenerator gen(grid);
+          core::Rng rng(seed);
+          bnn::FlimEngine engine;
+          for (const auto& layer : loaded.layers) {
+            fault::FaultSpec spec;
+            spec.kind = kind;
+            spec.injection_rate = rate;
+            spec.granularity = granularity;
+            fault::FaultVectorEntry entry;
+            entry.layer_name = layer.layer_name;
+            entry.kind = kind;
+            entry.granularity = granularity;
+            entry.mask = gen.generate(spec, rng);
+            engine.set_layer_fault(std::move(entry));
+          }
+          return loaded.model.evaluate(loaded.eval_batch, engine);
+        });
+    table.add(core::format_double(rate, 3),
+              core::format_double(s.mean * 100.0, 2),
+              core::format_double(s.stddev * 100.0, 2),
+              core::format_double(s.min * 100.0, 2),
+              core::format_double(s.max * 100.0, 2));
+  }
+  core::print_table(std::cout,
+                    loaded.model.name() + " / " + to_string(kind) + " sweep",
+                    table);
+  const std::string csv = args.get_string("csv");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}
+
+namespace {
+
+lim::DeviceFaultKind parse_device_kind(const std::string& s) {
+  for (const lim::DeviceFaultKind kind : lim::all_device_fault_kinds()) {
+    std::string name = lim::to_string(kind);
+    // Accept the report name with the dashes removed ("stuck-at-0" can be
+    // typed as stuckat0).
+    std::string compact;
+    for (const char c : name) {
+      if (c != '-') compact.push_back(c);
+    }
+    if (s == name || s == compact) return kind;
+  }
+  FLIM_REQUIRE(false, "unknown device fault kind: " + s);
+  return lim::DeviceFaultKind::kNone;
+}
+
+std::vector<reliability::MarchTest> parse_algorithms(const std::string& s) {
+  if (s == "all") return reliability::standard_march_tests();
+  if (s == "mats+") return {reliability::mats_plus()};
+  if (s == "marchx") return {reliability::march_x()};
+  if (s == "marchc-") return {reliability::march_cminus()};
+  if (s == "raw1") return {reliability::march_raw1()};
+  FLIM_REQUIRE(false, "unknown algorithm: " + s +
+                          " (expected mats+|marchx|marchc-|raw1|all)");
+  return {};
+}
+
+}  // namespace
+
+int cmd_march(const Args& args) {
+  args.require_known({"algorithm", "grid", "inject", "at", "severity",
+                      "coverage", "samples", "seed"});
+  const auto algorithms = parse_algorithms(args.get_string("algorithm", "all"));
+
+  const std::string grid_str = args.get_string("grid", "16x16");
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC, e.g. 16x16");
+  lim::CrossbarConfig array_cfg;
+  array_cfg.rows = std::stoll(grid_str.substr(0, x));
+  array_cfg.cols = std::stoll(grid_str.substr(x + 1));
+
+  if (args.has("coverage")) {
+    reliability::CoverageConfig cfg;
+    cfg.crossbar = array_cfg;
+    cfg.samples_per_kind = static_cast<int>(args.get_int("samples", 16));
+    cfg.severity = args.get_double("severity", 1.0);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    std::vector<std::string> columns{"fault_kind"};
+    std::vector<std::vector<reliability::CoverageRow>> per_test;
+    for (const auto& test : algorithms) {
+      columns.push_back(test.name + "_%");
+      per_test.push_back(reliability::evaluate_coverage(test, cfg));
+    }
+    core::Table coverage(columns);
+    const auto& kinds = lim::all_device_fault_kinds();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::vector<std::string> row{lim::to_string(kinds[k])};
+      for (const auto& rows : per_test) {
+        row.push_back(core::format_double(rows[k].coverage() * 100.0, 1));
+      }
+      coverage.add_row(std::move(row));
+    }
+    core::print_table(std::cout,
+                      "March coverage @ severity " +
+                          core::format_double(cfg.severity, 2),
+                      coverage);
+    return 0;
+  }
+
+  // Single-run mode: optional planted fault, then pass/fail per algorithm.
+  const std::string inject = args.get_string("inject");
+  int failing = 0;
+  for (const auto& test : algorithms) {
+    lim::CrossbarArray array(array_cfg);
+    if (!inject.empty()) {
+      const auto at = args.get_string("at", "0,0");
+      const auto comma = at.find(',');
+      FLIM_REQUIRE(comma != std::string::npos, "--at expects R,C");
+      array.inject_device_fault(std::stoll(at.substr(0, comma)),
+                                std::stoll(at.substr(comma + 1)),
+                                parse_device_kind(inject),
+                                args.get_double("severity", 1.0));
+    }
+    const reliability::MarchResult result =
+        reliability::run_march(test, array);
+    std::cout << test.name << " " << test.notation() << ": "
+              << (result.detected() ? "FAIL" : "pass") << " ("
+              << result.ops_executed << " ops)\n";
+    for (std::size_t i = 0; i < result.failures.size() && i < 4; ++i) {
+      const auto& f = result.failures[i];
+      std::cout << "  cell (" << f.row << "," << f.col << ") element "
+                << f.element_index << " op " << f.op_index << ": expected "
+                << f.expected << ", got " << f.got << "\n";
+    }
+    if (result.detected()) ++failing;
+  }
+  // Exit code mirrors a test instrument: nonzero when a defect was found.
+  return failing > 0 ? 2 : 0;
+}
+
+int cmd_scrub(const Args& args) {
+  args.require_known({"in", "out", "word-bits", "interleave"});
+  const std::string in_path = args.get_string("in");
+  const std::string out_path = args.get_string("out");
+  FLIM_REQUIRE(!in_path.empty(), "--in is required");
+  FLIM_REQUIRE(!out_path.empty(), "--out is required");
+
+  reliability::EccOptions options;
+  options.word_bits = static_cast<int>(args.get_int("word-bits", 64));
+  options.interleave = static_cast<int>(args.get_int("interleave", 1));
+
+  const fault::FaultVectorFile input = fault::FaultVectorFile::load(in_path);
+  fault::FaultVectorFile output;
+  core::Table table({"layer", "words", "corrected", "uncorrectable",
+                     "faulty_bits_before", "faulty_bits_after"});
+  for (const auto& entry : input.entries()) {
+    reliability::EccScrubStats stats;
+    fault::FaultVectorEntry scrubbed = entry;
+    scrubbed.mask =
+        reliability::apply_secded_scrub(entry.mask, options, &stats);
+    table.add(entry.layer_name, stats.words, stats.corrected_words,
+              stats.uncorrectable_words, stats.faulty_bits_before,
+              stats.faulty_bits_after);
+    output.add(std::move(scrubbed));
+  }
+  output.save(out_path);
+  core::print_table(std::cout,
+                    "SEC-DED scrub (w" + std::to_string(options.word_bits) +
+                        ", i" + std::to_string(options.interleave) + ")",
+                    table);
+  std::cout << "wrote residual vectors to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_monitor(const Args& args) {
+  args.require_known({"vectors", "layer", "period", "slots", "policy",
+                      "reps", "seed", "max-inferences"});
+  const std::string vectors_path = args.get_string("vectors");
+  FLIM_REQUIRE(!vectors_path.empty(), "--vectors is required");
+  const std::string layer = args.get_string("layer");
+  FLIM_REQUIRE(!layer.empty(), "--layer is required");
+  const fault::FaultVectorFile vectors =
+      fault::FaultVectorFile::load(vectors_path);
+  const fault::FaultVectorEntry* entry = vectors.find(layer);
+  FLIM_REQUIRE(entry != nullptr, "no entry for layer " + layer);
+
+  reliability::MonitorConfig cfg;
+  cfg.grid = {entry->mask.rows(), entry->mask.cols()};
+  cfg.test_period = static_cast<int>(args.get_int("period", 8));
+  cfg.slots_per_round = static_cast<int>(args.get_int("slots", 16));
+  const std::string policy = args.get_string("policy", "roundrobin");
+  if (policy == "roundrobin") {
+    cfg.policy = reliability::CanaryPolicy::kRoundRobin;
+  } else if (policy == "random") {
+    cfg.policy = reliability::CanaryPolicy::kRandom;
+  } else {
+    FLIM_REQUIRE(false, "unknown policy: " + policy +
+                            " (expected roundrobin|random)");
+  }
+
+  const int reps = static_cast<int>(args.get_int("reps", 10));
+  FLIM_REQUIRE(reps > 0, "--reps must be positive");
+  const std::int64_t horizon = args.get_int("max-inferences", 1 << 22);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  double latency_total = 0.0;
+  int detected = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    cfg.seed = seed + static_cast<std::uint64_t>(rep);
+    const reliability::OnlineMonitor monitor(cfg);
+    const reliability::DetectionOutcome outcome =
+        monitor.run_until_detection(entry->mask, horizon);
+    if (outcome.detected) {
+      ++detected;
+      latency_total += static_cast<double>(outcome.inferences_elapsed);
+    }
+  }
+  core::Table table({"metric", "value"});
+  table.add("grid", std::to_string(cfg.grid.rows) + "x" +
+                        std::to_string(cfg.grid.cols));
+  table.add("overhead_ops_per_inference",
+            core::format_double(
+                reliability::OnlineMonitor(cfg).overhead_ops_per_inference(),
+                2));
+  table.add("detected_runs", std::to_string(detected) + "/" +
+                                 std::to_string(reps));
+  table.add("mean_latency_inferences",
+            detected > 0 ? core::format_double(latency_total / detected, 1)
+                         : std::string("n/a"));
+  core::print_table(std::cout, "canary monitor on " + layer + " (" + policy
+                                   + ")",
+                    table);
+  return 0;
+}
+
+int cmd_lifetime(const Args& args) {
+  args.require_known({"model", "mitigation", "horizon", "step",
+                      "wearout-scale", "wearout-shape", "upsets-per-hour",
+                      "grid", "images", "weights-dir", "epochs", "samples",
+                      "retrain", "verbose", "seed", "csv"});
+
+  reliability::LifetimeConfig cfg;
+  const std::string grid_str = args.get_string("grid", "64x64");
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC");
+  cfg.grid = {std::stoll(grid_str.substr(0, x)),
+              std::stoll(grid_str.substr(x + 1))};
+  cfg.horizon_hours = args.get_double("horizon", 20000.0);
+  cfg.step_hours = args.get_double("step", 2000.0);
+  cfg.wearout.scale_hours = args.get_double("wearout-scale", 16000.0);
+  cfg.wearout.shape = args.get_double("wearout-shape", 2.2);
+  cfg.transients.upsets_per_grid_hour =
+      args.get_double("upsets-per-hour", 0.05);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+
+  reliability::MitigationStack stack;
+  const std::string mitigation = args.get_string("mitigation", "none");
+  if (mitigation == "scrub") {
+    stack.scrub = true;
+  } else if (mitigation == "scrub+ecc") {
+    stack.scrub = true;
+    stack.ecc = true;
+  } else if (mitigation == "scrub+ecc+tmr") {
+    stack.scrub = true;
+    stack.ecc = true;
+    stack.modular_redundancy = 3;
+  } else {
+    FLIM_REQUIRE(mitigation == "none",
+                 "unknown mitigation: " + mitigation +
+                     " (expected none|scrub|scrub+ecc|scrub+ecc+tmr)");
+  }
+  stack.scrub_period_hours = cfg.step_hours;
+
+  // Validate the whole configuration before the (expensive) model load.
+  const reliability::LifetimeSimulator sim(cfg);
+  const LoadedModel loaded = load_model_for(args);
+  const reliability::LifetimeCurve curve =
+      sim.simulate(loaded.model, loaded.eval_batch, loaded.layers, stack);
+
+  core::Table table({"hours", "accuracy_%", "transient_flips",
+                     "stuck_raw", "stuck_effective"});
+  for (const reliability::LifetimePoint& p : curve.points) {
+    table.add(core::format_double(p.hours, 0),
+              core::format_double(p.accuracy * 100.0, 1), p.transient_flips,
+              p.stuck_cells_raw, p.stuck_cells_effective);
+  }
+  core::print_table(std::cout,
+                    loaded.model.name() + " lifetime (" + stack.name() + ")",
+                    table);
+  const std::string csv = args.get_string("csv");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  return 0;
+}
+
+int run(const Args& args) {
+  if (args.command().empty() || args.command() == "help" ||
+      args.command() == "--help") {
+    print_usage();
+    return args.command().empty() ? 1 : 0;
+  }
+  if (args.command() == "generate") return cmd_generate(args);
+  if (args.command() == "inspect") return cmd_inspect(args);
+  if (args.command() == "train") return cmd_train(args);
+  if (args.command() == "evaluate") return cmd_evaluate(args);
+  if (args.command() == "campaign") return cmd_campaign(args);
+  if (args.command() == "march") return cmd_march(args);
+  if (args.command() == "scrub") return cmd_scrub(args);
+  if (args.command() == "monitor") return cmd_monitor(args);
+  if (args.command() == "lifetime") return cmd_lifetime(args);
+  std::cerr << "unknown command: " << args.command() << "\n";
+  print_usage();
+  return 1;
+}
+
+}  // namespace flim::cli

@@ -1,0 +1,37 @@
+// flim_cli subcommand implementations.
+//
+//   flim_cli generate  -- draw fault masks and write a fault-vector file
+//   flim_cli inspect   -- summarize a fault-vector file
+//   flim_cli train     -- train a model and cache its weights
+//   flim_cli evaluate  -- clean vs faulty accuracy for a model + vector file
+//   flim_cli campaign  -- repeated-seed injection-rate sweep (CSV output)
+//   flim_cli march     -- offline March test / coverage on a device array
+//   flim_cli scrub     -- SEC-DED ECC scrub of a fault-vector file
+//   flim_cli monitor   -- canary-monitor detection latency for a vector file
+//   flim_cli lifetime  -- accuracy-over-lifetime simulation with mitigation
+//
+// Each command returns a process exit code; `run` dispatches and prints
+// usage on unknown commands.
+#pragma once
+
+#include "cli/args.hpp"
+
+namespace flim::cli {
+
+/// Dispatches to the subcommand; returns the process exit code.
+int run(const Args& args);
+
+/// Prints the usage text to stdout.
+void print_usage();
+
+int cmd_generate(const Args& args);
+int cmd_inspect(const Args& args);
+int cmd_train(const Args& args);
+int cmd_evaluate(const Args& args);
+int cmd_campaign(const Args& args);
+int cmd_march(const Args& args);
+int cmd_scrub(const Args& args);
+int cmd_monitor(const Args& args);
+int cmd_lifetime(const Args& args);
+
+}  // namespace flim::cli

@@ -1,0 +1,52 @@
+#include "core/campaign.hpp"
+
+#include <mutex>
+
+#include "core/check.hpp"
+#include "core/report.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+
+namespace flim::core {
+
+Summary run_repeated(const CampaignConfig& config,
+                     const std::function<double(std::uint64_t seed)>& metric) {
+  FLIM_REQUIRE(config.repetitions > 0, "campaign needs >= 1 repetition");
+  // Derive one independent seed per repetition, mirroring the paper's
+  // "reinitialized the random generator with a new seed value".
+  Rng master(config.master_seed);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(config.repetitions));
+  for (auto& s : seeds) s = master();
+
+  RunningStats stats;
+  if (config.pool != nullptr && config.pool->size() > 1) {
+    std::mutex m;
+    config.pool->parallel_for(seeds.size(), [&](std::size_t i) {
+      const double v = metric(seeds[i]);
+      std::lock_guard<std::mutex> lock(m);
+      stats.add(v);
+    });
+  } else {
+    for (const auto s : seeds) stats.add(metric(s));
+  }
+  return summarize(stats);
+}
+
+std::vector<CampaignPoint> run_sweep(
+    const CampaignConfig& config, const std::vector<double>& xs,
+    const std::function<double(double x, std::uint64_t seed)>& metric,
+    const std::function<std::string(double)>& label_fn) {
+  std::vector<CampaignPoint> points;
+  points.reserve(xs.size());
+  for (const double x : xs) {
+    CampaignPoint p;
+    p.x = x;
+    p.label = label_fn ? label_fn(x) : format_double(x, 2);
+    p.metric = run_repeated(
+        config, [&](std::uint64_t seed) { return metric(x, seed); });
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace flim::core

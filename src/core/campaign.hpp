@@ -1,0 +1,49 @@
+// Generic experiment campaign runner.
+//
+// The paper runs every fault-injection experiment one hundred times,
+// re-seeding the random generator each time, and reports the mean accuracy.
+// Campaign encapsulates exactly that protocol: a metric function is invoked
+// once per repetition with a derived, independent seed, and the results are
+// aggregated into a Summary. Repetitions can optionally run on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace flim::core {
+
+class ThreadPool;
+
+/// Configuration of a repeated-trial experiment.
+struct CampaignConfig {
+  /// Number of repetitions (the paper uses 100).
+  int repetitions = 100;
+  /// Master seed; repetition i receives an independent seed derived from it.
+  std::uint64_t master_seed = 42;
+  /// Optional pool; when set, repetitions run in parallel.
+  ThreadPool* pool = nullptr;
+};
+
+/// A single swept point: label -> aggregated metric.
+struct CampaignPoint {
+  std::string label;
+  double x = 0.0;
+  Summary metric;
+};
+
+/// Runs `metric(seed)` for `config.repetitions` derived seeds and aggregates.
+Summary run_repeated(const CampaignConfig& config,
+                     const std::function<double(std::uint64_t seed)>& metric);
+
+/// Runs a 1-D sweep: for each x value, run_repeated() on metric(x, seed).
+/// `label_fn` names the point (defaults to the numeric value).
+std::vector<CampaignPoint> run_sweep(
+    const CampaignConfig& config, const std::vector<double>& xs,
+    const std::function<double(double x, std::uint64_t seed)>& metric,
+    const std::function<std::string(double)>& label_fn = nullptr);
+
+}  // namespace flim::core

@@ -1,0 +1,38 @@
+// Contract-checking macros.
+//
+// FLIM_REQUIRE  -- validates API preconditions (user-facing configuration /
+//                  construction); throws std::invalid_argument on violation.
+// FLIM_ASSERT   -- internal invariants on hot paths; aborts in debug builds,
+//                  compiled out in release unless FLIM_FORCE_ASSERTS is set.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flim::detail {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FLIM requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace flim::detail
+
+#define FLIM_REQUIRE(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::flim::detail::throw_requirement(#expr, __FILE__, __LINE__,   \
+                                        std::string(msg));           \
+    }                                                                \
+  } while (false)
+
+#if defined(NDEBUG) && !defined(FLIM_FORCE_ASSERTS)
+#define FLIM_ASSERT(expr) ((void)0)
+#else
+#define FLIM_ASSERT(expr) assert(expr)
+#endif

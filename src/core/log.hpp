@@ -1,0 +1,49 @@
+// Lightweight leveled logging to stderr.
+//
+// Benches and examples use INFO-level progress lines; the library itself only
+// logs at WARN and above so that embedding applications stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flim::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits a message at `level` (thread-safe, single write per call).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds a message from stream operands then forwards to log_message.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace flim::core
+
+#define FLIM_LOG_DEBUG ::flim::core::detail::LogLine(::flim::core::LogLevel::kDebug)
+#define FLIM_LOG_INFO ::flim::core::detail::LogLine(::flim::core::LogLevel::kInfo)
+#define FLIM_LOG_WARN ::flim::core::detail::LogLine(::flim::core::LogLevel::kWarn)
+#define FLIM_LOG_ERROR ::flim::core::detail::LogLine(::flim::core::LogLevel::kError)

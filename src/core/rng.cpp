@@ -1,0 +1,117 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.hpp"
+
+namespace flim::core {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  FLIM_ASSERT(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::uniform_double() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+double Rng::normal() {
+  // Box-Muller. Draw u1 in (0,1] to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform_double();
+  } while (u1 <= 0.0);
+  const double u2 = uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  FLIM_REQUIRE(mean >= 0.0, "Poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 32.0) {
+    // Knuth: multiply uniforms until falling below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform_double();
+    while (product > limit) {
+      ++k;
+      product *= uniform_double();
+    }
+    return k;
+  }
+  // Rounded-normal approximation; adequate for the arrival-count use case.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+Rng Rng::derive(std::uint64_t stream) const {
+  SplitMix64 sm(seed_ ^ (0xd1b54a32d192ed03ull * (stream + 1)));
+  return Rng(sm.next());
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  FLIM_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Partial Fisher-Yates over an index vector. For the mask sizes used in
+  // fault generation (<= a few million cells) this is fast and exact.
+  std::vector<std::uint64_t> idx(n);
+  for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t j = i + uniform(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace flim::core

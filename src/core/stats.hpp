@@ -1,0 +1,69 @@
+// Streaming statistics used to aggregate repeated experiment runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace flim::core {
+
+/// Welford streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Number of observations added.
+  std::size_t count() const { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation seen; 0 when empty.
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+
+  /// Largest observation seen; 0 when empty.
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point summary of a set of repeated runs.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  /// Formats as "mean ± stddev" with the given precision.
+  std::string to_string(int precision = 2) const;
+};
+
+/// Collapses an accumulator into a Summary value.
+Summary summarize(const RunningStats& s);
+
+/// Computes the median of a (copied) sample. Empty input yields 0.
+double median(std::vector<double> values);
+
+/// Computes the q-th quantile (0 <= q <= 1) by linear interpolation.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace flim::core

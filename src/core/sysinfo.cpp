@@ -1,0 +1,106 @@
+#include "core/sysinfo.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/version.hpp"
+
+namespace flim::core {
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        auto value = line.substr(colon + 1);
+        const auto first = value.find_first_not_of(" \t");
+        return first == std::string::npos ? value : value.substr(first);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::uint64_t read_total_ram() {
+  std::ifstream in("/proc/meminfo");
+  std::string key;
+  std::uint64_t kb = 0;
+  std::string unit;
+  while (in >> key >> kb >> unit) {
+    if (key == "MemTotal:") return kb * 1024ull;
+  }
+  return 0;
+}
+
+std::string read_os() {
+  std::ifstream in("/etc/os-release");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("PRETTY_NAME=", 0) == 0) {
+      auto value = line.substr(12);
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      return value;
+    }
+  }
+  return "unknown";
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  std::ostringstream os;
+  os << "gcc " << __GNUC__ << '.' << __GNUC_MINOR__ << '.'
+     << __GNUC_PATCHLEVEL__;
+  return os.str();
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type_string() {
+#if defined(NDEBUG)
+  return "Release (NDEBUG)";
+#else
+  return "Debug (asserts on)";
+#endif
+}
+
+}  // namespace
+
+SystemInfo collect_system_info() {
+  SystemInfo info;
+  info.cpu_model = read_cpu_model();
+  info.logical_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  info.total_ram_bytes = read_total_ram();
+  info.os = read_os();
+  info.compiler = compiler_string();
+  info.build_type = build_type_string();
+  info.library_version = kVersionString;
+  return info;
+}
+
+std::string format_system_info(const SystemInfo& info) {
+  std::ostringstream os;
+  os << "Hardware\n"
+     << "  CPU            " << info.cpu_model << "\n"
+     << "  Logical cores  " << info.logical_cores << "\n"
+     << "  RAM            "
+     << (info.total_ram_bytes / (1024ull * 1024ull)) << " MiB\n"
+     << "Software\n"
+     << "  OS             " << info.os << "\n"
+     << "  Compiler       " << info.compiler << "\n"
+     << "  Build type     " << info.build_type << "\n"
+     << "  FLIM library   " << info.library_version << "\n";
+  return os.str();
+}
+
+}  // namespace flim::core

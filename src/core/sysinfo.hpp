@@ -1,0 +1,27 @@
+// Host introspection used to regenerate Table I (experimental setup).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flim::core {
+
+/// Snapshot of the machine and build configuration the experiments ran on.
+struct SystemInfo {
+  std::string cpu_model;
+  int logical_cores = 0;
+  std::uint64_t total_ram_bytes = 0;
+  std::string os;
+  std::string compiler;
+  std::string build_type;
+  std::string library_version;
+};
+
+/// Collects the current host's information (best effort; fields that cannot
+/// be determined are left as "unknown"/0).
+SystemInfo collect_system_info();
+
+/// Renders the Table-I-shaped report.
+std::string format_system_info(const SystemInfo& info);
+
+}  // namespace flim::core

@@ -1,0 +1,14 @@
+// Library version constants.
+#pragma once
+
+namespace flim {
+
+/// Semantic version of the FLIM C++ library.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// Human-readable version string.
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace flim

@@ -1,0 +1,49 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+
+#include "core/check.hpp"
+
+namespace flim::data {
+
+namespace {
+
+Batch stack(const Dataset& ds, const std::vector<std::int64_t>& indices) {
+  const std::int64_t c = ds.channels();
+  const std::int64_t h = ds.height();
+  const std::int64_t w = ds.width();
+  const auto n = static_cast<std::int64_t>(indices.size());
+  Batch batch;
+  batch.images = tensor::FloatTensor(tensor::Shape{n, c, h, w});
+  batch.labels.reserve(indices.size());
+  const std::int64_t stride = c * h * w;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Sample s = ds.get(indices[static_cast<std::size_t>(i)]);
+    FLIM_REQUIRE(s.image.numel() == stride,
+                 "sample image size mismatch with dataset geometry");
+    std::memcpy(batch.images.data() + i * stride, s.image.data(),
+                static_cast<std::size_t>(stride) * sizeof(float));
+    batch.labels.push_back(s.label);
+  }
+  return batch;
+}
+
+}  // namespace
+
+Batch load_batch(const Dataset& ds, std::int64_t first, std::int64_t count) {
+  FLIM_REQUIRE(first >= 0 && count >= 0 && first + count <= ds.size(),
+               "batch range out of bounds");
+  std::vector<std::int64_t> indices;
+  indices.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) indices.push_back(first + i);
+  return stack(ds, indices);
+}
+
+Batch load_batch(const Dataset& ds, const std::vector<std::int64_t>& indices) {
+  for (const auto i : indices) {
+    FLIM_REQUIRE(i >= 0 && i < ds.size(), "batch index out of bounds");
+  }
+  return stack(ds, indices);
+}
+
+}  // namespace flim::data

@@ -1,0 +1,58 @@
+// Dataset abstraction for image classification workloads.
+//
+// Datasets are deterministic: sample i of a dataset constructed with seed s
+// is always the same image, so fault-injection repetitions vary only in the
+// fault placement, exactly as in the paper's protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flim::data {
+
+/// One labelled image in CHW layout, values in [0, 1] or normalized.
+struct Sample {
+  tensor::FloatTensor image;
+  std::int64_t label = 0;
+};
+
+/// A batch of images stacked into NCHW with per-row labels.
+struct Batch {
+  tensor::FloatTensor images;            // [N, C, H, W]
+  std::vector<std::int64_t> labels;      // size N
+};
+
+/// Abstract image-classification dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Number of samples.
+  virtual std::int64_t size() const = 0;
+
+  /// Deterministically materializes sample `index`.
+  virtual Sample get(std::int64_t index) const = 0;
+
+  /// Number of target classes.
+  virtual std::int64_t num_classes() const = 0;
+
+  /// Image geometry.
+  virtual std::int64_t channels() const = 0;
+  virtual std::int64_t height() const = 0;
+  virtual std::int64_t width() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Stacks samples [first, first+count) into a contiguous batch.
+Batch load_batch(const Dataset& ds, std::int64_t first, std::int64_t count);
+
+/// Stacks an arbitrary index set into a contiguous batch.
+Batch load_batch(const Dataset& ds, const std::vector<std::int64_t>& indices);
+
+}  // namespace flim::data

@@ -1,0 +1,127 @@
+#include "data/synthetic_imagenet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace flim::data {
+
+namespace {
+
+constexpr std::int64_t kSide = 32;
+
+struct PatternParams {
+  double freq;        // spatial frequency
+  double phase;
+  double angle;       // orientation jitter
+  double cx, cy;      // pattern center
+  float color_a[3];   // foreground color
+  float color_b[3];   // background color
+};
+
+double stripes(double u) { return 0.5 + 0.5 * std::sin(u); }
+
+double pattern_intensity(int cls, double x, double y, const PatternParams& p,
+                         core::Rng& rng) {
+  const double pi = std::numbers::pi;
+  const double ca = std::cos(p.angle);
+  const double sa = std::sin(p.angle);
+  const double rx = ca * (x - p.cx) - sa * (y - p.cy);
+  const double ry = sa * (x - p.cx) + ca * (y - p.cy);
+  switch (cls) {
+    case 0:  // horizontal stripes
+      return stripes(2.0 * pi * p.freq * ry + p.phase);
+    case 1:  // vertical stripes
+      return stripes(2.0 * pi * p.freq * rx + p.phase);
+    case 2:  // diagonal stripes
+      return stripes(2.0 * pi * p.freq * (rx + ry) * 0.7071 + p.phase);
+    case 3: {  // checkerboard
+      const double s = 2.0 * p.freq;
+      const int qx = static_cast<int>(std::floor(rx * s + p.phase));
+      const int qy = static_cast<int>(std::floor(ry * s + p.phase));
+      return ((qx + qy) & 1) ? 1.0 : 0.0;
+    }
+    case 4: {  // concentric rings
+      const double r = std::hypot(rx, ry);
+      return stripes(2.0 * pi * p.freq * r * 2.0 + p.phase);
+    }
+    case 5: {  // single Gaussian blob
+      const double r2 = rx * rx + ry * ry;
+      const double sigma = 0.08 + 0.10 / p.freq;
+      return std::exp(-r2 / (2.0 * sigma * sigma));
+    }
+    case 6: {  // polka dots on a jittered grid
+      const double s = 1.5 * p.freq;
+      const double gx = rx * s - std::floor(rx * s) - 0.5;
+      const double gy = ry * s - std::floor(ry * s) - 0.5;
+      return std::hypot(gx, gy) < 0.28 ? 1.0 : 0.0;
+    }
+    case 7: {  // concentric squares
+      const double r = std::max(std::abs(rx), std::abs(ry));
+      return stripes(2.0 * pi * p.freq * r * 2.2 + p.phase);
+    }
+    case 8: {  // smooth low-frequency noise field (sum of random sinusoids)
+      double v = 0.0;
+      // Three fixed-direction sinusoids whose phases come from the sample
+      // rng; evaluated per-pixel deterministically because rng is only used
+      // here to perturb via p (already drawn); keep pure function of coords.
+      v += std::sin(2.0 * pi * (0.9 * rx + 1.3 * ry) * p.freq + p.phase);
+      v += std::sin(2.0 * pi * (1.7 * rx - 0.6 * ry) * p.freq + 2.1 * p.phase);
+      v += std::sin(2.0 * pi * (-0.4 * rx + 1.1 * ry) * p.freq + 3.7 * p.phase);
+      (void)rng;
+      return 0.5 + v / 6.0;
+    }
+    case 9:  // half-plane wedge
+      return (rx * std::cos(p.phase) + ry * std::sin(p.phase)) > 0.0 ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+SyntheticImagenet::SyntheticImagenet(SyntheticImagenetOptions options)
+    : options_(options) {
+  FLIM_REQUIRE(options_.size > 0, "dataset size must be positive");
+}
+
+Sample SyntheticImagenet::get(std::int64_t index) const {
+  FLIM_REQUIRE(index >= 0 && index < options_.size, "sample index out of range");
+  core::Rng rng =
+      core::Rng(options_.seed).derive(static_cast<std::uint64_t>(index));
+
+  const int cls = static_cast<int>(rng.uniform(10));
+  PatternParams p{};
+  p.freq = 1.5 + rng.uniform_double() * 2.5;
+  p.phase = rng.uniform_double() * 2.0 * std::numbers::pi;
+  p.angle = (rng.uniform_double() * 2.0 - 1.0) * 0.35;
+  p.cx = 0.35 + rng.uniform_double() * 0.3;
+  p.cy = 0.35 + rng.uniform_double() * 0.3;
+  for (int c = 0; c < 3; ++c) {
+    p.color_a[c] = static_cast<float>(0.55 + rng.uniform_double() * 0.45);
+    p.color_b[c] = static_cast<float>(rng.uniform_double() * 0.45);
+  }
+
+  Sample out;
+  out.label = cls;
+  out.image = tensor::FloatTensor(tensor::Shape{3, kSide, kSide});
+  for (std::int64_t y = 0; y < kSide; ++y) {
+    for (std::int64_t x = 0; x < kSide; ++x) {
+      const double u = (static_cast<double>(x) + 0.5) / kSide;
+      const double v = (static_cast<double>(y) + 0.5) / kSide;
+      const double t = std::clamp(pattern_intensity(cls, u, v, p, rng), 0.0, 1.0);
+      for (std::int64_t c = 0; c < 3; ++c) {
+        double val = p.color_b[c] + t * (p.color_a[c] - p.color_b[c]);
+        val += rng.normal(0.0, options_.noise_stddev);
+        out.image[(c * kSide + y) * kSide + x] =
+            static_cast<float>(std::clamp(val, 0.0, 1.0));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flim::data

@@ -1,0 +1,130 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace flim::data {
+
+namespace {
+
+struct Segment {
+  double x0, y0, x1, y1;
+};
+
+// Stroke templates in a normalized [0,1]^2 box (y grows downward).
+// Seven-segment geometry with diagonals for 1, 2, 4 and 7 to break symmetry
+// between visually close classes.
+const std::vector<Segment>& digit_segments(int digit) {
+  constexpr double L = 0.22, R = 0.78, T = 0.12, M = 0.50, B = 0.88;
+  static const std::array<std::vector<Segment>, 10> table = {{
+      // 0
+      {{L, T, R, T}, {R, T, R, B}, {R, B, L, B}, {L, B, L, T}},
+      // 1: vertical with a small leading flag
+      {{0.5, T, 0.5, B}, {0.36, 0.26, 0.5, T}},
+      // 2
+      {{L, T, R, T}, {R, T, R, M}, {R, M, L, B}, {L, B, R, B}},
+      // 3
+      {{L, T, R, T}, {R, T, R, B}, {L, M, R, M}, {L, B, R, B}},
+      // 4
+      {{L, T, L, M}, {L, M, R, M}, {R, T, R, B}},
+      // 5
+      {{R, T, L, T}, {L, T, L, M}, {L, M, R, M}, {R, M, R, B}, {R, B, L, B}},
+      // 6
+      {{R, T, L, T}, {L, T, L, B}, {L, B, R, B}, {R, B, R, M}, {R, M, L, M}},
+      // 7
+      {{L, T, R, T}, {R, T, 0.42, B}},
+      // 8
+      {{L, T, R, T}, {R, T, R, B}, {R, B, L, B}, {L, B, L, T}, {L, M, R, M}},
+      // 9
+      {{R, M, L, M}, {L, M, L, T}, {L, T, R, T}, {R, T, R, B}, {R, B, L, B}},
+  }};
+  return table[static_cast<std::size_t>(digit)];
+}
+
+double point_segment_distance(double px, double py, const Segment& s) {
+  const double dx = s.x1 - s.x0;
+  const double dy = s.y1 - s.y0;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((px - s.x0) * dx + (py - s.y0) * dy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double cx = s.x0 + t * dx;
+  const double cy = s.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+SyntheticMnist::SyntheticMnist(SyntheticMnistOptions options)
+    : options_(options) {
+  FLIM_REQUIRE(options_.size > 0, "dataset size must be positive");
+  FLIM_REQUIRE(options_.min_scale > 0.0 &&
+                   options_.min_scale <= options_.max_scale,
+               "invalid scale range");
+  FLIM_REQUIRE(options_.min_thickness > 0.0 &&
+                   options_.min_thickness <= options_.max_thickness,
+               "invalid thickness range");
+}
+
+Sample SyntheticMnist::get(std::int64_t index) const {
+  FLIM_REQUIRE(index >= 0 && index < options_.size, "sample index out of range");
+  core::Rng rng = core::Rng(options_.seed).derive(static_cast<std::uint64_t>(index));
+
+  const int digit = static_cast<int>(rng.uniform(10));
+  const double angle =
+      (rng.uniform_double() * 2.0 - 1.0) * options_.max_rotation_rad;
+  const double scale =
+      options_.min_scale +
+      rng.uniform_double() * (options_.max_scale - options_.min_scale);
+  const double tx = (rng.uniform_double() * 2.0 - 1.0) * options_.max_translation;
+  const double ty = (rng.uniform_double() * 2.0 - 1.0) * options_.max_translation;
+  const double thickness =
+      options_.min_thickness +
+      rng.uniform_double() * (options_.max_thickness - options_.min_thickness);
+
+  // Transform template segments into pixel space.
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  const double w = 28.0;
+  auto to_pixels = [&](double x, double y, double& ox, double& oy) {
+    // Center, scale, rotate, translate.
+    const double cx = (x - 0.5) * scale * w;
+    const double cy = (y - 0.5) * scale * w;
+    ox = ca * cx - sa * cy + w / 2.0 + tx;
+    oy = sa * cx + ca * cy + w / 2.0 + ty;
+  };
+
+  std::vector<Segment> segs;
+  for (const auto& s : digit_segments(digit)) {
+    Segment t{};
+    to_pixels(s.x0, s.y0, t.x0, t.y0);
+    to_pixels(s.x1, s.y1, t.x1, t.y1);
+    segs.push_back(t);
+  }
+
+  Sample out;
+  out.label = digit;
+  out.image = tensor::FloatTensor(tensor::Shape{1, 28, 28});
+  for (std::int64_t y = 0; y < 28; ++y) {
+    for (std::int64_t x = 0; x < 28; ++x) {
+      double d = 1e9;
+      for (const auto& s : segs) {
+        d = std::min(d, point_segment_distance(x + 0.5, y + 0.5, s));
+      }
+      // Soft stroke edge: full intensity inside the stroke, 1px falloff.
+      double v = std::clamp(thickness - d + 0.5, 0.0, 1.0);
+      v += rng.normal(0.0, options_.noise_stddev);
+      out.image[y * 28 + x] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace flim::data

@@ -1,0 +1,40 @@
+// Offline fault-mask synthesis (the paper's "Fault Generator").
+//
+// Mask generation is an offline process: masks are drawn once per
+// (spec, seed) and reused over an entire campaign, which is precisely why
+// FLIM is fast -- "the expensive mapping and distribution of faults are
+// performed once and reused over the whole simulation".
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+#include "fault/fault_mask.hpp"
+#include "fault/fault_spec.hpp"
+#include "lim/mapper.hpp"
+
+namespace flim::fault {
+
+/// Draws fault masks over a virtual crossbar grid.
+class FaultGenerator {
+ public:
+  /// Masks are generated for `grid.rows x grid.cols` XNOR-op slots.
+  explicit FaultGenerator(lim::CrossbarGeometry grid);
+
+  const lim::CrossbarGeometry& grid() const { return grid_; }
+
+  /// Realizes one mask for `spec` with randomness from `rng`.
+  /// - kBitFlip / kDynamic: injection_rate * slots random flips, plus the
+  ///   requested whole faulty rows/columns;
+  /// - kStuckAt: injection_rate * slots random stuck cells, each stuck-at-1
+  ///   with probability spec.stuck_at_one_fraction.
+  /// Placement follows spec.distribution: uniform (the paper's model) or
+  /// clustered around spec.cluster_count Gaussian defect clusters; the
+  /// marked-slot count is identical either way.
+  FaultMask generate(const FaultSpec& spec, core::Rng& rng) const;
+
+ private:
+  lim::CrossbarGeometry grid_;
+};
+
+}  // namespace flim::fault

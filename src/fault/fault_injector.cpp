@@ -1,0 +1,78 @@
+#include "fault/fault_injector.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::fault {
+
+FaultInjector::FaultInjector(FaultVectorEntry entry)
+    : entry_(std::move(entry)) {
+  FLIM_REQUIRE(!entry_.mask.empty(), "fault injector needs a non-empty mask");
+}
+
+bool FaultInjector::advance_execution() {
+  const std::int64_t exec = execution_counter_++;
+  if (entry_.kind != FaultKind::kDynamic) return true;
+  const std::int64_t period = std::max(1, entry_.dynamic_period);
+  // Fires on executions period-1, 2*period-1, ... -- "every n-th operation".
+  return (exec % period) == period - 1;
+}
+
+void FaultInjector::reset_time() { execution_counter_ = 0; }
+
+void FaultInjector::apply_output_element(tensor::IntTensor& feature,
+                                         std::int64_t row_begin,
+                                         std::int64_t row_end, bool active,
+                                         std::int32_t full_scale) const {
+  if (!active) return;
+  FLIM_REQUIRE(full_scale > 0, "full_scale must be positive");
+  FLIM_REQUIRE(feature.shape().rank() == 2,
+               "feature map must be [positions, channels]");
+  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end &&
+                   row_end <= feature.shape()[0],
+               "image row range out of bounds");
+  const std::int64_t channels = feature.shape()[1];
+  const std::int64_t slots = entry_.mask.num_slots();
+
+  std::int64_t op = 0;  // op index within this image, position-major
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    std::int32_t* row = feature.data() + r * channels;
+    for (std::int64_t c = 0; c < channels; ++c, ++op) {
+      const std::int64_t slot = op % slots;
+      std::int32_t v = row[c];
+      if (entry_.mask.flip(slot)) v = -v;
+      // Stuck-at dominates (a stuck op cannot toggle) and pins the element
+      // to the full-scale ±K accumulator value.
+      if (entry_.mask.sa0(slot)) v = -full_scale;
+      if (entry_.mask.sa1(slot)) v = +full_scale;
+      row[c] = v;
+    }
+  }
+}
+
+const TermMasks& FaultInjector::term_masks(std::int64_t out_channels,
+                                           std::int64_t k) {
+  if (!term_masks_built_) {
+    FLIM_REQUIRE(out_channels > 0 && k > 0,
+                 "term mask dimensions must be positive");
+    cached_term_masks_.flip = tensor::BitMatrix(out_channels, k);
+    cached_term_masks_.sa0 = tensor::BitMatrix(out_channels, k);
+    cached_term_masks_.sa1 = tensor::BitMatrix(out_channels, k);
+    const std::int64_t slots = entry_.mask.num_slots();
+    for (std::int64_t ch = 0; ch < out_channels; ++ch) {
+      for (std::int64_t t = 0; t < k; ++t) {
+        const std::int64_t slot = (ch * k + t) % slots;
+        if (entry_.mask.flip(slot)) cached_term_masks_.flip.set_bit(ch, t, true);
+        if (entry_.mask.sa0(slot)) cached_term_masks_.sa0.set_bit(ch, t, true);
+        if (entry_.mask.sa1(slot)) cached_term_masks_.sa1.set_bit(ch, t, true);
+      }
+    }
+    term_masks_built_ = true;
+  } else {
+    FLIM_REQUIRE(cached_term_masks_.flip.rows() == out_channels &&
+                     cached_term_masks_.flip.cols() == k,
+                 "term mask shape changed between calls");
+  }
+  return cached_term_masks_;
+}
+
+}  // namespace flim::fault

@@ -1,0 +1,73 @@
+// The Fault Injector: applies realized masks to running inference.
+//
+// One injector instance is attached to one binarized layer. It owns the
+// layer's mask entry, the dynamic-fault execution counter ("notion of time":
+// faults can be sensitized only every n-th execution of the layer), and the
+// cached product-term masks.
+//
+// Application semantics (see DESIGN.md):
+// * kOutputElement -- the paper's implementation: the layer's feature map is
+//   treated as the XNOR-op outputs. A flipped op negates the accumulator
+//   value ("applying the fault masks by performing another XNOR operation"),
+//   a stuck-at op pins it to the stuck logic value in the ±1 encoding.
+// * kProductTerm -- device-faithful: individual a_i XNOR w_i product terms
+//   are corrupted before the CMOS popcount. Because LIM crossbars are
+//   weight-stationary, a faulty cell corrupts the same (channel, term)
+//   coordinate for every output position; masks are therefore shaped
+//   [out_channels, K].
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_vector_file.hpp"
+#include "tensor/bit_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::fault {
+
+/// Cached product-term mask planes shaped [out_channels, K].
+struct TermMasks {
+  tensor::BitMatrix flip;
+  tensor::BitMatrix sa0;
+  tensor::BitMatrix sa1;
+};
+
+/// Stateful per-layer fault applier.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultVectorEntry entry);
+
+  const FaultVectorEntry& entry() const { return entry_; }
+  FaultGranularity granularity() const { return entry_.granularity; }
+
+  /// Advances the layer execution counter (call once per image) and reports
+  /// whether faults are active for this execution. Static faults are always
+  /// active; dynamic faults fire every `dynamic_period`-th execution.
+  bool advance_execution();
+
+  /// Resets the dynamic execution counter (new campaign repetition).
+  void reset_time();
+
+  /// Output-element granularity: corrupts rows [row_begin, row_end) of the
+  /// integer feature map (rows = output positions, cols = channels) of one
+  /// image. Op i of the image (position-major) maps to virtual slot
+  /// i mod num_slots. A flipped op negates the accumulator; a stuck-at op
+  /// pins it to the full-scale value ∓`full_scale` (= K, the product-term
+  /// count: a stuck XNOR column reports all-mismatch or all-match). No-op
+  /// when `active` is false.
+  void apply_output_element(tensor::IntTensor& feature,
+                            std::int64_t row_begin, std::int64_t row_end,
+                            bool active, std::int32_t full_scale) const;
+
+  /// Product-term granularity: lazily builds and caches the [out_ch, K]
+  /// masks. Term op (ch, k) maps to virtual slot (ch*K + k) mod num_slots.
+  const TermMasks& term_masks(std::int64_t out_channels, std::int64_t k);
+
+ private:
+  FaultVectorEntry entry_;
+  std::int64_t execution_counter_ = 0;
+  bool term_masks_built_ = false;
+  TermMasks cached_term_masks_;
+};
+
+}  // namespace flim::fault

@@ -1,0 +1,50 @@
+#include "fault/fault_mask.hpp"
+
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace flim::fault {
+
+FaultMask::FaultMask(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols) {
+  FLIM_REQUIRE(rows > 0 && cols > 0, "mask grid must be positive");
+  const auto n = static_cast<std::size_t>(rows * cols);
+  flip_.assign(n, 0);
+  sa0_.assign(n, 0);
+  sa1_.assign(n, 0);
+}
+
+std::size_t FaultMask::idx(std::int64_t slot) const {
+  FLIM_ASSERT(slot >= 0 && slot < num_slots());
+  return static_cast<std::size_t>(slot);
+}
+
+void FaultMask::mark_row_flip(std::int64_t r) {
+  FLIM_REQUIRE(r >= 0 && r < rows_, "row out of range");
+  for (std::int64_t c = 0; c < cols_; ++c) set_flip(r * cols_ + c, true);
+}
+
+void FaultMask::mark_col_flip(std::int64_t c) {
+  FLIM_REQUIRE(c >= 0 && c < cols_, "column out of range");
+  for (std::int64_t r = 0; r < rows_; ++r) set_flip(r * cols_ + c, true);
+}
+
+bool FaultMask::any() const {
+  return count_flip() > 0 || count_sa0() > 0 || count_sa1() > 0;
+}
+
+namespace {
+std::int64_t popcount(const std::vector<std::uint8_t>& plane) {
+  return std::accumulate(plane.begin(), plane.end(), std::int64_t{0},
+                         [](std::int64_t acc, std::uint8_t v) {
+                           return acc + (v != 0 ? 1 : 0);
+                         });
+}
+}  // namespace
+
+std::int64_t FaultMask::count_flip() const { return popcount(flip_); }
+std::int64_t FaultMask::count_sa0() const { return popcount(sa0_); }
+std::int64_t FaultMask::count_sa1() const { return popcount(sa1_); }
+
+}  // namespace flim::fault

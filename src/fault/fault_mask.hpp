@@ -1,0 +1,79 @@
+// Realized fault masks over the virtual crossbar grid.
+//
+// "The bit-flip mask defines a 2-dimensional Boolean array initialized with
+// zeros. The injection rate specifies the number of elements within the
+// array set to 1. [...] Likewise, the stuck-at mask follows the same
+// structure." (paper, Section III). A FaultMask carries all three planes;
+// for a given spec only the relevant ones are populated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_spec.hpp"
+
+namespace flim::fault {
+
+/// Boolean planes (flip / stuck-at-0 / stuck-at-1) over an R x C grid of
+/// XNOR-operation slots ("virtual crossbar representation").
+class FaultMask {
+ public:
+  FaultMask() = default;
+  FaultMask(std::int64_t rows, std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t num_slots() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Plane accessors by flat slot index (row-major).
+  bool flip(std::int64_t slot) const { return flip_[idx(slot)] != 0; }
+  bool sa0(std::int64_t slot) const { return sa0_[idx(slot)] != 0; }
+  bool sa1(std::int64_t slot) const { return sa1_[idx(slot)] != 0; }
+
+  void set_flip(std::int64_t slot, bool v) { flip_[idx(slot)] = v ? 1 : 0; }
+  void set_sa0(std::int64_t slot, bool v) { sa0_[idx(slot)] = v ? 1 : 0; }
+  void set_sa1(std::int64_t slot, bool v) { sa1_[idx(slot)] = v ? 1 : 0; }
+
+  /// 2-D convenience accessors.
+  bool flip_at(std::int64_t r, std::int64_t c) const { return flip(r * cols_ + c); }
+  bool sa0_at(std::int64_t r, std::int64_t c) const { return sa0(r * cols_ + c); }
+  bool sa1_at(std::int64_t r, std::int64_t c) const { return sa1(r * cols_ + c); }
+
+  /// Marks a whole row / column in the flip plane (used for Fig 4d/e).
+  void mark_row_flip(std::int64_t r);
+  void mark_col_flip(std::int64_t c);
+
+  /// True when any plane has a marked slot.
+  bool any() const;
+
+  /// Population counts (for tests and reports).
+  std::int64_t count_flip() const;
+  std::int64_t count_sa0() const;
+  std::int64_t count_sa1() const;
+
+  /// Raw plane access for serialization ("noise vector extraction": the
+  /// 2-dimensional arrays are flattened to 1 dimension).
+  const std::vector<std::uint8_t>& flip_plane() const { return flip_; }
+  const std::vector<std::uint8_t>& sa0_plane() const { return sa0_; }
+  const std::vector<std::uint8_t>& sa1_plane() const { return sa1_; }
+  std::vector<std::uint8_t>& mutable_flip_plane() { return flip_; }
+  std::vector<std::uint8_t>& mutable_sa0_plane() { return sa0_; }
+  std::vector<std::uint8_t>& mutable_sa1_plane() { return sa1_; }
+
+  bool operator==(const FaultMask& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           flip_ == other.flip_ && sa0_ == other.sa0_ && sa1_ == other.sa1_;
+  }
+
+ private:
+  std::size_t idx(std::int64_t slot) const;
+
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::uint8_t> flip_;
+  std::vector<std::uint8_t> sa0_;
+  std::vector<std::uint8_t> sa1_;
+};
+
+}  // namespace flim::fault

@@ -1,0 +1,45 @@
+#include "fault/fault_spec.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::fault {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kStuckAt: return "stuck-at";
+    case FaultKind::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+std::string to_string(FaultGranularity granularity) {
+  switch (granularity) {
+    case FaultGranularity::kOutputElement: return "output-element";
+    case FaultGranularity::kProductTerm: return "product-term";
+  }
+  return "?";
+}
+
+std::string to_string(FaultDistribution distribution) {
+  switch (distribution) {
+    case FaultDistribution::kUniform: return "uniform";
+    case FaultDistribution::kClustered: return "clustered";
+  }
+  return "?";
+}
+
+void validate(const FaultSpec& spec) {
+  FLIM_REQUIRE(spec.injection_rate >= 0.0 && spec.injection_rate <= 1.0,
+               "injection rate must be in [0, 1]");
+  FLIM_REQUIRE(spec.faulty_rows >= 0 && spec.faulty_cols >= 0,
+               "faulty row/column counts must be non-negative");
+  FLIM_REQUIRE(spec.dynamic_period >= 0, "dynamic period must be >= 0");
+  FLIM_REQUIRE(
+      spec.stuck_at_one_fraction >= 0.0 && spec.stuck_at_one_fraction <= 1.0,
+      "stuck-at-1 fraction must be in [0, 1]");
+  FLIM_REQUIRE(spec.cluster_count >= 0, "cluster count must be >= 0");
+  FLIM_REQUIRE(spec.cluster_radius > 0.0, "cluster radius must be positive");
+}
+
+}  // namespace flim::fault

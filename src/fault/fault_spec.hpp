@@ -1,0 +1,85 @@
+// Fault specifications: what to inject, where, and how often.
+//
+// The paper's Fault Generator "constructs a set of fault vectors encoding
+// the fault type, location, and injection rate". FaultSpec is that encoding
+// before randomization; FaultMask (fault_mask.hpp) is the realized location
+// set for one seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flim::fault {
+
+/// Fault categories from the paper (Section III, "Fault masking").
+enum class FaultKind : std::uint8_t {
+  kBitFlip = 0,   // transient: result of the XNOR op is inverted
+  kStuckAt = 1,   // permanent: result pinned to 0 or 1
+  kDynamic = 2,   // bit-flip sensitized only every n-th layer execution
+};
+
+/// Spatial distribution of the randomly placed faults over the grid.
+///
+/// The paper draws fault locations uniformly ("randomly distributed
+/// bit-flips"); real ReRAM defect maps cluster around filament-formation
+/// and etch defects, so the generator also offers a clustered mode: fault
+/// sites scatter (discrete Gaussian) around a few cluster centers. The
+/// total marked-slot count is identical in both modes -- only the spatial
+/// correlation changes -- which is what the distribution ablation sweeps.
+enum class FaultDistribution : std::uint8_t {
+  kUniform = 0,
+  kClustered = 1,
+};
+
+/// Injection granularity (DESIGN.md, "Fault granularity").
+///
+/// kOutputElement reproduces the paper's TensorFlow implementation: masks
+/// are applied to the layer's feature map (each element is "the XNOR op").
+/// kProductTerm models the physical crossbar more closely: individual
+/// product terms a_i XNOR w_i are corrupted before the CMOS popcount.
+enum class FaultGranularity : std::uint8_t {
+  kOutputElement = 0,
+  kProductTerm = 1,
+};
+
+/// Declarative description of one fault campaign on one (virtual) crossbar.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBitFlip;
+
+  /// Fraction of virtual crossbar slots marked faulty (0..1); the paper's
+  /// "injection rate". Ignored slots from faulty_rows/cols come on top.
+  double injection_rate = 0.0;
+
+  /// Whole faulty rows / columns (Fig 4d/e). Rows/columns are chosen
+  /// uniformly at random without replacement.
+  std::int64_t faulty_rows = 0;
+  std::int64_t faulty_cols = 0;
+
+  /// For kDynamic: the fault fires on every `dynamic_period`-th execution
+  /// of the affected layer; 0 and 1 both mean "every execution" (static).
+  int dynamic_period = 0;
+
+  /// For kStuckAt: probability that a stuck cell is stuck-at-1 (the rest
+  /// are stuck-at-0).
+  double stuck_at_one_fraction = 0.5;
+
+  FaultGranularity granularity = FaultGranularity::kOutputElement;
+
+  /// Spatial placement of the injection_rate faults.
+  FaultDistribution distribution = FaultDistribution::kUniform;
+  /// kClustered: number of cluster centers; 0 derives one center per ~24
+  /// faulty slots.
+  int cluster_count = 0;
+  /// kClustered: Gaussian scatter (in cells) around each center.
+  double cluster_radius = 2.0;
+};
+
+/// Human-readable names for reports.
+std::string to_string(FaultKind kind);
+std::string to_string(FaultGranularity granularity);
+std::string to_string(FaultDistribution distribution);
+
+/// Validates a spec, throwing std::invalid_argument on nonsense values.
+void validate(const FaultSpec& spec);
+
+}  // namespace flim::fault

@@ -1,0 +1,168 @@
+#include "fault/fault_vector_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/check.hpp"
+
+namespace flim::fault {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x314356464d494c46ull;  // "FLIMFVC1"
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xff);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::string str(std::size_t len) {
+    require(len);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  std::vector<std::uint8_t> raw(std::size_t len) {
+    require(len);
+    std::vector<std::uint8_t> v(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return v;
+  }
+
+ private:
+  void require(std::size_t n) {
+    FLIM_REQUIRE(pos_ + n <= bytes_.size(),
+                 "fault vector file truncated or corrupt");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_packed_plane(std::vector<std::uint8_t>& out,
+                      const std::vector<std::uint8_t>& plane) {
+  std::uint8_t acc = 0;
+  int bits = 0;
+  for (const auto v : plane) {
+    if (v) acc |= static_cast<std::uint8_t>(1u << bits);
+    if (++bits == 8) {
+      out.push_back(acc);
+      acc = 0;
+      bits = 0;
+    }
+  }
+  if (bits > 0) out.push_back(acc);
+}
+
+std::vector<std::uint8_t> read_packed_plane(Reader& r, std::size_t n) {
+  const std::size_t bytes = (n + 7) / 8;
+  const auto packed = r.raw(bytes);
+  std::vector<std::uint8_t> plane(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    plane[i] = (packed[i / 8] >> (i % 8)) & 1u;
+  }
+  return plane;
+}
+
+}  // namespace
+
+const FaultVectorEntry* FaultVectorFile::find(
+    const std::string& layer_name) const {
+  for (const auto& e : entries_) {
+    if (e.layer_name == layer_name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> FaultVectorFile::serialize() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    put_u32(out, static_cast<std::uint32_t>(e.layer_name.size()));
+    out.insert(out.end(), e.layer_name.begin(), e.layer_name.end());
+    out.push_back(static_cast<std::uint8_t>(e.kind));
+    out.push_back(static_cast<std::uint8_t>(e.granularity));
+    put_u32(out, static_cast<std::uint32_t>(e.dynamic_period));
+    put_u64(out, static_cast<std::uint64_t>(e.mask.rows()));
+    put_u64(out, static_cast<std::uint64_t>(e.mask.cols()));
+    put_packed_plane(out, e.mask.flip_plane());
+    put_packed_plane(out, e.mask.sa0_plane());
+    put_packed_plane(out, e.mask.sa1_plane());
+  }
+  return out;
+}
+
+FaultVectorFile FaultVectorFile::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  FLIM_REQUIRE(r.u64() == kMagic, "not a FLIM fault vector file");
+  FLIM_REQUIRE(r.u32() == kVersion, "unsupported fault vector file version");
+  const std::uint32_t count = r.u32();
+  FaultVectorFile file;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FaultVectorEntry e;
+    const std::uint32_t name_len = r.u32();
+    e.layer_name = r.str(name_len);
+    e.kind = static_cast<FaultKind>(r.u8());
+    e.granularity = static_cast<FaultGranularity>(r.u8());
+    e.dynamic_period = static_cast<int>(r.u32());
+    const auto rows = static_cast<std::int64_t>(r.u64());
+    const auto cols = static_cast<std::int64_t>(r.u64());
+    FLIM_REQUIRE(rows > 0 && cols > 0 && rows * cols < (std::int64_t{1} << 32),
+                 "implausible mask dimensions in fault vector file");
+    e.mask = FaultMask(rows, cols);
+    const auto n = static_cast<std::size_t>(rows * cols);
+    e.mask.mutable_flip_plane() = read_packed_plane(r, n);
+    e.mask.mutable_sa0_plane() = read_packed_plane(r, n);
+    e.mask.mutable_sa1_plane() = read_packed_plane(r, n);
+    file.add(std::move(e));
+  }
+  return file;
+}
+
+void FaultVectorFile::save(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FLIM_REQUIRE(out.good(), "cannot open fault vector file for writing: " + path);
+  const auto bytes = serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+FaultVectorFile FaultVectorFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FLIM_REQUIRE(in.good(), "cannot open fault vector file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+}  // namespace flim::fault

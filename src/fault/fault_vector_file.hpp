@@ -1,0 +1,69 @@
+// Binary fault-vector files ("noise vector extraction").
+//
+// "The 2-dimensional arrays are flattened to 1 dimension. Furthermore, the
+// vectors are stored in a binary file annotated with meta-information about
+// the assigned layer and mask type. The binary file is independent of the
+// dataset and reusable for a myriad of experiments." (paper, Section III).
+//
+// File layout (little-endian):
+//   u64 magic 'FLIMFVC1'  u32 version  u32 entry_count
+//   per entry:
+//     u32 name_len, name bytes
+//     u8 kind, u8 granularity, u32 dynamic_period
+//     u64 rows, u64 cols
+//     bit-packed flip plane, sa0 plane, sa1 plane (rows*cols bits each,
+//     padded to whole bytes)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_mask.hpp"
+#include "fault/fault_spec.hpp"
+
+namespace flim::fault {
+
+/// One named mask entry (typically one per BNN layer).
+struct FaultVectorEntry {
+  std::string layer_name;
+  FaultKind kind = FaultKind::kBitFlip;
+  FaultGranularity granularity = FaultGranularity::kOutputElement;
+  int dynamic_period = 0;
+  FaultMask mask;
+
+  bool operator==(const FaultVectorEntry& other) const {
+    return layer_name == other.layer_name && kind == other.kind &&
+           granularity == other.granularity &&
+           dynamic_period == other.dynamic_period && mask == other.mask;
+  }
+};
+
+/// A reusable set of fault vectors.
+class FaultVectorFile {
+ public:
+  FaultVectorFile() = default;
+
+  void add(FaultVectorEntry entry) { entries_.push_back(std::move(entry)); }
+  const std::vector<FaultVectorEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Finds the entry for a layer; nullptr when absent.
+  const FaultVectorEntry* find(const std::string& layer_name) const;
+
+  /// Serializes to / from the binary representation.
+  std::vector<std::uint8_t> serialize() const;
+  static FaultVectorFile deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// File I/O wrappers.
+  void save(const std::string& path) const;
+  static FaultVectorFile load(const std::string& path);
+
+  bool operator==(const FaultVectorFile& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<FaultVectorEntry> entries_;
+};
+
+}  // namespace flim::fault

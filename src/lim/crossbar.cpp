@@ -1,0 +1,193 @@
+#include "lim/crossbar.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::lim {
+
+CrossbarArray::CrossbarArray(CrossbarConfig config)
+    : config_(config),
+      cells_(static_cast<std::size_t>(config.rows * config.cols)),
+      r_ref_(std::sqrt(config.device.r_on * config.device.r_off)) {
+  FLIM_REQUIRE(config_.rows > 0 && config_.cols > 0,
+               "crossbar must have positive dimensions");
+  FLIM_REQUIRE(config_.device.r_on > 0 &&
+                   config_.device.r_off > config_.device.r_on,
+               "device resistances must satisfy 0 < Ron < Roff");
+  FLIM_REQUIRE(config_.device.steps_per_pulse > 0,
+               "steps_per_pulse must be positive");
+}
+
+Memristor& CrossbarArray::cell(std::int64_t r, std::int64_t c) {
+  FLIM_REQUIRE(r >= 0 && r < rows() && c >= 0 && c < cols(),
+               "cell index out of range");
+  return cells_[static_cast<std::size_t>(flat(r, c))];
+}
+
+const Memristor& CrossbarArray::cell(std::int64_t r, std::int64_t c) const {
+  FLIM_REQUIRE(r >= 0 && r < rows() && c >= 0 && c < cols(),
+               "cell index out of range");
+  return cells_[static_cast<std::size_t>(flat(r, c))];
+}
+
+void CrossbarArray::pulse(Memristor& m, double v, bool count_as_set) {
+  const auto& dev = config_.device;
+  for (int s = 0; s < dev.steps_per_pulse; ++s) {
+    const double r = m.resistance(dev);
+    stats_.energy_joules += v * v / r * dev.dt;
+    if (m.apply_voltage(dev, v) > 0.0) ++stats_.switching_events;
+  }
+  stats_.sim_time_seconds += dev.dt * dev.steps_per_pulse;
+  if (count_as_set) {
+    ++stats_.set_pulses;
+  } else {
+    ++stats_.reset_pulses;
+  }
+}
+
+void CrossbarArray::write_bit(std::int64_t r, std::int64_t c, bool bit) {
+  Memristor& m = cell(r, c);
+  pulse(m, bit ? config_.v_prog : -config_.v_prog, bit);
+}
+
+bool CrossbarArray::read_bit(std::int64_t r, std::int64_t c) {
+  Memristor& m = cell(r, c);
+  const auto& dev = config_.device;
+  // Read-disturb acts during the read pulse, so the comparator sees the
+  // post-disturb resistance (a severity-1.0 cell flips and misreads at once,
+  // the classical RDF; lower severities wear over repeated reads).
+  if (m.apply_read_disturb() > 0.0) ++stats_.switching_events;
+  const double res = m.resistance(dev);
+  stats_.energy_joules += config_.v_read * config_.v_read / res * dev.dt;
+  stats_.sim_time_seconds += dev.dt;
+  ++stats_.reads;
+  return m.filter_sensed_bit(res < r_ref_);
+}
+
+void CrossbarArray::execute_micro_op(std::int64_t row, std::int64_t base_col,
+                                     const MicroOp& op) {
+  FLIM_REQUIRE(base_col + kCellsPerGate <= cols(),
+               "gate slot exceeds crossbar width");
+  auto cell_at = [&](GateCell role) -> Memristor& {
+    return cell(row, base_col + static_cast<int>(role));
+  };
+  const auto& dev = config_.device;
+
+  switch (op.kind) {
+    case MicroOpKind::kSetPulse:
+      pulse(cell_at(op.target), config_.v_prog, true);
+      break;
+    case MicroOpKind::kResetPulse:
+      pulse(cell_at(op.target), -config_.v_prog, false);
+      break;
+    case MicroOpKind::kNorStep: {
+      // Resistive divider: V0 -> inputs (parallel) -> node -> target -> gnd.
+      // The target is oriented so the node voltage drives it toward RESET.
+      // Quasi-static pulse model: node voltages are evaluated at pulse onset
+      // and held for the pulse duration. Real stateful-logic drivers pick
+      // pulse widths that complete the switching event decided by the
+      // initial conditions; evaluating mid-pulse feedback instead would
+      // stall SETs at a partial state (the known IMPLY degradation issue)
+      // and is out of scope for this behavioural model.
+      Memristor& target = cell_at(op.target);
+      double g_par = 0.0;  // input conductance sum
+      for (int i = 0; i < op.num_inputs; ++i) {
+        g_par += 1.0 / cell_at(op.inputs[static_cast<std::size_t>(i)])
+                           .resistance(dev);
+      }
+      const double r_par = g_par > 0.0 ? 1.0 / g_par : 1.0e12;
+      const double r_t = target.resistance(dev);
+      const double v_node = config_.v_apply * r_t / (r_par + r_t);
+      const double v_in = config_.v_apply - v_node;
+      for (int s = 0; s < dev.steps_per_pulse; ++s) {
+        stats_.energy_joules +=
+            (v_node * v_node / r_t + v_in * v_in * g_par) * dev.dt;
+        if (target.apply_voltage(dev, -v_node) > 0.0) {
+          ++stats_.switching_events;
+        }
+      }
+      stats_.sim_time_seconds += dev.dt * dev.steps_per_pulse;
+      ++stats_.gate_steps;
+      break;
+    }
+    case MicroOpKind::kImplyStep: {
+      // IMPLY circuit: Vcond on p, Vset on q, both into a common node with
+      // load Rg to ground. Quasi-static pulse model (see kNorStep); both
+      // devices are integrated -- the default voltage window is disturb-free
+      // (see lim tests).
+      FLIM_ASSERT(op.num_inputs == 1);
+      Memristor& p = cell_at(op.inputs[0]);
+      Memristor& q = cell_at(op.target);
+      const double rp = p.resistance(dev);
+      const double rq = q.resistance(dev);
+      const double v_node = (config_.v_cond / rp + config_.v_set / rq) /
+                            (1.0 / rp + 1.0 / rq + 1.0 / config_.r_load);
+      const double v_p = config_.v_cond - v_node;
+      const double v_q = config_.v_set - v_node;
+      for (int s = 0; s < dev.steps_per_pulse; ++s) {
+        stats_.energy_joules +=
+            (v_p * v_p / rp + v_q * v_q / rq +
+             v_node * v_node / config_.r_load) *
+            dev.dt;
+        if (p.apply_voltage(dev, v_p) > 0.0) ++stats_.switching_events;
+        if (q.apply_voltage(dev, v_q) > 0.0) ++stats_.switching_events;
+      }
+      stats_.sim_time_seconds += dev.dt * dev.steps_per_pulse;
+      ++stats_.gate_steps;
+      break;
+    }
+  }
+}
+
+bool CrossbarArray::execute_xnor(const LogicFamily& family, std::int64_t row,
+                                 std::int64_t base_col, bool a, bool b) {
+  write_bit(row, base_col + static_cast<int>(GateCell::kInA), a);
+  write_bit(row, base_col + static_cast<int>(GateCell::kInB), b);
+  for (const MicroOp& op : family.xnor_schedule()) {
+    execute_micro_op(row, base_col, op);
+  }
+  return read_bit(row, base_col + static_cast<int>(family.result_cell()));
+}
+
+bool CrossbarArray::execute_xnor_on_gate(const LogicFamily& family,
+                                         std::int64_t gate, bool a, bool b) {
+  FLIM_REQUIRE(gate >= 0 && gate < num_gates(), "gate index out of range");
+  const std::int64_t row = gate / gates_per_row();
+  const std::int64_t base_col = (gate % gates_per_row()) * kCellsPerGate;
+  return execute_xnor(family, row, base_col, a, b);
+}
+
+void CrossbarArray::inject_device_fault(std::int64_t r, std::int64_t c,
+                                        DeviceFaultKind kind,
+                                        double severity) {
+  cell(r, c).set_fault(kind, severity);
+}
+
+void CrossbarArray::clear_device_faults() {
+  for (auto& m : cells_) m.set_fault(DeviceFaultKind::kNone);
+}
+
+XnorCost calibrate_xnor_cost(const CrossbarConfig& config,
+                             const LogicFamily& family) {
+  CrossbarConfig scratch = config;
+  scratch.rows = 1;
+  scratch.cols = kCellsPerGate;
+  XnorCost cost;
+  cost.pulses = family.xnor_pulse_count();
+  double energy = 0.0;
+  double latency = 0.0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      CrossbarArray xbar(scratch);
+      xbar.execute_xnor(family, 0, 0, a != 0, b != 0);
+      energy += xbar.stats().energy_joules;
+      latency += xbar.stats().sim_time_seconds;
+    }
+  }
+  cost.avg_energy_joules = energy / 4.0;
+  cost.latency_seconds = latency / 4.0;
+  return cost;
+}
+
+}  // namespace flim::lim

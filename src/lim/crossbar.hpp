@@ -1,0 +1,122 @@
+// Memristive crossbar array with device-accurate micro-op execution.
+//
+// The array hosts rows x cols memristor cells. XNOR gates occupy
+// kCellsPerGate adjacent cells of one row (operand A, operand B, work, out),
+// mirroring Fig. 1 of the paper where each row computes one XNOR between
+// word lines. Micro-ops (programming pulses, MAGIC NOR steps, IMPLY steps)
+// are integrated over several device timesteps with the nonlinear resistive
+// divider recomputed each sub-step, so partial switching, drifted devices
+// and stuck cells all behave physically.
+//
+// Simplification (documented): during a NOR step only the target cell's
+// state is integrated -- we assume the driver engineering window that keeps
+// half-selected input cells below threshold. IMPLY steps integrate both
+// cells; the default voltage set was chosen inside the disturb-free window
+// (see imply tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lim/logic_family.hpp"
+#include "lim/memristor.hpp"
+
+namespace flim::lim {
+
+/// Electrical and geometric configuration of one crossbar array.
+struct CrossbarConfig {
+  std::int64_t rows = 128;
+  std::int64_t cols = 128;
+  MemristorParams device;
+
+  double v_prog = 2.0;   // programming pulse amplitude [V]
+  double v_apply = 2.0;  // MAGIC NOR operating voltage V0 [V]
+  double v_cond = 1.0;   // IMPLY conditioning voltage [V]
+  double v_set = 1.8;    // IMPLY set voltage [V]
+  double r_load = 1.0e4; // IMPLY common-node load resistor Rg [ohm]
+  double v_read = 0.3;   // sense-amp read voltage [V]
+};
+
+/// Accumulated activity counters (reset with reset_stats()).
+struct CrossbarStats {
+  std::uint64_t set_pulses = 0;
+  std::uint64_t reset_pulses = 0;
+  std::uint64_t gate_steps = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t switching_events = 0;  // sub-steps with state movement
+  double energy_joules = 0.0;
+  double sim_time_seconds = 0.0;  // modeled (device) time, not wall clock
+};
+
+/// A memristive crossbar executing stateful logic.
+class CrossbarArray {
+ public:
+  explicit CrossbarArray(CrossbarConfig config);
+
+  std::int64_t rows() const { return config_.rows; }
+  std::int64_t cols() const { return config_.cols; }
+  const CrossbarConfig& config() const { return config_; }
+
+  /// Gate capacity: gates per row and total.
+  std::int64_t gates_per_row() const { return config_.cols / kCellsPerGate; }
+  std::int64_t num_gates() const { return rows() * gates_per_row(); }
+
+  /// Cell access.
+  Memristor& cell(std::int64_t r, std::int64_t c);
+  const Memristor& cell(std::int64_t r, std::int64_t c) const;
+
+  /// Programs a cell to a logic value via SET/RESET pulses.
+  void write_bit(std::int64_t r, std::int64_t c, bool bit);
+
+  /// Sense-amplifier read: compares cell resistance with the geometric mean
+  /// of Ron and Roff.
+  bool read_bit(std::int64_t r, std::int64_t c);
+
+  /// Executes one micro-op on the gate at (row, base_col .. base_col+3).
+  void execute_micro_op(std::int64_t row, std::int64_t base_col,
+                        const MicroOp& op);
+
+  /// Full XNOR: programs operands, runs the family schedule, reads result.
+  bool execute_xnor(const LogicFamily& family, std::int64_t row,
+                    std::int64_t base_col, bool a, bool b);
+
+  /// Convenience: XNOR on flat gate index g (row = g / gates_per_row,
+  /// base_col = (g % gates_per_row) * kCellsPerGate).
+  bool execute_xnor_on_gate(const LogicFamily& family, std::int64_t gate,
+                            bool a, bool b);
+
+  /// Attaches a device fault to a cell.
+  void inject_device_fault(std::int64_t r, std::int64_t c,
+                           DeviceFaultKind kind, double severity = 0.5);
+
+  /// Clears all device faults.
+  void clear_device_faults();
+
+  const CrossbarStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CrossbarStats{}; }
+
+ private:
+  std::int64_t flat(std::int64_t r, std::int64_t c) const {
+    return r * config_.cols + c;
+  }
+  void pulse(Memristor& m, double v, bool count_as_set);
+
+  CrossbarConfig config_;
+  std::vector<Memristor> cells_;
+  CrossbarStats stats_;
+  double r_ref_;  // sense-amp reference resistance
+};
+
+/// Per-XNOR cost calibrated by executing all four operand combinations on a
+/// scratch crossbar.
+struct XnorCost {
+  int pulses = 0;              // schedule length (excl. operand writes)
+  double avg_energy_joules = 0.0;
+  double latency_seconds = 0.0;  // modeled time per XNOR (incl. writes)
+};
+
+/// Runs the four input combinations and averages energy/latency.
+XnorCost calibrate_xnor_cost(const CrossbarConfig& config,
+                             const LogicFamily& family);
+
+}  // namespace flim::lim

@@ -1,0 +1,76 @@
+// IMPLY XNOR schedule.
+//
+// IMPLY(p, q): q <- p' + q; FALSE(q): q <- 0. Derivation over {a, b, w, out}
+// (destroys input b):
+//   FALSE(w); FALSE(out)
+//   IMPLY(a, w)     w   = a'
+//   IMPLY(b, out)   out = b'
+//   IMPLY(w, out)   out = a + b'
+//   IMPLY(a, b)     b   = a' + b
+//   FALSE(w)
+//   IMPLY(b, w)     w   = (a' + b)' = ab'
+//   IMPLY(out, w)   w   = (a + b')' + ab' = a'b + ab' = XOR(a, b)
+//   FALSE(out)
+//   IMPLY(w, out)   out = XOR' = XNOR(a, b)
+// 11 pulses -- longer than MAGIC's 8, matching the literature's observation
+// that IMPLY sequences are serial-heavy. Result lands in the out cell.
+#include "lim/logic_family.hpp"
+
+namespace flim::lim {
+
+namespace {
+
+class ImplyFamily final : public LogicFamily {
+ public:
+  ImplyFamily() {
+    using K = MicroOpKind;
+    using C = GateCell;
+    auto false_op = [](C target) {
+      MicroOp op;
+      op.kind = K::kResetPulse;
+      op.num_inputs = 0;
+      op.target = target;
+      return op;
+    };
+    auto imply = [](C p, C q) {
+      MicroOp op;
+      op.kind = K::kImplyStep;
+      op.inputs = {p, p};
+      op.num_inputs = 1;
+      op.target = q;
+      return op;
+    };
+    schedule_ = {
+        false_op(C::kWork),
+        false_op(C::kOut),
+        imply(C::kInA, C::kWork),   // w = a'
+        imply(C::kInB, C::kOut),    // out = b'
+        imply(C::kWork, C::kOut),   // out = a + b'
+        imply(C::kInA, C::kInB),    // b = a' + b
+        false_op(C::kWork),
+        imply(C::kInB, C::kWork),   // w = ab'
+        imply(C::kOut, C::kWork),   // w = XOR(a, b)
+        false_op(C::kOut),
+        imply(C::kWork, C::kOut),   // out = XNOR(a, b)
+    };
+  }
+
+  std::string name() const override { return "IMPLY"; }
+
+  const std::vector<MicroOp>& xnor_schedule() const override {
+    return schedule_;
+  }
+
+  GateCell result_cell() const override { return GateCell::kOut; }
+
+ private:
+  std::vector<MicroOp> schedule_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogicFamily> make_imply_family() {
+  return std::make_unique<ImplyFamily>();
+}
+
+}  // namespace flim::lim

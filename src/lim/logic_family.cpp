@@ -1,0 +1,24 @@
+#include "lim/logic_family.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::lim {
+
+std::unique_ptr<LogicFamily> make_logic_family(LogicFamilyKind kind) {
+  switch (kind) {
+    case LogicFamilyKind::kMagic: return make_magic_family();
+    case LogicFamilyKind::kImply: return make_imply_family();
+  }
+  FLIM_REQUIRE(false, "unknown logic family kind");
+  return nullptr;
+}
+
+std::string to_string(LogicFamilyKind kind) {
+  switch (kind) {
+    case LogicFamilyKind::kMagic: return "MAGIC";
+    case LogicFamilyKind::kImply: return "IMPLY";
+  }
+  return "?";
+}
+
+}  // namespace flim::lim

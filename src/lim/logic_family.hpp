@@ -1,0 +1,77 @@
+// Stateful logic families (MAGIC, IMPLY) expressed as micro-op schedules.
+//
+// Following the paper we assume a logic family implementing XNOR over four
+// memristors per gate (two operands + two work cells). The family defines
+// the micro-op sequence; the crossbar executes it with full device dynamics.
+// MAGIC (Kvatinsky et al., TCAS-II 2014) composes XNOR from NOR steps;
+// IMPLY (Kvatinsky et al., TVLSI 2014) from material-implication steps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flim::lim {
+
+/// Number of memristors per XNOR gate (paper, Section III: "four memristors
+/// are required to facilitate one XNOR operation").
+inline constexpr int kCellsPerGate = 4;
+
+/// Cell roles within a gate slot.
+enum class GateCell : std::uint8_t { kInA = 0, kInB = 1, kWork = 2, kOut = 3 };
+
+/// One primitive pulse applied to a gate slot.
+enum class MicroOpKind : std::uint8_t {
+  kSetPulse,    // program target toward LRS (logic 1)
+  kResetPulse,  // program target toward HRS (logic 0); IMPLY's FALSE
+  kNorStep,     // MAGIC NOR of the input cells into the (pre-SET) target
+  kImplyStep,   // IMPLY(input0, target): target <- NOT(input0) OR target
+};
+
+/// A scheduled primitive: which cells participate and which receives the
+/// result. `num_inputs` is 0 for programming pulses, 1 for IMPLY, and up to
+/// 2 for NOR.
+struct MicroOp {
+  MicroOpKind kind = MicroOpKind::kSetPulse;
+  std::array<GateCell, 2> inputs{GateCell::kInA, GateCell::kInB};
+  int num_inputs = 0;
+  GateCell target = GateCell::kOut;
+};
+
+/// Interface of a stateful logic family able to compute XNOR.
+class LogicFamily {
+ public:
+  virtual ~LogicFamily() = default;
+
+  /// Family name for reports ("MAGIC", "IMPLY").
+  virtual std::string name() const = 0;
+
+  /// Micro-op schedule computing out <- XNOR(inA, inB). Operand cells are
+  /// assumed already programmed; the schedule may destroy them.
+  virtual const std::vector<MicroOp>& xnor_schedule() const = 0;
+
+  /// Cell holding the XNOR result after the schedule completes.
+  virtual GateCell result_cell() const = 0;
+
+  /// Total pulse count of one XNOR (schedule length); the latency metric
+  /// used by the logic-family ablation bench.
+  int xnor_pulse_count() const {
+    return static_cast<int>(xnor_schedule().size());
+  }
+};
+
+/// Factory helpers.
+std::unique_ptr<LogicFamily> make_magic_family();
+std::unique_ptr<LogicFamily> make_imply_family();
+
+/// Selector used in configuration structs.
+enum class LogicFamilyKind : std::uint8_t { kMagic, kImply };
+
+std::unique_ptr<LogicFamily> make_logic_family(LogicFamilyKind kind);
+
+/// Human-readable kind name.
+std::string to_string(LogicFamilyKind kind);
+
+}  // namespace flim::lim

@@ -1,0 +1,66 @@
+// MAGIC XNOR schedule.
+//
+// Derivation over cells {a, b, w, out} using only NOR (with SET init of the
+// target before each NOR, as MAGIC requires):
+//   w   = NOR(a, b)   = a'b'
+//   out = NOR(a, w)   = (a + a'b')' = (a + b')' = a'b
+//   a   = NOR(b, w)   = (b + a'b')' = (b + a')' = ab'    (destroys input a)
+//   w   = NOR(out, a) = (a'b + ab')' = XNOR(a, b)
+// Result lands in the work cell. 8 pulses total (4 SET inits + 4 NOR).
+#include "lim/logic_family.hpp"
+
+namespace flim::lim {
+
+namespace {
+
+class MagicFamily final : public LogicFamily {
+ public:
+  MagicFamily() {
+    using K = MicroOpKind;
+    using C = GateCell;
+    auto set = [](C target) {
+      MicroOp op;
+      op.kind = K::kSetPulse;
+      op.num_inputs = 0;
+      op.target = target;
+      return op;
+    };
+    auto nor2 = [](C in0, C in1, C target) {
+      MicroOp op;
+      op.kind = K::kNorStep;
+      op.inputs = {in0, in1};
+      op.num_inputs = 2;
+      op.target = target;
+      return op;
+    };
+    schedule_ = {
+        set(C::kWork),
+        set(C::kOut),
+        nor2(C::kInA, C::kInB, C::kWork),   // w = a'b'
+        nor2(C::kInA, C::kWork, C::kOut),   // out = a'b
+        set(C::kInA),
+        nor2(C::kInB, C::kWork, C::kInA),   // a = ab'
+        set(C::kWork),
+        nor2(C::kOut, C::kInA, C::kWork),   // w = XNOR(a, b)
+    };
+  }
+
+  std::string name() const override { return "MAGIC"; }
+
+  const std::vector<MicroOp>& xnor_schedule() const override {
+    return schedule_;
+  }
+
+  GateCell result_cell() const override { return GateCell::kWork; }
+
+ private:
+  std::vector<MicroOp> schedule_;
+};
+
+}  // namespace
+
+std::unique_ptr<LogicFamily> make_magic_family() {
+  return std::make_unique<MagicFamily>();
+}
+
+}  // namespace flim::lim

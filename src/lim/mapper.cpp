@@ -1,0 +1,46 @@
+#include "lim/mapper.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::lim {
+
+CrossbarMapper::CrossbarMapper(CrossbarGeometry geometry,
+                               std::int64_t num_crossbars,
+                               LogicFamilyKind family,
+                               CrossbarConfig electrical)
+    : geometry_(geometry),
+      num_crossbars_(num_crossbars),
+      family_kind_(family),
+      electrical_(electrical) {
+  FLIM_REQUIRE(geometry_.rows > 0 && geometry_.cols > 0,
+               "crossbar geometry must be positive");
+  FLIM_REQUIRE(num_crossbars_ > 0, "need at least one crossbar");
+  const auto fam = make_logic_family(family_kind_);
+  schedule_pulses_ = fam->xnor_pulse_count();
+  calibrated_ = calibrate_xnor_cost(electrical_, *fam);
+}
+
+std::int64_t CrossbarMapper::gates_per_crossbar() const {
+  return geometry_.rows * (geometry_.cols / kCellsPerGate);
+}
+
+MappingResult CrossbarMapper::map_ops(std::int64_t total_xnor_ops) const {
+  FLIM_REQUIRE(total_xnor_ops >= 0, "op count must be non-negative");
+  MappingResult r;
+  r.total_xnor_ops = total_xnor_ops;
+  r.gates_per_crossbar = gates_per_crossbar();
+  r.num_crossbars = num_crossbars_;
+  r.parallel_ops = r.gates_per_crossbar * num_crossbars_;
+  FLIM_REQUIRE(r.parallel_ops > 0,
+               "crossbar too narrow to host a single gate");
+  r.passes = (total_xnor_ops + r.parallel_ops - 1) / r.parallel_ops;
+  // operand writes (2) + schedule + result read (1)
+  r.pulses_per_op = schedule_pulses_ + 3;
+  r.latency_seconds =
+      static_cast<double>(r.passes) * calibrated_.latency_seconds;
+  r.energy_joules =
+      static_cast<double>(total_xnor_ops) * calibrated_.avg_energy_joules;
+  return r;
+}
+
+}  // namespace flim::lim

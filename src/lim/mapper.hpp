@@ -1,0 +1,84 @@
+// Crossbar mapping: how a layer's XNOR workload is laid out over arrays.
+//
+// The Fault Generator "has to be provided with the dimensions and the number
+// of crossbars used during the simulation; first, the mapping tool
+// calculates the number of parallel XNOR operations based on the crossbars"
+// (paper, Section III). CrossbarMapper is that tool. It exposes two views:
+//
+// * device view -- gates of kCellsPerGate cells each, used by the X-Fault
+//   style device engine and for latency/energy projections;
+// * virtual view -- the paper's "virtual crossbar representation": an
+//   R x C grid of XNOR-operation slots that fault masks are defined over.
+//   Op i occupies slot (i / C mod R, i mod C) and wraps around in passes.
+#pragma once
+
+#include <cstdint>
+
+#include "lim/crossbar.hpp"
+#include "lim/logic_family.hpp"
+
+namespace flim::lim {
+
+/// Grid dimensions of one crossbar.
+struct CrossbarGeometry {
+  std::int64_t rows = 128;
+  std::int64_t cols = 128;
+
+  std::int64_t num_cells() const { return rows * cols; }
+};
+
+/// Result of mapping a workload of XNOR ops onto crossbars.
+struct MappingResult {
+  std::int64_t total_xnor_ops = 0;
+  std::int64_t gates_per_crossbar = 0;
+  std::int64_t num_crossbars = 1;
+  std::int64_t parallel_ops = 0;   // gates available per pass
+  std::int64_t passes = 0;         // sequential reuses of the arrays
+  std::int64_t pulses_per_op = 0;  // schedule length + operand writes + read
+  double latency_seconds = 0.0;    // modeled execution time of the workload
+  double energy_joules = 0.0;      // projected from calibrated per-op cost
+};
+
+/// Maps XNOR workloads onto a bank of identical crossbars.
+class CrossbarMapper {
+ public:
+  /// `num_crossbars` arrays of `geometry` run in parallel using `family`.
+  CrossbarMapper(CrossbarGeometry geometry, std::int64_t num_crossbars,
+                 LogicFamilyKind family, CrossbarConfig electrical = {});
+
+  const CrossbarGeometry& geometry() const { return geometry_; }
+  std::int64_t num_crossbars() const { return num_crossbars_; }
+  LogicFamilyKind family_kind() const { return family_kind_; }
+
+  /// Gate capacity of one array (device view).
+  std::int64_t gates_per_crossbar() const;
+
+  /// Virtual op-slot grid the fault masks are defined over (one slot per
+  /// crossbar cell).
+  std::int64_t virtual_rows() const { return geometry_.rows; }
+  std::int64_t virtual_cols() const { return geometry_.cols; }
+  std::int64_t virtual_slots() const { return geometry_.num_cells(); }
+
+  /// Slot of op `i` in the virtual grid (row-major, wrapping in passes).
+  std::int64_t slot_of_op(std::int64_t op_index) const {
+    return op_index % virtual_slots();
+  }
+
+  /// Pass (array reuse count) op `i` lands in.
+  std::int64_t pass_of_op(std::int64_t op_index) const {
+    return op_index / virtual_slots();
+  }
+
+  /// Projects timing/energy for `total_xnor_ops` sequential-parallel ops.
+  MappingResult map_ops(std::int64_t total_xnor_ops) const;
+
+ private:
+  CrossbarGeometry geometry_;
+  std::int64_t num_crossbars_;
+  LogicFamilyKind family_kind_;
+  CrossbarConfig electrical_;
+  XnorCost calibrated_;
+  int schedule_pulses_ = 0;
+};
+
+}  // namespace flim::lim

@@ -1,0 +1,97 @@
+#include "lim/memristor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flim::lim {
+
+const std::vector<DeviceFaultKind>& all_device_fault_kinds() {
+  static const std::vector<DeviceFaultKind> kinds{
+      DeviceFaultKind::kStuckAt0,      DeviceFaultKind::kStuckAt1,
+      DeviceFaultKind::kStuckCurrent,  DeviceFaultKind::kDrift,
+      DeviceFaultKind::kSlowSet,       DeviceFaultKind::kSlowReset,
+      DeviceFaultKind::kReadDisturb,   DeviceFaultKind::kIncorrectRead,
+  };
+  return kinds;
+}
+
+std::string to_string(DeviceFaultKind kind) {
+  switch (kind) {
+    case DeviceFaultKind::kNone: return "none";
+    case DeviceFaultKind::kStuckAt0: return "stuck-at-0";
+    case DeviceFaultKind::kStuckAt1: return "stuck-at-1";
+    case DeviceFaultKind::kStuckCurrent: return "stuck-current";
+    case DeviceFaultKind::kDrift: return "drift";
+    case DeviceFaultKind::kSlowSet: return "slow-set";
+    case DeviceFaultKind::kSlowReset: return "slow-reset";
+    case DeviceFaultKind::kReadDisturb: return "read-disturb";
+    case DeviceFaultKind::kIncorrectRead: return "incorrect-read";
+  }
+  return "unknown";
+}
+
+void Memristor::set_state(double w, bool force_even_if_stuck) {
+  if (!force_even_if_stuck &&
+      (fault_ == DeviceFaultKind::kStuckAt0 ||
+       fault_ == DeviceFaultKind::kStuckAt1 ||
+       fault_ == DeviceFaultKind::kStuckCurrent)) {
+    return;
+  }
+  w_ = std::clamp(w, 0.0, 1.0);
+}
+
+double Memristor::effective_state() const {
+  switch (fault_) {
+    case DeviceFaultKind::kStuckAt0: return 0.0;
+    case DeviceFaultKind::kStuckAt1: return 1.0;
+    default: return w_;
+  }
+}
+
+double Memristor::resistance(const MemristorParams& p) const {
+  // R(w) = Roff * (Ron/Roff)^w: exponential interpolation keeps the
+  // logarithmic resistance spacing real filamentary devices show.
+  const double ratio = p.r_on / p.r_off;
+  return p.r_off * std::pow(ratio, effective_state());
+}
+
+double Memristor::apply_voltage(const MemristorParams& p, double v) {
+  switch (fault_) {
+    case DeviceFaultKind::kStuckAt0:
+    case DeviceFaultKind::kStuckAt1:
+    case DeviceFaultKind::kStuckCurrent:
+      return 0.0;
+    default:
+      break;
+  }
+  double dw = 0.0;
+  if (v >= p.v_on && p.v_on > 0.0) {
+    dw = p.k_on * (v / p.v_on - 1.0) * p.dt;
+    if (fault_ == DeviceFaultKind::kSlowSet) dw *= (1.0 - severity_);
+  } else if (v <= p.v_off && p.v_off < 0.0) {
+    dw = -p.k_off * (v / p.v_off - 1.0) * p.dt;
+    if (fault_ == DeviceFaultKind::kSlowReset) dw *= (1.0 - severity_);
+  } else {
+    return 0.0;
+  }
+  if (fault_ == DeviceFaultKind::kDrift) {
+    dw *= (1.0 - severity_);
+  }
+  const double before = w_;
+  w_ = std::clamp(w_ + dw, 0.0, 1.0);
+  return std::abs(w_ - before);
+}
+
+double Memristor::apply_read_disturb() {
+  if (fault_ != DeviceFaultKind::kReadDisturb) return 0.0;
+  const double before = w_;
+  w_ = std::clamp(w_ + severity_, 0.0, 1.0);
+  return std::abs(w_ - before);
+}
+
+void Memristor::set_fault(DeviceFaultKind kind, double severity) {
+  fault_ = kind;
+  severity_ = std::clamp(severity, 0.0, 1.0);
+}
+
+}  // namespace flim::lim

@@ -1,0 +1,123 @@
+// Behavioural memristor device model.
+//
+// A VTEAM-style threshold-switching model (Kvatinsky et al.): the internal
+// state variable w in [0, 1] only moves while the applied voltage magnitude
+// exceeds the polarity's threshold, with a rate proportional to the
+// overdrive. Resistance interpolates exponentially between Roff (w = 0,
+// logic 0) and Ron (w = 1, logic 1). This is the "memristor model from the
+// literature" level of detail the reproduction band calls for -- enough to
+// make MAGIC/IMPLY gate execution and device-level fault injection
+// physically meaningful without transistor-level SPICE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flim::lim {
+
+/// Device-level fault attached to a single memristor cell.
+///
+/// The taxonomy follows the ReRAM test literature the paper builds on
+/// (Kannan et al. TCAD'15, Chen et al. VTS'15): stuck-at and stuck-current
+/// faults, degraded switching dynamics, transition faults (the cell fails
+/// one switching direction), read-disturb faults (the read pulse itself
+/// moves the state toward SET) and incorrect-read faults (the sense path
+/// inverts, the cell state is untouched).
+///
+/// `severity` semantics per kind (set_fault):
+///   kDrift          fraction of switching rate lost (1 = frozen)
+///   kSlowSet        fraction of SET-direction movement lost (1 = complete
+///                   0->1 transition fault)
+///   kSlowReset      fraction of RESET-direction movement lost (1 = complete
+///                   1->0 transition fault)
+///   kReadDisturb    state increment toward LRS per read (1 = a single read
+///                   fully SETs the cell, the classical RDF)
+///   others          ignored
+enum class DeviceFaultKind : std::uint8_t {
+  kNone = 0,
+  kStuckAt0,       // state pinned at HRS (logic 0)
+  kStuckAt1,       // state pinned at LRS (logic 1)
+  kStuckCurrent,   // cannot switch; keeps whatever state it has
+  kDrift,          // degraded dynamics: switching rate scaled down
+  kSlowSet,        // transition fault 0->1: SET movement suppressed
+  kSlowReset,      // transition fault 1->0: RESET movement suppressed
+  kReadDisturb,    // each read pulse drives the state toward LRS
+  kIncorrectRead,  // sense comparator inverted; state is correct
+};
+
+/// All injectable kinds (excludes kNone), e.g. for coverage sweeps.
+const std::vector<DeviceFaultKind>& all_device_fault_kinds();
+
+/// Human-readable fault-kind name for reports.
+std::string to_string(DeviceFaultKind kind);
+
+/// Static device parameters shared by all cells of an array.
+struct MemristorParams {
+  double r_on = 1.0e3;     // LRS resistance [ohm]
+  double r_off = 1.0e6;    // HRS resistance [ohm]
+  double v_on = 1.1;       // SET threshold (positive polarity) [V]
+  double v_off = -0.9;     // RESET threshold (negative polarity) [V]
+  // Rates are chosen so that one programming pulse (steps_per_pulse sub-
+  // steps) completes a SET/RESET with margin, and a MAGIC NOR step drives
+  // the output cell across the read threshold within one pulse.
+  double k_on = 5.0e8;     // SET rate coefficient [1/(V s)]
+  double k_off = 5.0e8;    // RESET rate coefficient [1/(V s)]
+  double dt = 1.0e-9;      // integration timestep [s]
+  int steps_per_pulse = 16;  // integration sub-steps per micro-op pulse
+
+  /// State threshold above which a read returns logic 1.
+  double read_threshold = 0.5;
+};
+
+/// One memristive cell: state plus an optional device fault.
+class Memristor {
+ public:
+  Memristor() = default;
+
+  /// Current internal state in [0, 1].
+  double state() const { return w_; }
+
+  /// Forces the state (respects stuck faults unless `force_even_if_stuck`).
+  void set_state(double w, bool force_even_if_stuck = false);
+
+  /// Resistance at the current state (exponential interpolation).
+  double resistance(const MemristorParams& p) const;
+
+  /// Logic value under the read threshold.
+  bool read_bit(const MemristorParams& p) const {
+    return effective_state() > p.read_threshold;
+  }
+
+  /// Integrates the state under voltage `v` for one timestep. Returns the
+  /// absolute state change (0 when thresholds are not exceeded or the cell
+  /// is stuck). Positive v drives toward LRS (SET).
+  double apply_voltage(const MemristorParams& p, double v);
+
+  /// Attaches a device fault; see DeviceFaultKind for the per-kind
+  /// `severity` semantics.
+  void set_fault(DeviceFaultKind kind, double severity = 0.5);
+
+  DeviceFaultKind fault() const { return fault_; }
+
+  /// Read-path fault hook, called by the array's sense amplifier once per
+  /// read pulse *before* the comparator evaluates: a kReadDisturb cell moves
+  /// toward LRS by `severity`. Returns the state change magnitude.
+  double apply_read_disturb();
+
+  /// Sense-path fault hook, called on the comparator verdict: a
+  /// kIncorrectRead cell inverts the sensed bit.
+  bool filter_sensed_bit(bool comparator_bit) const {
+    return fault_ == DeviceFaultKind::kIncorrectRead ? !comparator_bit
+                                                     : comparator_bit;
+  }
+
+ private:
+  double effective_state() const;
+
+  double w_ = 0.0;
+  DeviceFaultKind fault_ = DeviceFaultKind::kNone;
+  double severity_ = 0.0;
+};
+
+}  // namespace flim::lim

@@ -1,0 +1,64 @@
+#include "models/pretrained.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "bnn/serialize.hpp"
+#include "core/log.hpp"
+#include "models/zoo.hpp"
+#include "train/trainer.hpp"
+
+namespace flim::models {
+
+namespace {
+
+bnn::Model train_and_cache(train::Graph graph, const data::Dataset& dataset,
+                           const PretrainOptions& options,
+                           const std::string& cache_path) {
+  train::Adam adam(options.learning_rate);
+  train::TrainConfig cfg;
+  cfg.epochs = options.epochs;
+  cfg.batch_size = options.batch_size;
+  cfg.train_samples = options.train_samples;
+  cfg.shuffle_seed = options.seed;
+  cfg.verbose = options.verbose;
+  cfg.lr_decay = 0.7f;
+  const train::TrainResult result = train::fit(graph, adam, dataset, cfg);
+  FLIM_LOG_INFO << "trained " << graph.name() << ": loss "
+                << result.final_train_loss << ", train acc "
+                << result.final_train_accuracy;
+  bnn::Model model = graph.to_inference_model();
+  bnn::save_model(model, cache_path);
+  return model;
+}
+
+}  // namespace
+
+std::string weights_dir(const PretrainOptions& options) {
+  if (!options.cache_dir.empty()) return options.cache_dir;
+  if (const char* env = std::getenv("FLIM_WEIGHTS_DIR")) return env;
+  return "weights";
+}
+
+bnn::Model pretrained_lenet(const data::SyntheticMnist& dataset,
+                            const PretrainOptions& options) {
+  const std::string path = weights_dir(options) + "/lenet-binary.flim";
+  if (!options.force_retrain && std::filesystem::exists(path)) {
+    return bnn::load_model(path);
+  }
+  return train_and_cache(build_lenet_binary(options.seed), dataset, options,
+                         path);
+}
+
+bnn::Model pretrained_zoo_model(const std::string& model_name,
+                                const data::SyntheticImagenet& dataset,
+                                const PretrainOptions& options) {
+  const std::string path = weights_dir(options) + "/" + model_name + ".flim";
+  if (!options.force_retrain && std::filesystem::exists(path)) {
+    return bnn::load_model(path);
+  }
+  return train_and_cache(build_zoo_graph(model_name, options.seed), dataset,
+                         options, path);
+}
+
+}  // namespace flim::models

@@ -1,0 +1,45 @@
+// Train-or-load cache for pretrained models.
+//
+// The paper evaluates pretrained models; since no pretrained weights exist
+// for our from-scratch stack, benches train each model once on the synthetic
+// dataset and cache the converted inference model on disk. Subsequent runs
+// load the cache, which keeps bench startup fast and every run's weights
+// identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bnn/model.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace flim::models {
+
+/// Training/caching knobs shared by the pretrained helpers.
+struct PretrainOptions {
+  int epochs = 4;
+  std::int64_t train_samples = 4096;
+  std::int64_t batch_size = 32;
+  float learning_rate = 2e-3f;
+  std::uint64_t seed = 77;
+  bool force_retrain = false;
+  bool verbose = false;
+  /// Cache directory; $FLIM_WEIGHTS_DIR overrides, default "weights".
+  std::string cache_dir;
+};
+
+/// Resolves the weight-cache directory for `options`.
+std::string weights_dir(const PretrainOptions& options);
+
+/// Returns the binary LeNet trained on the given synthetic-MNIST dataset,
+/// loading from cache when available.
+bnn::Model pretrained_lenet(const data::SyntheticMnist& dataset,
+                            const PretrainOptions& options = {});
+
+/// Returns a zoo model trained on the given synthetic-ImageNet dataset.
+bnn::Model pretrained_zoo_model(const std::string& model_name,
+                                const data::SyntheticImagenet& dataset,
+                                const PretrainOptions& options = {});
+
+}  // namespace flim::models

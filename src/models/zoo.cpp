@@ -1,0 +1,318 @@
+#include "models/zoo.hpp"
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "train/fault_training.hpp"
+
+namespace flim::models {
+
+using train::Graph;
+using train::TrainLayerPtr;
+
+namespace {
+
+// ---- small builder helpers ------------------------------------------------
+
+std::unique_ptr<train::TConv2D> conv(const std::string& name, std::int64_t in,
+                                     std::int64_t out, std::int64_t k,
+                                     std::int64_t s, std::int64_t p,
+                                     core::Rng& rng) {
+  return std::make_unique<train::TConv2D>(name, in, out, k, s, p, rng);
+}
+
+std::unique_ptr<train::TBinaryConv2D> bconv(const std::string& name,
+                                            std::int64_t in, std::int64_t out,
+                                            core::Rng& rng,
+                                            bool gains = false) {
+  return std::make_unique<train::TBinaryConv2D>(name, in, out, 3, 1, 1, rng,
+                                                gains);
+}
+
+std::unique_ptr<train::TBatchNorm> bn(const std::string& name,
+                                      std::int64_t channels) {
+  return std::make_unique<train::TBatchNorm>(name, channels);
+}
+
+std::unique_ptr<train::TSign> sign(const std::string& name) {
+  return std::make_unique<train::TSign>(name);
+}
+
+std::unique_ptr<train::TMaxPool2D> maxpool(const std::string& name) {
+  return std::make_unique<train::TMaxPool2D>(name, 2, 2);
+}
+
+// Real stem executed in CMOS: conv + BN + sign.
+void add_stem(Graph& g, std::int64_t in_ch, std::int64_t out_ch,
+              core::Rng& rng, std::int64_t kernel = 3) {
+  g.add(conv("stem", in_ch, out_ch, kernel, 1, kernel / 2, rng));
+  g.add(bn("stem_bn", out_ch));
+  g.add(sign("stem_sign"));
+}
+
+// Binarized classifier head on flattened features. The leading sign keeps
+// training and inference consistent when the incoming features are real
+// (e.g. after residual adds); it is the identity for ±1 features.
+void add_binary_head(Graph& g, std::int64_t features, std::int64_t hidden,
+                     core::Rng& rng) {
+  g.add(std::make_unique<train::TFlatten>("flatten"));
+  g.add(std::make_unique<train::TSign>("pre_head_sign"));
+  g.add(std::make_unique<train::TBinaryDense>("dense0", features, hidden, rng));
+  g.add(bn("dense0_bn", hidden));
+  g.add(sign("dense0_sign"));
+  g.add(std::make_unique<train::TBinaryDense>("dense1", hidden, 10, rng));
+  g.add(bn("dense1_bn", 10));
+}
+
+// Real classifier head after global average pooling (ResNet-style families
+// keep the last dense in full precision).
+void add_real_gap_head(Graph& g, std::int64_t channels, core::Rng& rng) {
+  g.add(std::make_unique<train::TGlobalAvgPool>("gap"));
+  g.add(std::make_unique<train::TDense>("head", channels, 10, rng));
+}
+
+// One dense-connectivity unit: channels grow by `growth`. The leading sign
+// binarizes the incoming features (identity when they are already ±1, as in
+// plain DenseNets; required after MeliusNet improvement units whose residual
+// adds produce real values).
+TrainLayerPtr dense_unit(const std::string& name, std::int64_t in_ch,
+                         std::int64_t growth, core::Rng& rng) {
+  std::vector<TrainLayerPtr> body;
+  body.push_back(sign(name + "/in_sign"));
+  body.push_back(bconv(name + "/bconv", in_ch, growth, rng));
+  body.push_back(bn(name + "/bn", growth));
+  body.push_back(sign(name + "/sign"));
+  return std::make_unique<train::TConcatBlock>(name, std::move(body));
+}
+
+// One binary residual unit: x + BN(bconv(sign(x))).
+TrainLayerPtr residual_unit(const std::string& name, std::int64_t channels,
+                            core::Rng& rng, bool gains = false) {
+  std::vector<TrainLayerPtr> body;
+  body.push_back(sign(name + "/sign"));
+  body.push_back(bconv(name + "/bconv", channels, channels, rng, gains));
+  body.push_back(bn(name + "/bn", channels));
+  return std::make_unique<train::TResidualBlock>(name, std::move(body),
+                                                 std::vector<TrainLayerPtr>{});
+}
+
+// Downsampling transition executed in CMOS: maxpool + real 1x1 conv + BN.
+void add_transition(Graph& g, const std::string& name, std::int64_t in_ch,
+                    std::int64_t out_ch, core::Rng& rng) {
+  g.add(maxpool(name + "/pool"));
+  g.add(conv(name + "/proj", in_ch, out_ch, 1, 1, 0, rng));
+  g.add(bn(name + "/bn", out_ch));
+  g.add(sign(name + "/sign"));
+}
+
+// ---- family builders -------------------------------------------------------
+
+Graph build_densenet(const std::string& name, int units_per_stage,
+                     std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g(name);
+  const std::int64_t growth = 12;
+  std::int64_t ch = 16;
+  add_stem(g, 3, ch, rng);
+  int unit = 0;
+  for (int stage = 0; stage < 2; ++stage) {
+    for (int u = 0; u < units_per_stage; ++u, ++unit) {
+      g.add(dense_unit("block" + std::to_string(unit), ch, growth, rng));
+      ch += growth;
+    }
+    if (stage == 0) {
+      add_transition(g, "trans0", ch, ch / 2, rng);
+      ch /= 2;
+    }
+  }
+  g.add(maxpool("final_pool"));  // 16 -> 8
+  add_binary_head(g, ch * 8 * 8, 64, rng);
+  return g;
+}
+
+Graph build_resnet_family(const std::string& name, bool sign_after_add,
+                          bool gains, std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g(name);
+  std::int64_t ch = 16;
+  add_stem(g, 3, ch, rng);
+  int unit = 0;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int u = 0; u < 2; ++u, ++unit) {
+      g.add(residual_unit("block" + std::to_string(unit), ch, rng, gains));
+      if (sign_after_add) {
+        // BinaryResNetE: activations re-binarize after each residual add,
+        // so shortcuts carry binary values.
+        g.add(sign("block" + std::to_string(unit) + "/post_sign"));
+      }
+      // Bi-Real / RealToBinary: no sign here -- real-valued activations
+      // flow through the identity shortcuts.
+    }
+    if (stage < 2) {
+      add_transition(g, "trans" + std::to_string(stage), ch, ch * 2, rng);
+      ch *= 2;
+    }
+  }
+  add_real_gap_head(g, ch, rng);
+  return g;
+}
+
+Graph build_alexnet_family(const std::string& name, bool gains,
+                           std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g(name);
+  add_stem(g, 3, 16, rng, 5);
+  g.add(maxpool("pool0"));  // 32 -> 16
+  g.add(bconv("conv1", 16, 32, rng, gains));
+  g.add(bn("conv1_bn", 32));
+  g.add(sign("conv1_sign"));
+  g.add(maxpool("pool1"));  // 16 -> 8
+  g.add(bconv("conv2", 32, 48, rng, gains));
+  g.add(bn("conv2_bn", 48));
+  g.add(sign("conv2_sign"));
+  g.add(maxpool("pool2"));  // 8 -> 4
+  add_binary_head(g, 48 * 4 * 4, 96, rng);
+  return g;
+}
+
+Graph build_meliusnet(const std::string& name, std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g(name);
+  const std::int64_t growth = 12;
+  std::int64_t ch = 16;
+  add_stem(g, 3, ch, rng);
+  int unit = 0;
+  for (int stage = 0; stage < 2; ++stage) {
+    for (int u = 0; u < 3; ++u, ++unit) {
+      const std::string base = "unit" + std::to_string(unit);
+      // MeliusNet: a dense unit grows the feature map, then an improvement
+      // unit refines it with a residual binary conv.
+      g.add(dense_unit(base + "/dense", ch, growth, rng));
+      ch += growth;
+      g.add(residual_unit(base + "/improve", ch, rng));
+    }
+    if (stage == 0) {
+      add_transition(g, "trans0", ch, ch / 2, rng);
+      ch /= 2;
+    }
+  }
+  g.add(maxpool("final_pool"));  // 16 -> 8
+  add_binary_head(g, ch * 8 * 8, 64, rng);
+  return g;
+}
+
+}  // namespace
+
+Graph build_lenet_binary(std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g("lenet-binary");
+  // conv0: real CMOS stem (not mapped onto crossbars, hence not faultable).
+  g.add(conv("conv0", 1, 8, 3, 1, 1, rng));
+  g.add(bn("conv0_bn", 8));
+  g.add(sign("conv0_sign"));
+  g.add(maxpool("pool0"));  // 28 -> 14
+  // conv1 / conv2: binarized convolutions (crossbar-mapped).
+  g.add(bconv("conv1", 8, 16, rng));
+  g.add(bn("conv1_bn", 16));
+  g.add(sign("conv1_sign"));
+  g.add(maxpool("pool1"));  // 14 -> 7
+  g.add(bconv("conv2", 16, 32, rng));
+  g.add(bn("conv2_bn", 32));
+  g.add(sign("conv2_sign"));
+  g.add(maxpool("pool2"));  // 7 -> 3
+  // dense0 / dense1: binarized dense layers (crossbar-mapped).
+  add_binary_head(g, 32 * 3 * 3, 64, rng);
+  return g;
+}
+
+Graph build_lenet_binary_fault_aware(std::uint64_t seed,
+                                     const fault::FaultVectorFile& vectors,
+                                     double active_probability) {
+  core::Rng rng(seed);
+  Graph g("lenet-binary-fault-aware");
+  // Injection sites sit directly after each binarized layer's accumulator
+  // (pre-batch-norm), mirroring where the inference FaultInjector applies
+  // masks. full_scale = the layer's product-term count K.
+  auto maybe_inject = [&](const std::string& layer, std::int64_t k) {
+    if (const fault::FaultVectorEntry* entry = vectors.find(layer)) {
+      g.add(std::make_unique<train::TFaultInjection>(
+          layer + "/train_fault", *entry, static_cast<std::int32_t>(k),
+          active_probability, seed ^ 0xfa157));
+    }
+  };
+
+  g.add(conv("conv0", 1, 8, 3, 1, 1, rng));
+  g.add(bn("conv0_bn", 8));
+  g.add(sign("conv0_sign"));
+  g.add(maxpool("pool0"));
+  g.add(bconv("conv1", 8, 16, rng));
+  maybe_inject("conv1", 8 * 9);
+  g.add(bn("conv1_bn", 16));
+  g.add(sign("conv1_sign"));
+  g.add(maxpool("pool1"));
+  g.add(bconv("conv2", 16, 32, rng));
+  maybe_inject("conv2", 16 * 9);
+  g.add(bn("conv2_bn", 32));
+  g.add(sign("conv2_sign"));
+  g.add(maxpool("pool2"));
+  g.add(std::make_unique<train::TFlatten>("flatten"));
+  g.add(std::make_unique<train::TSign>("pre_head_sign"));
+  g.add(std::make_unique<train::TBinaryDense>("dense0", 32 * 3 * 3, 64, rng));
+  maybe_inject("dense0", 32 * 3 * 3);
+  g.add(bn("dense0_bn", 64));
+  g.add(sign("dense0_sign"));
+  g.add(std::make_unique<train::TBinaryDense>("dense1", 64, 10, rng));
+  maybe_inject("dense1", 64);
+  g.add(bn("dense1_bn", 10));
+  return g;
+}
+
+const std::vector<std::string>& lenet_faultable_layers() {
+  static const std::vector<std::string> layers = {"conv1", "conv2", "dense0",
+                                                  "dense1"};
+  return layers;
+}
+
+const std::vector<std::string>& zoo_model_names() {
+  static const std::vector<std::string> names = {
+      "RealToBinaryNet", "BinaryDenseNet45", "BinaryDenseNet37",
+      "BinaryDenseNet28", "BinaryResNetE18", "BinaryAlexNet",
+      "MeliusNet22",     "BiRealNet",        "XNORNet"};
+  return names;
+}
+
+Graph build_zoo_graph(const std::string& model_name, std::uint64_t seed) {
+  if (model_name == "BinaryDenseNet28") {
+    return build_densenet(model_name, 3, seed);
+  }
+  if (model_name == "BinaryDenseNet37") {
+    return build_densenet(model_name, 4, seed);
+  }
+  if (model_name == "BinaryDenseNet45") {
+    return build_densenet(model_name, 5, seed);
+  }
+  if (model_name == "BinaryResNetE18") {
+    return build_resnet_family(model_name, /*sign_after_add=*/true,
+                               /*gains=*/false, seed);
+  }
+  if (model_name == "BiRealNet") {
+    return build_resnet_family(model_name, /*sign_after_add=*/false,
+                               /*gains=*/false, seed);
+  }
+  if (model_name == "RealToBinaryNet") {
+    return build_resnet_family(model_name, /*sign_after_add=*/false,
+                               /*gains=*/true, seed);
+  }
+  if (model_name == "BinaryAlexNet") {
+    return build_alexnet_family(model_name, /*gains=*/false, seed);
+  }
+  if (model_name == "XNORNet") {
+    return build_alexnet_family(model_name, /*gains=*/true, seed);
+  }
+  if (model_name == "MeliusNet22") {
+    return build_meliusnet(model_name, seed);
+  }
+  FLIM_REQUIRE(false, "unknown zoo model: " + model_name);
+  return Graph("");
+}
+
+}  // namespace flim::models

@@ -1,0 +1,51 @@
+// Model zoo: the binary LeNet used for the layer-resilience experiments and
+// scaled-down versions of the nine ImageNet BNN families from Table II.
+//
+// Scaling substitution (DESIGN.md): the originals are ImageNet-sized and
+// pretrained; here each family keeps its *distinguishing structural
+// feature* at 32x32/10-class scale:
+//   BinaryDenseNet28/37/45 -- dense connectivity with growth; depth ladder
+//   BinaryResNetE18        -- residual blocks, sign after the add
+//   Bi-Real Net            -- residual blocks, REAL activations on shortcuts
+//   RealToBinaryNet        -- Bi-Real topology + per-channel gains
+//   BinaryAlexNet          -- plain stack, dense-heavy head
+//   MeliusNet22            -- alternating dense (concat) + improvement
+//                             (residual) units
+//   XNOR-Net               -- plain stack with XNOR-Net alpha gains
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_vector_file.hpp"
+#include "train/graph.hpp"
+
+namespace flim::models {
+
+/// Binary LeNet for 28x28 greyscale digits: one real (CMOS) stem conv plus
+/// binarized conv1, conv2, dense0, dense1 -- the four faultable layers of
+/// Fig 4. Layer names match the paper's curves.
+train::Graph build_lenet_binary(std::uint64_t seed);
+
+/// Names of the four crossbar-mapped LeNet layers, in depth order.
+const std::vector<std::string>& lenet_faultable_layers();
+
+/// Fault-aware variant (the paper's future-work extension): the same binary
+/// LeNet with training-time fault injection sites after each binarized
+/// layer's accumulator, wired to the matching entries of `vectors` (layers
+/// without an entry train clean). `active_probability` makes the injection
+/// stochastic per batch.
+train::Graph build_lenet_binary_fault_aware(
+    std::uint64_t seed, const fault::FaultVectorFile& vectors,
+    double active_probability = 1.0);
+
+/// The nine Table-II model names, in the paper's order.
+const std::vector<std::string>& zoo_model_names();
+
+/// Builds a zoo model's training graph for 32x32 RGB inputs, 10 classes.
+/// Throws std::invalid_argument for unknown names.
+train::Graph build_zoo_graph(const std::string& model_name,
+                             std::uint64_t seed);
+
+}  // namespace flim::models

@@ -1,0 +1,77 @@
+// Fine-grained criticality analysis of virtual-crossbar columns.
+//
+// The paper's headline is a "fine-grained fault injection methodology";
+// this module turns that granularity into an actionable reliability tool:
+// it measures, column by column, how much accuracy a fully faulty virtual
+// column costs a given layer (Fig 4d showed columns are the damaging axis),
+// ranks the columns, and quantifies how much of the damage *selective
+// hardening* of the top-k columns (spare columns, per-column ECC) recovers
+// compared to hardening k random columns -- the design decision this
+// analysis exists to inform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/model.hpp"
+#include "data/dataset.hpp"
+#include "fault/fault_spec.hpp"
+#include "lim/mapper.hpp"
+
+namespace flim::reliability {
+
+/// Accuracy cost of one fully faulty virtual column.
+struct ColumnCriticality {
+  std::int64_t column = 0;
+  /// Mean accuracy over the repetitions with only this column faulty.
+  double accuracy = 0.0;
+  /// clean_accuracy - accuracy.
+  double drop = 0.0;
+};
+
+/// Per-layer criticality ranking.
+struct CriticalityReport {
+  std::string layer_name;
+  double clean_accuracy = 0.0;
+  /// One entry per virtual column, sorted by descending drop.
+  std::vector<ColumnCriticality> columns;
+};
+
+/// Analysis configuration.
+struct CriticalityConfig {
+  /// Virtual grid of the faulted layer (Fig 4d uses 40x10).
+  lim::CrossbarGeometry grid{40, 10};
+  /// Fault kind a column fails with (stuck-at in the Fig 4d scenario; the
+  /// stuck polarity is drawn per repetition).
+  fault::FaultKind kind = fault::FaultKind::kStuckAt;
+  /// Repetitions per column (stuck polarities / flip interactions differ
+  /// per seed).
+  int repetitions = 8;
+  std::uint64_t master_seed = 2023;
+};
+
+/// Measures the accuracy cost of each virtual column of `layer_name`.
+CriticalityReport rank_columns(const bnn::Model& model,
+                               const data::Batch& batch,
+                               const std::string& layer_name,
+                               const CriticalityConfig& config);
+
+/// Outcome of a selective-hardening experiment.
+struct HardeningOutcome {
+  double faulty_accuracy = 0.0;      // k random columns faulty, no hardening
+  double random_hardening = 0.0;     // k of 2k faulty columns repaired,
+                                     // chosen at random
+  double guided_hardening = 0.0;     // the k most critical repaired instead
+};
+
+/// Fault scenario: `2k` columns of `layer_name` fail; a hardening budget
+/// repairs `k` of them. Compares choosing the repaired columns by the
+/// criticality ranking against choosing them at random, averaged over
+/// config.repetitions fault draws.
+HardeningOutcome evaluate_selective_hardening(
+    const bnn::Model& model, const data::Batch& batch,
+    const std::string& layer_name, const CriticalityReport& report,
+    int hardening_budget, const CriticalityConfig& config);
+
+}  // namespace flim::reliability

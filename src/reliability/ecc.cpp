@@ -1,0 +1,185 @@
+#include "reliability/ecc.hpp"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace flim::reliability {
+
+namespace {
+
+// Code-bit layout: 1-based positions 1..71; parity bits sit at the seven
+// power-of-two positions {1,2,4,8,16,32,64}; the 64 data bits fill the
+// remaining positions in ascending order. Position 0 (the 72nd bit) holds
+// the overall parity of all other bits.
+constexpr int kCodePositions = 71;
+
+bool is_power_of_two(int x) { return (x & (x - 1)) == 0; }
+
+/// data bit index -> 1-based code position (built once).
+const std::array<int, SecDedCodec::kDataBits>& data_positions() {
+  static const std::array<int, SecDedCodec::kDataBits> table = [] {
+    std::array<int, SecDedCodec::kDataBits> t{};
+    int next = 0;
+    for (int pos = 1; pos <= kCodePositions; ++pos) {
+      if (!is_power_of_two(pos)) t[static_cast<std::size_t>(next++)] = pos;
+    }
+    FLIM_ASSERT(next == SecDedCodec::kDataBits);
+    return t;
+  }();
+  return table;
+}
+
+/// 1-based code position -> data bit index, or -1 for parity positions.
+const std::array<int, kCodePositions + 1>& position_to_data() {
+  static const std::array<int, kCodePositions + 1> table = [] {
+    std::array<int, kCodePositions + 1> t{};
+    t.fill(-1);
+    const auto& dp = data_positions();
+    for (int i = 0; i < SecDedCodec::kDataBits; ++i) {
+      t[static_cast<std::size_t>(dp[static_cast<std::size_t>(i)])] = i;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// XOR of the 1-based positions of all set data bits, plus the stored
+/// Hamming parity bits: zero for an intact word.
+int syndrome_of(std::uint64_t data, std::uint8_t parity) {
+  int syn = 0;
+  const auto& dp = data_positions();
+  for (int i = 0; i < SecDedCodec::kDataBits; ++i) {
+    if ((data >> i) & 1ull) syn ^= dp[static_cast<std::size_t>(i)];
+  }
+  for (int p = 0; p < 7; ++p) {
+    if ((parity >> (p + 1)) & 1) syn ^= 1 << p;
+  }
+  return syn;
+}
+
+bool overall_parity_of(std::uint64_t data, std::uint8_t parity) {
+  const int ones = std::popcount(data) + std::popcount(
+                       static_cast<unsigned>(parity));
+  return (ones & 1) != 0;
+}
+
+}  // namespace
+
+SecDedCodec::Codeword SecDedCodec::encode(std::uint64_t data) const {
+  Codeword w;
+  w.data = data;
+  // Hamming parity bit p_k (k = 0..6) covers positions with bit k set.
+  int syn = 0;
+  const auto& dp = data_positions();
+  for (int i = 0; i < kDataBits; ++i) {
+    if ((data >> i) & 1ull) syn ^= dp[static_cast<std::size_t>(i)];
+  }
+  for (int p = 0; p < 7; ++p) {
+    if ((syn >> p) & 1) w.parity |= static_cast<std::uint8_t>(1 << (p + 1));
+  }
+  // Overall parity makes the popcount of the whole codeword even.
+  if (overall_parity_of(w.data, w.parity)) w.parity |= 1;
+  return w;
+}
+
+SecDedCodec::DecodeResult SecDedCodec::decode(const Codeword& word) const {
+  DecodeResult result;
+  result.data = word.data;
+  const int syn = syndrome_of(word.data, word.parity);
+  const bool parity_mismatch = overall_parity_of(word.data, word.parity);
+
+  if (syn == 0 && !parity_mismatch) {
+    result.status = Status::kClean;
+    return result;
+  }
+  if (parity_mismatch) {
+    if (syn == 0) {
+      // The overall parity bit itself flipped; data is intact.
+      result.status = Status::kCorrectedSingle;
+      return result;
+    }
+    if (syn > kCodePositions) {
+      // No single-bit error produces a syndrome beyond the code length;
+      // this is >= 3 errors. Report detection rather than miscorrect.
+      result.status = Status::kDetectedDouble;
+      return result;
+    }
+    // Odd error count with a valid position; SEC assumes one and corrects.
+    result.status = Status::kCorrectedSingle;
+    const int data_index =
+        position_to_data()[static_cast<std::size_t>(syn)];
+    if (data_index >= 0) {
+      result.data ^= 1ull << data_index;
+    }
+    // else: a Hamming parity bit flipped; data is intact.
+    return result;
+  }
+  // Non-zero syndrome with intact overall parity: even error count.
+  result.status = Status::kDetectedDouble;
+  return result;
+}
+
+fault::FaultMask apply_secded_scrub(const fault::FaultMask& mask,
+                                    const EccOptions& options,
+                                    EccScrubStats* stats) {
+  FLIM_REQUIRE(options.word_bits > 0, "word_bits must be positive");
+  FLIM_REQUIRE(options.interleave > 0, "interleave must be positive");
+
+  fault::FaultMask residual = mask;
+  EccScrubStats local;
+
+  const std::int64_t rows = mask.rows();
+  const std::int64_t cols = mask.cols();
+  const auto faulty = [&](std::int64_t slot) {
+    return mask.flip(slot) || mask.sa0(slot) || mask.sa1(slot);
+  };
+
+  std::vector<std::int64_t> word_slots;
+  word_slots.reserve(static_cast<std::size_t>(options.word_bits));
+
+  const auto scrub_word = [&] {
+    ++local.words;
+    int faulty_count = 0;
+    for (const std::int64_t s : word_slots) {
+      if (faulty(s)) ++faulty_count;
+    }
+    local.faulty_bits_before += faulty_count;
+    if (faulty_count == 0) {
+      ++local.clean_words;
+    } else if (faulty_count == 1) {
+      ++local.corrected_words;
+      for (const std::int64_t s : word_slots) {
+        residual.set_flip(s, false);
+        residual.set_sa0(s, false);
+        residual.set_sa1(s, false);
+      }
+    } else {
+      ++local.uncorrectable_words;
+      local.faulty_bits_after += faulty_count;
+    }
+    word_slots.clear();
+  };
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (int lane = 0; lane < options.interleave; ++lane) {
+      // Cells of this row belonging to `lane`, in ascending column order,
+      // chunked into words of word_bits cells (the final word may be short).
+      for (std::int64_t c = lane; c < cols; c += options.interleave) {
+        word_slots.push_back(r * cols + c);
+        if (word_slots.size() ==
+            static_cast<std::size_t>(options.word_bits)) {
+          scrub_word();
+        }
+      }
+      if (!word_slots.empty()) scrub_word();
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return residual;
+}
+
+}  // namespace flim::reliability

@@ -1,0 +1,93 @@
+// SEC-DED error-correcting codes over crossbar-stored weight planes.
+//
+// The paper's conclusion argues that reliable LIM deployments need
+// mitigation on top of fault tolerance. The classical memory-side answer is
+// an extended Hamming (SEC-DED) code: weight cells are grouped into code
+// words, spare cells hold parity, and a scrubbing pass corrects any word
+// with a single faulty cell. In LIM the *computation* happens in place, so
+// ECC protects the stored weights between operations (via scrubbing), not
+// the XNOR evaluation itself -- which is exactly how we model it: an ECC
+// scrub transforms a fault mask into the residual mask of uncorrectable
+// words.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_mask.hpp"
+
+namespace flim::reliability {
+
+/// Extended Hamming (72,64) codec: 64 data bits, 7 Hamming parity bits and
+/// one overall parity bit -- single-error correction, double-error
+/// detection. Bit positions follow the classical 1-based layout with parity
+/// at power-of-two positions.
+class SecDedCodec {
+ public:
+  static constexpr int kDataBits = 64;
+  static constexpr int kParityBits = 8;  // 7 Hamming + 1 overall
+  static constexpr int kCodeBits = kDataBits + kParityBits;
+
+  /// A 72-bit codeword: data plus the packed parity byte (bit 0 = overall
+  /// parity, bits 1..7 = Hamming parity p1..p64).
+  struct Codeword {
+    std::uint64_t data = 0;
+    std::uint8_t parity = 0;
+  };
+
+  /// Decode verdicts.
+  enum class Status : std::uint8_t {
+    kClean = 0,           // no error
+    kCorrectedSingle,     // one bit flipped; corrected
+    kDetectedDouble,      // two bits flipped; detected, NOT corrected
+  };
+
+  struct DecodeResult {
+    std::uint64_t data = 0;
+    Status status = Status::kClean;
+  };
+
+  Codeword encode(std::uint64_t data) const;
+
+  /// Decodes a (possibly corrupted) codeword. Single-bit errors anywhere in
+  /// the 72 bits (data or parity) are corrected; double-bit errors are
+  /// flagged. Three or more errors may alias (inherent to SEC-DED).
+  DecodeResult decode(const Codeword& word) const;
+};
+
+/// Word-organization options for the mask-level scrub model.
+struct EccOptions {
+  /// Data cells per code word.
+  int word_bits = 64;
+  /// Bit interleaving degree: adjacent cells of a row belong to `interleave`
+  /// different code words, so a physical burst (e.g. a damaged row segment)
+  /// spreads across words and stays correctable. 1 = no interleaving.
+  int interleave = 1;
+};
+
+/// Outcome counters of one ECC scrub pass.
+struct EccScrubStats {
+  std::int64_t words = 0;
+  std::int64_t clean_words = 0;
+  std::int64_t corrected_words = 0;       // exactly one faulty cell
+  std::int64_t uncorrectable_words = 0;   // two or more faulty cells
+  std::int64_t faulty_bits_before = 0;
+  std::int64_t faulty_bits_after = 0;
+
+  /// Parity storage overhead of the configured code.
+  double overhead(const EccOptions& options) const {
+    return static_cast<double>(SecDedCodec::kParityBits) /
+           static_cast<double>(options.word_bits);
+  }
+};
+
+/// Models a SEC-DED scrubbing pass over a fault mask: cells of each grid
+/// row are grouped into code words (honoring `interleave`); every word with
+/// exactly one faulty cell (any plane) is repaired -- its faults are cleared
+/// from the returned mask -- and words with two or more keep their faults.
+/// Parity cells are modeled as fault-free spare columns (the optimistic
+/// textbook assumption; DESIGN.md documents it).
+fault::FaultMask apply_secded_scrub(const fault::FaultMask& mask,
+                                    const EccOptions& options = {},
+                                    EccScrubStats* stats = nullptr);
+
+}  // namespace flim::reliability

@@ -1,0 +1,193 @@
+#include "reliability/march.hpp"
+
+#include <sstream>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace flim::reliability {
+
+namespace {
+
+MarchElement element(AddressOrder order, std::vector<MarchOp> ops) {
+  MarchElement e;
+  e.order = order;
+  e.ops = std::move(ops);
+  return e;
+}
+
+}  // namespace
+
+int MarchTest::ops_per_cell() const {
+  int n = 0;
+  for (const auto& e : elements) n += static_cast<int>(e.ops.size());
+  return n;
+}
+
+std::string MarchTest::notation() const {
+  std::ostringstream os;
+  os << "{ ";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) os << "; ";
+    switch (elements[i].order) {
+      case AddressOrder::kAscending: os << "U("; break;
+      case AddressOrder::kDescending: os << "D("; break;
+      case AddressOrder::kAny: os << "#("; break;
+    }
+    for (std::size_t j = 0; j < elements[i].ops.size(); ++j) {
+      if (j > 0) os << ",";
+      os << to_string(elements[i].ops[j]);
+    }
+    os << ")";
+  }
+  os << " }";
+  return os.str();
+}
+
+MarchTest mats_plus() {
+  MarchTest t;
+  t.name = "MATS+";
+  t.elements = {
+      element(AddressOrder::kAny, {MarchOp::kW0}),
+      element(AddressOrder::kAscending, {MarchOp::kR0, MarchOp::kW1}),
+      element(AddressOrder::kDescending, {MarchOp::kR1, MarchOp::kW0}),
+  };
+  return t;
+}
+
+MarchTest march_x() {
+  MarchTest t;
+  t.name = "March X";
+  t.elements = {
+      element(AddressOrder::kAny, {MarchOp::kW0}),
+      element(AddressOrder::kAscending, {MarchOp::kR0, MarchOp::kW1}),
+      element(AddressOrder::kDescending, {MarchOp::kR1, MarchOp::kW0}),
+      element(AddressOrder::kAny, {MarchOp::kR0}),
+  };
+  return t;
+}
+
+MarchTest march_cminus() {
+  MarchTest t;
+  t.name = "March C-";
+  t.elements = {
+      element(AddressOrder::kAny, {MarchOp::kW0}),
+      element(AddressOrder::kAscending, {MarchOp::kR0, MarchOp::kW1}),
+      element(AddressOrder::kAscending, {MarchOp::kR1, MarchOp::kW0}),
+      element(AddressOrder::kDescending, {MarchOp::kR0, MarchOp::kW1}),
+      element(AddressOrder::kDescending, {MarchOp::kR1, MarchOp::kW0}),
+      element(AddressOrder::kAny, {MarchOp::kR0}),
+  };
+  return t;
+}
+
+MarchTest march_raw1() {
+  MarchTest t;
+  t.name = "March RAW1";
+  t.elements = {
+      element(AddressOrder::kAny, {MarchOp::kW0}),
+      element(AddressOrder::kAscending,
+              {MarchOp::kR0, MarchOp::kR0, MarchOp::kR0, MarchOp::kR0,
+               MarchOp::kW1}),
+      element(AddressOrder::kDescending,
+              {MarchOp::kR1, MarchOp::kR1, MarchOp::kR1, MarchOp::kR1,
+               MarchOp::kW0}),
+      element(AddressOrder::kAny, {MarchOp::kR0}),
+  };
+  return t;
+}
+
+const std::vector<MarchTest>& standard_march_tests() {
+  static const std::vector<MarchTest> tests{mats_plus(), march_x(),
+                                            march_cminus(), march_raw1()};
+  return tests;
+}
+
+MarchResult run_march(const MarchTest& test, lim::CrossbarArray& array) {
+  FLIM_REQUIRE(!test.elements.empty(), "March test has no elements");
+  const std::int64_t n = array.rows() * array.cols();
+  MarchResult result;
+
+  for (std::size_t ei = 0; ei < test.elements.size(); ++ei) {
+    const MarchElement& e = test.elements[ei];
+    FLIM_REQUIRE(!e.ops.empty(), "March element has no operations");
+    const bool descending = e.order == AddressOrder::kDescending;
+    for (std::int64_t a = 0; a < n; ++a) {
+      const std::int64_t addr = descending ? n - 1 - a : a;
+      const std::int64_t r = addr / array.cols();
+      const std::int64_t c = addr % array.cols();
+      for (std::size_t oi = 0; oi < e.ops.size(); ++oi) {
+        ++result.ops_executed;
+        switch (e.ops[oi]) {
+          case MarchOp::kW0:
+            array.write_bit(r, c, false);
+            break;
+          case MarchOp::kW1:
+            array.write_bit(r, c, true);
+            break;
+          case MarchOp::kR0:
+          case MarchOp::kR1: {
+            const bool expected = e.ops[oi] == MarchOp::kR1;
+            const bool got = array.read_bit(r, c);
+            if (got != expected &&
+                result.failures.size() < kMaxRecordedFailures) {
+              result.failures.push_back(MarchFailure{
+                  r, c, static_cast<int>(ei), static_cast<int>(oi), expected,
+                  got});
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<CoverageRow> evaluate_coverage(const MarchTest& test,
+                                           const CoverageConfig& config) {
+  FLIM_REQUIRE(config.samples_per_kind > 0,
+               "coverage needs at least one sample per kind");
+  core::Rng rng(config.seed);
+  std::vector<CoverageRow> rows;
+  for (const lim::DeviceFaultKind kind : lim::all_device_fault_kinds()) {
+    CoverageRow row;
+    row.kind = kind;
+    for (int s = 0; s < config.samples_per_kind; ++s) {
+      lim::CrossbarArray array(config.crossbar);
+      const std::int64_t r =
+          static_cast<std::int64_t>(rng.uniform(
+              static_cast<std::uint64_t>(array.rows())));
+      const std::int64_t c =
+          static_cast<std::int64_t>(rng.uniform(
+              static_cast<std::uint64_t>(array.cols())));
+      array.inject_device_fault(r, c, kind, config.severity);
+      const MarchResult result = run_march(test, array);
+      ++row.injected;
+      if (result.detected()) ++row.detected;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string to_string(MarchOp op) {
+  switch (op) {
+    case MarchOp::kW0: return "w0";
+    case MarchOp::kW1: return "w1";
+    case MarchOp::kR0: return "r0";
+    case MarchOp::kR1: return "r1";
+  }
+  return "?";
+}
+
+std::string to_string(AddressOrder order) {
+  switch (order) {
+    case AddressOrder::kAscending: return "ascending";
+    case AddressOrder::kDescending: return "descending";
+    case AddressOrder::kAny: return "any";
+  }
+  return "?";
+}
+
+}  // namespace flim::reliability

@@ -1,0 +1,135 @@
+// March tests for memristive memories.
+//
+// The paper's conclusion calls for "strategies able to monitor and/or
+// mitigate applications' degradation during their lifetime"; March tests
+// are the workhorse of that monitoring in the memory-test literature the
+// paper builds on (Kannan et al. TCAD'15, Chen et al. VTS'15, the DRAM
+// March survey it cites for dynamic faults). A March test is a sequence of
+// March elements, each applying a fixed operation string to every cell in a
+// prescribed address order; classical algorithms (MATS+, March X, March C-)
+// and a ReRAM-oriented repeated-read variant (March RAW1) are provided, and
+// an evaluator measures their coverage of the device-fault taxonomy of
+// lim::DeviceFaultKind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lim/crossbar.hpp"
+#include "lim/memristor.hpp"
+
+namespace flim::reliability {
+
+/// One primitive March operation applied to the current cell.
+enum class MarchOp : std::uint8_t {
+  kW0 = 0,  // write logic 0
+  kW1,      // write logic 1
+  kR0,      // read, expect logic 0
+  kR1,      // read, expect logic 1
+};
+
+/// Address traversal order of one March element. kAny means the algorithm
+/// is order-insensitive for this element (executed ascending).
+enum class AddressOrder : std::uint8_t { kAscending = 0, kDescending, kAny };
+
+/// One March element: an operation string applied to every cell in order.
+struct MarchElement {
+  AddressOrder order = AddressOrder::kAny;
+  std::vector<MarchOp> ops;
+};
+
+/// A complete March test.
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Operations applied to each cell over the whole test: the xN complexity
+  /// figure of the test literature (March C- = 10, MATS+ = 5, ...).
+  int ops_per_cell() const;
+
+  /// Standard curly-brace notation, e.g. "{ #(w0); U(r0,w1); D(r1,w0) }".
+  std::string notation() const;
+};
+
+/// MATS+ -- {#(w0); U(r0,w1); D(r1,w0)}, 5N. Detects all address decoder
+/// and stuck-at faults; misses some transition faults.
+MarchTest mats_plus();
+
+/// March X -- {#(w0); U(r0,w1); D(r1,w0); #(r0)}, 6N. Adds the final read
+/// that catches 1->0 transition faults MATS+ misses.
+MarchTest march_x();
+
+/// March C- -- {#(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); #(r0)}, 10N.
+/// Detects stuck-at, transition, and (between-word) coupling faults.
+MarchTest march_cminus();
+
+/// March RAW1 -- {#(w0); U(r0,r0,r0,r0,w1); D(r1,r1,r1,r1,w0); #(r0)}, 12N.
+/// Repeated reads in place sensitize ReRAM read-disturb faults that need
+/// several read pulses to flip a cell; classical tests read each cell once
+/// per pass and miss them.
+MarchTest march_raw1();
+
+/// The four algorithms above, in ascending complexity order.
+const std::vector<MarchTest>& standard_march_tests();
+
+/// One observed expectation mismatch during a March run.
+struct MarchFailure {
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+  int element_index = 0;  // which March element observed the mismatch
+  int op_index = 0;       // which op inside the element
+  bool expected = false;
+  bool got = false;
+};
+
+/// Outcome of running one March test over one array.
+struct MarchResult {
+  std::vector<MarchFailure> failures;
+  std::uint64_t ops_executed = 0;
+
+  bool detected() const { return !failures.empty(); }
+};
+
+/// Limits failure-log growth on heavily faulty arrays; detection needs one.
+inline constexpr std::size_t kMaxRecordedFailures = 1024;
+
+/// Runs `test` over every cell of `array` (cell-per-word organization, the
+/// paper's LIM arrays store one logic value per memristor). The array's
+/// contents are destroyed.
+MarchResult run_march(const MarchTest& test, lim::CrossbarArray& array);
+
+/// Configuration of a fault-coverage evaluation.
+struct CoverageConfig {
+  /// Geometry and device parameters of the arrays under test. Keep small:
+  /// each injected fault gets a fresh array and a full March run.
+  lim::CrossbarConfig crossbar;
+  /// Random single-fault locations injected per fault kind.
+  int samples_per_kind = 16;
+  /// Severity passed to inject_device_fault (see DeviceFaultKind for the
+  /// per-kind meaning; 1.0 = hard fault).
+  double severity = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Coverage of one fault kind by one March test.
+struct CoverageRow {
+  lim::DeviceFaultKind kind = lim::DeviceFaultKind::kNone;
+  int detected = 0;
+  int injected = 0;
+
+  double coverage() const {
+    return injected > 0 ? static_cast<double>(detected) / injected : 0.0;
+  }
+};
+
+/// Injects `samples_per_kind` single device faults per kind (uniformly
+/// random cells, fresh array each) and reports the fraction `test` detects.
+std::vector<CoverageRow> evaluate_coverage(const MarchTest& test,
+                                           const CoverageConfig& config);
+
+/// Human-readable names.
+std::string to_string(MarchOp op);
+std::string to_string(AddressOrder order);
+
+}  // namespace flim::reliability

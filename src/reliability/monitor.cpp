@@ -1,0 +1,67 @@
+#include "reliability/monitor.hpp"
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace flim::reliability {
+
+OnlineMonitor::OnlineMonitor(MonitorConfig config) : config_(config) {
+  FLIM_REQUIRE(config_.grid.rows > 0 && config_.grid.cols > 0,
+               "monitor grid must have positive dimensions");
+  FLIM_REQUIRE(config_.test_period > 0, "test_period must be positive");
+  FLIM_REQUIRE(config_.slots_per_round > 0,
+               "slots_per_round must be positive");
+}
+
+double OnlineMonitor::overhead_ops_per_inference() const {
+  return 2.0 * config_.slots_per_round / config_.test_period;
+}
+
+DetectionOutcome OnlineMonitor::run_until_detection(
+    const fault::FaultMask& mask, std::int64_t max_inferences) const {
+  FLIM_REQUIRE(mask.rows() == config_.grid.rows &&
+                   mask.cols() == config_.grid.cols,
+               "fault mask geometry must match the monitored grid");
+  FLIM_REQUIRE(max_inferences > 0, "max_inferences must be positive");
+
+  const std::int64_t slots = config_.grid.num_cells();
+  const auto faulty = [&](std::int64_t slot) {
+    return mask.flip(slot) || mask.sa0(slot) || mask.sa1(slot);
+  };
+
+  core::Rng rng(config_.seed);
+  // Round-robin starts at a random offset so campaign repetitions average
+  // over fault-position/start-phase alignment like the paper's reseeding.
+  std::int64_t cursor =
+      static_cast<std::int64_t>(rng.uniform(
+          static_cast<std::uint64_t>(slots)));
+
+  DetectionOutcome outcome;
+  for (std::int64_t inf = config_.test_period; inf <= max_inferences;
+       inf += config_.test_period) {
+    outcome.inferences_elapsed = inf;
+    for (int probe = 0; probe < config_.slots_per_round; ++probe) {
+      std::int64_t slot = 0;
+      switch (config_.policy) {
+        case CanaryPolicy::kRoundRobin:
+          slot = cursor;
+          cursor = (cursor + 1) % slots;
+          break;
+        case CanaryPolicy::kRandom:
+          slot = static_cast<std::int64_t>(
+              rng.uniform(static_cast<std::uint64_t>(slots)));
+          break;
+      }
+      outcome.canary_ops_spent += 2;  // match + mismatch operand patterns
+      if (faulty(slot)) {
+        outcome.detected = true;
+        outcome.detecting_slot = slot;
+        return outcome;
+      }
+    }
+  }
+  outcome.inferences_elapsed = max_inferences;
+  return outcome;
+}
+
+}  // namespace flim::reliability

@@ -1,0 +1,78 @@
+// Online concurrent fault monitoring via canary XNOR self-tests.
+//
+// The paper's conclusion asks for "strategies able to monitor [...]
+// applications' degradation during their lifetime". Offline March tests
+// (march.hpp) require taking the array out of service; an online monitor
+// instead steals short idle windows between inferences and executes a few
+// *canary* XNOR operations with known operands on a rotating subset of the
+// virtual op-slot grid, comparing against the golden truth table. Each
+// canary slot is exercised with a matching and a mismatching operand pair,
+// so a bit-flip, stuck-at-0 or stuck-at-1 slot is always observable when
+// visited. The model therefore reduces to *when* a faulty slot is first
+// visited -- which is exactly the detection-latency/overhead trade-off the
+// bench sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_mask.hpp"
+#include "lim/mapper.hpp"
+
+namespace flim::reliability {
+
+/// How canary slots are chosen each test round.
+enum class CanaryPolicy : std::uint8_t {
+  kRoundRobin = 0,  // deterministic sweep; bounded worst-case latency
+  kRandom,          // uniform random slots; memoryless, geometric latency
+};
+
+/// Configuration of one online monitor instance.
+struct MonitorConfig {
+  /// Virtual op-slot grid being monitored (matches the fault masks).
+  lim::CrossbarGeometry grid;
+  /// A canary round runs after every `test_period` inferences.
+  int test_period = 8;
+  /// Slots probed per round. Each probe costs two canary XNOR ops (match +
+  /// mismatch pattern).
+  int slots_per_round = 16;
+  CanaryPolicy policy = CanaryPolicy::kRoundRobin;
+  /// Randomness for kRandom slot draws and the round-robin start offset.
+  std::uint64_t seed = 1;
+};
+
+/// Result of running the monitor against one fault mask.
+struct DetectionOutcome {
+  bool detected = false;
+  /// Inferences executed up to and including the detecting round; equals
+  /// the simulation horizon when undetected.
+  std::int64_t inferences_elapsed = 0;
+  /// Total canary XNOR ops spent (2 per probed slot).
+  std::int64_t canary_ops_spent = 0;
+  /// Flat slot index of the first faulty slot probed (-1 if none).
+  std::int64_t detecting_slot = -1;
+};
+
+/// Simulates the canary monitor against a static fault mask.
+///
+/// The monitor is oblivious to the mask; the simulation advances inference
+/// count, fires a canary round every `test_period` inferences, and stops at
+/// the first round that probes a slot marked faulty in any plane of `mask`
+/// (or at `max_inferences`).
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(MonitorConfig config);
+
+  const MonitorConfig& config() const { return config_; }
+
+  /// Canary ops spent per inference on average (steady-state overhead).
+  double overhead_ops_per_inference() const;
+
+  /// Runs until detection or until `max_inferences` have elapsed.
+  DetectionOutcome run_until_detection(const fault::FaultMask& mask,
+                                       std::int64_t max_inferences) const;
+
+ private:
+  MonitorConfig config_;
+};
+
+}  // namespace flim::reliability

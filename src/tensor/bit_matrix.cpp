@@ -1,0 +1,89 @@
+#include "tensor/bit_matrix.hpp"
+
+#include <bit>
+
+namespace flim::tensor {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols) {
+  FLIM_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  words_per_row_ = (cols + 63) / 64;
+  const int tail_bits = static_cast<int>(cols % 64);
+  tail_mask_ = tail_bits == 0 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << tail_bits) - 1);
+  words_.assign(static_cast<std::size_t>(rows_ * words_per_row_), 0);
+}
+
+int BitMatrix::get(std::int64_t r, std::int64_t c) const {
+  FLIM_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const std::uint64_t word = row_words(r)[c / 64];
+  return ((word >> (c % 64)) & 1u) ? +1 : -1;
+}
+
+void BitMatrix::set(std::int64_t r, std::int64_t c, int value) {
+  FLIM_ASSERT(value == 1 || value == -1);
+  set_bit(r, c, value > 0);
+}
+
+void BitMatrix::set_bit(std::int64_t r, std::int64_t c, bool bit) {
+  FLIM_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  std::uint64_t& word = row_words(r)[c / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+  if (bit) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void BitMatrix::flip(std::int64_t r, std::int64_t c) {
+  FLIM_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  row_words(r)[c / 64] ^= std::uint64_t{1} << (c % 64);
+}
+
+std::int32_t BitMatrix::dot_row(std::int64_t r, const BitMatrix& other,
+                                std::int64_t s) const {
+  FLIM_ASSERT(cols_ == other.cols_);
+  const std::uint64_t* a = row_words(r);
+  const std::uint64_t* b = other.row_words(s);
+  std::int64_t match = 0;
+  const std::int64_t full = cols_ / 64;
+  for (std::int64_t w = 0; w < full; ++w) {
+    match += std::popcount(~(a[w] ^ b[w]));
+  }
+  if (full < words_per_row_) {
+    match += std::popcount(~(a[full] ^ b[full]) & tail_mask_);
+  }
+  return static_cast<std::int32_t>(2 * match - cols_);
+}
+
+BitMatrix BitMatrix::from_float(const FloatTensor& m) {
+  FLIM_REQUIRE(m.shape().rank() == 2, "from_float expects a rank-2 tensor");
+  BitMatrix out(m.shape()[0], m.shape()[1]);
+  const std::int64_t cols = out.cols();
+  for (std::int64_t r = 0; r < out.rows(); ++r) {
+    const float* in = m.data() + r * cols;
+    std::uint64_t* words = out.row_words(r);
+    for (std::int64_t base = 0; base < cols; base += 64) {
+      const std::int64_t limit = std::min<std::int64_t>(64, cols - base);
+      std::uint64_t word = 0;
+      for (std::int64_t j = 0; j < limit; ++j) {
+        if (in[base + j] >= 0.0f) word |= std::uint64_t{1} << j;
+      }
+      words[base / 64] = word;
+    }
+  }
+  return out;
+}
+
+FloatTensor BitMatrix::to_float() const {
+  FloatTensor out(Shape{rows_, cols_});
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      out.at2(r, c) = static_cast<float>(get(r, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace flim::tensor

@@ -1,0 +1,83 @@
+// 64-bit packed matrices over the binary domain {-1, +1}.
+//
+// Encoding: bit 1 represents +1, bit 0 represents -1. Each row is padded to
+// a whole number of 64-bit words; padding bits are kept at zero so popcount
+// based reductions can mask only once per row tail.
+//
+// This packing is what makes the FLIM fast path fast: an XNOR between 64
+// operand pairs is a single word operation, matching how the paper's
+// TensorFlow implementation amortizes the XNOR over vectorized kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// Row-major packed binary matrix.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Creates rows x cols matrix with every element -1 (all bits clear).
+  BitMatrix(std::int64_t rows, std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t words_per_row() const { return words_per_row_; }
+
+  /// Element access in the ±1 domain.
+  int get(std::int64_t r, std::int64_t c) const;
+
+  /// Sets element (r, c); `value` must be +1 or -1.
+  void set(std::int64_t r, std::int64_t c, int value);
+
+  /// Sets element (r, c) from a raw bit (true => +1).
+  void set_bit(std::int64_t r, std::int64_t c, bool bit);
+
+  /// Flips element (r, c).
+  void flip(std::int64_t r, std::int64_t c);
+
+  /// Raw word access for kernels.
+  const std::uint64_t* row_words(std::int64_t r) const {
+    FLIM_ASSERT(r >= 0 && r < rows_);
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
+  std::uint64_t* row_words(std::int64_t r) {
+    FLIM_ASSERT(r >= 0 && r < rows_);
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
+
+  /// Mask of valid bits in the final word of each row (all-ones when the
+  /// column count is a multiple of 64).
+  std::uint64_t tail_mask() const { return tail_mask_; }
+
+  /// ±1 dot product of row `r` with row `s` of `other`; both matrices must
+  /// share the column count. Computed as 2*popcount(XNOR) - cols.
+  std::int32_t dot_row(std::int64_t r, const BitMatrix& other,
+                       std::int64_t s) const;
+
+  /// Converts a ±1 float matrix (values must be exactly ±1 after sign()).
+  /// Zero maps to +1 to mirror sign(0) = +1 used across the BNN literature.
+  static BitMatrix from_float(const FloatTensor& m);
+
+  /// Expands back to a ±1 float matrix (mainly for tests).
+  FloatTensor to_float() const;
+
+  bool operator==(const BitMatrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           words_ == other.words_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::int64_t words_per_row_ = 0;
+  std::uint64_t tail_mask_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace flim::tensor

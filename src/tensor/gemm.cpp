@@ -1,0 +1,100 @@
+#include "tensor/gemm.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::tensor {
+
+namespace {
+
+void require_matrix(const FloatTensor& t, const char* name) {
+  FLIM_REQUIRE(t.shape().rank() == 2,
+               std::string(name) + " must be a rank-2 tensor");
+}
+
+}  // namespace
+
+void gemm(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+          bool accumulate) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  FLIM_REQUIRE(b.shape()[0] == k, "inner dimensions must agree");
+  if (c.shape() != Shape{m, n}) c = FloatTensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // ikj loop order: streams B and C rows, good locality without tiling.
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_at(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+             bool accumulate) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  const std::int64_t k = a.shape()[0];
+  const std::int64_t m = a.shape()[1];
+  const std::int64_t n = b.shape()[1];
+  FLIM_REQUIRE(b.shape()[0] == k, "inner dimensions must agree");
+  if (c.shape() != Shape{m, n}) c = FloatTensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_bt(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+             bool accumulate) {
+  require_matrix(a, "A");
+  require_matrix(b, "B");
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t n = b.shape()[0];
+  FLIM_REQUIRE(b.shape()[1] == k, "inner dimensions must agree");
+  if (c.shape() != Shape{m, n}) c = FloatTensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace flim::tensor

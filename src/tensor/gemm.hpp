@@ -1,0 +1,22 @@
+// Real-valued GEMM kernels for the training substrate and the real first
+// layer. Simple cache-blocked loops; the library's throughput-critical path
+// is the packed XNOR GEMM (xnor_gemm.hpp), not these.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// C[M,N] = A[M,K] * B[K,N] (+ C when accumulate). All row-major.
+void gemm(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+          bool accumulate = false);
+
+/// C[M,N] = A[K,M]^T * B[K,N].
+void gemm_at(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+             bool accumulate = false);
+
+/// C[M,N] = A[M,K] * B[N,K]^T.
+void gemm_bt(const FloatTensor& a, const FloatTensor& b, FloatTensor& c,
+             bool accumulate = false);
+
+}  // namespace flim::tensor

@@ -1,0 +1,141 @@
+#include "tensor/im2col.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::tensor {
+
+namespace {
+
+void require_input(const FloatTensor& input, const ConvGeometry& g) {
+  FLIM_REQUIRE(input.shape().rank() == 4, "conv input must be NCHW");
+  FLIM_REQUIRE(input.shape()[1] == g.in_channels &&
+                   input.shape()[2] == g.in_h && input.shape()[3] == g.in_w,
+               "input shape must match conv geometry");
+  FLIM_REQUIRE(g.stride >= 1, "stride must be >= 1");
+  FLIM_REQUIRE(g.out_h() > 0 && g.out_w() > 0,
+               "conv output would be empty; check geometry");
+}
+
+}  // namespace
+
+FloatTensor im2col(const FloatTensor& input, const ConvGeometry& g,
+                   float pad_value) {
+  require_input(input, g);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t k = g.patch_size();
+  FloatTensor out(Shape{n * oh * ow, k});
+
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        float* dst = out.data() + row * k;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) {
+                dst[idx] = pad_value;
+              } else {
+                dst[idx] = input.at4(b, c, iy, ix);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+FloatTensor col2im(const FloatTensor& patches, std::int64_t batch,
+                   const ConvGeometry& g) {
+  FLIM_REQUIRE(patches.shape().rank() == 2, "patches must be rank-2");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t k = g.patch_size();
+  FLIM_REQUIRE(patches.shape()[0] == batch * oh * ow,
+               "patch row count must equal batch * out_h * out_w");
+  FLIM_REQUIRE(patches.shape()[1] == k, "patch width must equal C*kh*kw");
+
+  FloatTensor out(Shape{batch, g.in_channels, g.in_h, g.in_w});
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        const float* src = patches.data() + row * k;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                out.at4(b, c, iy, ix) += src[idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BitMatrix im2col_binary(const FloatTensor& input, const ConvGeometry& g) {
+  require_input(input, g);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t k = g.patch_size();
+  BitMatrix out(n * oh * ow, k);
+
+  // Hot path of every binarized convolution: collect the patch into a byte
+  // buffer first, then pack 64 bits per word -- several times faster than
+  // per-bit masked writes.
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(k));
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++row) {
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < g.in_channels; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= g.in_h) {
+              // Whole kernel row padded: contributes -1 (bit 0).
+              for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+                bits[static_cast<std::size_t>(idx)] = 0;
+              }
+              continue;
+            }
+            const float* in_row =
+                input.data() + ((b * g.in_channels + c) * g.in_h + iy) * g.in_w;
+            for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              bits[static_cast<std::size_t>(idx)] =
+                  (ix >= 0 && ix < g.in_w && in_row[ix] >= 0.0f) ? 1 : 0;
+            }
+          }
+        }
+        std::uint64_t* words = out.row_words(row);
+        for (std::int64_t base = 0; base < k; base += 64) {
+          const std::int64_t limit = std::min<std::int64_t>(64, k - base);
+          std::uint64_t word = 0;
+          for (std::int64_t j = 0; j < limit; ++j) {
+            word |= std::uint64_t{bits[static_cast<std::size_t>(base + j)]}
+                    << j;
+          }
+          words[base / 64] = word;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flim::tensor

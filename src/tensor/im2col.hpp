@@ -1,0 +1,46 @@
+// im2col patch extraction lowering conv2d to GEMM / XNOR-GEMM.
+//
+// Input layout: NCHW. The produced patch matrix has one row per output
+// spatial position (per batch element) and K = C*kh*kw columns ordered
+// (channel, kernel-row, kernel-col) -- matching the weight matrix layout
+// produced by the layers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/bit_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// Static geometry of a conv2d lowering.
+struct ConvGeometry {
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel_h) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel_w) / stride + 1; }
+  std::int64_t patch_size() const { return in_channels * kernel_h * kernel_w; }
+};
+
+/// Extracts float patches from input[N,C,H,W] into [N*out_h*out_w, K].
+/// Padding contributes `pad_value`.
+FloatTensor im2col(const FloatTensor& input, const ConvGeometry& g,
+                   float pad_value = 0.0f);
+
+/// Scatters gradient patches [N*out_h*out_w, K] back onto [N,C,H,W]
+/// (the adjoint of im2col); used by conv backward.
+FloatTensor col2im(const FloatTensor& patches, std::int64_t batch,
+                   const ConvGeometry& g);
+
+/// Extracts ±1 patches directly into a packed BitMatrix. Elements >= 0 map to
+/// +1. Padding contributes -1 (bit 0), matching sign(0-centered padding) in
+/// binarized feature maps.
+BitMatrix im2col_binary(const FloatTensor& input, const ConvGeometry& g);
+
+}  // namespace flim::tensor

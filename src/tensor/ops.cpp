@@ -1,0 +1,87 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::tensor {
+
+FloatTensor sign(const FloatTensor& x) {
+  FloatTensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = x[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+void add_inplace(FloatTensor& y, const FloatTensor& x) {
+  FLIM_REQUIRE(y.shape() == x.shape(), "add_inplace shape mismatch");
+  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] += x[i];
+}
+
+void scale_inplace(FloatTensor& y, float s) {
+  for (std::int64_t i = 0; i < y.numel(); ++i) y[i] *= s;
+}
+
+FloatTensor softmax_rows(const FloatTensor& logits) {
+  FLIM_REQUIRE(logits.shape().rank() == 2, "softmax expects a matrix");
+  const std::int64_t rows = logits.shape()[0];
+  const std::int64_t cols = logits.shape()[1];
+  FloatTensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = in[0];
+    for (std::int64_t c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const FloatTensor& m) {
+  FLIM_REQUIRE(m.shape().rank() == 2, "argmax_rows expects a matrix");
+  const std::int64_t rows = m.shape()[0];
+  const std::int64_t cols = m.shape()[1];
+  FLIM_REQUIRE(cols > 0, "argmax over empty rows");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = m.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+FloatTensor to_float(const IntTensor& m) {
+  FloatTensor out(m.shape());
+  for (std::int64_t i = 0; i < m.numel(); ++i) {
+    out[i] = static_cast<float>(m[i]);
+  }
+  return out;
+}
+
+double accuracy(const FloatTensor& logits,
+                const std::vector<std::int64_t>& labels) {
+  FLIM_REQUIRE(logits.shape().rank() == 2, "accuracy expects logit matrix");
+  FLIM_REQUIRE(static_cast<std::size_t>(logits.shape()[0]) == labels.size(),
+               "one label per logits row required");
+  if (labels.empty()) return 0.0;
+  const auto preds = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace flim::tensor

@@ -1,0 +1,34 @@
+// Elementwise and reduction helpers shared by inference and training.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// out = sign(x) in ±1 (sign(0) = +1, the BNN convention).
+FloatTensor sign(const FloatTensor& x);
+
+/// In-place y += x (shapes must match).
+void add_inplace(FloatTensor& y, const FloatTensor& x);
+
+/// In-place y *= s.
+void scale_inplace(FloatTensor& y, float s);
+
+/// Row-wise softmax of a [rows, cols] matrix (numerically stabilized).
+FloatTensor softmax_rows(const FloatTensor& logits);
+
+/// Index of the maximum element in each row of a [rows, cols] matrix.
+std::vector<std::int64_t> argmax_rows(const FloatTensor& m);
+
+/// Converts an IntTensor to float elementwise.
+FloatTensor to_float(const IntTensor& m);
+
+/// Classification accuracy in [0, 1]: fraction of rows whose argmax equals
+/// the label.
+double accuracy(const FloatTensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+}  // namespace flim::tensor

@@ -1,0 +1,51 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace flim::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (const auto d : dims_) {
+    FLIM_REQUIRE(d >= 0, "shape dimensions must be non-negative");
+  }
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (const auto d : dims_) {
+    FLIM_REQUIRE(d >= 0, "shape dimensions must be non-negative");
+  }
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  FLIM_REQUIRE(i < dims_.size(), "shape dimension index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (std::size_t i = dims_.size(); i-- > 1;) {
+    s[i - 1] = s[i] * dims_[i];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace flim::tensor

@@ -1,0 +1,47 @@
+// Tensor shapes (row-major, up to rank 4 in practice: NCHW).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace flim::tensor {
+
+/// Dimension sizes of a dense row-major tensor.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  /// Number of dimensions.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Size of dimension `i` (bounds-checked).
+  std::int64_t dim(std::size_t i) const;
+
+  /// Same as dim() but unchecked for hot paths.
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+
+  /// Total number of elements (1 for rank-0).
+  std::int64_t numel() const;
+
+  /// All dimensions.
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides (elements, not bytes).
+  std::vector<std::int64_t> strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 28, 28]" style rendering.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace flim::tensor

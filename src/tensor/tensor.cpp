@@ -1,0 +1,11 @@
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+// Explicit instantiations for the element types used across the library;
+// keeps template code paths compiled once and catches errors early.
+template class Tensor<float>;
+template class Tensor<std::int32_t>;
+template class Tensor<std::uint8_t>;
+
+}  // namespace flim::tensor

@@ -1,0 +1,109 @@
+// Dense row-major tensor over a trivially copyable element type.
+//
+// The library uses Tensor<float> for real-valued activations/weights (first
+// layer, batch-norm parameters, training) and Tensor<std::int32_t> for
+// popcount accumulators. Binarized operands use BitMatrix (bit_matrix.hpp).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/check.hpp"
+#include "tensor/shape.hpp"
+
+namespace flim::tensor {
+
+template <typename T>
+class Tensor {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Tensor requires trivially copyable elements");
+
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel())) {}
+
+  /// Allocates and fills with `fill`.
+  Tensor(Shape shape, T fill)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+  /// Wraps existing data (copied); size must match the shape.
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    FLIM_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                 "data size must match shape");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Flat element access (unchecked in release builds).
+  T& operator[](std::int64_t i) {
+    FLIM_ASSERT(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const T& operator[](std::int64_t i) const {
+    FLIM_ASSERT(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2-D access for matrices shaped [rows, cols].
+  T& at2(std::int64_t r, std::int64_t c) {
+    FLIM_ASSERT(shape_.rank() == 2);
+    return (*this)[r * shape_[1] + c];
+  }
+  const T& at2(std::int64_t r, std::int64_t c) const {
+    FLIM_ASSERT(shape_.rank() == 2);
+    return (*this)[r * shape_[1] + c];
+  }
+
+  /// 4-D access for NCHW tensors.
+  T& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    FLIM_ASSERT(shape_.rank() == 4);
+    return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  const T& at4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w) const {
+    FLIM_ASSERT(shape_.rank() == 4);
+    return (*this)[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Sets every element to `value`.
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Returns a copy with a new shape of identical element count.
+  Tensor reshaped(Shape new_shape) const {
+    FLIM_REQUIRE(new_shape.numel() == shape_.numel(),
+                 "reshape must preserve element count");
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+  }
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using FloatTensor = Tensor<float>;
+using IntTensor = Tensor<std::int32_t>;
+
+}  // namespace flim::tensor

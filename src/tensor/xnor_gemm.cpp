@@ -1,0 +1,120 @@
+#include "tensor/xnor_gemm.hpp"
+
+#include <bit>
+
+#include "core/check.hpp"
+
+namespace flim::tensor {
+
+namespace {
+
+void require_shapes(const BitMatrix& activations, const BitMatrix& weights) {
+  FLIM_REQUIRE(activations.cols() == weights.cols(),
+               "activations and weights must agree on K");
+}
+
+void require_mask(const BitMatrix& mask, const BitMatrix& weights,
+                  const char* name) {
+  FLIM_REQUIRE(mask.rows() == weights.rows() && mask.cols() == weights.cols(),
+               std::string(name) + " mask must match weight shape");
+}
+
+void ensure_out(IntTensor& out, std::int64_t m, std::int64_t n) {
+  if (out.shape() != Shape{m, n}) out = IntTensor(Shape{m, n});
+}
+
+}  // namespace
+
+void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
+                    IntTensor& out, std::int64_t row_begin,
+                    std::int64_t row_end) {
+  require_shapes(activations, weights);
+  const std::int64_t m = activations.rows();
+  const std::int64_t n = weights.rows();
+  const std::int64_t k = activations.cols();
+  FLIM_REQUIRE((out.shape() == Shape{m, n}), "out must be pre-shaped [M, N]");
+  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
+               "row range out of bounds");
+
+  const std::int64_t words = activations.words_per_row();
+  const std::uint64_t tail = activations.tail_mask();
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const std::uint64_t* a = activations.row_words(i);
+    std::int32_t* orow = out.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::uint64_t* w = weights.row_words(j);
+      std::int64_t match = 0;
+      for (std::int64_t t = 0; t + 1 < words; ++t) {
+        match += std::popcount(~(a[t] ^ w[t]));
+      }
+      if (words > 0) {
+        match += std::popcount(~(a[words - 1] ^ w[words - 1]) & tail);
+      }
+      orow[j] = static_cast<std::int32_t>(2 * match - k);
+    }
+  }
+}
+
+void xnor_gemm(const BitMatrix& activations, const BitMatrix& weights,
+               IntTensor& out) {
+  require_shapes(activations, weights);
+  ensure_out(out, activations.rows(), weights.rows());
+  xnor_gemm_rows(activations, weights, out, 0, activations.rows());
+}
+
+void xnor_gemm_term_faults_rows(const BitMatrix& activations,
+                                const BitMatrix& weights,
+                                const BitMatrix& term_flip_mask,
+                                const BitMatrix& term_sa0_mask,
+                                const BitMatrix& term_sa1_mask, IntTensor& out,
+                                std::int64_t row_begin, std::int64_t row_end) {
+  require_shapes(activations, weights);
+  require_mask(term_flip_mask, weights, "flip");
+  require_mask(term_sa0_mask, weights, "sa0");
+  require_mask(term_sa1_mask, weights, "sa1");
+
+  const std::int64_t m = activations.rows();
+  const std::int64_t n = weights.rows();
+  const std::int64_t k = activations.cols();
+  FLIM_REQUIRE((out.shape() == Shape{m, n}), "out must be pre-shaped [M, N]");
+  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
+               "row range out of bounds");
+
+  const std::int64_t words = activations.words_per_row();
+  const std::uint64_t tail = activations.tail_mask();
+  for (std::int64_t i = row_begin; i < row_end; ++i) {
+    const std::uint64_t* a = activations.row_words(i);
+    std::int32_t* orow = out.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::uint64_t* w = weights.row_words(j);
+      const std::uint64_t* fl = term_flip_mask.row_words(j);
+      const std::uint64_t* s0 = term_sa0_mask.row_words(j);
+      const std::uint64_t* s1 = term_sa1_mask.row_words(j);
+      std::int64_t match = 0;
+      for (std::int64_t t = 0; t < words; ++t) {
+        const std::uint64_t valid = (t + 1 == words) ? tail : ~std::uint64_t{0};
+        // Correct products, then flips, then stuck-at overrides (a stuck
+        // device cannot toggle, so stuck-at wins over flip).
+        std::uint64_t prod = ~(a[t] ^ w[t]);
+        prod ^= fl[t];
+        prod &= ~s0[t];  // stuck-at-0 forces the product term to -1
+        prod |= s1[t];   // stuck-at-1 forces the product term to +1
+        match += std::popcount(prod & valid);
+      }
+      orow[j] = static_cast<std::int32_t>(2 * match - k);
+    }
+  }
+}
+
+void xnor_gemm_term_faults(const BitMatrix& activations,
+                           const BitMatrix& weights,
+                           const BitMatrix& term_flip_mask,
+                           const BitMatrix& term_sa0_mask,
+                           const BitMatrix& term_sa1_mask, IntTensor& out) {
+  ensure_out(out, activations.rows(), weights.rows());
+  xnor_gemm_term_faults_rows(activations, weights, term_flip_mask,
+                             term_sa0_mask, term_sa1_mask, out, 0,
+                             activations.rows());
+}
+
+}  // namespace flim::tensor

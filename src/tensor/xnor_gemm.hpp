@@ -1,0 +1,44 @@
+// Packed XNOR-popcount matrix multiply -- the arithmetic core of binary
+// layers executed as logic-in-memory.
+//
+// Given activations A (rows = output positions, cols = K product terms) and
+// weights W (rows = output channels, cols = K), each output element is the
+// ±1 dot product dot(A_i, W_j) = 2 * popcount(XNOR(A_i, W_j)) - K, i.e. the
+// accumulate-over-XNOR the crossbar performs gate-by-gate.
+#pragma once
+
+#include "tensor/bit_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// out[i, j] = ±1 dot product of activations row i with weights row j.
+/// Shapes: activations [M, K], weights [N, K], out [M, N].
+void xnor_gemm(const BitMatrix& activations, const BitMatrix& weights,
+               IntTensor& out);
+
+/// Computes only output rows [row_begin, row_end); `out` must already have
+/// shape [M, N]. Used for per-image fault scheduling.
+void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
+                    IntTensor& out, std::int64_t row_begin,
+                    std::int64_t row_end);
+
+/// Variant with a per-output-element bit-flip applied to `flips` positions:
+/// before accumulation, the product terms of output (i, j) whose indices are
+/// set in `term_flips` row j are negated. Used by the product-term fault
+/// granularity. `term_flips` has shape [N, K] (per output channel).
+void xnor_gemm_term_faults(const BitMatrix& activations,
+                           const BitMatrix& weights,
+                           const BitMatrix& term_flip_mask,
+                           const BitMatrix& term_sa0_mask,
+                           const BitMatrix& term_sa1_mask, IntTensor& out);
+
+/// Row-range variant of xnor_gemm_term_faults; `out` must be pre-shaped.
+void xnor_gemm_term_faults_rows(const BitMatrix& activations,
+                                const BitMatrix& weights,
+                                const BitMatrix& term_flip_mask,
+                                const BitMatrix& term_sa0_mask,
+                                const BitMatrix& term_sa1_mask, IntTensor& out,
+                                std::int64_t row_begin, std::int64_t row_end);
+
+}  // namespace flim::tensor

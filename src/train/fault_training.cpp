@@ -1,0 +1,97 @@
+#include "train/fault_training.hpp"
+
+#include "bnn/activations.hpp"
+#include "core/check.hpp"
+
+namespace flim::train {
+
+TFaultInjection::TFaultInjection(std::string name,
+                                 fault::FaultVectorEntry entry,
+                                 std::int32_t full_scale,
+                                 double active_probability,
+                                 std::uint64_t rng_seed)
+    : TrainLayer(std::move(name)),
+      entry_(std::move(entry)),
+      full_scale_(full_scale),
+      active_probability_(active_probability),
+      rng_(rng_seed) {
+  FLIM_REQUIRE(!entry_.mask.empty(), "fault injection needs a mask");
+  FLIM_REQUIRE(full_scale_ > 0, "full_scale must be positive");
+  FLIM_REQUIRE(active_probability_ >= 0.0 && active_probability_ <= 1.0,
+               "active probability must be in [0, 1]");
+}
+
+tensor::FloatTensor TFaultInjection::forward(const tensor::FloatTensor& x,
+                                             bool training) {
+  // Faults apply during training only; evaluation of the trained graph and
+  // the converted inference model stay clean (robustness lives in weights).
+  applied_ = training && rng_.bernoulli(active_probability_);
+
+  // Dynamic faults follow the same every-n-th-execution schedule as the
+  // inference injector.
+  if (applied_ && entry_.kind == fault::FaultKind::kDynamic) {
+    const std::int64_t period = std::max(1, entry_.dynamic_period);
+    applied_ = (execution_counter_ % period) == period - 1;
+  }
+  ++execution_counter_;
+
+  if (!applied_) return x;
+
+  const auto rank = x.shape().rank();
+  FLIM_REQUIRE(rank == 2 || rank == 4,
+               "fault injection expects dense [N,F] or conv NCHW input");
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t channels = x.shape()[1];
+  const std::int64_t hw = rank == 4 ? x.shape()[2] * x.shape()[3] : 1;
+  const std::int64_t slots = entry_.mask.num_slots();
+
+  cached_multiplier_ = tensor::FloatTensor(x.shape(), 1.0f);
+  tensor::FloatTensor out = x;
+  // Op order matches the inference injector: position-major over (pos, ch).
+  for (std::int64_t b = 0; b < n; ++b) {
+    std::int64_t op = 0;
+    for (std::int64_t pos = 0; pos < hw; ++pos) {
+      for (std::int64_t c = 0; c < channels; ++c, ++op) {
+        const std::int64_t slot = op % slots;
+        // NCHW layout: element (b, c, pos).
+        const std::int64_t idx = (b * channels + c) * hw + pos;
+        if (entry_.mask.flip(slot)) {
+          out[idx] = -out[idx];
+          cached_multiplier_[idx] = -1.0f;
+        }
+        if (entry_.mask.sa0(slot)) {
+          out[idx] = static_cast<float>(-full_scale_);
+          cached_multiplier_[idx] = 0.0f;
+        }
+        if (entry_.mask.sa1(slot)) {
+          out[idx] = static_cast<float>(full_scale_);
+          cached_multiplier_[idx] = 0.0f;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor TFaultInjection::backward(
+    const tensor::FloatTensor& grad_out) {
+  if (!applied_) return grad_out;
+  FLIM_REQUIRE(grad_out.shape() == cached_multiplier_.shape(),
+               "fault injection backward shape mismatch");
+  tensor::FloatTensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = grad_out[i] * cached_multiplier_[i];
+  }
+  return grad_in;
+}
+
+bnn::LayerPtr TFaultInjection::to_inference() const {
+  return std::make_unique<bnn::Identity>(name());
+}
+
+const fault::FaultVectorEntry* find_entry(
+    const fault::FaultVectorFile& vectors, const std::string& layer) {
+  return vectors.find(layer);
+}
+
+}  // namespace flim::train

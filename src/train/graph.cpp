@@ -1,0 +1,40 @@
+#include "train/graph.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::train {
+
+void Graph::add(TrainLayerPtr layer) {
+  FLIM_REQUIRE(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+}
+
+tensor::FloatTensor Graph::forward(const tensor::FloatTensor& x,
+                                   bool training) {
+  FLIM_REQUIRE(!layers_.empty(), "graph has no layers");
+  tensor::FloatTensor y = x;
+  for (auto& l : layers_) y = l->forward(y, training);
+  return y;
+}
+
+tensor::FloatTensor Graph::backward(const tensor::FloatTensor& grad_logits) {
+  tensor::FloatTensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<ParamRef> Graph::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : layers_) l->collect_params(out);
+  return out;
+}
+
+bnn::Model Graph::to_inference_model() const {
+  bnn::Model model(name_);
+  for (const auto& l : layers_) model.add(l->to_inference());
+  return model;
+}
+
+}  // namespace flim::train

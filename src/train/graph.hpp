@@ -1,0 +1,44 @@
+// Training graph: an ordered stack of trainable layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bnn/model.hpp"
+#include "train/layers.hpp"
+
+namespace flim::train {
+
+/// Sequential training graph with conversion to an inference model.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  void add(TrainLayerPtr layer);
+
+  std::size_t num_layers() const { return layers_.size(); }
+
+  /// Forward pass (training toggles batch-norm statistics mode).
+  tensor::FloatTensor forward(const tensor::FloatTensor& x, bool training);
+
+  /// Backward pass from the loss gradient; returns dL/dinput.
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_logits);
+
+  /// All trainable parameters.
+  std::vector<ParamRef> params();
+
+  /// Converts to an inference model computing identical logits (eval mode).
+  bnn::Model to_inference_model() const;
+
+ private:
+  std::string name_;
+  std::vector<TrainLayerPtr> layers_;
+};
+
+}  // namespace flim::train

@@ -1,0 +1,32 @@
+#include "train/init.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::train {
+
+tensor::FloatTensor he_normal(const tensor::Shape& shape, std::int64_t fan_in,
+                              core::Rng& rng) {
+  FLIM_REQUIRE(fan_in > 0, "fan_in must be positive");
+  tensor::FloatTensor t(shape);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+tensor::FloatTensor glorot_uniform(const tensor::Shape& shape,
+                                   std::int64_t fan_in, std::int64_t fan_out,
+                                   core::Rng& rng) {
+  FLIM_REQUIRE(fan_in > 0 && fan_out > 0, "fans must be positive");
+  tensor::FloatTensor t(shape);
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>((rng.uniform_double() * 2.0 - 1.0) * a);
+  }
+  return t;
+}
+
+}  // namespace flim::train

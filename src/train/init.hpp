@@ -1,0 +1,18 @@
+// Weight initialization helpers.
+#pragma once
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::train {
+
+/// He-normal initialization: N(0, sqrt(2 / fan_in)).
+tensor::FloatTensor he_normal(const tensor::Shape& shape, std::int64_t fan_in,
+                              core::Rng& rng);
+
+/// Glorot-uniform initialization: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+tensor::FloatTensor glorot_uniform(const tensor::Shape& shape,
+                                   std::int64_t fan_in, std::int64_t fan_out,
+                                   core::Rng& rng);
+
+}  // namespace flim::train

@@ -1,0 +1,758 @@
+#include "train/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bnn/activations.hpp"
+#include "bnn/batch_norm.hpp"
+#include "bnn/binary_conv2d.hpp"
+#include "bnn/binary_dense.hpp"
+#include "bnn/blocks.hpp"
+#include "bnn/conv2d.hpp"
+#include "bnn/dense.hpp"
+#include "bnn/pooling.hpp"
+#include "core/check.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "train/init.hpp"
+
+namespace flim::train {
+
+namespace {
+
+// STE mask: gradient passes only where the latent weight is inside the
+// hard-tanh window.
+inline float ste_window(float latent) {
+  return std::abs(latent) <= 1.0f ? 1.0f : 0.0f;
+}
+
+tensor::FloatTensor nchw_to_flat(const tensor::FloatTensor& t) {
+  // [N, C, H, W] -> [N*H*W, C] matching the conv GEMM row order.
+  const std::int64_t n = t.shape()[0];
+  const std::int64_t c = t.shape()[1];
+  const std::int64_t h = t.shape()[2];
+  const std::int64_t w = t.shape()[3];
+  tensor::FloatTensor out(tensor::Shape{n * h * w, c});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          out.at2((b * h + y) * w + x, ch) = t.at4(b, ch, y, x);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor flat_to_nchw(const tensor::FloatTensor& flat,
+                                 std::int64_t n, std::int64_t c,
+                                 std::int64_t h, std::int64_t w) {
+  tensor::FloatTensor out(tensor::Shape{n, c, h, w});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          out.at4(b, ch, y, x) = flat.at2((b * h + y) * w + x, ch);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor forward_chain(std::vector<TrainLayerPtr>& layers,
+                                  const tensor::FloatTensor& x,
+                                  bool training) {
+  tensor::FloatTensor y = x;
+  for (auto& l : layers) y = l->forward(y, training);
+  return y;
+}
+
+tensor::FloatTensor backward_chain(std::vector<TrainLayerPtr>& layers,
+                                   const tensor::FloatTensor& grad) {
+  tensor::FloatTensor g = grad;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void collect_chain(std::vector<TrainLayerPtr>& layers,
+                   std::vector<ParamRef>& out) {
+  for (auto& l : layers) l->collect_params(out);
+}
+
+std::vector<bnn::LayerPtr> chain_to_inference(
+    const std::vector<TrainLayerPtr>& layers) {
+  std::vector<bnn::LayerPtr> out;
+  out.reserve(layers.size());
+  for (const auto& l : layers) out.push_back(l->to_inference());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TConv2D
+
+TConv2D::TConv2D(std::string name, std::int64_t in_channels,
+                 std::int64_t out_channels, std::int64_t kernel,
+                 std::int64_t stride, std::int64_t pad, core::Rng& rng)
+    : TrainLayer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  const std::int64_t k = in_channels * kernel * kernel;
+  weights_ = he_normal(tensor::Shape{out_channels, k}, k, rng);
+  bias_ = tensor::FloatTensor(tensor::Shape{out_channels});
+  grad_weights_ = tensor::FloatTensor(tensor::Shape{out_channels, k});
+  grad_bias_ = tensor::FloatTensor(tensor::Shape{out_channels});
+}
+
+tensor::FloatTensor TConv2D::forward(const tensor::FloatTensor& x,
+                                     bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 4, "conv expects NCHW");
+  geom_ = tensor::ConvGeometry{in_channels_, x.shape()[2], x.shape()[3],
+                               kernel_,      kernel_,      stride_,
+                               pad_};
+  batch_ = x.shape()[0];
+  cached_patches_ = tensor::im2col(x, geom_, 0.0f);
+  tensor::FloatTensor flat;
+  tensor::gemm_bt(cached_patches_, weights_, flat);
+  const std::int64_t rows = flat.shape()[0];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      flat.at2(r, c) += bias_[c];
+    }
+  }
+  return flat_to_nchw(flat, batch_, out_channels_, geom_.out_h(), geom_.out_w());
+}
+
+tensor::FloatTensor TConv2D::backward(const tensor::FloatTensor& grad_out) {
+  const tensor::FloatTensor grad_flat = nchw_to_flat(grad_out);
+  // dW += grad^T * patches
+  tensor::gemm_at(grad_flat, cached_patches_, grad_weights_, /*accumulate=*/true);
+  const std::int64_t rows = grad_flat.shape()[0];
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      grad_bias_[c] += grad_flat.at2(r, c);
+    }
+  }
+  tensor::FloatTensor grad_patches;
+  tensor::gemm(grad_flat, weights_, grad_patches);
+  return tensor::col2im(grad_patches, batch_, geom_);
+}
+
+void TConv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &grad_weights_});
+  out.push_back({&bias_, &grad_bias_});
+}
+
+bnn::LayerPtr TConv2D::to_inference() const {
+  return std::make_unique<bnn::Conv2D>(name(), in_channels_, out_channels_,
+                                       kernel_, stride_, pad_, weights_,
+                                       bias_);
+}
+
+// ---------------------------------------------------------- TBinaryConv2D
+
+TBinaryConv2D::TBinaryConv2D(std::string name, std::int64_t in_channels,
+                             std::int64_t out_channels, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t pad,
+                             core::Rng& rng, bool xnor_gains)
+    : TrainLayer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      xnor_gains_(xnor_gains) {
+  const std::int64_t k = in_channels * kernel * kernel;
+  latent_weights_ = glorot_uniform(tensor::Shape{out_channels, k}, k,
+                                   out_channels, rng);
+  grad_weights_ = tensor::FloatTensor(tensor::Shape{out_channels, k});
+}
+
+tensor::FloatTensor TBinaryConv2D::forward(const tensor::FloatTensor& x,
+                                           bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 4, "binary conv expects NCHW");
+  geom_ = tensor::ConvGeometry{in_channels_, x.shape()[2], x.shape()[3],
+                               kernel_,      kernel_,      stride_,
+                               pad_};
+  batch_ = x.shape()[0];
+  // Pad with -1 to match the XNOR engine's binary padding.
+  cached_patches_ = tensor::im2col(x, geom_, -1.0f);
+  cached_sign_w_ = tensor::sign(latent_weights_);
+  tensor::FloatTensor flat;
+  tensor::gemm_bt(cached_patches_, cached_sign_w_, flat);
+  if (xnor_gains_) {
+    cached_gains_ = channel_gains();
+    const std::int64_t rows = flat.shape()[0];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        flat.at2(r, c) *= cached_gains_[c];
+      }
+    }
+  }
+  return flat_to_nchw(flat, batch_, out_channels_, geom_.out_h(),
+                      geom_.out_w());
+}
+
+tensor::FloatTensor TBinaryConv2D::backward(
+    const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_flat = nchw_to_flat(grad_out);
+  if (xnor_gains_) {
+    // Gains treated as constants (XNOR-Net approximation): scale the
+    // incoming gradient back onto the un-scaled conv output.
+    const std::int64_t rows = grad_flat.shape()[0];
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_channels_; ++c) {
+        grad_flat.at2(r, c) *= cached_gains_[c];
+      }
+    }
+  }
+  tensor::FloatTensor grad_sign_w;
+  tensor::gemm_at(grad_flat, cached_patches_, grad_sign_w);
+  // STE: pass the gradient of the binarized weight through to the latent
+  // weight only inside the hard-tanh window.
+  for (std::int64_t i = 0; i < grad_weights_.numel(); ++i) {
+    grad_weights_[i] += grad_sign_w[i] * ste_window(latent_weights_[i]);
+  }
+  tensor::FloatTensor grad_patches;
+  tensor::gemm(grad_flat, cached_sign_w_, grad_patches);
+  return tensor::col2im(grad_patches, batch_, geom_);
+}
+
+void TBinaryConv2D::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&latent_weights_, &grad_weights_});
+}
+
+bnn::LayerPtr TBinaryConv2D::to_inference() const {
+  auto conv = std::make_unique<bnn::BinaryConv2D>(
+      name(), in_channels_, out_channels_, kernel_, stride_, pad_,
+      tensor::sign(latent_weights_));
+  if (!xnor_gains_) return conv;
+  std::vector<bnn::LayerPtr> chain;
+  chain.push_back(std::move(conv));
+  chain.push_back(
+      std::make_unique<bnn::ChannelScale>(name() + "/gain", channel_gains()));
+  return std::make_unique<bnn::Sequential>(name() + "/scaled",
+                                           std::move(chain));
+}
+
+tensor::FloatTensor TBinaryConv2D::channel_gains() const {
+  const std::int64_t k = latent_weights_.shape()[1];
+  tensor::FloatTensor gains(tensor::Shape{out_channels_});
+  for (std::int64_t c = 0; c < out_channels_; ++c) {
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < k; ++i) {
+      acc += std::abs(latent_weights_.at2(c, i));
+    }
+    gains[c] = acc / static_cast<float>(k);
+  }
+  return gains;
+}
+
+// ----------------------------------------------------------------- TDense
+
+TDense::TDense(std::string name, std::int64_t in_features,
+               std::int64_t out_features, core::Rng& rng)
+    : TrainLayer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  weights_ = he_normal(tensor::Shape{out_features, in_features}, in_features,
+                       rng);
+  bias_ = tensor::FloatTensor(tensor::Shape{out_features});
+  grad_weights_ = tensor::FloatTensor(tensor::Shape{out_features, in_features});
+  grad_bias_ = tensor::FloatTensor(tensor::Shape{out_features});
+}
+
+tensor::FloatTensor TDense::forward(const tensor::FloatTensor& x,
+                                    bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 2 && x.shape()[1] == in_features_,
+               "dense input mismatch");
+  cached_input_ = x;
+  tensor::FloatTensor out;
+  tensor::gemm_bt(x, weights_, out);
+  const std::int64_t n = out.shape()[0];
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < out_features_; ++c) out.at2(r, c) += bias_[c];
+  }
+  return out;
+}
+
+tensor::FloatTensor TDense::backward(const tensor::FloatTensor& grad_out) {
+  tensor::gemm_at(grad_out, cached_input_, grad_weights_, /*accumulate=*/true);
+  const std::int64_t n = grad_out.shape()[0];
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < out_features_; ++c) {
+      grad_bias_[c] += grad_out.at2(r, c);
+    }
+  }
+  tensor::FloatTensor grad_in;
+  tensor::gemm(grad_out, weights_, grad_in);
+  return grad_in;
+}
+
+void TDense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&weights_, &grad_weights_});
+  out.push_back({&bias_, &grad_bias_});
+}
+
+bnn::LayerPtr TDense::to_inference() const {
+  return std::make_unique<bnn::Dense>(name(), in_features_, out_features_,
+                                      weights_, bias_);
+}
+
+// ----------------------------------------------------------- TBinaryDense
+
+TBinaryDense::TBinaryDense(std::string name, std::int64_t in_features,
+                           std::int64_t out_features, core::Rng& rng)
+    : TrainLayer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  latent_weights_ = glorot_uniform(tensor::Shape{out_features, in_features},
+                                   in_features, out_features, rng);
+  grad_weights_ = tensor::FloatTensor(tensor::Shape{out_features, in_features});
+}
+
+tensor::FloatTensor TBinaryDense::forward(const tensor::FloatTensor& x,
+                                          bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 2 && x.shape()[1] == in_features_,
+               "binary dense input mismatch");
+  cached_input_ = x;
+  cached_sign_w_ = tensor::sign(latent_weights_);
+  tensor::FloatTensor out;
+  tensor::gemm_bt(x, cached_sign_w_, out);
+  return out;
+}
+
+tensor::FloatTensor TBinaryDense::backward(const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_sign_w;
+  tensor::gemm_at(grad_out, cached_input_, grad_sign_w);
+  for (std::int64_t i = 0; i < grad_weights_.numel(); ++i) {
+    grad_weights_[i] += grad_sign_w[i] * ste_window(latent_weights_[i]);
+  }
+  tensor::FloatTensor grad_in;
+  tensor::gemm(grad_out, cached_sign_w_, grad_in);
+  return grad_in;
+}
+
+void TBinaryDense::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&latent_weights_, &grad_weights_});
+}
+
+bnn::LayerPtr TBinaryDense::to_inference() const {
+  return std::make_unique<bnn::BinaryDense>(name(), in_features_,
+                                            out_features_,
+                                            tensor::sign(latent_weights_));
+}
+
+// ------------------------------------------------------------- TBatchNorm
+
+TBatchNorm::TBatchNorm(std::string name, std::int64_t channels, float momentum,
+                       float epsilon)
+    : TrainLayer(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon) {
+  gamma_ = tensor::FloatTensor(tensor::Shape{channels}, 1.0f);
+  beta_ = tensor::FloatTensor(tensor::Shape{channels});
+  grad_gamma_ = tensor::FloatTensor(tensor::Shape{channels});
+  grad_beta_ = tensor::FloatTensor(tensor::Shape{channels});
+  running_mean_ = tensor::FloatTensor(tensor::Shape{channels});
+  running_var_ = tensor::FloatTensor(tensor::Shape{channels}, 1.0f);
+}
+
+tensor::FloatTensor TBatchNorm::forward(const tensor::FloatTensor& x,
+                                        bool training) {
+  const auto rank = x.shape().rank();
+  FLIM_REQUIRE(rank == 2 || rank == 4, "batch norm expects rank 2 or 4");
+  FLIM_REQUIRE(x.shape()[1] == channels_, "batch norm channel mismatch");
+  cached_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t hw = rank == 4 ? x.shape()[2] * x.shape()[3] : 1;
+  const std::int64_t m = n * hw;
+
+  tensor::FloatTensor mean(tensor::Shape{channels_});
+  tensor::FloatTensor var(tensor::Shape{channels_});
+  if (training) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double acc = 0.0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* in = x.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) acc += in[i];
+      }
+      mean[c] = static_cast<float>(acc / static_cast<double>(m));
+    }
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      double acc = 0.0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* in = x.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const double d = in[i] - mean[c];
+          acc += d * d;
+        }
+      }
+      var[c] = static_cast<float>(acc / static_cast<double>(m));
+      running_mean_[c] = momentum_ * running_mean_[c] + (1.0f - momentum_) * mean[c];
+      running_var_[c] = momentum_ * running_var_[c] + (1.0f - momentum_) * var[c];
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  cached_inv_std_ = tensor::FloatTensor(tensor::Shape{channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + epsilon_);
+  }
+
+  cached_xhat_ = tensor::FloatTensor(x.shape());
+  tensor::FloatTensor out(x.shape());
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float mu = mean[c];
+      const float inv = cached_inv_std_[c];
+      const float g = gamma_[c];
+      const float bt = beta_[c];
+      const float* in = x.data() + (b * channels_ + c) * hw;
+      float* xh = cached_xhat_.data() + (b * channels_ + c) * hw;
+      float* o = out.data() + (b * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        xh[i] = (in[i] - mu) * inv;
+        o[i] = g * xh[i] + bt;
+      }
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor TBatchNorm::backward(const tensor::FloatTensor& grad_out) {
+  FLIM_REQUIRE(grad_out.shape() == cached_shape_,
+               "batch norm backward shape mismatch");
+  const auto rank = grad_out.shape().rank();
+  const std::int64_t n = grad_out.shape()[0];
+  const std::int64_t hw = rank == 4 ? grad_out.shape()[2] * grad_out.shape()[3] : 1;
+  const auto m = static_cast<float>(n * hw);
+
+  tensor::FloatTensor grad_in(grad_out.shape());
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Per-channel sums of dy and dy*xhat for the current batch.
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* dy = grad_out.data() + (b * channels_ + c) * hw;
+      const float* xh = cached_xhat_.data() + (b * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += dy[i] * xh[i];
+      }
+    }
+    grad_beta_[c] += static_cast<float>(sum_dy);
+    grad_gamma_[c] += static_cast<float>(sum_dy_xhat);
+
+    const float k = gamma_[c] * cached_inv_std_[c];
+    const float mean_dy = static_cast<float>(sum_dy) / m;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / m;
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* dy = grad_out.data() + (b * channels_ + c) * hw;
+      const float* xh = cached_xhat_.data() + (b * channels_ + c) * hw;
+      float* dx = grad_in.data() + (b * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dx[i] = k * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void TBatchNorm::collect_params(std::vector<ParamRef>& out) {
+  out.push_back({&gamma_, &grad_gamma_});
+  out.push_back({&beta_, &grad_beta_});
+}
+
+bnn::LayerPtr TBatchNorm::to_inference() const {
+  return std::make_unique<bnn::BatchNorm>(name(), channels_, gamma_, beta_,
+                                          running_mean_, running_var_,
+                                          epsilon_);
+}
+
+// ------------------------------------------------------------------ TSign
+
+TSign::TSign(std::string name) : TrainLayer(std::move(name)) {}
+
+tensor::FloatTensor TSign::forward(const tensor::FloatTensor& x,
+                                   bool /*training*/) {
+  cached_input_ = x;
+  return tensor::sign(x);
+}
+
+tensor::FloatTensor TSign::backward(const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = grad_out[i] * ste_window(cached_input_[i]);
+  }
+  return grad_in;
+}
+
+bnn::LayerPtr TSign::to_inference() const {
+  return std::make_unique<bnn::Sign>(name());
+}
+
+// ------------------------------------------------------------------ TReLU
+
+TReLU::TReLU(std::string name) : TrainLayer(std::move(name)) {}
+
+tensor::FloatTensor TReLU::forward(const tensor::FloatTensor& x,
+                                   bool /*training*/) {
+  cached_input_ = x;
+  tensor::FloatTensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = std::max(0.0f, x[i]);
+  return out;
+}
+
+tensor::FloatTensor TReLU::backward(const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = cached_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+bnn::LayerPtr TReLU::to_inference() const {
+  return std::make_unique<bnn::ReLU>(name());
+}
+
+// ------------------------------------------------------------- TMaxPool2D
+
+TMaxPool2D::TMaxPool2D(std::string name, std::int64_t kernel,
+                       std::int64_t stride)
+    : TrainLayer(std::move(name)), kernel_(kernel), stride_(stride) {}
+
+tensor::FloatTensor TMaxPool2D::forward(const tensor::FloatTensor& x,
+                                        bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 4, "max pool expects NCHW");
+  cached_in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t h = x.shape()[2];
+  const std::int64_t w = x.shape()[3];
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+
+  tensor::FloatTensor out(tensor::Shape{n, c, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oidx = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x2 = 0; x2 < ow; ++x2, ++oidx) {
+          float best = -1e30f;
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t iy = y * stride_ + ky;
+              const std::int64_t ix = x2 * stride_ + kx;
+              const std::int64_t idx = ((b * c + ch) * h + iy) * w + ix;
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oidx] = best;
+          cached_argmax_[static_cast<std::size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor TMaxPool2D::backward(const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_in(cached_in_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[cached_argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+bnn::LayerPtr TMaxPool2D::to_inference() const {
+  return std::make_unique<bnn::MaxPool2D>(name(), kernel_, stride_);
+}
+
+// --------------------------------------------------------- TGlobalAvgPool
+
+TGlobalAvgPool::TGlobalAvgPool(std::string name)
+    : TrainLayer(std::move(name)) {}
+
+tensor::FloatTensor TGlobalAvgPool::forward(const tensor::FloatTensor& x,
+                                            bool /*training*/) {
+  FLIM_REQUIRE(x.shape().rank() == 4, "global avg pool expects NCHW");
+  cached_in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c = x.shape()[1];
+  const std::int64_t hw = x.shape()[2] * x.shape()[3];
+  tensor::FloatTensor out(tensor::Shape{n, c});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* in = x.data() + (b * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < hw; ++i) acc += in[i];
+      out.at2(b, ch) = acc / static_cast<float>(hw);
+    }
+  }
+  return out;
+}
+
+tensor::FloatTensor TGlobalAvgPool::backward(
+    const tensor::FloatTensor& grad_out) {
+  const std::int64_t n = cached_in_shape_[0];
+  const std::int64_t c = cached_in_shape_[1];
+  const std::int64_t hw = cached_in_shape_[2] * cached_in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  tensor::FloatTensor grad_in(cached_in_shape_);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at2(b, ch) * inv;
+      float* dst = grad_in.data() + (b * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) dst[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+bnn::LayerPtr TGlobalAvgPool::to_inference() const {
+  return std::make_unique<bnn::GlobalAvgPool>(name());
+}
+
+// --------------------------------------------------------------- TFlatten
+
+TFlatten::TFlatten(std::string name) : TrainLayer(std::move(name)) {}
+
+tensor::FloatTensor TFlatten::forward(const tensor::FloatTensor& x,
+                                      bool /*training*/) {
+  cached_in_shape_ = x.shape();
+  const std::int64_t n = x.shape()[0];
+  return x.reshaped(tensor::Shape{n, x.numel() / n});
+}
+
+tensor::FloatTensor TFlatten::backward(const tensor::FloatTensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+bnn::LayerPtr TFlatten::to_inference() const {
+  return std::make_unique<bnn::Flatten>(name());
+}
+
+// --------------------------------------------------------- TResidualBlock
+
+TResidualBlock::TResidualBlock(std::string name,
+                               std::vector<TrainLayerPtr> body,
+                               std::vector<TrainLayerPtr> shortcut)
+    : TrainLayer(std::move(name)),
+      body_(std::move(body)),
+      shortcut_(std::move(shortcut)) {
+  FLIM_REQUIRE(!body_.empty(), "residual block needs a body");
+}
+
+tensor::FloatTensor TResidualBlock::forward(const tensor::FloatTensor& x,
+                                            bool training) {
+  tensor::FloatTensor main = forward_chain(body_, x, training);
+  tensor::FloatTensor bypass =
+      shortcut_.empty() ? x : forward_chain(shortcut_, x, training);
+  FLIM_REQUIRE(main.shape() == bypass.shape(),
+               "residual branch shapes must match");
+  tensor::add_inplace(main, bypass);
+  return main;
+}
+
+tensor::FloatTensor TResidualBlock::backward(
+    const tensor::FloatTensor& grad_out) {
+  tensor::FloatTensor grad_main = backward_chain(body_, grad_out);
+  tensor::FloatTensor grad_bypass =
+      shortcut_.empty() ? grad_out : backward_chain(shortcut_, grad_out);
+  tensor::add_inplace(grad_main, grad_bypass);
+  return grad_main;
+}
+
+void TResidualBlock::collect_params(std::vector<ParamRef>& out) {
+  collect_chain(body_, out);
+  collect_chain(shortcut_, out);
+}
+
+bnn::LayerPtr TResidualBlock::to_inference() const {
+  bnn::LayerPtr shortcut;
+  if (!shortcut_.empty()) {
+    shortcut = std::make_unique<bnn::Sequential>(name() + "/shortcut",
+                                                 chain_to_inference(shortcut_));
+  }
+  return std::make_unique<bnn::ResidualBlock>(name(), chain_to_inference(body_),
+                                              std::move(shortcut));
+}
+
+// ----------------------------------------------------------- TConcatBlock
+
+TConcatBlock::TConcatBlock(std::string name, std::vector<TrainLayerPtr> body)
+    : TrainLayer(std::move(name)), body_(std::move(body)) {
+  FLIM_REQUIRE(!body_.empty(), "concat block needs a body");
+}
+
+tensor::FloatTensor TConcatBlock::forward(const tensor::FloatTensor& x,
+                                          bool training) {
+  FLIM_REQUIRE(x.shape().rank() == 4, "concat block expects NCHW");
+  cached_c0_ = x.shape()[1];
+  const tensor::FloatTensor grown = forward_chain(body_, x, training);
+  FLIM_REQUIRE(grown.shape().rank() == 4 &&
+                   grown.shape()[0] == x.shape()[0] &&
+                   grown.shape()[2] == x.shape()[2] &&
+                   grown.shape()[3] == x.shape()[3],
+               "concat body must preserve batch and spatial dims");
+  const std::int64_t n = x.shape()[0];
+  const std::int64_t c1 = grown.shape()[1];
+  const std::int64_t hw = x.shape()[2] * x.shape()[3];
+  tensor::FloatTensor out(
+      tensor::Shape{n, cached_c0_ + c1, x.shape()[2], x.shape()[3]});
+  for (std::int64_t b = 0; b < n; ++b) {
+    float* dst = out.data() + b * (cached_c0_ + c1) * hw;
+    const float* s0 = x.data() + b * cached_c0_ * hw;
+    const float* s1 = grown.data() + b * c1 * hw;
+    std::copy(s0, s0 + cached_c0_ * hw, dst);
+    std::copy(s1, s1 + c1 * hw, dst + cached_c0_ * hw);
+  }
+  return out;
+}
+
+tensor::FloatTensor TConcatBlock::backward(const tensor::FloatTensor& grad_out) {
+  const std::int64_t n = grad_out.shape()[0];
+  const std::int64_t ctot = grad_out.shape()[1];
+  const std::int64_t c1 = ctot - cached_c0_;
+  const std::int64_t h = grad_out.shape()[2];
+  const std::int64_t w = grad_out.shape()[3];
+  const std::int64_t hw = h * w;
+
+  tensor::FloatTensor grad_x(tensor::Shape{n, cached_c0_, h, w});
+  tensor::FloatTensor grad_grown(tensor::Shape{n, c1, h, w});
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* src = grad_out.data() + b * ctot * hw;
+    std::copy(src, src + cached_c0_ * hw, grad_x.data() + b * cached_c0_ * hw);
+    std::copy(src + cached_c0_ * hw, src + ctot * hw,
+              grad_grown.data() + b * c1 * hw);
+  }
+  tensor::FloatTensor grad_body = backward_chain(body_, grad_grown);
+  tensor::add_inplace(grad_x, grad_body);
+  return grad_x;
+}
+
+void TConcatBlock::collect_params(std::vector<ParamRef>& out) {
+  collect_chain(body_, out);
+}
+
+bnn::LayerPtr TConcatBlock::to_inference() const {
+  return std::make_unique<bnn::ConcatBlock>(name(), chain_to_inference(body_));
+}
+
+}  // namespace flim::train

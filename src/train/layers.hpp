@@ -1,0 +1,277 @@
+// Trainable layers with manual backward passes.
+//
+// The training graph mirrors the inference layer set; binarized layers keep
+// latent real-valued weights and binarize on the forward pass, propagating
+// gradients with the straight-through estimator (STE): the sign() derivative
+// is approximated by the hard-tanh window 1{|x| <= 1}, the standard BNN
+// recipe (Courbariaux/Hubara; used by Larq).
+//
+// Every layer can emit its inference counterpart via to_inference(), so a
+// trained graph converts into a bnn::Model that computes bit-identical
+// logits (binary convs pad with -1 to match the XNOR engine's padding).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/layer.hpp"
+#include "core/rng.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor.hpp"
+#include "train/optimizer.hpp"
+
+namespace flim::train {
+
+/// Base class of trainable layers.
+class TrainLayer {
+ public:
+  explicit TrainLayer(std::string name) : name_(std::move(name)) {}
+  virtual ~TrainLayer() = default;
+
+  TrainLayer(const TrainLayer&) = delete;
+  TrainLayer& operator=(const TrainLayer&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Forward pass; `training` toggles batch-norm statistics mode.
+  virtual tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                                      bool training) = 0;
+
+  /// Backward pass: consumes dL/dy, accumulates parameter gradients, and
+  /// returns dL/dx. Must be called right after the matching forward().
+  virtual tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) = 0;
+
+  /// Registers trainable parameters.
+  virtual void collect_params(std::vector<ParamRef>& out) { (void)out; }
+
+  /// Emits the equivalent inference layer.
+  virtual bnn::LayerPtr to_inference() const = 0;
+
+ private:
+  std::string name_;
+};
+
+using TrainLayerPtr = std::unique_ptr<TrainLayer>;
+
+/// Real-valued convolution (the CMOS first layer).
+class TConv2D final : public TrainLayer {
+ public:
+  TConv2D(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+          std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+          core::Rng& rng);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  tensor::FloatTensor weights_, bias_, grad_weights_, grad_bias_;
+  tensor::ConvGeometry geom_;
+  std::int64_t batch_ = 0;
+  tensor::FloatTensor cached_patches_;
+};
+
+/// Binarized convolution with latent weights (STE on weights; inputs are
+/// assumed ±1, produced by a preceding TSign).
+///
+/// With `xnor_gains` enabled, outputs are rescaled per channel by the mean
+/// |latent weight| -- XNOR-Net's alpha gains ("weights are multiplied by an
+/// individual gain based on the magnitude of the channel"). The gain is
+/// treated as a constant in backward (standard XNOR-Net approximation) and
+/// is emitted as a ChannelScale layer on conversion.
+class TBinaryConv2D final : public TrainLayer {
+ public:
+  TBinaryConv2D(std::string name, std::int64_t in_channels,
+                std::int64_t out_channels, std::int64_t kernel,
+                std::int64_t stride, std::int64_t pad, core::Rng& rng,
+                bool xnor_gains = false);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+  /// Per-output-channel mean |w| gains (XNOR-Net alpha).
+  tensor::FloatTensor channel_gains() const;
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool xnor_gains_ = false;
+  tensor::FloatTensor latent_weights_, grad_weights_;
+  tensor::ConvGeometry geom_;
+  std::int64_t batch_ = 0;
+  tensor::FloatTensor cached_patches_;  // ±1 patches
+  tensor::FloatTensor cached_sign_w_;
+  tensor::FloatTensor cached_gains_;
+};
+
+/// Real-valued fully connected layer.
+class TDense final : public TrainLayer {
+ public:
+  TDense(std::string name, std::int64_t in_features, std::int64_t out_features,
+         core::Rng& rng);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::int64_t in_features_, out_features_;
+  tensor::FloatTensor weights_, bias_, grad_weights_, grad_bias_;
+  tensor::FloatTensor cached_input_;
+};
+
+/// Binarized fully connected layer with latent weights.
+class TBinaryDense final : public TrainLayer {
+ public:
+  TBinaryDense(std::string name, std::int64_t in_features,
+               std::int64_t out_features, core::Rng& rng);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::int64_t in_features_, out_features_;
+  tensor::FloatTensor latent_weights_, grad_weights_;
+  tensor::FloatTensor cached_input_, cached_sign_w_;
+};
+
+/// Batch normalization (training statistics + running averages).
+class TBatchNorm final : public TrainLayer {
+ public:
+  TBatchNorm(std::string name, std::int64_t channels, float momentum = 0.9f,
+             float epsilon = 1e-5f);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::int64_t channels_;
+  float momentum_, epsilon_;
+  tensor::FloatTensor gamma_, beta_, grad_gamma_, grad_beta_;
+  tensor::FloatTensor running_mean_, running_var_;
+  // caches for backward
+  tensor::FloatTensor cached_xhat_;
+  tensor::FloatTensor cached_inv_std_;  // [channels]
+  tensor::Shape cached_shape_;
+};
+
+/// Sign activation with STE backward.
+class TSign final : public TrainLayer {
+ public:
+  explicit TSign(std::string name);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  tensor::FloatTensor cached_input_;
+};
+
+/// ReLU.
+class TReLU final : public TrainLayer {
+ public:
+  explicit TReLU(std::string name);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  tensor::FloatTensor cached_input_;
+};
+
+/// Max pooling (square window).
+class TMaxPool2D final : public TrainLayer {
+ public:
+  TMaxPool2D(std::string name, std::int64_t kernel, std::int64_t stride);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::int64_t kernel_, stride_;
+  tensor::Shape cached_in_shape_;
+  std::vector<std::int64_t> cached_argmax_;
+};
+
+/// Global average pooling NCHW -> [N, C].
+class TGlobalAvgPool final : public TrainLayer {
+ public:
+  explicit TGlobalAvgPool(std::string name);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+/// Flatten NCHW -> [N, F].
+class TFlatten final : public TrainLayer {
+ public:
+  explicit TFlatten(std::string name);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  tensor::Shape cached_in_shape_;
+};
+
+/// Residual block: y = body(x) + shortcut(x) (identity when no shortcut).
+class TResidualBlock final : public TrainLayer {
+ public:
+  TResidualBlock(std::string name, std::vector<TrainLayerPtr> body,
+                 std::vector<TrainLayerPtr> shortcut);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::vector<TrainLayerPtr> body_;
+  std::vector<TrainLayerPtr> shortcut_;  // empty => identity
+};
+
+/// Dense-connectivity block: y = concat(x, body(x)) along channels.
+class TConcatBlock final : public TrainLayer {
+ public:
+  TConcatBlock(std::string name, std::vector<TrainLayerPtr> body);
+
+  tensor::FloatTensor forward(const tensor::FloatTensor& x,
+                              bool training) override;
+  tensor::FloatTensor backward(const tensor::FloatTensor& grad_out) override;
+  void collect_params(std::vector<ParamRef>& out) override;
+  bnn::LayerPtr to_inference() const override;
+
+ private:
+  std::vector<TrainLayerPtr> body_;
+  std::int64_t cached_c0_ = 0;
+};
+
+}  // namespace flim::train

@@ -1,0 +1,35 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace flim::train {
+
+LossResult softmax_cross_entropy(const tensor::FloatTensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  FLIM_REQUIRE(logits.shape().rank() == 2, "logits must be [batch, classes]");
+  const std::int64_t n = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  FLIM_REQUIRE(static_cast<std::size_t>(n) == labels.size(),
+               "one label per logits row required");
+
+  LossResult result;
+  result.grad_logits = tensor::softmax_rows(logits);
+  double total = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t label = labels[static_cast<std::size_t>(r)];
+    FLIM_REQUIRE(label >= 0 && label < classes, "label out of range");
+    float* row = result.grad_logits.data() + r * classes;
+    total -= std::log(std::max(row[label], 1e-12f));
+    // dL/dlogits = (softmax - onehot) / batch
+    row[label] -= 1.0f;
+    for (std::int64_t c = 0; c < classes; ++c) row[c] *= inv_n;
+  }
+  result.loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace flim::train

@@ -1,0 +1,21 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flim::train {
+
+/// Loss value and the gradient with respect to the logits.
+struct LossResult {
+  double loss = 0.0;                // mean over the batch
+  tensor::FloatTensor grad_logits;  // [batch, classes]
+};
+
+/// Computes mean softmax cross-entropy and its logit gradient.
+LossResult softmax_cross_entropy(const tensor::FloatTensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+}  // namespace flim::train

@@ -1,0 +1,75 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::train {
+
+Adam::Adam(float lr, float beta1, float beta2, float epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  FLIM_REQUIRE(lr > 0.0f, "learning rate must be positive");
+}
+
+void Adam::attach(std::vector<ParamRef> params) {
+  params_ = std::move(params);
+  m_.clear();
+  v_.clear();
+  for (const auto& p : params_) {
+    FLIM_REQUIRE(p.value != nullptr && p.grad != nullptr,
+                 "parameter references must be non-null");
+    FLIM_REQUIRE(p.value->shape() == p.grad->shape(),
+                 "parameter and gradient shapes must match");
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::FloatTensor& w = *params_[i].value;
+    tensor::FloatTensor& g = *params_[i].grad;
+    tensor::FloatTensor& m = m_[i];
+    tensor::FloatTensor& v = v_[i];
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+      g[j] = 0.0f;
+    }
+  }
+}
+
+Sgd::Sgd(float lr, float momentum) : lr_(lr), momentum_(momentum) {
+  FLIM_REQUIRE(lr > 0.0f, "learning rate must be positive");
+}
+
+void Sgd::attach(std::vector<ParamRef> params) {
+  params_ = std::move(params);
+  velocity_.clear();
+  for (const auto& p : params_) {
+    FLIM_REQUIRE(p.value != nullptr && p.grad != nullptr,
+                 "parameter references must be non-null");
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::FloatTensor& w = *params_[i].value;
+    tensor::FloatTensor& g = *params_[i].grad;
+    tensor::FloatTensor& vel = velocity_[i];
+    for (std::int64_t j = 0; j < w.numel(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * g[j];
+      w[j] += vel[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace flim::train

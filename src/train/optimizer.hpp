@@ -1,0 +1,67 @@
+// First-order optimizers over flat parameter references.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flim::train {
+
+/// A trainable parameter: value plus accumulated gradient, owned by a layer.
+struct ParamRef {
+  tensor::FloatTensor* value = nullptr;
+  tensor::FloatTensor* grad = nullptr;
+};
+
+/// Optimizer interface; step() consumes and implicitly zeroes gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers the parameters to optimize (call once before step()).
+  virtual void attach(std::vector<ParamRef> params) = 0;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  /// Current learning rate (schedulers may change it between steps).
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f);
+
+  void attach(std::vector<ParamRef> params) override;
+  void step() override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, epsilon_;
+  std::int64_t t_ = 0;
+  std::vector<ParamRef> params_;
+  std::vector<tensor::FloatTensor> m_, v_;
+};
+
+/// SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr = 1e-2f, float momentum = 0.9f);
+
+  void attach(std::vector<ParamRef> params) override;
+  void step() override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, momentum_;
+  std::vector<ParamRef> params_;
+  std::vector<tensor::FloatTensor> velocity_;
+};
+
+}  // namespace flim::train

@@ -1,0 +1,90 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+#include "train/loss.hpp"
+
+namespace flim::train {
+
+TrainResult fit(Graph& graph, Optimizer& optimizer,
+                const data::Dataset& dataset, const TrainConfig& config) {
+  FLIM_REQUIRE(config.epochs > 0, "need at least one epoch");
+  FLIM_REQUIRE(config.batch_size > 0, "batch size must be positive");
+  const std::int64_t total = config.train_samples > 0
+                                 ? std::min(config.train_samples, dataset.size())
+                                 : dataset.size();
+  FLIM_REQUIRE(total > 0, "empty training set");
+
+  optimizer.attach(graph.params());
+  core::Rng rng(config.shuffle_seed);
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(total));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic generator.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.uniform(i)]);
+    }
+
+    double epoch_loss = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    for (std::int64_t begin = 0; begin < total; begin += config.batch_size) {
+      const std::int64_t end = std::min(begin + config.batch_size, total);
+      const std::vector<std::int64_t> indices(
+          order.begin() + static_cast<std::ptrdiff_t>(begin),
+          order.begin() + static_cast<std::ptrdiff_t>(end));
+      const data::Batch batch = data::load_batch(dataset, indices);
+
+      const tensor::FloatTensor logits = graph.forward(batch.images, true);
+      const LossResult loss = softmax_cross_entropy(logits, batch.labels);
+      graph.backward(loss.grad_logits);
+      optimizer.step();
+
+      epoch_loss += loss.loss * static_cast<double>(end - begin);
+      const auto preds = tensor::argmax_rows(logits);
+      for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+        if (preds[i] == batch.labels[i]) ++correct;
+      }
+      seen += end - begin;
+    }
+    result.final_train_loss = epoch_loss / static_cast<double>(seen);
+    result.final_train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(seen);
+    result.epochs_run = epoch + 1;
+    if (config.verbose) {
+      FLIM_LOG_INFO << graph.name() << " epoch " << (epoch + 1) << "/"
+                    << config.epochs << " loss=" << result.final_train_loss
+                    << " acc=" << result.final_train_accuracy;
+    }
+    optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
+  }
+  return result;
+}
+
+double evaluate_graph(Graph& graph, const data::Dataset& dataset,
+                      std::int64_t first, std::int64_t count,
+                      std::int64_t batch_size) {
+  FLIM_REQUIRE(first >= 0 && count > 0 && first + count <= dataset.size(),
+               "evaluation range out of bounds");
+  std::int64_t correct = 0;
+  for (std::int64_t begin = first; begin < first + count; begin += batch_size) {
+    const std::int64_t n = std::min(batch_size, first + count - begin);
+    const data::Batch batch = data::load_batch(dataset, begin, n);
+    const tensor::FloatTensor logits = graph.forward(batch.images, false);
+    const auto preds = tensor::argmax_rows(logits);
+    for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+}  // namespace flim::train

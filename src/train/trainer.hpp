@@ -1,0 +1,40 @@
+// Training loop: mini-batch SGD over a dataset with held-out evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "train/graph.hpp"
+#include "train/optimizer.hpp"
+
+namespace flim::train {
+
+/// Training hyper-parameters.
+struct TrainConfig {
+  int epochs = 5;
+  std::int64_t batch_size = 32;
+  std::int64_t train_samples = 0;  // 0 => whole dataset
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Multiplicative learning-rate decay applied after each epoch.
+  float lr_decay = 1.0f;
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  double final_train_loss = 0.0;
+  double final_train_accuracy = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains `graph` on `dataset` with `optimizer`.
+TrainResult fit(Graph& graph, Optimizer& optimizer,
+                const data::Dataset& dataset, const TrainConfig& config);
+
+/// Evaluates classification accuracy of the graph (eval mode) over samples
+/// [first, first+count) of `dataset`, in batches.
+double evaluate_graph(Graph& graph, const data::Dataset& dataset,
+                      std::int64_t first, std::int64_t count,
+                      std::int64_t batch_size = 64);
+
+}  // namespace flim::train

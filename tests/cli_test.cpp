@@ -1,0 +1,200 @@
+// Tests for the flim_cli argument parser and the file-level commands.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "fault/fault_vector_file.hpp"
+
+namespace flim::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"flim_cli"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, ParsesCommandAndFlags) {
+  const Args args = parse({"generate", "--rate", "0.1", "--verbose",
+                           "--layers", "a,b"});
+  EXPECT_EQ(args.command(), "generate");
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.1);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_list("layers"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args args = parse({});
+  EXPECT_TRUE(args.command().empty());
+}
+
+TEST(Args, TypedAccessorsValidate) {
+  const Args args = parse({"x", "--n", "12", "--bad", "abc"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_EQ(args.get_int("absent", 7), 7);
+  EXPECT_THROW(args.get_int("bad", 0), std::exception);
+}
+
+TEST(Args, DoubleListParsing) {
+  const Args args = parse({"x", "--rates", "0,0.05,0.1"});
+  const auto rates = args.get_double_list("rates");
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[1], 0.05);
+}
+
+TEST(Args, RejectsDuplicatesAndUnknown) {
+  EXPECT_THROW(parse({"x", "--a", "1", "--a", "2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"x", "positional"}), std::invalid_argument);
+  const Args args = parse({"x", "--known", "1"});
+  EXPECT_THROW(args.require_known({"other"}), std::invalid_argument);
+  args.require_known({"known"});
+}
+
+TEST(Cli, UnknownCommandFails) {
+  EXPECT_EQ(run(parse({"frobnicate"})), 1);
+  EXPECT_EQ(run(parse({"help"})), 0);
+}
+
+TEST(Cli, GenerateAndInspectRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cli_vectors.bin";
+  const std::string grid = "8x8";
+  std::vector<const char*> argv{
+      "flim_cli", "generate", "--out",  path.c_str(), "--layers",
+      "conv1,conv2", "--kind", "stuckat", "--rate", "0.25",
+      "--grid", grid.c_str(), "--seed", "9"};
+  const Args gen_args =
+      Args::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(cmd_generate(gen_args), 0);
+
+  const fault::FaultVectorFile file = fault::FaultVectorFile::load(path);
+  EXPECT_EQ(file.size(), 2u);
+  ASSERT_NE(file.find("conv1"), nullptr);
+  EXPECT_EQ(file.find("conv1")->mask.count_sa0() +
+                file.find("conv1")->mask.count_sa1(),
+            16);  // 25% of 64
+
+  std::vector<const char*> inspect{"flim_cli", "inspect", "--file",
+                                   path.c_str()};
+  EXPECT_EQ(cmd_inspect(Args::parse(4, inspect.data())), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, GenerateValidatesInput) {
+  EXPECT_THROW(cmd_generate(parse({"generate"})), std::invalid_argument);
+  EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",
+                                   "a", "--grid", "nonsense"})),
+               std::exception);
+  EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",
+                                   "a", "--rate", "7"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, MarchCleanArrayPasses) {
+  EXPECT_EQ(cmd_march(parse({"march", "--algorithm", "all", "--grid",
+                             "8x8"})),
+            0);
+}
+
+TEST(Cli, MarchFindsPlantedFault) {
+  // Exit code 2 signals "defect detected", mirroring a test instrument.
+  EXPECT_EQ(cmd_march(parse({"march", "--algorithm", "marchc-", "--grid",
+                             "8x8", "--inject", "stuckat0", "--at", "1,2"})),
+            2);
+  // MATS+ famously misses the 1->0 transition fault.
+  EXPECT_EQ(cmd_march(parse({"march", "--algorithm", "mats+", "--grid",
+                             "8x8", "--inject", "slowreset", "--at", "1,2"})),
+            0);
+  EXPECT_EQ(cmd_march(parse({"march", "--algorithm", "marchx", "--grid",
+                             "8x8", "--inject", "slowreset", "--at", "1,2"})),
+            2);
+}
+
+TEST(Cli, MarchCoverageMode) {
+  EXPECT_EQ(cmd_march(parse({"march", "--algorithm", "raw1", "--grid", "8x8",
+                             "--coverage", "--samples", "4"})),
+            0);
+}
+
+TEST(Cli, MarchValidatesInput) {
+  EXPECT_THROW(cmd_march(parse({"march", "--algorithm", "bogus"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_march(parse({"march", "--inject", "nonsense"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_march(parse({"march", "--grid", "x"})), std::exception);
+}
+
+TEST(Cli, ScrubPipelineReducesFaultyBits) {
+  const std::string in_path = ::testing::TempDir() + "/cli_scrub_in.bin";
+  const std::string out_path = ::testing::TempDir() + "/cli_scrub_out.bin";
+  ASSERT_EQ(cmd_generate(parse({"generate", "--out", in_path.c_str(),
+                                "--layers", "conv1", "--kind", "stuckat",
+                                "--rate", "0.005", "--grid", "64x64",
+                                "--seed", "9"})),
+            0);
+  ASSERT_EQ(cmd_scrub(parse({"scrub", "--in", in_path.c_str(), "--out",
+                             out_path.c_str(), "--word-bits", "32",
+                             "--interleave", "4"})),
+            0);
+  const fault::FaultVectorFile before = fault::FaultVectorFile::load(in_path);
+  const fault::FaultVectorFile after = fault::FaultVectorFile::load(out_path);
+  ASSERT_EQ(after.size(), 1u);
+  const auto faulty_bits = [](const fault::FaultVectorEntry& e) {
+    return e.mask.count_flip() + e.mask.count_sa0() + e.mask.count_sa1();
+  };
+  EXPECT_LT(faulty_bits(*after.find("conv1")),
+            faulty_bits(*before.find("conv1")));
+  // Metadata survives the scrub.
+  EXPECT_EQ(after.find("conv1")->kind, before.find("conv1")->kind);
+  std::filesystem::remove(in_path);
+  std::filesystem::remove(out_path);
+}
+
+TEST(Cli, ScrubValidatesInput) {
+  EXPECT_THROW(cmd_scrub(parse({"scrub"})), std::invalid_argument);
+  EXPECT_THROW(cmd_scrub(parse({"scrub", "--in", "/nonexistent/f.bin",
+                                "--out", "/tmp/out.bin"})),
+               std::exception);
+}
+
+TEST(Cli, MonitorDetectsVectorFileFaults) {
+  const std::string path = ::testing::TempDir() + "/cli_monitor.bin";
+  ASSERT_EQ(cmd_generate(parse({"generate", "--out", path.c_str(),
+                                "--layers", "conv1", "--kind", "stuckat",
+                                "--rate", "0.01", "--grid", "32x32",
+                                "--seed", "4"})),
+            0);
+  EXPECT_EQ(cmd_monitor(parse({"monitor", "--vectors", path.c_str(),
+                               "--layer", "conv1", "--policy", "roundrobin",
+                               "--reps", "3"})),
+            0);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, MonitorValidatesInput) {
+  EXPECT_THROW(cmd_monitor(parse({"monitor"})), std::invalid_argument);
+  const std::string path = ::testing::TempDir() + "/cli_monitor2.bin";
+  ASSERT_EQ(cmd_generate(parse({"generate", "--out", path.c_str(),
+                                "--layers", "a", "--kind", "bitflip",
+                                "--rate", "0.1", "--grid", "8x8"})),
+            0);
+  // Unknown layer and unknown policy both fail loudly.
+  EXPECT_THROW(cmd_monitor(parse({"monitor", "--vectors", path.c_str(),
+                                  "--layer", "nope"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_monitor(parse({"monitor", "--vectors", path.c_str(),
+                                  "--layer", "a", "--policy", "psychic"})),
+               std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, LifetimeValidatesMitigation) {
+  // Invalid mitigation fails before any (expensive) model loading.
+  EXPECT_THROW(cmd_lifetime(parse({"lifetime", "--mitigation", "prayers"})),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace flim::cli

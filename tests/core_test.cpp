@@ -1,0 +1,320 @@
+// Unit tests for flim::core (RNG, statistics, tables, thread pool, campaign).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "core/campaign.hpp"
+#include "core/check.hpp"
+#include "core/report.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/sysinfo.hpp"
+#include "core/thread_pool.hpp"
+
+namespace flim::core {
+namespace {
+
+TEST(Rng, IsDeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliHandlesDegenerateProbabilities) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentAndDeterministic) {
+  Rng base(5);
+  Rng c1 = base.derive(1);
+  Rng c2 = base.derive(2);
+  Rng c1b = Rng(5).derive(1);
+  EXPECT_EQ(c1(), c1b());
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, SampleWithoutReplacementIsExactAndDistinct) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (const auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, PoissonZeroMeanIsAlwaysZero) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonRejectsNegativeMean) {
+  Rng rng(41);
+  EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallMeanMatchesMomentsLoosely) {
+  // Poisson(mean) has mean == variance == `mean`; check both within a few
+  // standard errors over many draws (Knuth branch, mean < 32).
+  Rng rng(43);
+  const double mean = 3.5;
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double k = static_cast<double>(rng.poisson(mean));
+    sum += k;
+    sum_sq += k * k;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sum_sq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, 0.1);
+  EXPECT_NEAR(sample_var, mean, 0.3);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(47);
+  const double mean = 400.0;
+  const int n = 4000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(RunningStats, ComputesMeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal();
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Stats, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0, 3.0, 4.0, 5.0}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Table, RendersAsciiAndCsv) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("beta, with comma", 2);
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"beta, with comma\""), std::string::npos);
+}
+
+TEST(Table, RejectsBadRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, WritesCsvFile) {
+  Table t({"x"});
+  t.add(3.25);
+  const std::string path = ::testing::TempDir() + "/flim_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x");
+  EXPECT_EQ(row.substr(0, 4), "3.25");
+}
+
+TEST(ThreadPool, RunsAllIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(1000, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(Campaign, RepeatsWithDerivedSeeds) {
+  CampaignConfig cfg;
+  cfg.repetitions = 50;
+  cfg.master_seed = 99;
+  std::set<std::uint64_t> seeds;
+  const Summary s = run_repeated(cfg, [&](std::uint64_t seed) {
+    seeds.insert(seed);
+    return 1.0;
+  });
+  EXPECT_EQ(s.count, 50u);
+  EXPECT_EQ(seeds.size(), 50u);  // all distinct
+  EXPECT_DOUBLE_EQ(s.mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Campaign, IsReproducible) {
+  CampaignConfig cfg;
+  cfg.repetitions = 20;
+  cfg.master_seed = 1234;
+  auto metric = [](std::uint64_t seed) {
+    return Rng(seed).uniform_double();
+  };
+  const Summary a = run_repeated(cfg, metric);
+  const Summary b = run_repeated(cfg, metric);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Campaign, ParallelMatchesSerialMean) {
+  CampaignConfig serial;
+  serial.repetitions = 40;
+  serial.master_seed = 5;
+  auto metric = [](std::uint64_t seed) { return Rng(seed).uniform_double(); };
+  const Summary s = run_repeated(serial, metric);
+
+  ThreadPool pool(4);
+  CampaignConfig parallel = serial;
+  parallel.pool = &pool;
+  const Summary p = run_repeated(parallel, metric);
+  EXPECT_NEAR(s.mean, p.mean, 1e-12);
+}
+
+TEST(Campaign, SweepProducesOnePointPerX) {
+  CampaignConfig cfg;
+  cfg.repetitions = 5;
+  const auto points =
+      run_sweep(cfg, {0.0, 0.5, 1.0},
+                [](double x, std::uint64_t) { return x * 2.0; });
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[1].metric.mean, 1.0);
+  EXPECT_DOUBLE_EQ(points[2].x, 1.0);
+}
+
+TEST(Campaign, RejectsZeroRepetitions) {
+  CampaignConfig cfg;
+  cfg.repetitions = 0;
+  EXPECT_THROW(run_repeated(cfg, [](std::uint64_t) { return 0.0; }),
+               std::invalid_argument);
+}
+
+TEST(SysInfo, CollectsBasicFields) {
+  const SystemInfo info = collect_system_info();
+  EXPECT_GT(info.logical_cores, 0);
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.library_version.empty());
+  const std::string report = format_system_info(info);
+  EXPECT_NE(report.find("CPU"), std::string::npos);
+  EXPECT_NE(report.find("FLIM"), std::string::npos);
+}
+
+TEST(Check, RequireThrowsWithMessage) {
+  try {
+    FLIM_REQUIRE(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace flim::core

@@ -1,0 +1,152 @@
+// Unit tests for the synthetic datasets.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace flim::data {
+namespace {
+
+TEST(SyntheticMnist, GeometryAndLabels) {
+  SyntheticMnist ds;
+  EXPECT_EQ(ds.size(), 10000);
+  EXPECT_EQ(ds.channels(), 1);
+  EXPECT_EQ(ds.height(), 28);
+  EXPECT_EQ(ds.width(), 28);
+  EXPECT_EQ(ds.num_classes(), 10);
+  for (std::int64_t i = 0; i < 50; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+    EXPECT_EQ(s.image.shape(), (tensor::Shape{1, 28, 28}));
+  }
+}
+
+TEST(SyntheticMnist, PixelsInUnitRange) {
+  SyntheticMnist ds;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    for (std::int64_t p = 0; p < s.image.numel(); ++p) {
+      EXPECT_GE(s.image[p], 0.0f);
+      EXPECT_LE(s.image[p], 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticMnist, IsDeterministicPerIndex) {
+  SyntheticMnist a, b;
+  for (std::int64_t i : {0, 17, 999}) {
+    const Sample sa = a.get(i);
+    const Sample sb = b.get(i);
+    EXPECT_EQ(sa.label, sb.label);
+    EXPECT_EQ(sa.image, sb.image);
+  }
+}
+
+TEST(SyntheticMnist, DifferentSeedsDiffer) {
+  SyntheticMnistOptions o1, o2;
+  o2.seed = o1.seed + 1;
+  SyntheticMnist a(o1), b(o2);
+  int identical = 0;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    if (a.get(i).image == b.get(i).image) ++identical;
+  }
+  EXPECT_LT(identical, 2);
+}
+
+TEST(SyntheticMnist, DigitHasInk) {
+  SyntheticMnist ds;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    float total = 0.0f;
+    for (std::int64_t p = 0; p < s.image.numel(); ++p) total += s.image[p];
+    EXPECT_GT(total, 10.0f) << "sample " << i << " looks empty";
+    EXPECT_LT(total, 500.0f) << "sample " << i << " looks saturated";
+  }
+}
+
+TEST(SyntheticMnist, ClassesRoughlyBalanced) {
+  SyntheticMnist ds;
+  std::array<int, 10> counts{};
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    counts[static_cast<std::size_t>(ds.get(i).label)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 120);  // expectation 200 each
+    EXPECT_LT(c, 300);
+  }
+}
+
+TEST(SyntheticMnist, RejectsBadOptionsAndIndices) {
+  SyntheticMnistOptions bad;
+  bad.size = 0;
+  EXPECT_THROW(SyntheticMnist{bad}, std::invalid_argument);
+  SyntheticMnist ds;
+  EXPECT_THROW(ds.get(-1), std::invalid_argument);
+  EXPECT_THROW(ds.get(ds.size()), std::invalid_argument);
+}
+
+TEST(SyntheticImagenet, GeometryAndDeterminism) {
+  SyntheticImagenet ds;
+  EXPECT_EQ(ds.channels(), 3);
+  EXPECT_EQ(ds.height(), 32);
+  EXPECT_EQ(ds.width(), 32);
+  const Sample a = ds.get(123);
+  const Sample b = SyntheticImagenet().get(123);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.image.shape(), (tensor::Shape{3, 32, 32}));
+}
+
+TEST(SyntheticImagenet, PixelsInUnitRange) {
+  SyntheticImagenet ds;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const Sample s = ds.get(i);
+    for (std::int64_t p = 0; p < s.image.numel(); ++p) {
+      EXPECT_GE(s.image[p], 0.0f);
+      EXPECT_LE(s.image[p], 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticImagenet, AllClassesAppear) {
+  SyntheticImagenet ds;
+  std::array<int, 10> counts{};
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    counts[static_cast<std::size_t>(ds.get(i).label)]++;
+  }
+  for (const int c : counts) EXPECT_GT(c, 50);
+}
+
+TEST(Batch, StacksContiguousRange) {
+  SyntheticMnist ds;
+  const Batch b = load_batch(ds, 5, 3);
+  EXPECT_EQ(b.images.shape(), (tensor::Shape{3, 1, 28, 28}));
+  ASSERT_EQ(b.labels.size(), 3u);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const Sample s = ds.get(5 + i);
+    EXPECT_EQ(b.labels[static_cast<std::size_t>(i)], s.label);
+    for (std::int64_t p = 0; p < s.image.numel(); ++p) {
+      EXPECT_FLOAT_EQ(b.images[i * 28 * 28 + p], s.image[p]);
+    }
+  }
+}
+
+TEST(Batch, StacksArbitraryIndices) {
+  SyntheticImagenet ds;
+  const Batch b = load_batch(ds, std::vector<std::int64_t>{9, 2, 2});
+  EXPECT_EQ(b.images.shape(), (tensor::Shape{3, 3, 32, 32}));
+  EXPECT_EQ(b.labels[1], b.labels[2]);
+}
+
+TEST(Batch, RejectsOutOfRange) {
+  SyntheticMnist ds;
+  EXPECT_THROW(load_batch(ds, ds.size() - 1, 2), std::invalid_argument);
+  EXPECT_THROW(load_batch(ds, std::vector<std::int64_t>{-1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flim::data

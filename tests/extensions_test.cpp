@@ -1,0 +1,255 @@
+// Tests for the extension features: training-time fault injection (the
+// paper's future work) and the median-vote mitigation engine.
+#include <gtest/gtest.h>
+
+#include "bnn/binary_dense.hpp"
+#include "bnn/engine.hpp"
+#include "bnn/flim_engine.hpp"
+#include "bnn/redundancy.hpp"
+#include "core/rng.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "fault/fault_generator.hpp"
+#include "models/zoo.hpp"
+#include "train/fault_training.hpp"
+#include "train/trainer.hpp"
+
+namespace flim {
+namespace {
+
+using tensor::FloatTensor;
+using tensor::Shape;
+
+fault::FaultVectorEntry entry_with(fault::FaultKind kind, std::int64_t rows,
+                                   std::int64_t cols) {
+  fault::FaultVectorEntry e;
+  e.layer_name = "layer";
+  e.kind = kind;
+  e.mask = fault::FaultMask(rows, cols);
+  return e;
+}
+
+TEST(TrainFaultInjection, FlipNegatesForwardAndGradient) {
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kBitFlip, 1, 4);
+  e.mask.set_flip(1, true);
+  train::TFaultInjection inj("fi", e, /*full_scale=*/10);
+
+  FloatTensor x(Shape{1, 4}, std::vector<float>{1, 2, 3, 4});
+  const FloatTensor y = inj.forward(x, /*training=*/true);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+
+  FloatTensor dy(Shape{1, 4}, 1.0f);
+  const FloatTensor dx = inj.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[1], -1.0f);  // gradient negated through the flip
+}
+
+TEST(TrainFaultInjection, StuckAtPinsAndBlocksGradient) {
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kStuckAt, 1, 3);
+  e.mask.set_sa0(0, true);
+  e.mask.set_sa1(2, true);
+  train::TFaultInjection inj("fi", e, /*full_scale=*/7);
+
+  FloatTensor x(Shape{1, 3}, std::vector<float>{5, 5, 5});
+  const FloatTensor y = inj.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -7.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+  EXPECT_FLOAT_EQ(y[2], 7.0f);
+
+  FloatTensor dy(Shape{1, 3}, 2.0f);
+  const FloatTensor dx = inj.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);  // pinned elements block the gradient
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+TEST(TrainFaultInjection, EvalModeIsClean) {
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kBitFlip, 1, 2);
+  e.mask.set_flip(0, true);
+  e.mask.set_flip(1, true);
+  train::TFaultInjection inj("fi", e, 5);
+  FloatTensor x(Shape{2, 2}, 3.0f);
+  const FloatTensor y = inj.forward(x, /*training=*/false);
+  EXPECT_EQ(y, x);
+  // And backward passes straight through.
+  EXPECT_EQ(inj.backward(x), x);
+}
+
+TEST(TrainFaultInjection, ConvInputUsesSameOpOrderAsInference) {
+  // NCHW input: op order is position-major over (pos, channel), matching
+  // FaultInjector::apply_output_element.
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kBitFlip, 1, 3);
+  e.mask.set_flip(1, true);  // ops 1, 4, 7, ... flip
+  train::TFaultInjection inj("fi", e, 9);
+
+  FloatTensor x(Shape{1, 2, 1, 2}, 1.0f);  // 2 channels, 2 positions
+  const FloatTensor y = inj.forward(x, true);
+  // ops: (pos0,ch0)=op0 slot0, (pos0,ch1)=op1 slot1 FLIP, (pos1,ch0)=op2,
+  // (pos1,ch1)=op3 slot0. NCHW index of (ch1,pos0) = [1*2+0] offset...
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.0f);   // op0
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 0), -1.0f);  // op1 flipped
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 1.0f);   // op2
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 0, 1), 1.0f);   // op3
+}
+
+TEST(TrainFaultInjection, DynamicPeriodSchedulesAcrossBatches) {
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kDynamic, 1, 1);
+  e.dynamic_period = 2;
+  e.mask.set_flip(0, true);
+  train::TFaultInjection inj("fi", e, 3);
+  FloatTensor x(Shape{1, 1}, 4.0f);
+  EXPECT_FLOAT_EQ(inj.forward(x, true)[0], 4.0f);   // execution 0: inactive
+  EXPECT_FLOAT_EQ(inj.forward(x, true)[0], -4.0f);  // execution 1: active
+  EXPECT_FLOAT_EQ(inj.forward(x, true)[0], 4.0f);
+}
+
+TEST(TrainFaultInjection, ConvertsToIdentity) {
+  fault::FaultVectorEntry e = entry_with(fault::FaultKind::kBitFlip, 1, 1);
+  e.mask.set_flip(0, true);
+  train::TFaultInjection inj("fi", e, 3);
+  const bnn::LayerPtr converted = inj.to_inference();
+  EXPECT_EQ(converted->type(), "identity");
+}
+
+TEST(TrainFaultInjection, RejectsBadConfig) {
+  fault::FaultVectorEntry empty;
+  empty.layer_name = "x";
+  EXPECT_THROW(train::TFaultInjection("fi", empty, 1), std::invalid_argument);
+  fault::FaultVectorEntry ok = entry_with(fault::FaultKind::kBitFlip, 1, 1);
+  EXPECT_THROW(train::TFaultInjection("fi", ok, 0), std::invalid_argument);
+  EXPECT_THROW(train::TFaultInjection("fi", ok, 1, 1.5), std::invalid_argument);
+}
+
+TEST(FaultAwareLenet, BuildsTrainsAndConverts) {
+  fault::FaultGenerator gen({32, 32});
+  core::Rng rng(5);
+  fault::FaultVectorFile vectors;
+  for (const auto& layer : models::lenet_faultable_layers()) {
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::kBitFlip;
+    spec.injection_rate = 0.1;
+    fault::FaultVectorEntry e;
+    e.layer_name = layer;
+    e.mask = gen.generate(spec, rng);
+    vectors.add(std::move(e));
+  }
+
+  data::SyntheticMnistOptions opts;
+  opts.size = 256;
+  data::SyntheticMnist ds(opts);
+  train::Graph g = models::build_lenet_binary_fault_aware(3, vectors);
+  train::Adam adam(2e-3f);
+  train::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.train_samples = 128;
+  const auto result = train::fit(g, adam, ds, cfg);
+  EXPECT_GT(result.final_train_accuracy, 0.05);
+
+  // Conversion drops the injection sites; the inference model runs clean.
+  bnn::Model model = g.to_inference_model();
+  bnn::ReferenceEngine engine;
+  const data::Batch batch = data::load_batch(ds, 0, 8);
+  const FloatTensor logits = model.forward(batch.images, engine);
+  EXPECT_EQ(logits.shape(), (Shape{8, 10}));
+  // Eval-mode graph output must match the converted model exactly.
+  const FloatTensor graph_logits = g.forward(batch.images, false);
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_NEAR(graph_logits[i], logits[i], 1e-3f);
+  }
+}
+
+FloatTensor random_pm1(const Shape& shape, std::uint64_t seed) {
+  core::Rng rng(seed);
+  FloatTensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return t;
+}
+
+TEST(MedianVoteEngine, RequiresOddReplicaCount) {
+  std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> two;
+  two.push_back(std::make_unique<bnn::ReferenceEngine>());
+  two.push_back(std::make_unique<bnn::ReferenceEngine>());
+  EXPECT_THROW(bnn::MedianVoteEngine{std::move(two)}, std::invalid_argument);
+}
+
+TEST(MedianVoteEngine, CleanReplicasMatchReference) {
+  std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> replicas;
+  for (int i = 0; i < 3; ++i) {
+    replicas.push_back(std::make_unique<bnn::ReferenceEngine>());
+  }
+  bnn::MedianVoteEngine vote(std::move(replicas));
+
+  const FloatTensor w = random_pm1(Shape{4, 30}, 1);
+  bnn::BinaryDense dense("layer", 30, 4, w);
+  const FloatTensor x = random_pm1(Shape{3, 30}, 2);
+
+  bnn::ReferenceEngine ref;
+  bnn::InferenceContext cr;
+  cr.engine = &ref;
+  bnn::InferenceContext cv;
+  cv.engine = &vote;
+  EXPECT_EQ(dense.forward(x, cr), dense.forward(x, cv));
+}
+
+TEST(MedianVoteEngine, OutvotesSingleFaultyReplica) {
+  // Replica 1 has a full flip mask; replicas 0 and 2 are clean. The median
+  // must equal the clean result everywhere.
+  fault::FaultVectorEntry e;
+  e.layer_name = "layer";
+  e.mask = fault::FaultMask(2, 2);
+  for (std::int64_t s = 0; s < 4; ++s) e.mask.set_flip(s, true);
+
+  std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> replicas;
+  replicas.push_back(std::make_unique<bnn::ReferenceEngine>());
+  auto faulty = std::make_unique<bnn::FlimEngine>();
+  faulty->set_layer_fault(e);
+  replicas.push_back(std::move(faulty));
+  replicas.push_back(std::make_unique<bnn::ReferenceEngine>());
+  bnn::MedianVoteEngine vote(std::move(replicas));
+
+  const FloatTensor w = random_pm1(Shape{4, 20}, 3);
+  bnn::BinaryDense dense("layer", 20, 4, w);
+  const FloatTensor x = random_pm1(Shape{2, 20}, 4);
+
+  bnn::ReferenceEngine ref;
+  bnn::InferenceContext cr;
+  cr.engine = &ref;
+  bnn::InferenceContext cv;
+  cv.engine = &vote;
+  EXPECT_EQ(dense.forward(x, cr), dense.forward(x, cv));
+}
+
+TEST(MedianVoteEngine, MajorityFaultyLosesTheVote) {
+  fault::FaultVectorEntry e;
+  e.layer_name = "layer";
+  e.mask = fault::FaultMask(1, 1);
+  e.mask.set_flip(0, true);
+
+  std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> replicas;
+  for (int i = 0; i < 3; ++i) {
+    auto faulty = std::make_unique<bnn::FlimEngine>();
+    faulty->set_layer_fault(e);
+    replicas.push_back(std::move(faulty));
+  }
+  bnn::MedianVoteEngine vote(std::move(replicas));
+
+  const FloatTensor w = random_pm1(Shape{1, 10}, 5);
+  bnn::BinaryDense dense("layer", 10, 1, w);
+  const FloatTensor x = random_pm1(Shape{1, 10}, 6);
+
+  bnn::ReferenceEngine ref;
+  bnn::InferenceContext cr;
+  cr.engine = &ref;
+  bnn::InferenceContext cv;
+  cv.engine = &vote;
+  const FloatTensor clean = dense.forward(x, cr);
+  const FloatTensor voted = dense.forward(x, cv);
+  EXPECT_FLOAT_EQ(voted[0], -clean[0]);  // all replicas agree on the fault
+}
+
+}  // namespace
+}  // namespace flim

@@ -1,0 +1,423 @@
+// Unit tests for the fault subsystem: specs, masks, generator, vector files,
+// and the injector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fault/fault_generator.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_mask.hpp"
+#include "fault/fault_spec.hpp"
+#include "fault/fault_vector_file.hpp"
+
+namespace flim::fault {
+namespace {
+
+TEST(FaultSpec, ValidationRejectsNonsense) {
+  FaultSpec bad;
+  bad.injection_rate = 1.5;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = FaultSpec{};
+  bad.faulty_rows = -1;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  bad = FaultSpec{};
+  bad.stuck_at_one_fraction = 2.0;
+  EXPECT_THROW(validate(bad), std::invalid_argument);
+  validate(FaultSpec{});  // defaults are fine
+}
+
+TEST(FaultSpec, Names) {
+  EXPECT_EQ(to_string(FaultKind::kBitFlip), "bit-flip");
+  EXPECT_EQ(to_string(FaultKind::kStuckAt), "stuck-at");
+  EXPECT_EQ(to_string(FaultKind::kDynamic), "dynamic");
+  EXPECT_EQ(to_string(FaultGranularity::kOutputElement), "output-element");
+  EXPECT_EQ(to_string(FaultGranularity::kProductTerm), "product-term");
+}
+
+TEST(FaultMask, PlanesStartClear) {
+  FaultMask m(5, 7);
+  EXPECT_EQ(m.num_slots(), 35);
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ(m.count_flip(), 0);
+}
+
+TEST(FaultMask, RowColumnMarking) {
+  FaultMask m(4, 6);
+  m.mark_row_flip(2);
+  EXPECT_EQ(m.count_flip(), 6);
+  m.mark_col_flip(0);
+  EXPECT_EQ(m.count_flip(), 6 + 4 - 1);  // intersection counted once
+  EXPECT_TRUE(m.flip_at(2, 3));
+  EXPECT_TRUE(m.flip_at(0, 0));
+  EXPECT_FALSE(m.flip_at(0, 1));
+}
+
+TEST(FaultGenerator, ExactInjectionCount) {
+  FaultGenerator gen({20, 20});
+  core::Rng rng(1);
+  FaultSpec spec;
+  spec.kind = FaultKind::kBitFlip;
+  spec.injection_rate = 0.1;
+  const FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_flip(), 40);  // exactly 10% of 400
+  EXPECT_EQ(m.count_sa0() + m.count_sa1(), 0);
+}
+
+TEST(FaultGenerator, StuckAtSplitsByFraction) {
+  FaultGenerator gen({50, 50});
+  core::Rng rng(2);
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckAt;
+  spec.injection_rate = 0.2;  // 500 cells
+  spec.stuck_at_one_fraction = 0.5;
+  const FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_sa0() + m.count_sa1(), 500);
+  EXPECT_EQ(m.count_flip(), 0);
+  EXPECT_NEAR(static_cast<double>(m.count_sa1()), 250.0, 60.0);
+}
+
+TEST(FaultGenerator, StuckAtFractionExtremes) {
+  FaultGenerator gen({10, 10});
+  core::Rng rng(3);
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckAt;
+  spec.injection_rate = 0.5;
+  spec.stuck_at_one_fraction = 1.0;
+  FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_sa1(), 50);
+  EXPECT_EQ(m.count_sa0(), 0);
+  spec.stuck_at_one_fraction = 0.0;
+  m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_sa0(), 50);
+  EXPECT_EQ(m.count_sa1(), 0);
+}
+
+TEST(FaultGenerator, RowsAndColumnsMarked) {
+  FaultGenerator gen({40, 10});
+  core::Rng rng(4);
+  FaultSpec spec;
+  spec.kind = FaultKind::kBitFlip;
+  spec.faulty_cols = 2;
+  FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_flip(), 2 * 40);
+  spec = FaultSpec{};
+  spec.faulty_rows = 3;
+  m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_flip(), 3 * 10);
+}
+
+TEST(FaultGenerator, DeterministicPerSeed) {
+  FaultGenerator gen({30, 30});
+  FaultSpec spec;
+  spec.injection_rate = 0.05;
+  core::Rng r1(42), r2(42), r3(43);
+  const FaultMask a = gen.generate(spec, r1);
+  const FaultMask b = gen.generate(spec, r2);
+  const FaultMask c = gen.generate(spec, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FaultGenerator, RejectsTooManyRows) {
+  FaultGenerator gen({4, 4});
+  core::Rng rng(5);
+  FaultSpec spec;
+  spec.faulty_rows = 5;
+  EXPECT_THROW(gen.generate(spec, rng), std::invalid_argument);
+}
+
+namespace {
+
+/// Mean pairwise Manhattan distance between marked flip slots.
+double mean_pairwise_distance(const FaultMask& mask) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> sites;
+  for (std::int64_t s = 0; s < mask.num_slots(); ++s) {
+    if (mask.flip(s)) sites.emplace_back(s / mask.cols(), s % mask.cols());
+  }
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = i + 1; j < sites.size(); ++j) {
+      total += std::abs(static_cast<double>(sites[i].first - sites[j].first)) +
+               std::abs(static_cast<double>(sites[i].second - sites[j].second));
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace
+
+TEST(FaultGenerator, ClusteredKeepsExactCount) {
+  FaultGenerator gen({32, 32});
+  core::Rng rng(6);
+  FaultSpec spec;
+  spec.kind = FaultKind::kBitFlip;
+  spec.injection_rate = 0.05;
+  spec.distribution = FaultDistribution::kClustered;
+  spec.cluster_count = 2;
+  const FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_flip(), 51);  // round(0.05 * 1024)
+}
+
+TEST(FaultGenerator, ClusteredSitesAreSpatiallyTighter) {
+  FaultGenerator gen({48, 48});
+  FaultSpec uniform;
+  uniform.kind = FaultKind::kBitFlip;
+  uniform.injection_rate = 0.02;
+  FaultSpec clustered = uniform;
+  clustered.distribution = FaultDistribution::kClustered;
+  clustered.cluster_count = 1;  // single cluster: all pairs are intra-cluster
+  clustered.cluster_radius = 1.5;
+
+  // Averaged over seeds, cluster scatter is far tighter than uniform.
+  double uniform_dist = 0.0;
+  double clustered_dist = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    core::Rng r1(seed), r2(seed);
+    uniform_dist += mean_pairwise_distance(gen.generate(uniform, r1));
+    clustered_dist += mean_pairwise_distance(gen.generate(clustered, r2));
+  }
+  EXPECT_LT(clustered_dist, 0.25 * uniform_dist);
+}
+
+TEST(FaultGenerator, ClusteredIsDeterministicPerSeed) {
+  FaultGenerator gen({24, 24});
+  FaultSpec spec;
+  spec.injection_rate = 0.1;
+  spec.distribution = FaultDistribution::kClustered;
+  core::Rng r1(9), r2(9);
+  EXPECT_EQ(gen.generate(spec, r1), gen.generate(spec, r2));
+}
+
+TEST(FaultGenerator, ClusteredSaturationFallsBackToExactCount) {
+  // Radius so small that one cluster cannot hold all faults: the uniform
+  // fallback must still deliver the exact requested count.
+  FaultGenerator gen({16, 16});
+  core::Rng rng(10);
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckAt;
+  spec.injection_rate = 0.5;
+  spec.distribution = FaultDistribution::kClustered;
+  spec.cluster_count = 1;
+  spec.cluster_radius = 0.5;
+  const FaultMask m = gen.generate(spec, rng);
+  EXPECT_EQ(m.count_sa0() + m.count_sa1(), 128);
+}
+
+TEST(FaultGenerator, ClusterSpecValidation) {
+  FaultGenerator gen({8, 8});
+  core::Rng rng(11);
+  FaultSpec spec;
+  spec.distribution = FaultDistribution::kClustered;
+  spec.cluster_radius = 0.0;
+  EXPECT_THROW(gen.generate(spec, rng), std::invalid_argument);
+  spec.cluster_radius = 1.0;
+  spec.cluster_count = -1;
+  EXPECT_THROW(gen.generate(spec, rng), std::invalid_argument);
+}
+
+TEST(FaultSpec, DistributionNames) {
+  EXPECT_EQ(to_string(FaultDistribution::kUniform), "uniform");
+  EXPECT_EQ(to_string(FaultDistribution::kClustered), "clustered");
+}
+
+TEST(FaultVectorFile, SerializationRoundTrip) {
+  FaultGenerator gen({13, 17});
+  core::Rng rng(6);
+  FaultSpec flips;
+  flips.injection_rate = 0.15;
+  FaultSpec stuck;
+  stuck.kind = FaultKind::kStuckAt;
+  stuck.injection_rate = 0.1;
+
+  FaultVectorFile file;
+  file.add({"conv1", FaultKind::kBitFlip, FaultGranularity::kOutputElement, 0,
+            gen.generate(flips, rng)});
+  file.add({"dense0", FaultKind::kStuckAt, FaultGranularity::kProductTerm, 0,
+            gen.generate(stuck, rng)});
+  file.add({"conv2", FaultKind::kDynamic, FaultGranularity::kOutputElement, 3,
+            gen.generate(flips, rng)});
+
+  const auto bytes = file.serialize();
+  const FaultVectorFile loaded = FaultVectorFile::deserialize(bytes);
+  EXPECT_EQ(loaded, file);
+  ASSERT_NE(loaded.find("conv2"), nullptr);
+  EXPECT_EQ(loaded.find("conv2")->dynamic_period, 3);
+  EXPECT_EQ(loaded.find("nonexistent"), nullptr);
+}
+
+TEST(FaultVectorFile, FileRoundTrip) {
+  FaultGenerator gen({8, 8});
+  core::Rng rng(7);
+  FaultSpec spec;
+  spec.injection_rate = 0.25;
+  FaultVectorFile file;
+  file.add({"layer", FaultKind::kBitFlip, FaultGranularity::kOutputElement, 0,
+            gen.generate(spec, rng)});
+  const std::string path = ::testing::TempDir() + "/flim_vectors_test.bin";
+  file.save(path);
+  const FaultVectorFile loaded = FaultVectorFile::load(path);
+  EXPECT_EQ(loaded, file);
+  std::filesystem::remove(path);
+}
+
+TEST(FaultVectorFile, RejectsCorruptData) {
+  EXPECT_THROW(FaultVectorFile::deserialize({1, 2, 3}), std::invalid_argument);
+  std::vector<std::uint8_t> bytes{'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X',
+                                  1,   0,   0,   0,   0,   0,   0,   0};
+  EXPECT_THROW(FaultVectorFile::deserialize(bytes), std::invalid_argument);
+}
+
+FaultVectorEntry make_entry(FaultKind kind, std::int64_t rows,
+                            std::int64_t cols) {
+  FaultVectorEntry e;
+  e.layer_name = "test";
+  e.kind = kind;
+  e.mask = FaultMask(rows, cols);
+  return e;
+}
+
+TEST(FaultInjector, FlipNegatesMappedOps) {
+  // Mask with slot 1 flipped on a 1x4 grid; feature map of one image with
+  // 2 positions x 4 channels => ops 1 and 5 map to slot 1.
+  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 4);
+  e.mask.set_flip(1, true);
+  FaultInjector inj(e);
+
+  tensor::IntTensor feature(tensor::Shape{2, 4});
+  for (std::int64_t i = 0; i < 8; ++i) feature[i] = static_cast<int>(i + 1);
+  const bool active = inj.advance_execution();
+  EXPECT_TRUE(active);
+  inj.apply_output_element(feature, 0, 2, active, /*full_scale=*/1);
+  EXPECT_EQ(feature[0], 1);
+  EXPECT_EQ(feature[1], -2);  // op 1 -> slot 1 flipped
+  EXPECT_EQ(feature[5], -6);  // op 5 -> slot 1 flipped
+  EXPECT_EQ(feature[7], 8);
+}
+
+TEST(FaultInjector, StuckAtPinsValues) {
+  FaultVectorEntry e = make_entry(FaultKind::kStuckAt, 1, 3);
+  e.mask.set_sa0(0, true);
+  e.mask.set_sa1(2, true);
+  FaultInjector inj(e);
+  tensor::IntTensor feature(tensor::Shape{1, 3});
+  feature[0] = 10;
+  feature[1] = 20;
+  feature[2] = 30;
+  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/1);
+  EXPECT_EQ(feature[0], -1);  // stuck-at-0 pins to -1 in the ±1 encoding
+  EXPECT_EQ(feature[1], 20);
+  EXPECT_EQ(feature[2], 1);  // stuck-at-1 pins to +1
+}
+
+TEST(FaultInjector, StuckAtPinsToFullScale) {
+  // A stuck XNOR column reports all-match (+K) or all-mismatch (-K).
+  FaultVectorEntry e = make_entry(FaultKind::kStuckAt, 1, 2);
+  e.mask.set_sa0(0, true);
+  e.mask.set_sa1(1, true);
+  FaultInjector inj(e);
+  tensor::IntTensor feature(tensor::Shape{1, 2});
+  feature[0] = 3;
+  feature[1] = -3;
+  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/7);
+  EXPECT_EQ(feature[0], -7);
+  EXPECT_EQ(feature[1], 7);
+}
+
+TEST(FaultInjector, StuckAtDominatesFlipOnSameSlot) {
+  FaultVectorEntry e = make_entry(FaultKind::kStuckAt, 1, 1);
+  e.mask.set_flip(0, true);
+  e.mask.set_sa1(0, true);
+  FaultInjector inj(e);
+  tensor::IntTensor feature(tensor::Shape{1, 1});
+  feature[0] = -5;
+  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/1);
+  EXPECT_EQ(feature[0], 1);
+}
+
+TEST(FaultInjector, InactiveApplicationIsNoop) {
+  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 2);
+  e.mask.set_flip(0, true);
+  FaultInjector inj(e);
+  tensor::IntTensor feature(tensor::Shape{1, 2});
+  feature[0] = 3;
+  inj.apply_output_element(feature, 0, 1, /*active=*/false, /*full_scale=*/1);
+  EXPECT_EQ(feature[0], 3);
+}
+
+// Dynamic faults fire on executions period-1, 2*period-1, ...
+class DynamicSchedule : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicSchedule, FiresEveryNthExecution) {
+  const int period = GetParam();
+  FaultVectorEntry e = make_entry(FaultKind::kDynamic, 2, 2);
+  e.dynamic_period = period;
+  FaultInjector inj(e);
+  const int effective = std::max(1, period);
+  for (int exec = 0; exec < 3 * effective; ++exec) {
+    const bool fired = inj.advance_execution();
+    EXPECT_EQ(fired, (exec % effective) == effective - 1)
+        << "period=" << period << " exec=" << exec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, DynamicSchedule,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(FaultInjector, ResetTimeRestartsDynamicSchedule) {
+  FaultVectorEntry e = make_entry(FaultKind::kDynamic, 1, 1);
+  e.dynamic_period = 2;
+  FaultInjector inj(e);
+  EXPECT_FALSE(inj.advance_execution());
+  EXPECT_TRUE(inj.advance_execution());
+  inj.reset_time();
+  EXPECT_FALSE(inj.advance_execution());
+}
+
+TEST(FaultInjector, StaticKindsAlwaysActive) {
+  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 1);
+  FaultInjector inj(e);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(inj.advance_execution());
+}
+
+TEST(FaultInjector, TermMasksFollowSlotMapping) {
+  // Grid 1x4 with slot 2 flipped; term (ch=0, k=2) and (ch=1, k=1) with K=5:
+  // indices 2 and 6 -> slots 2 and 2 (6 mod 4 = 2).
+  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 4);
+  e.granularity = FaultGranularity::kProductTerm;
+  e.mask.set_flip(2, true);
+  FaultInjector inj(e);
+  const TermMasks& masks = inj.term_masks(2, 5);
+  EXPECT_EQ(masks.flip.rows(), 2);
+  EXPECT_EQ(masks.flip.cols(), 5);
+  // ch0: term indices 0..4 -> slots 0,1,2,3,0 => k=2 flipped.
+  EXPECT_EQ(masks.flip.get(0, 2), 1);
+  EXPECT_EQ(masks.flip.get(0, 0), -1);
+  // ch1: term indices 5..9 -> slots 1,2,3,0,1 => k=1 flipped.
+  EXPECT_EQ(masks.flip.get(1, 1), 1);
+  EXPECT_EQ(masks.flip.get(1, 2), -1);
+}
+
+TEST(FaultInjector, TermMasksAreCachedAndShapeChecked) {
+  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 2, 2);
+  e.granularity = FaultGranularity::kProductTerm;
+  FaultInjector inj(e);
+  const TermMasks& a = inj.term_masks(3, 4);
+  const TermMasks& b = inj.term_masks(3, 4);
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(inj.term_masks(4, 4), std::invalid_argument);
+}
+
+TEST(FaultInjector, RejectsEmptyMask) {
+  FaultVectorEntry e;
+  e.layer_name = "x";
+  EXPECT_THROW(FaultInjector{e}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flim::fault

@@ -1,0 +1,433 @@
+// Unit tests for the LIM substrate: device model, crossbar, logic families,
+// and the crossbar mapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lim/crossbar.hpp"
+#include "lim/logic_family.hpp"
+#include "lim/mapper.hpp"
+#include "lim/memristor.hpp"
+
+namespace flim::lim {
+namespace {
+
+MemristorParams default_params() { return MemristorParams{}; }
+
+TEST(Memristor, SetPulseDrivesToLrs) {
+  Memristor m;
+  const MemristorParams p = default_params();
+  EXPECT_FALSE(m.read_bit(p));
+  for (int i = 0; i < 64; ++i) m.apply_voltage(p, 2.0);
+  EXPECT_TRUE(m.read_bit(p));
+  EXPECT_GT(m.state(), 0.9);
+}
+
+TEST(Memristor, ResetPulseDrivesToHrs) {
+  Memristor m;
+  const MemristorParams p = default_params();
+  m.set_state(1.0);
+  for (int i = 0; i < 64; ++i) m.apply_voltage(p, -2.0);
+  EXPECT_FALSE(m.read_bit(p));
+  EXPECT_LT(m.state(), 0.1);
+}
+
+TEST(Memristor, SubThresholdVoltageDoesNotSwitch) {
+  Memristor m;
+  const MemristorParams p = default_params();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(m.apply_voltage(p, 0.5 * p.v_on), 0.0);
+    EXPECT_DOUBLE_EQ(m.apply_voltage(p, 0.5 * p.v_off), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(m.state(), 0.0);
+}
+
+TEST(Memristor, ResistanceInterpolatesExponentially) {
+  Memristor m;
+  const MemristorParams p = default_params();
+  m.set_state(0.0);
+  EXPECT_NEAR(m.resistance(p), p.r_off, 1.0);
+  m.set_state(1.0);
+  EXPECT_NEAR(m.resistance(p), p.r_on, 1.0);
+  m.set_state(0.5);
+  EXPECT_NEAR(m.resistance(p), std::sqrt(p.r_on * p.r_off), 100.0);
+}
+
+TEST(Memristor, StuckFaultsPinTheState) {
+  const MemristorParams p = default_params();
+  Memristor m0;
+  m0.set_state(1.0);
+  m0.set_fault(DeviceFaultKind::kStuckAt0);
+  EXPECT_FALSE(m0.read_bit(p));
+  for (int i = 0; i < 100; ++i) m0.apply_voltage(p, 2.0);
+  EXPECT_FALSE(m0.read_bit(p));
+
+  Memristor m1;
+  m1.set_fault(DeviceFaultKind::kStuckAt1);
+  EXPECT_TRUE(m1.read_bit(p));
+
+  Memristor mc;
+  mc.set_state(1.0);
+  mc.set_fault(DeviceFaultKind::kStuckCurrent);
+  for (int i = 0; i < 100; ++i) mc.apply_voltage(p, -2.0);
+  EXPECT_TRUE(mc.read_bit(p));
+}
+
+TEST(Memristor, DriftSlowsSwitching) {
+  const MemristorParams p = default_params();
+  Memristor healthy, drifted;
+  drifted.set_fault(DeviceFaultKind::kDrift, 0.8);
+  for (int i = 0; i < 8; ++i) {
+    healthy.apply_voltage(p, 2.0);
+    drifted.apply_voltage(p, 2.0);
+  }
+  EXPECT_GT(healthy.state(), drifted.state());
+}
+
+TEST(Memristor, SlowSetBlocksOnlySetDirection) {
+  const MemristorParams p = default_params();
+  Memristor m;
+  m.set_fault(DeviceFaultKind::kSlowSet, 1.0);
+  for (int i = 0; i < 100; ++i) m.apply_voltage(p, 2.0);
+  EXPECT_FALSE(m.read_bit(p));  // complete 0->1 transition fault
+
+  m.set_state(1.0);
+  for (int i = 0; i < 100; ++i) m.apply_voltage(p, -2.0);
+  EXPECT_FALSE(m.read_bit(p));  // RESET direction still works
+}
+
+TEST(Memristor, SlowResetBlocksOnlyResetDirection) {
+  const MemristorParams p = default_params();
+  Memristor m;
+  m.set_state(1.0);
+  m.set_fault(DeviceFaultKind::kSlowReset, 1.0);
+  for (int i = 0; i < 100; ++i) m.apply_voltage(p, -2.0);
+  EXPECT_TRUE(m.read_bit(p));  // complete 1->0 transition fault
+
+  m.set_state(0.0);
+  for (int i = 0; i < 100; ++i) m.apply_voltage(p, 2.0);
+  EXPECT_TRUE(m.read_bit(p));  // SET direction still works
+}
+
+TEST(Memristor, PartialSlowSetDelaysSwitching) {
+  const MemristorParams p = default_params();
+  Memristor healthy, slow;
+  slow.set_fault(DeviceFaultKind::kSlowSet, 0.7);
+  for (int i = 0; i < 8; ++i) {
+    healthy.apply_voltage(p, 2.0);
+    slow.apply_voltage(p, 2.0);
+  }
+  EXPECT_GT(healthy.state(), slow.state());
+  EXPECT_GT(slow.state(), 0.0);  // weakened, not frozen
+}
+
+TEST(Memristor, ReadDisturbMovesStateOnlyOnReads) {
+  Memristor m;
+  m.set_fault(DeviceFaultKind::kReadDisturb, 0.25);
+  EXPECT_DOUBLE_EQ(m.state(), 0.0);
+  EXPECT_GT(m.apply_read_disturb(), 0.0);
+  EXPECT_NEAR(m.state(), 0.25, 1e-12);
+  for (int i = 0; i < 3; ++i) m.apply_read_disturb();
+  EXPECT_NEAR(m.state(), 1.0, 1e-12);  // four reads fully SET the cell
+  EXPECT_DOUBLE_EQ(m.apply_read_disturb(), 0.0);  // saturated
+}
+
+TEST(Memristor, HealthyCellIgnoresReadDisturbHook) {
+  Memristor m;
+  EXPECT_DOUBLE_EQ(m.apply_read_disturb(), 0.0);
+  EXPECT_DOUBLE_EQ(m.state(), 0.0);
+}
+
+TEST(Memristor, IncorrectReadInvertsSenseOnly) {
+  const MemristorParams p = default_params();
+  Memristor m;
+  m.set_fault(DeviceFaultKind::kIncorrectRead);
+  EXPECT_TRUE(m.filter_sensed_bit(false));
+  EXPECT_FALSE(m.filter_sensed_bit(true));
+  EXPECT_DOUBLE_EQ(m.state(), 0.0);  // state untouched
+  // Switching dynamics are unaffected by a sense-path fault.
+  for (int i = 0; i < 64; ++i) m.apply_voltage(p, 2.0);
+  EXPECT_GT(m.state(), 0.9);
+}
+
+TEST(Memristor, FaultKindNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (const DeviceFaultKind kind : all_device_fault_kinds()) {
+    names.push_back(to_string(kind));
+    EXPECT_FALSE(names.back().empty());
+    EXPECT_NE(names.back(), "unknown");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Crossbar, ReadDisturbFlipsStoredZeroAfterRepeatedReads) {
+  CrossbarConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 4;
+  CrossbarArray xbar(cfg);
+  xbar.write_bit(0, 0, false);
+  xbar.inject_device_fault(0, 0, DeviceFaultKind::kReadDisturb, 0.3);
+  // First reads still return 0; accumulated disturbance eventually flips.
+  EXPECT_FALSE(xbar.read_bit(0, 0));
+  bool flipped = false;
+  for (int i = 0; i < 6 && !flipped; ++i) flipped = xbar.read_bit(0, 0);
+  EXPECT_TRUE(flipped);
+}
+
+TEST(Crossbar, SingleReadRdfFlipsAndMisreadsAtOnce) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  CrossbarArray xbar(cfg);
+  xbar.write_bit(0, 1, false);
+  xbar.inject_device_fault(0, 1, DeviceFaultKind::kReadDisturb, 1.0);
+  EXPECT_TRUE(xbar.read_bit(0, 1));   // classical RDF: one read SETs + misreads
+  EXPECT_TRUE(xbar.read_bit(0, 1));   // state stays flipped
+}
+
+TEST(Crossbar, IncorrectReadCellMisreadsBothValues) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  CrossbarArray xbar(cfg);
+  xbar.inject_device_fault(0, 2, DeviceFaultKind::kIncorrectRead);
+  xbar.write_bit(0, 2, true);
+  EXPECT_FALSE(xbar.read_bit(0, 2));
+  xbar.write_bit(0, 2, false);
+  EXPECT_TRUE(xbar.read_bit(0, 2));
+}
+
+TEST(Crossbar, ReadDisturbOnOutCellMisreadsZeroResults) {
+  // A severity-1.0 read-disturb fault on the result cell SETs it during the
+  // read-out pulse: XNOR combinations whose true result is 0 (a != b) read
+  // back as 1, while true-1 combinations stay correct.
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  const auto family = make_magic_family();
+  int wrong = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      CrossbarArray xbar(cfg);
+      xbar.inject_device_fault(0, static_cast<int>(family->result_cell()),
+                               DeviceFaultKind::kReadDisturb, 1.0);
+      const bool got = xbar.execute_xnor(*family, 0, 0, a != 0, b != 0);
+      if (got != (a == b)) ++wrong;
+      EXPECT_TRUE(got);  // every read-out is dragged to 1
+    }
+  }
+  EXPECT_EQ(wrong, 2);
+}
+
+TEST(Crossbar, IncorrectReadOnOutCellInvertsEveryResult) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  const auto family = make_magic_family();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      CrossbarArray xbar(cfg);
+      xbar.inject_device_fault(0, static_cast<int>(family->result_cell()),
+                               DeviceFaultKind::kIncorrectRead, 1.0);
+      const bool got = xbar.execute_xnor(*family, 0, 0, a != 0, b != 0);
+      EXPECT_EQ(got, !(a == b)) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Crossbar, SlowSetGateCellBreaksXnorOutput) {
+  // A complete 0->1 transition fault on the output cell keeps the MAGIC
+  // result stuck where its schedule's RESET leaves it, corrupting the
+  // combinations whose true result is 1.
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  CrossbarArray xbar(cfg);
+  const auto family = make_magic_family();
+  xbar.inject_device_fault(0, static_cast<int>(family->result_cell()),
+                           DeviceFaultKind::kSlowSet, 1.0);
+  int wrong = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const bool got = xbar.execute_xnor(*family, 0, 0, a != 0, b != 0);
+      if (got != (a == b)) ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, 0);
+}
+
+TEST(Crossbar, WriteReadRoundTrip) {
+  CrossbarConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 8;
+  CrossbarArray xbar(cfg);
+  xbar.write_bit(1, 3, true);
+  xbar.write_bit(2, 5, false);
+  EXPECT_TRUE(xbar.read_bit(1, 3));
+  EXPECT_FALSE(xbar.read_bit(2, 5));
+  EXPECT_FALSE(xbar.read_bit(0, 0));  // never written => HRS
+}
+
+TEST(Crossbar, GateCapacity) {
+  CrossbarConfig cfg;
+  cfg.rows = 40;
+  cfg.cols = 10;
+  CrossbarArray xbar(cfg);
+  EXPECT_EQ(xbar.gates_per_row(), 2);
+  EXPECT_EQ(xbar.num_gates(), 80);
+}
+
+TEST(Crossbar, StatsAccumulate) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  CrossbarArray xbar(cfg);
+  const auto family = make_magic_family();
+  xbar.execute_xnor(*family, 0, 0, true, false);
+  const CrossbarStats& s = xbar.stats();
+  EXPECT_GT(s.set_pulses + s.reset_pulses, 0u);
+  EXPECT_GT(s.gate_steps, 0u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_GT(s.energy_joules, 0.0);
+  EXPECT_GT(s.sim_time_seconds, 0.0);
+  xbar.reset_stats();
+  EXPECT_EQ(xbar.stats().reads, 0u);
+}
+
+TEST(Crossbar, RejectsBadGeometry) {
+  CrossbarConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(CrossbarArray{cfg}, std::invalid_argument);
+}
+
+// The decisive correctness test: both families compute XNOR on real device
+// dynamics for every operand combination.
+class XnorTruthTable
+    : public ::testing::TestWithParam<std::tuple<LogicFamilyKind, int, int>> {};
+
+TEST_P(XnorTruthTable, ComputesXnor) {
+  const auto [kind, a, b] = GetParam();
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  CrossbarArray xbar(cfg);
+  const auto family = make_logic_family(kind);
+  const bool result = xbar.execute_xnor(*family, 0, 0, a != 0, b != 0);
+  EXPECT_EQ(result, a == b) << to_string(kind) << " a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, XnorTruthTable,
+    ::testing::Combine(::testing::Values(LogicFamilyKind::kMagic,
+                                         LogicFamilyKind::kImply),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(LogicFamily, GateReusableAcrossOperations) {
+  // The same physical gate must compute correctly when reused many times
+  // with varying operands (crossbars are reused over passes).
+  CrossbarConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 8;
+  CrossbarArray xbar(cfg);
+  const auto family = make_magic_family();
+  for (int round = 0; round < 8; ++round) {
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        EXPECT_EQ(xbar.execute_xnor_on_gate(*family, round % 4, a != 0, b != 0),
+                  a == b);
+      }
+    }
+  }
+}
+
+TEST(LogicFamily, ImplyIsLongerThanMagic) {
+  const auto magic = make_magic_family();
+  const auto imply = make_imply_family();
+  EXPECT_EQ(magic->xnor_pulse_count(), 8);
+  EXPECT_EQ(imply->xnor_pulse_count(), 11);
+  EXPECT_LT(magic->xnor_pulse_count(), imply->xnor_pulse_count());
+}
+
+TEST(LogicFamily, StuckResultCellForcesOutput) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  const auto family = make_magic_family();
+  for (const bool stuck_high : {false, true}) {
+    CrossbarArray xbar(cfg);
+    xbar.inject_device_fault(0, static_cast<int>(family->result_cell()),
+                             stuck_high ? DeviceFaultKind::kStuckAt1
+                                        : DeviceFaultKind::kStuckAt0);
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        EXPECT_EQ(xbar.execute_xnor(*family, 0, 0, a != 0, b != 0), stuck_high);
+      }
+    }
+  }
+}
+
+TEST(LogicFamily, FlippedOperandInvertsXnor) {
+  CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = kCellsPerGate;
+  CrossbarArray xbar(cfg);
+  const auto family = make_imply_family();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      // Writing the complement of A models a transient state flip.
+      EXPECT_EQ(xbar.execute_xnor(*family, 0, 0, a == 0, b != 0), a != b);
+    }
+  }
+}
+
+TEST(Calibration, ImplyCostsMoreTimeThanMagic) {
+  CrossbarConfig cfg;
+  const XnorCost magic = calibrate_xnor_cost(cfg, *make_magic_family());
+  const XnorCost imply = calibrate_xnor_cost(cfg, *make_imply_family());
+  EXPECT_GT(magic.avg_energy_joules, 0.0);
+  EXPECT_GT(imply.latency_seconds, magic.latency_seconds);
+}
+
+TEST(Mapper, ComputesCapacityAndPasses) {
+  CrossbarMapper mapper({40, 10}, 1, LogicFamilyKind::kMagic);
+  EXPECT_EQ(mapper.gates_per_crossbar(), 80);
+  EXPECT_EQ(mapper.virtual_slots(), 400);
+
+  const MappingResult r = mapper.map_ops(1000);
+  EXPECT_EQ(r.parallel_ops, 80);
+  EXPECT_EQ(r.passes, 13);  // ceil(1000 / 80)
+  EXPECT_GT(r.latency_seconds, 0.0);
+  EXPECT_GT(r.energy_joules, 0.0);
+}
+
+TEST(Mapper, MultipleCrossbarsReducePasses) {
+  CrossbarMapper one({32, 32}, 1, LogicFamilyKind::kMagic);
+  CrossbarMapper four({32, 32}, 4, LogicFamilyKind::kMagic);
+  const auto r1 = one.map_ops(10000);
+  const auto r4 = four.map_ops(10000);
+  EXPECT_GT(r1.passes, r4.passes);
+  EXPECT_NEAR(static_cast<double>(r1.passes) / static_cast<double>(r4.passes),
+              4.0, 1.0);
+}
+
+TEST(Mapper, SlotAssignmentWraps) {
+  CrossbarMapper mapper({4, 5}, 1, LogicFamilyKind::kMagic);
+  EXPECT_EQ(mapper.slot_of_op(0), 0);
+  EXPECT_EQ(mapper.slot_of_op(19), 19);
+  EXPECT_EQ(mapper.slot_of_op(20), 0);
+  EXPECT_EQ(mapper.pass_of_op(19), 0);
+  EXPECT_EQ(mapper.pass_of_op(20), 1);
+}
+
+TEST(Mapper, RejectsTooNarrowCrossbar) {
+  CrossbarMapper mapper({4, 2}, 1, LogicFamilyKind::kMagic);
+  EXPECT_THROW(mapper.map_ops(10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flim::lim

@@ -1,0 +1,133 @@
+// Tests for the model zoo and the pretrained cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+
+#include "bnn/blocks.hpp"
+#include "bnn/engine.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "models/pretrained.hpp"
+#include "models/zoo.hpp"
+
+namespace flim::models {
+namespace {
+
+using tensor::FloatTensor;
+using tensor::Shape;
+
+TEST(Zoo, LenetBuildsAndForwards) {
+  train::Graph g = build_lenet_binary(1);
+  FloatTensor x(Shape{2, 1, 28, 28}, 0.5f);
+  const FloatTensor logits = g.forward(x, false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 10}));
+}
+
+TEST(Zoo, LenetHasTheFourFaultableLayers) {
+  train::Graph g = build_lenet_binary(2);
+  bnn::Model model = g.to_inference_model();
+  const auto c = model.analyze(FloatTensor(Shape{1, 1, 28, 28}, 0.5f));
+  ASSERT_EQ(c.binarized_layers.size(), 4u);
+  for (const auto& expected : lenet_faultable_layers()) {
+    bool found = false;
+    for (const auto& w : c.binarized_layers) {
+      if (w.layer_name == expected) found = true;
+    }
+    EXPECT_TRUE(found) << "missing binarized layer " << expected;
+  }
+}
+
+TEST(Zoo, HasNineModels) {
+  EXPECT_EQ(zoo_model_names().size(), 9u);
+}
+
+class ZooModels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModels, BuildsForwardsAndConverts) {
+  train::Graph g = build_zoo_graph(GetParam(), 3);
+  FloatTensor x(Shape{1, 3, 32, 32}, 0.3f);
+  const FloatTensor logits = g.forward(x, false);
+  EXPECT_EQ(logits.shape(), (Shape{1, 10}));
+
+  bnn::Model model = g.to_inference_model();
+  bnn::ReferenceEngine engine;
+  const FloatTensor model_logits = model.forward(x, engine);
+  EXPECT_EQ(model_logits.shape(), (Shape{1, 10}));
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(logits[i], model_logits[i], 1e-2f) << GetParam();
+  }
+}
+
+TEST_P(ZooModels, HasBinarizedLayers) {
+  train::Graph g = build_zoo_graph(GetParam(), 4);
+  bnn::Model model = g.to_inference_model();
+  const auto c = model.analyze(FloatTensor(Shape{1, 3, 32, 32}, 0.3f));
+  EXPECT_GT(c.binarized_layers.size(), 0u) << GetParam();
+  EXPECT_GT(c.binary_macs, 0) << GetParam();
+  EXPECT_GT(c.binarized_percent, 30.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, ZooModels,
+                         ::testing::ValuesIn(zoo_model_names()));
+
+TEST(Zoo, UnknownModelThrows) {
+  EXPECT_THROW(build_zoo_graph("NotAModel", 1), std::invalid_argument);
+}
+
+TEST(Zoo, DenseNetDepthLadderOrdersParameters) {
+  auto params_of = [](const std::string& name) {
+    train::Graph g = build_zoo_graph(name, 5);
+    bnn::Model m = g.to_inference_model();
+    return m.analyze(FloatTensor(Shape{1, 3, 32, 32}, 0.3f)).total_params;
+  };
+  const auto p28 = params_of("BinaryDenseNet28");
+  const auto p37 = params_of("BinaryDenseNet37");
+  const auto p45 = params_of("BinaryDenseNet45");
+  EXPECT_LT(p28, p37);
+  EXPECT_LT(p37, p45);
+}
+
+TEST(Zoo, XnorNetUsesChannelGains) {
+  train::Graph g = build_zoo_graph("XNORNet", 6);
+  bnn::Model m = g.to_inference_model();
+  bool has_scale = false;
+  std::function<void(const bnn::Layer&)> scan = [&](const bnn::Layer& l) {
+    if (l.type() == "channel_scale") has_scale = true;
+    if (l.type() == "sequential") {
+      for (const auto& c : static_cast<const bnn::Sequential&>(l).children()) {
+        scan(*c);
+      }
+    }
+  };
+  for (const auto& l : m.layers()) scan(*l);
+  EXPECT_TRUE(has_scale);
+}
+
+TEST(Pretrained, TrainsAndCachesLenet) {
+  data::SyntheticMnistOptions d;
+  d.size = 256;
+  data::SyntheticMnist ds(d);
+
+  PretrainOptions opts;
+  opts.epochs = 1;
+  opts.train_samples = 128;
+  opts.cache_dir = ::testing::TempDir() + "/flim_weights_test";
+  opts.force_retrain = true;
+  std::filesystem::remove_all(opts.cache_dir);
+
+  const bnn::Model trained = pretrained_lenet(ds, opts);
+  EXPECT_TRUE(std::filesystem::exists(opts.cache_dir + "/lenet-binary.flim"));
+
+  // Second call loads from cache and yields identical logits.
+  opts.force_retrain = false;
+  const bnn::Model cached = pretrained_lenet(ds, opts);
+  bnn::ReferenceEngine engine;
+  const data::Batch batch = data::load_batch(ds, 0, 4);
+  EXPECT_EQ(trained.forward(batch.images, engine),
+            cached.forward(batch.images, engine));
+  std::filesystem::remove_all(opts.cache_dir);
+}
+
+}  // namespace
+}  // namespace flim::models

@@ -1,0 +1,367 @@
+// Unit tests for flim::tensor (shapes, tensors, packed bits, GEMMs, im2col).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/rng.hpp"
+#include "tensor/bit_matrix.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/xnor_gemm.hpp"
+
+namespace flim::tensor {
+namespace {
+
+FloatTensor random_pm1(std::int64_t rows, std::int64_t cols, std::uint64_t seed) {
+  core::Rng rng(seed);
+  FloatTensor t(Shape{rows, cols});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return t;
+}
+
+FloatTensor random_float(const Shape& shape, std::uint64_t seed) {
+  core::Rng rng(seed);
+  FloatTensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+// Naive float reference for the binary dot product.
+std::int32_t naive_pm1_dot(const FloatTensor& a, std::int64_t ra,
+                           const FloatTensor& b, std::int64_t rb) {
+  std::int32_t acc = 0;
+  const std::int64_t k = a.shape()[1];
+  for (std::int64_t i = 0; i < k; ++i) {
+    acc += static_cast<std::int32_t>(a.at2(ra, i) * b.at2(rb, i));
+  }
+  return acc;
+}
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.strides(), (std::vector<std::int64_t>{12, 4, 1}));
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+  EXPECT_EQ(s, (Shape{2, 3, 4}));
+  EXPECT_NE(s, (Shape{2, 3}));
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW(Shape({-1, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndAccess) {
+  FloatTensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t.at2(1, 2), 1.5f);
+  t.at2(0, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  FloatTensor t(Shape{2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const FloatTensor r = t.reshaped(Shape{3, 4});
+  EXPECT_FLOAT_EQ(r.at2(2, 3), 11.0f);
+  EXPECT_THROW(t.reshaped(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, At4Indexing) {
+  FloatTensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[t.numel() - 1], 9.0f);
+}
+
+TEST(BitMatrix, SetGetFlip) {
+  BitMatrix m(3, 70);  // forces multi-word rows with a tail
+  EXPECT_EQ(m.get(0, 0), -1);
+  m.set(0, 0, 1);
+  EXPECT_EQ(m.get(0, 0), 1);
+  m.set(2, 69, 1);
+  EXPECT_EQ(m.get(2, 69), 1);
+  m.flip(2, 69);
+  EXPECT_EQ(m.get(2, 69), -1);
+  EXPECT_EQ(m.words_per_row(), 2);
+}
+
+TEST(BitMatrix, FloatRoundTrip) {
+  const FloatTensor f = random_pm1(5, 130, 3);
+  const BitMatrix m = BitMatrix::from_float(f);
+  EXPECT_EQ(m.to_float(), f);
+}
+
+TEST(BitMatrix, SignZeroIsPlusOne) {
+  FloatTensor f(Shape{1, 3});
+  f[0] = 0.0f;
+  f[1] = -0.1f;
+  f[2] = 0.1f;
+  const BitMatrix m = BitMatrix::from_float(f);
+  EXPECT_EQ(m.get(0, 0), 1);
+  EXPECT_EQ(m.get(0, 1), -1);
+  EXPECT_EQ(m.get(0, 2), 1);
+}
+
+TEST(BitMatrix, DotRowMatchesNaive) {
+  const FloatTensor a = random_pm1(4, 200, 11);
+  const FloatTensor b = random_pm1(3, 200, 12);
+  const BitMatrix pa = BitMatrix::from_float(a);
+  const BitMatrix pb = BitMatrix::from_float(b);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(pa.dot_row(i, pb, j), naive_pm1_dot(a, i, b, j));
+    }
+  }
+}
+
+// Property sweep: XNOR GEMM equals the float reference for many K values,
+// especially around word boundaries.
+class XnorGemmSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(XnorGemmSizes, MatchesFloatReference) {
+  const std::int64_t k = GetParam();
+  const FloatTensor a = random_pm1(7, k, 100 + static_cast<std::uint64_t>(k));
+  const FloatTensor w = random_pm1(5, k, 200 + static_cast<std::uint64_t>(k));
+  IntTensor out;
+  xnor_gemm(BitMatrix::from_float(a), BitMatrix::from_float(w), out);
+  for (std::int64_t i = 0; i < 7; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(out.at2(i, j), naive_pm1_dot(a, i, w, j))
+          << "k=" << k << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, XnorGemmSizes,
+                         ::testing::Values(1, 2, 7, 31, 63, 64, 65, 100, 127,
+                                           128, 129, 200, 256, 300));
+
+TEST(XnorGemm, RowRangeComputesOnlyRequestedRows) {
+  const FloatTensor a = random_pm1(6, 50, 1);
+  const FloatTensor w = random_pm1(4, 50, 2);
+  const BitMatrix pa = BitMatrix::from_float(a);
+  const BitMatrix pw = BitMatrix::from_float(w);
+  IntTensor full;
+  xnor_gemm(pa, pw, full);
+  IntTensor partial(Shape{6, 4}, -999);
+  xnor_gemm_rows(pa, pw, partial, 2, 5);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (i >= 2 && i < 5) {
+        EXPECT_EQ(partial.at2(i, j), full.at2(i, j));
+      } else {
+        EXPECT_EQ(partial.at2(i, j), -999);
+      }
+    }
+  }
+}
+
+TEST(XnorGemm, TermFlipNegatesSingleProduct) {
+  // One flipped product term changes the dot product by ±2.
+  const std::int64_t k = 70;
+  const FloatTensor a = random_pm1(1, k, 5);
+  const FloatTensor w = random_pm1(1, k, 6);
+  const BitMatrix pa = BitMatrix::from_float(a);
+  const BitMatrix pw = BitMatrix::from_float(w);
+  IntTensor clean;
+  xnor_gemm(pa, pw, clean);
+
+  BitMatrix flip(1, k), sa0(1, k), sa1(1, k);
+  flip.set_bit(0, 68, true);
+  IntTensor faulty;
+  xnor_gemm_term_faults(pa, pw, flip, sa0, sa1, faulty);
+  const std::int32_t product =
+      static_cast<std::int32_t>(a.at2(0, 68) * w.at2(0, 68));
+  EXPECT_EQ(faulty.at2(0, 0), clean.at2(0, 0) - 2 * product);
+}
+
+TEST(XnorGemm, TermStuckAtForcesProduct) {
+  const std::int64_t k = 40;
+  const FloatTensor a = random_pm1(2, k, 7);
+  const FloatTensor w = random_pm1(2, k, 8);
+  const BitMatrix pa = BitMatrix::from_float(a);
+  const BitMatrix pw = BitMatrix::from_float(w);
+
+  // All terms stuck at 1 => dot = +k; all stuck at 0 => dot = -k.
+  BitMatrix none(2, k), all(2, k);
+  for (std::int64_t c = 0; c < k; ++c) {
+    all.set_bit(0, c, true);
+    all.set_bit(1, c, true);
+  }
+  IntTensor out;
+  xnor_gemm_term_faults(pa, pw, none, none, all, out);
+  EXPECT_EQ(out.at2(0, 0), k);
+  xnor_gemm_term_faults(pa, pw, none, all, none, out);
+  EXPECT_EQ(out.at2(1, 1), -k);
+}
+
+TEST(XnorGemm, StuckAtDominatesFlip) {
+  const std::int64_t k = 10;
+  const FloatTensor a = random_pm1(1, k, 9);
+  const FloatTensor w = random_pm1(1, k, 10);
+  BitMatrix flip(1, k), sa1(1, k), none(1, k);
+  for (std::int64_t c = 0; c < k; ++c) {
+    flip.set_bit(0, c, true);
+    sa1.set_bit(0, c, true);
+  }
+  IntTensor out;
+  xnor_gemm_term_faults(BitMatrix::from_float(a), BitMatrix::from_float(w),
+                        flip, none, sa1, out);
+  EXPECT_EQ(out.at2(0, 0), k);  // stuck-at-1 wins over flips
+}
+
+TEST(Gemm, MatchesManualSmallCase) {
+  FloatTensor a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  FloatTensor b(Shape{3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  FloatTensor c;
+  gemm(a, b, c);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Gemm, TransposedVariantsAgree) {
+  const FloatTensor a = random_float(Shape{4, 6}, 21);
+  const FloatTensor b = random_float(Shape{6, 5}, 22);
+  FloatTensor c_ref;
+  gemm(a, b, c_ref);
+
+  // gemm_at: C = (A^T)^T * B where we pass A^T.
+  FloatTensor at(Shape{6, 4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t j = 0; j < 6; ++j) at.at2(j, i) = a.at2(i, j);
+  }
+  FloatTensor c_at;
+  gemm_at(at, b, c_at);
+  for (std::int64_t i = 0; i < c_ref.numel(); ++i) {
+    EXPECT_NEAR(c_at[i], c_ref[i], 1e-4f);
+  }
+
+  // gemm_bt: C = A * (B^T)^T where we pass B^T.
+  FloatTensor bt(Shape{5, 6});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    for (std::int64_t j = 0; j < 5; ++j) bt.at2(j, i) = b.at2(i, j);
+  }
+  FloatTensor c_bt;
+  gemm_bt(a, bt, c_bt);
+  for (std::int64_t i = 0; i < c_ref.numel(); ++i) {
+    EXPECT_NEAR(c_bt[i], c_ref[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, AccumulateAdds) {
+  const FloatTensor a = random_float(Shape{3, 3}, 31);
+  const FloatTensor b = random_float(Shape{3, 3}, 32);
+  FloatTensor c1;
+  gemm(a, b, c1);
+  FloatTensor c2 = c1;
+  gemm(a, b, c2, /*accumulate=*/true);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    EXPECT_NEAR(c2[i], 2.0f * c1[i], 1e-4f);
+  }
+}
+
+TEST(Im2col, ExtractsPatchesWithPadding) {
+  // 1x1x3x3 input, 3x3 kernel, pad 1 => 9 patches of 9 elements.
+  FloatTensor x(Shape{1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i) x[i] = static_cast<float>(i + 1);
+  ConvGeometry g{1, 3, 3, 3, 3, 1, 1};
+  const FloatTensor p = im2col(x, g, 0.0f);
+  EXPECT_EQ(p.shape(), (Shape{9, 9}));
+  // Center patch (output position 1,1) sees the full input.
+  for (std::int64_t i = 0; i < 9; ++i) {
+    EXPECT_FLOAT_EQ(p.at2(4, i), static_cast<float>(i + 1));
+  }
+  // Top-left patch: first row and column padded.
+  EXPECT_FLOAT_EQ(p.at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p.at2(0, 4), 1.0f);
+}
+
+TEST(Im2col, BinaryPaddingIsMinusOne) {
+  FloatTensor x(Shape{1, 1, 2, 2}, 1.0f);  // all +1
+  ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  const BitMatrix p = im2col_binary(x, g);
+  EXPECT_EQ(p.rows(), 4);
+  EXPECT_EQ(p.cols(), 9);
+  // Position (0,0): top-left corner; first patch element is padding => -1.
+  EXPECT_EQ(p.get(0, 0), -1);
+  // Center element of the first patch is the input pixel (0,0) => +1.
+  EXPECT_EQ(p.get(0, 4), 1);
+}
+
+TEST(Im2col, BinaryMatchesFloatSign) {
+  const FloatTensor x = random_float(Shape{2, 3, 8, 8}, 41);
+  ConvGeometry g{3, 8, 8, 3, 3, 1, 1};
+  const BitMatrix pb = im2col_binary(x, g);
+  const FloatTensor pf = im2col(x, g, -1.0f);  // pad -1 like the binary path
+  for (std::int64_t r = 0; r < pb.rows(); ++r) {
+    for (std::int64_t c = 0; c < pb.cols(); ++c) {
+      EXPECT_EQ(pb.get(r, c), pf.at2(r, c) >= 0.0f ? 1 : -1);
+    }
+  }
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), y> == <x, col2im(y)> -- the defining adjoint property.
+  const FloatTensor x = random_float(Shape{1, 2, 5, 5}, 51);
+  ConvGeometry g{2, 5, 5, 3, 3, 2, 1};
+  const FloatTensor ix = im2col(x, g, 0.0f);
+  const FloatTensor y = random_float(ix.shape(), 52);
+  const FloatTensor cy = col2im(y, 1, g);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < ix.numel(); ++i) lhs += ix[i] * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * cy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, SignConvention) {
+  FloatTensor x(Shape{1, 3}, std::vector<float>{-0.5f, 0.0f, 0.5f});
+  const FloatTensor s = sign(x);
+  EXPECT_FLOAT_EQ(s[0], -1.0f);
+  EXPECT_FLOAT_EQ(s[1], 1.0f);
+  EXPECT_FLOAT_EQ(s[2], 1.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  const FloatTensor logits = random_float(Shape{4, 10}, 61);
+  const FloatTensor p = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (std::int64_t c = 0; c < 10; ++c) {
+      EXPECT_GT(p.at2(r, c), 0.0f);
+      sum += p.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxIsShiftInvariantAndStable) {
+  FloatTensor logits(Shape{1, 3}, std::vector<float>{1000.0f, 1001.0f, 1002.0f});
+  const FloatTensor p = softmax_rows(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Ops, ArgmaxAndAccuracy) {
+  FloatTensor logits(Shape{3, 3},
+                     std::vector<float>{1, 5, 2, 9, 0, 1, 2, 2, 3});
+  const auto am = argmax_rows(logits);
+  EXPECT_EQ(am, (std::vector<std::int64_t>{1, 0, 2}));
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 2}), 1.0);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 1}), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace flim::tensor

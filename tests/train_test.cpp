@@ -1,0 +1,358 @@
+// Tests for the training substrate: numerical gradient checks, optimizer
+// behavior, convergence, and train->inference equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "bnn/engine.hpp"
+#include "core/rng.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "tensor/ops.hpp"
+#include "train/graph.hpp"
+#include "train/loss.hpp"
+#include "train/trainer.hpp"
+
+namespace flim::train {
+namespace {
+
+using tensor::FloatTensor;
+using tensor::Shape;
+
+FloatTensor random_float(const Shape& shape, std::uint64_t seed,
+                         double scale = 1.0) {
+  core::Rng rng(seed);
+  FloatTensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal() * scale);
+  }
+  return t;
+}
+
+// Scalar loss used for gradient checking: L = sum(y^2) / 2.
+double quadratic_loss(const FloatTensor& y) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    acc += 0.5 * static_cast<double>(y[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+FloatTensor quadratic_grad(const FloatTensor& y) { return y; }
+
+// Central-difference check of dL/dparam against backprop for one layer.
+void check_param_gradients(TrainLayer& layer, const FloatTensor& x,
+                           double tolerance = 2e-2) {
+  std::vector<ParamRef> params;
+  layer.collect_params(params);
+  ASSERT_FALSE(params.empty());
+
+  // Analytic gradients.
+  FloatTensor y = layer.forward(x, true);
+  layer.backward(quadratic_grad(y));
+
+  const float eps = 1e-3f;
+  for (const ParamRef& p : params) {
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(p.value->numel(), 8);
+         ++i) {
+      const float saved = (*p.value)[i];
+      (*p.value)[i] = saved + eps;
+      const double lp = quadratic_loss(layer.forward(x, true));
+      (*p.value)[i] = saved - eps;
+      const double lm = quadratic_loss(layer.forward(x, true));
+      (*p.value)[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = (*p.grad)[i];
+      EXPECT_NEAR(analytic, numeric,
+                  tolerance * std::max(1.0, std::abs(numeric)))
+          << "param element " << i;
+    }
+  }
+}
+
+// Central-difference check of dL/dx against backprop.
+void check_input_gradients(TrainLayer& layer, FloatTensor x,
+                           double tolerance = 2e-2) {
+  FloatTensor y = layer.forward(x, true);
+  const FloatTensor grad_in = layer.backward(quadratic_grad(y));
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(x.numel(), 8); ++i) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const double lp = quadratic_loss(layer.forward(x, true));
+    x[i] = saved - eps;
+    const double lm = quadratic_loss(layer.forward(x, true));
+    x[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[i], numeric,
+                tolerance * std::max(1.0, std::abs(numeric)))
+        << "input element " << i;
+  }
+}
+
+TEST(Gradients, DenseParamsAndInput) {
+  core::Rng rng(1);
+  TDense dense("d", 6, 4, rng);
+  const FloatTensor x = random_float(Shape{3, 6}, 2);
+  check_param_gradients(dense, x);
+  check_input_gradients(dense, x);
+}
+
+TEST(Gradients, Conv2DParamsAndInput) {
+  core::Rng rng(3);
+  TConv2D conv("c", 2, 3, 3, 1, 1, rng);
+  const FloatTensor x = random_float(Shape{2, 2, 5, 5}, 4);
+  check_param_gradients(conv, x);
+  check_input_gradients(conv, x);
+}
+
+TEST(Gradients, Conv2DStride2) {
+  core::Rng rng(5);
+  TConv2D conv("c", 1, 2, 3, 2, 1, rng);
+  const FloatTensor x = random_float(Shape{1, 1, 7, 7}, 6);
+  check_param_gradients(conv, x);
+  check_input_gradients(conv, x);
+}
+
+TEST(Gradients, BatchNormParamsAndInput) {
+  TBatchNorm bn("bn", 3);
+  // Spread inputs to keep variance healthy for the numeric check.
+  const FloatTensor x = random_float(Shape{4, 3, 2, 2}, 7, 2.0);
+  check_param_gradients(bn, x, 5e-2);
+  check_input_gradients(bn, x, 5e-2);
+}
+
+TEST(Gradients, BatchNormRank2) {
+  TBatchNorm bn("bn", 4);
+  const FloatTensor x = random_float(Shape{8, 4}, 8, 2.0);
+  check_param_gradients(bn, x, 5e-2);
+}
+
+TEST(Gradients, GlobalAvgPoolInput) {
+  TGlobalAvgPool gap("g");
+  const FloatTensor x = random_float(Shape{2, 3, 4, 4}, 9);
+  check_input_gradients(gap, x);
+}
+
+TEST(Gradients, ReLUInput) {
+  TReLU relu("r");
+  // Keep values away from the kink for clean numerics.
+  FloatTensor x = random_float(Shape{2, 10}, 10);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 0.1f) x[i] += 0.3f;
+  }
+  check_input_gradients(relu, x);
+}
+
+TEST(Ste, SignPassesGradientInsideWindow) {
+  TSign sign("s");
+  FloatTensor x(Shape{1, 4}, std::vector<float>{0.5f, -0.5f, 2.0f, -2.0f});
+  sign.forward(x, true);
+  FloatTensor dy(Shape{1, 4}, 1.0f);
+  const FloatTensor dx = sign.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);   // inside window
+  EXPECT_FLOAT_EQ(dx[1], 1.0f);   // inside window
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);   // clipped
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);   // clipped
+}
+
+TEST(Ste, BinaryDenseClipsLatentGradient) {
+  core::Rng rng(11);
+  TBinaryDense dense("bd", 4, 2, rng);
+  std::vector<ParamRef> params;
+  dense.collect_params(params);
+  ASSERT_EQ(params.size(), 1u);
+  // Force one latent weight outside the window.
+  (*params[0].value)[0] = 3.0f;
+
+  const FloatTensor x = random_float(Shape{2, 4}, 12);
+  FloatTensor y = dense.forward(x, true);
+  dense.backward(quadratic_grad(y));
+  EXPECT_FLOAT_EQ((*params[0].grad)[0], 0.0f);  // clipped by STE window
+  // Some other gradient should be non-zero.
+  float sum = 0.0f;
+  for (std::int64_t i = 0; i < params[0].grad->numel(); ++i) {
+    sum += std::abs((*params[0].grad)[i]);
+  }
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(MaxPool, GradientRoutesToArgmax) {
+  TMaxPool2D pool("p", 2, 2);
+  FloatTensor x(Shape{1, 1, 2, 2}, std::vector<float>{1, 5, 2, 3});
+  pool.forward(x, true);
+  FloatTensor dy(Shape{1, 1, 1, 1}, 7.0f);
+  const FloatTensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[1], 7.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+TEST(Loss, SoftmaxCrossEntropyGradient) {
+  const FloatTensor logits = random_float(Shape{4, 5}, 13);
+  const std::vector<std::int64_t> labels{0, 2, 4, 1};
+  const LossResult res = softmax_cross_entropy(logits, labels);
+  EXPECT_GT(res.loss, 0.0);
+
+  // Numeric check on a few elements.
+  const float eps = 1e-3f;
+  FloatTensor perturbed = logits;
+  for (const std::int64_t i : {0L, 7L, 19L}) {
+    perturbed[i] = logits[i] + eps;
+    const double lp = softmax_cross_entropy(perturbed, labels).loss;
+    perturbed[i] = logits[i] - eps;
+    const double lm = softmax_cross_entropy(perturbed, labels).loss;
+    perturbed[i] = logits[i];
+    EXPECT_NEAR(res.grad_logits[i], (lp - lm) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(Optimizer, AdamMinimizesQuadratic) {
+  FloatTensor w(Shape{3}, std::vector<float>{5.0f, -4.0f, 3.0f});
+  FloatTensor g(Shape{3});
+  Adam adam(0.1f);
+  adam.attach({{&w, &g}});
+  for (int i = 0; i < 300; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) g[j] = w[j];  // dL/dw for L=w^2/2
+    adam.step();
+  }
+  for (std::int64_t j = 0; j < 3; ++j) EXPECT_NEAR(w[j], 0.0f, 0.05f);
+}
+
+TEST(Optimizer, SgdMinimizesQuadratic) {
+  FloatTensor w(Shape{2}, std::vector<float>{2.0f, -2.0f});
+  FloatTensor g(Shape{2});
+  Sgd sgd(0.05f, 0.9f);
+  sgd.attach({{&w, &g}});
+  for (int i = 0; i < 200; ++i) {
+    for (std::int64_t j = 0; j < 2; ++j) g[j] = w[j];
+    sgd.step();
+  }
+  for (std::int64_t j = 0; j < 2; ++j) EXPECT_NEAR(w[j], 0.0f, 0.05f);
+}
+
+TEST(Optimizer, StepZeroesGradients) {
+  FloatTensor w(Shape{1}, 1.0f);
+  FloatTensor g(Shape{1}, 1.0f);
+  Adam adam(0.01f);
+  adam.attach({{&w, &g}});
+  adam.step();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+Graph tiny_graph(std::uint64_t seed) {
+  core::Rng rng(seed);
+  Graph g("tiny");
+  g.add(std::make_unique<TConv2D>("conv0", 1, 4, 3, 1, 1, rng));
+  g.add(std::make_unique<TBatchNorm>("bn0", 4));
+  g.add(std::make_unique<TSign>("sign0"));
+  g.add(std::make_unique<TMaxPool2D>("pool0", 2, 2));
+  g.add(std::make_unique<TBinaryConv2D>("bconv", 4, 8, 3, 1, 1, rng));
+  g.add(std::make_unique<TBatchNorm>("bn1", 8));
+  g.add(std::make_unique<TSign>("sign1"));
+  g.add(std::make_unique<TMaxPool2D>("pool1", 2, 2));
+  g.add(std::make_unique<TFlatten>("flat"));
+  g.add(std::make_unique<TBinaryDense>("head", 8 * 7 * 7, 10, rng));
+  g.add(std::make_unique<TBatchNorm>("bn2", 10));
+  return g;
+}
+
+TEST(Trainer, LossDecreasesOnSyntheticMnist) {
+  data::SyntheticMnistOptions opts;
+  opts.size = 512;
+  data::SyntheticMnist ds(opts);
+  Graph g = tiny_graph(17);
+  Adam adam(2e-3f);
+
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.train_samples = 256;
+  const TrainResult first = fit(g, adam, ds, cfg);
+
+  Adam adam2(2e-3f);
+  Graph g2 = tiny_graph(17);
+  cfg.epochs = 4;
+  const TrainResult more = fit(g2, adam2, ds, cfg);
+  EXPECT_LT(more.final_train_loss, first.final_train_loss);
+  EXPECT_GT(more.final_train_accuracy, 0.4);
+}
+
+TEST(Trainer, EvaluateGraphMatchesManualAccuracy) {
+  data::SyntheticMnistOptions opts;
+  opts.size = 64;
+  data::SyntheticMnist ds(opts);
+  Graph g = tiny_graph(19);
+  const double acc = evaluate_graph(g, ds, 0, 64, 16);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+// Train->inference conversion: eval-mode graph forward must equal the
+// converted model's forward with the reference XNOR engine.
+TEST(Conversion, GraphAndInferenceModelAgree) {
+  data::SyntheticMnistOptions opts;
+  opts.size = 128;
+  data::SyntheticMnist ds(opts);
+  Graph g = tiny_graph(23);
+  Adam adam(2e-3f);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.train_samples = 128;
+  fit(g, adam, ds, cfg);
+
+  const data::Batch batch = data::load_batch(ds, 0, 8);
+  const FloatTensor graph_logits = g.forward(batch.images, false);
+
+  bnn::Model model = g.to_inference_model();
+  bnn::ReferenceEngine engine;
+  const FloatTensor model_logits = model.forward(batch.images, engine);
+
+  ASSERT_EQ(graph_logits.shape(), model_logits.shape());
+  for (std::int64_t i = 0; i < graph_logits.numel(); ++i) {
+    EXPECT_NEAR(graph_logits[i], model_logits[i], 1e-3f) << "logit " << i;
+  }
+  // And identical predictions.
+  EXPECT_EQ(tensor::argmax_rows(graph_logits),
+            tensor::argmax_rows(model_logits));
+}
+
+TEST(Conversion, XnorGainsSurviveConversion) {
+  core::Rng rng(29);
+  TBinaryConv2D conv("xc", 2, 3, 3, 1, 1, rng, /*xnor_gains=*/true);
+  const FloatTensor x = tensor::sign(random_float(Shape{1, 2, 5, 5}, 30));
+  const FloatTensor train_y = conv.forward(x, false);
+
+  bnn::LayerPtr inf = conv.to_inference();
+  bnn::ReferenceEngine engine;
+  bnn::InferenceContext ctx;
+  ctx.engine = &engine;
+  const FloatTensor inf_y = inf->forward(x, ctx);
+  ASSERT_EQ(train_y.shape(), inf_y.shape());
+  for (std::int64_t i = 0; i < train_y.numel(); ++i) {
+    EXPECT_NEAR(train_y[i], inf_y[i], 1e-4f);
+  }
+}
+
+TEST(Blocks, ResidualGradientFlowsBothPaths) {
+  core::Rng rng(31);
+  std::vector<TrainLayerPtr> body;
+  body.push_back(std::make_unique<TDense>("inner", 4, 4, rng));
+  TResidualBlock block("res", std::move(body), {});
+  const FloatTensor x = random_float(Shape{2, 4}, 32);
+  check_input_gradients(block, x);
+}
+
+TEST(Blocks, ConcatGradientSplits) {
+  core::Rng rng(33);
+  std::vector<TrainLayerPtr> body;
+  body.push_back(std::make_unique<TConv2D>("inner", 2, 3, 3, 1, 1, rng));
+  TConcatBlock block("cat", std::move(body));
+  const FloatTensor x = random_float(Shape{1, 2, 4, 4}, 34);
+  check_input_gradients(block, x);
+}
+
+}  // namespace
+}  // namespace flim::train

@@ -1,0 +1,15 @@
+// Entry point of the flim_cli tool.
+#include <exception>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return flim::cli::run(flim::cli::Args::parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
