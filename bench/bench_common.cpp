@@ -58,6 +58,32 @@ LenetFixture make_lenet_fixture(const BenchOptions& options) {
   return fx;
 }
 
+exp::WorkloadSpec lenet_workload_spec(const BenchOptions& options) {
+  exp::WorkloadSpec w;
+  w.model = "lenet";
+  w.eval_images = options.eval_images;
+  w.epochs = options.epochs;
+  w.train_samples = options.train_samples;
+  w.verbose = true;
+  w.measure_clean_accuracy = true;
+  return w;
+}
+
+exp::WorkloadSpec zoo_workload_spec(const std::string& name,
+                                    const BenchOptions& options) {
+  exp::WorkloadSpec w = lenet_workload_spec(options);
+  w.model = name;
+  return w;
+}
+
+exp::Workload load_bench_workload(const exp::WorkloadSpec& spec) {
+  exp::Workload w = exp::load_workload(spec);
+  std::cerr << "[bench] " << w.model.name() << " clean accuracy: "
+            << pct(w.clean_accuracy) << "% on " << spec.eval_images
+            << " images\n";
+  return w;
+}
+
 ZooFixture make_zoo_fixture(const BenchOptions& options) {
   ZooFixture fx;
   data::SyntheticImagenetOptions d;

@@ -19,6 +19,7 @@
 #include "core/report.hpp"
 #include "data/synthetic_imagenet.hpp"
 #include "data/synthetic_mnist.hpp"
+#include "exp/scenario.hpp"
 #include "fault/fault_spec.hpp"
 #include "lim/mapper.hpp"
 
@@ -48,6 +49,18 @@ struct LenetFixture {
 
 /// Builds (or loads from the weight cache) the LeNet fixture.
 LenetFixture make_lenet_fixture(const BenchOptions& options);
+
+/// Workload spec for the shared LeNet fixture on the scenario layer
+/// (exp::ScenarioSpec::workload for the figure benches).
+exp::WorkloadSpec lenet_workload_spec(const BenchOptions& options);
+
+/// Workload spec for one Table-II zoo model on the scenario layer.
+exp::WorkloadSpec zoo_workload_spec(const std::string& name,
+                                    const BenchOptions& options);
+
+/// Loads a workload and logs its clean accuracy to stderr (the scenario-
+/// layer replacement for make_lenet_fixture / load_zoo_model).
+exp::Workload load_bench_workload(const exp::WorkloadSpec& spec);
 
 /// Shared zoo fixture for the Fig 5 / Table II benches.
 struct ZooFixture {

@@ -1,54 +1,50 @@
 // Fig 4a: impact of bit-flip injection rate on individual LeNet layers.
 //
 // Sweep: injection rate 0..30%, series conv1/conv2/dense0/dense1/combined,
-// each point averaged over re-seeded repetitions (paper: 100).
+// each point averaged over re-seeded repetitions (paper: 100). The whole
+// figure is one declarative scenario: rate x layer grid on the FLIM backend.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
 
 int main() {
   const benchx::BenchOptions options = benchx::options_from_env();
-  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
 
   std::vector<std::string> series = models::lenet_faultable_layers();
   series.push_back("combined");
   const std::vector<double> rates{0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
 
+  exp::ScenarioSpec spec;
+  spec.name = "fig4a_bitflip_layers";
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault.kind = fault::FaultKind::kBitFlip;
+  spec.axes = {exp::rate_axis(rates), exp::layers_axis(series)};
+  spec.repetitions = options.repetitions;
+  spec.master_seed = options.master_seed;
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+  const exp::ScenarioResult result =
+      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+        if (p.labels[1] == series.back()) {
+          std::cerr << "[fig4a] rate " << p.values[0] * 100.0 << "% done\n";
+        }
+      });
+
   std::vector<std::string> columns{"rate_%"};
   for (const auto& s : series) columns.push_back(s + "_acc_%");
   columns.push_back("stddev_combined");
   core::Table table(columns);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
-  for (const double rate : rates) {
-    std::vector<std::string> row{core::format_double(rate * 100.0, 0)};
-    core::Summary combined_summary;
-    for (const auto& s : series) {
-      const std::vector<std::string> filter =
-          s == "combined" ? std::vector<std::string>{}
-                          : std::vector<std::string>{s};
-      const core::Summary summary =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kBitFlip;
-            spec.injection_rate = rate;
-            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
-                                                fx.layers, filter, spec, seed,
-                                                {64, 64});
-          });
-      row.push_back(benchx::pct(summary.mean));
-      if (s == "combined") combined_summary = summary;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::vector<std::string> row{core::format_double(rates[i] * 100.0, 0)};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      row.push_back(benchx::pct(result.at({i, j}).mean));
     }
-    row.push_back(benchx::pct(combined_summary.stddev));
+    row.push_back(benchx::pct(result.at({i, series.size() - 1}).stddev));
     table.add_row(std::move(row));
-    std::cerr << "[fig4a] rate " << rate * 100.0 << "% done\n";
   }
 
   benchx::emit("Fig 4a: bit-flip injection rate vs accuracy per layer",

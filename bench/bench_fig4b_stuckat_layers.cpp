@@ -1,47 +1,45 @@
-// Fig 4b: impact of stuck-at injection rate on individual LeNet layers.
+// Fig 4b: impact of stuck-at injection rate on individual LeNet layers --
+// one rate x layer scenario on the FLIM backend.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
 
 int main() {
   const benchx::BenchOptions options = benchx::options_from_env();
-  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
 
   std::vector<std::string> series = models::lenet_faultable_layers();
   series.push_back("combined");
   const std::vector<double> rates{0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30};
 
+  exp::ScenarioSpec spec;
+  spec.name = "fig4b_stuckat_layers";
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault.kind = fault::FaultKind::kStuckAt;
+  spec.axes = {exp::rate_axis(rates), exp::layers_axis(series)};
+  spec.repetitions = options.repetitions;
+  spec.master_seed = options.master_seed;
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+  const exp::ScenarioResult result =
+      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+        if (p.labels[1] == series.back()) {
+          std::cerr << "[fig4b] rate " << p.values[0] * 100.0 << "% done\n";
+        }
+      });
+
   std::vector<std::string> columns{"rate_%"};
   for (const auto& s : series) columns.push_back(s + "_acc_%");
   core::Table table(columns);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
-  for (const double rate : rates) {
-    std::vector<std::string> row{core::format_double(rate * 100.0, 0)};
-    for (const auto& s : series) {
-      const std::vector<std::string> filter =
-          s == "combined" ? std::vector<std::string>{}
-                          : std::vector<std::string>{s};
-      const core::Summary summary =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kStuckAt;
-            spec.injection_rate = rate;
-            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
-                                                fx.layers, filter, spec, seed,
-                                                {64, 64});
-          });
-      row.push_back(benchx::pct(summary.mean));
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::vector<std::string> row{core::format_double(rates[i] * 100.0, 0)};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      row.push_back(benchx::pct(result.at({i, j}).mean));
     }
     table.add_row(std::move(row));
-    std::cerr << "[fig4b] rate " << rate * 100.0 << "% done\n";
   }
 
   benchx::emit("Fig 4b: stuck-at injection rate vs accuracy per layer",

@@ -1,49 +1,47 @@
 // Fig 4c: dynamic faults -- accuracy vs the number of XNOR operations needed
-// to sensitize the fault (period 0 = static/every execution).
+// to sensitize the fault (period 0 = static/every execution). One
+// period x layer scenario at a fixed 20% mask density.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
 
 int main() {
   const benchx::BenchOptions options = benchx::options_from_env();
-  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
 
   std::vector<std::string> series = models::lenet_faultable_layers();
   series.push_back("combined");
-  const double rate = 0.20;  // fixed bit-flip density of the dynamic mask
+  const std::vector<int> periods{0, 1, 2, 3, 4};
+
+  exp::ScenarioSpec spec;
+  spec.name = "fig4c_dynamic_layers";
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault.kind = fault::FaultKind::kDynamic;
+  spec.fault.injection_rate = 0.20;  // fixed bit-flip density of the mask
+  spec.axes = {exp::period_axis(periods), exp::layers_axis(series)};
+  spec.repetitions = options.repetitions;
+  spec.master_seed = options.master_seed;
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+  const exp::ScenarioResult result =
+      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+        if (p.labels[1] == series.back()) {
+          std::cerr << "[fig4c] period " << p.labels[0] << " done\n";
+        }
+      });
 
   std::vector<std::string> columns{"period"};
   for (const auto& s : series) columns.push_back(s + "_acc_%");
   core::Table table(columns);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
-  for (int period = 0; period <= 4; ++period) {
-    std::vector<std::string> row{std::to_string(period)};
-    for (const auto& s : series) {
-      const std::vector<std::string> filter =
-          s == "combined" ? std::vector<std::string>{}
-                          : std::vector<std::string>{s};
-      const core::Summary summary =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kDynamic;
-            spec.injection_rate = rate;
-            spec.dynamic_period = period;
-            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
-                                                fx.layers, filter, spec, seed,
-                                                {64, 64});
-          });
-      row.push_back(benchx::pct(summary.mean));
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    std::vector<std::string> row{std::to_string(periods[i])};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      row.push_back(benchx::pct(result.at({i, j}).mean));
     }
     table.add_row(std::move(row));
-    std::cerr << "[fig4c] period " << period << " done\n";
   }
 
   benchx::emit(

@@ -1,47 +1,46 @@
-// Fig 4d: whole faulty columns on a 40x10 crossbar per layer.
+// Fig 4d: whole faulty columns on a 40x10 crossbar per layer -- one
+// faulty-columns x layer scenario on the paper's array geometry.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
 
 int main() {
   const benchx::BenchOptions options = benchx::options_from_env();
-  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
 
   std::vector<std::string> series = models::lenet_faultable_layers();
   series.push_back("combined");
-  const lim::CrossbarGeometry grid{40, 10};  // the paper's array
+  const std::vector<int> cols{0, 1, 2, 3, 4};
+
+  exp::ScenarioSpec spec;
+  spec.name = "fig4d_faulty_columns";
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault.kind = fault::FaultKind::kBitFlip;
+  spec.grid = {40, 10};  // the paper's array
+  spec.axes = {exp::faulty_cols_axis(cols), exp::layers_axis(series)};
+  spec.repetitions = options.repetitions;
+  spec.master_seed = options.master_seed;
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+  const exp::ScenarioResult result =
+      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+        if (p.labels[1] == series.back()) {
+          std::cerr << "[fig4d] " << p.labels[0] << " faulty columns done\n";
+        }
+      });
 
   std::vector<std::string> columns{"faulty_columns"};
   for (const auto& s : series) columns.push_back(s + "_acc_%");
   core::Table table(columns);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
-  for (int cols = 0; cols <= 4; ++cols) {
-    std::vector<std::string> row{std::to_string(cols)};
-    for (const auto& s : series) {
-      const std::vector<std::string> filter =
-          s == "combined" ? std::vector<std::string>{}
-                          : std::vector<std::string>{s};
-      const core::Summary summary =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kBitFlip;
-            spec.faulty_cols = cols;
-            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
-                                                fx.layers, filter, spec, seed,
-                                                grid);
-          });
-      row.push_back(benchx::pct(summary.mean));
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    std::vector<std::string> row{std::to_string(cols[i])};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      row.push_back(benchx::pct(result.at({i, j}).mean));
     }
     table.add_row(std::move(row));
-    std::cerr << "[fig4d] " << cols << " faulty columns done\n";
   }
 
   benchx::emit("Fig 4d: faulty columns on a 40x10 crossbar vs accuracy",

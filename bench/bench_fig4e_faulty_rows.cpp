@@ -1,47 +1,47 @@
-// Fig 4e: whole faulty rows on a 40x10 crossbar per layer.
+// Fig 4e: whole faulty rows on a 40x10 crossbar per layer -- one
+// faulty-rows x layer scenario on the paper's array geometry.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
 
 int main() {
   const benchx::BenchOptions options = benchx::options_from_env();
-  const benchx::LenetFixture fx = benchx::make_lenet_fixture(options);
 
   std::vector<std::string> series = models::lenet_faultable_layers();
   series.push_back("combined");
-  const lim::CrossbarGeometry grid{40, 10};
+  std::vector<int> rows;
+  for (int r = 0; r <= 20; r += 2) rows.push_back(r);
+
+  exp::ScenarioSpec spec;
+  spec.name = "fig4e_faulty_rows";
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault.kind = fault::FaultKind::kBitFlip;
+  spec.grid = {40, 10};
+  spec.axes = {exp::faulty_rows_axis(rows), exp::layers_axis(series)};
+  spec.repetitions = options.repetitions;
+  spec.master_seed = options.master_seed;
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+  const exp::ScenarioResult result =
+      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+        if (p.labels[1] == series.back()) {
+          std::cerr << "[fig4e] " << p.labels[0] << " affected rows done\n";
+        }
+      });
 
   std::vector<std::string> columns{"affected_rows"};
   for (const auto& s : series) columns.push_back(s + "_acc_%");
   core::Table table(columns);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
-  for (int rows = 0; rows <= 20; rows += 2) {
-    std::vector<std::string> row{std::to_string(rows)};
-    for (const auto& s : series) {
-      const std::vector<std::string> filter =
-          s == "combined" ? std::vector<std::string>{}
-                          : std::vector<std::string>{s};
-      const core::Summary summary =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kBitFlip;
-            spec.faulty_rows = rows;
-            return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
-                                                fx.layers, filter, spec, seed,
-                                                grid);
-          });
-      row.push_back(benchx::pct(summary.mean));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<std::string> row{std::to_string(rows[i])};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      row.push_back(benchx::pct(result.at({i, j}).mean));
     }
     table.add_row(std::move(row));
-    std::cerr << "[fig4e] " << rows << " affected rows done\n";
   }
 
   benchx::emit("Fig 4e: affected rows on a 40x10 crossbar vs accuracy",

@@ -1,8 +1,8 @@
-// Fig 5a: bit-flip resilience across the nine Table-II model families.
+// Fig 5a: bit-flip resilience across the nine Table-II model families --
+// one rate-axis scenario per family, sharing the workload/axis spec.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
@@ -11,7 +11,6 @@ int main() {
   benchx::BenchOptions options = benchx::options_from_env();
   options.epochs = std::min(options.epochs, 2);        // zoo-scale training
   options.train_samples = std::min<std::int64_t>(options.train_samples, 2000);
-  const benchx::ZooFixture fx = benchx::make_zoo_fixture(options);
 
   const std::vector<double> rates{0.0, 0.05, 0.10, 0.15, 0.20};
   std::vector<std::string> columns{"model", "clean_acc_%"};
@@ -20,29 +19,22 @@ int main() {
   }
   core::Table table(columns);
 
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
   for (const auto& name : models::zoo_model_names()) {
-    const bnn::Model model = benchx::load_zoo_model(name, fx, options);
-    const auto layers =
-        model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f))
-            .binarized_layers;
-    bnn::ReferenceEngine ref;
-    const double clean = model.evaluate(fx.eval_batch, ref);
+    exp::ScenarioSpec spec;
+    spec.name = "fig5a_" + name;
+    spec.workload = benchx::zoo_workload_spec(name, options);
+    spec.fault.kind = fault::FaultKind::kBitFlip;
+    spec.axes = {exp::rate_axis(rates)};
+    spec.repetitions = options.repetitions;
+    spec.master_seed = options.master_seed;
 
-    std::vector<std::string> row{name, benchx::pct(clean)};
-    for (const double rate : rates) {
-      const core::Summary s =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kBitFlip;
-            spec.injection_rate = rate;
-            return benchx::evaluate_with_faults(model, fx.eval_batch, layers,
-                                                {}, spec, seed, {64, 64});
-          });
-      row.push_back(benchx::pct(s.mean));
+    exp::ScenarioRunner runner(spec);
+    const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+    const exp::ScenarioResult result = runner.run(fx);
+
+    std::vector<std::string> row{name, benchx::pct(fx.clean_accuracy)};
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      row.push_back(benchx::pct(result.at({i}).mean));
     }
     table.add_row(std::move(row));
     std::cerr << "[fig5a] " << name << " done\n";

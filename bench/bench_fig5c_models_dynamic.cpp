@@ -1,8 +1,8 @@
-// Fig 5c: dynamic-fault resilience across the nine Table-II model families.
+// Fig 5c: dynamic-fault resilience across the nine Table-II model families
+// -- one period-axis scenario per family at a fixed 15% mask density.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/campaign.hpp"
 #include "models/zoo.hpp"
 
 using namespace flim;
@@ -11,39 +11,31 @@ int main() {
   benchx::BenchOptions options = benchx::options_from_env();
   options.epochs = std::min(options.epochs, 2);
   options.train_samples = std::min<std::int64_t>(options.train_samples, 2000);
-  const benchx::ZooFixture fx = benchx::make_zoo_fixture(options);
 
-  const double rate = 0.15;  // fixed dynamic-mask density
+  const std::vector<int> periods{0, 1, 2, 3, 4, 5};
   std::vector<std::string> columns{"model", "clean_acc_%"};
-  for (int period = 0; period <= 5; ++period) {
+  for (const int period : periods) {
     columns.push_back("period_" + std::to_string(period) + "_acc_%");
   }
   core::Table table(columns);
 
-  core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
-  campaign.master_seed = options.master_seed;
-
   for (const auto& name : models::zoo_model_names()) {
-    const bnn::Model model = benchx::load_zoo_model(name, fx, options);
-    const auto layers =
-        model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f))
-            .binarized_layers;
-    bnn::ReferenceEngine ref;
-    const double clean = model.evaluate(fx.eval_batch, ref);
+    exp::ScenarioSpec spec;
+    spec.name = "fig5c_" + name;
+    spec.workload = benchx::zoo_workload_spec(name, options);
+    spec.fault.kind = fault::FaultKind::kDynamic;
+    spec.fault.injection_rate = 0.15;  // fixed dynamic-mask density
+    spec.axes = {exp::period_axis(periods)};
+    spec.repetitions = options.repetitions;
+    spec.master_seed = options.master_seed;
 
-    std::vector<std::string> row{name, benchx::pct(clean)};
-    for (int period = 0; period <= 5; ++period) {
-      const core::Summary s =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kDynamic;
-            spec.injection_rate = rate;
-            spec.dynamic_period = period;
-            return benchx::evaluate_with_faults(model, fx.eval_batch, layers,
-                                                {}, spec, seed, {64, 64});
-          });
-      row.push_back(benchx::pct(s.mean));
+    exp::ScenarioRunner runner(spec);
+    const exp::Workload fx = benchx::load_bench_workload(spec.workload);
+    const exp::ScenarioResult result = runner.run(fx);
+
+    std::vector<std::string> row{name, benchx::pct(fx.clean_accuracy)};
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      row.push_back(benchx::pct(result.at({i}).mean));
     }
     table.add_row(std::move(row));
     std::cerr << "[fig5c] " << name << " done\n";

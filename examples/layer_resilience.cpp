@@ -1,56 +1,41 @@
 // Layer resilience mini-study (a compact Fig 4a): sweep bit-flip rates per
 // LeNet layer and print the accuracy matrix.
+//
+// The whole experiment is one declarative scenario: a layer x rate grid on
+// the FLIM backend, executed by exp::ScenarioRunner. Compare with the
+// pre-scenario revision of this file to see the wiring the scenario layer
+// replaces.
 #include <iostream>
 
-#include "bnn/engine.hpp"
-#include "bnn/flim_engine.hpp"
-#include "core/campaign.hpp"
 #include "core/report.hpp"
-#include "core/rng.hpp"
-#include "data/synthetic_mnist.hpp"
-#include "fault/fault_generator.hpp"
-#include "models/pretrained.hpp"
+#include "exp/scenario.hpp"
 #include "models/zoo.hpp"
 
 int main() {
   using namespace flim;
 
-  data::SyntheticMnistOptions data_opts;
-  data_opts.size = 2500;
-  data::SyntheticMnist dataset(data_opts);
+  exp::ScenarioSpec spec;
+  spec.name = "layer_resilience";
+  spec.workload.model = "lenet";
+  spec.workload.train_samples = 2000;
+  spec.workload.eval_images = 300;
+  spec.workload.epochs = 3;
+  spec.fault.kind = fault::FaultKind::kBitFlip;
+  spec.axes = {exp::layers_axis(models::lenet_faultable_layers()),
+               exp::rate_axis({0.0, 0.10, 0.20, 0.30})};
+  spec.repetitions = 5;
+  spec.master_seed = 42;
 
-  models::PretrainOptions train_opts;
-  train_opts.epochs = 3;
-  train_opts.train_samples = 2000;
-  const bnn::Model model = models::pretrained_lenet(dataset, train_opts);
+  exp::ScenarioRunner runner(spec);
+  const exp::ScenarioResult result = runner.run();
 
-  const auto layers =
-      model.analyze(tensor::FloatTensor(tensor::Shape{1, 1, 28, 28}, 0.5f))
-          .binarized_layers;
-  const data::Batch test = data::load_batch(dataset, 2000, 300);
-
-  core::CampaignConfig campaign;
-  campaign.repetitions = 5;
-
+  const std::size_t num_layers = result.axis_sizes[0];
+  const std::size_t num_rates = result.axis_sizes[1];
   core::Table table({"layer", "0%", "10%", "20%", "30%"});
-  for (const auto& layer : layers) {
-    std::vector<std::string> row{layer.layer_name};
-    for (const double rate : {0.0, 0.10, 0.20, 0.30}) {
-      const core::Summary s =
-          core::run_repeated(campaign, [&](std::uint64_t seed) {
-            fault::FaultGenerator gen({64, 64});
-            core::Rng rng(seed);
-            fault::FaultSpec spec;
-            spec.kind = fault::FaultKind::kBitFlip;
-            spec.injection_rate = rate;
-            fault::FaultVectorEntry entry;
-            entry.layer_name = layer.layer_name;
-            entry.mask = gen.generate(spec, rng);
-            bnn::FlimEngine engine;
-            engine.set_layer_fault(entry);
-            return model.evaluate(test, engine);
-          });
-      row.push_back(core::format_double(s.mean * 100.0, 1));
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    std::vector<std::string> row{result.points[l * num_rates].labels[0]};
+    for (std::size_t r = 0; r < num_rates; ++r) {
+      row.push_back(core::format_double(result.at({l, r}).mean * 100.0, 1));
     }
     table.add_row(std::move(row));
   }

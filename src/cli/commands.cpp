@@ -2,18 +2,12 @@
 
 #include <iostream>
 
-#include "bnn/engine.hpp"
-#include "bnn/flim_engine.hpp"
-#include "core/campaign.hpp"
 #include "core/check.hpp"
 #include "core/report.hpp"
 #include "core/rng.hpp"
-#include "data/synthetic_imagenet.hpp"
-#include "data/synthetic_mnist.hpp"
+#include "exp/scenario.hpp"
 #include "fault/fault_generator.hpp"
 #include "fault/fault_vector_file.hpp"
-#include "models/pretrained.hpp"
-#include "models/zoo.hpp"
 #include "reliability/ecc.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/march.hpp"
@@ -51,57 +45,31 @@ fault::FaultDistribution parse_distribution(const std::string& s) {
   return fault::FaultDistribution::kUniform;
 }
 
-bool is_zoo_model(const std::string& name) {
-  for (const auto& m : models::zoo_model_names()) {
-    if (m == name) return true;
+/// Maps the shared model/training flags onto a workload spec; the scenario
+/// layer owns the actual dataset/train/cache wiring.
+exp::WorkloadSpec workload_from(const Args& args) {
+  exp::WorkloadSpec w;
+  w.model = args.get_string("model", "lenet");
+  w.eval_images = args.get_int("images", 300);
+  w.epochs = static_cast<int>(args.get_int("epochs", 3));
+  w.train_samples = args.get_int("samples", 3000);
+  w.verbose = args.has("verbose");
+  if (args.has("weights-dir")) {
+    w.weights_dir = args.get_string("weights-dir");
   }
-  return false;
+  w.force_retrain = args.has("retrain");
+  return w;
 }
 
-/// Loads/trains the requested model and returns it together with its
-/// binarized-layer workloads and a held-out evaluation batch.
-struct LoadedModel {
-  bnn::Model model;
-  std::vector<bnn::LayerWorkload> layers;
-  data::Batch eval_batch;
-};
-
-LoadedModel load_model_for(const Args& args) {
-  const std::string name = args.get_string("model", "lenet");
-  const std::int64_t images = args.get_int("images", 300);
-  models::PretrainOptions opts;
-  opts.epochs = static_cast<int>(args.get_int("epochs", 3));
-  opts.train_samples = args.get_int("samples", 3000);
-  opts.verbose = args.has("verbose");
-  if (args.has("weights-dir")) {
-    opts.cache_dir = args.get_string("weights-dir");
-  }
-  opts.force_retrain = args.has("retrain");
-
-  LoadedModel out;
-  if (name == "lenet") {
-    data::SyntheticMnistOptions d;
-    d.size = opts.train_samples + images;
-    data::SyntheticMnist ds(d);
-    out.model = models::pretrained_lenet(ds, opts);
-    out.eval_batch = data::load_batch(ds, opts.train_samples, images);
-    out.layers =
-        out.model.analyze(tensor::FloatTensor(tensor::Shape{1, 1, 28, 28}, 0.5f))
-            .binarized_layers;
-  } else if (is_zoo_model(name)) {
-    data::SyntheticImagenetOptions d;
-    d.size = opts.train_samples + images;
-    data::SyntheticImagenet ds(d);
-    out.model = models::pretrained_zoo_model(name, ds, opts);
-    out.eval_batch = data::load_batch(ds, opts.train_samples, images);
-    out.layers =
-        out.model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f))
-            .binarized_layers;
-  } else {
-    FLIM_REQUIRE(false, "unknown model: " + name +
-                            " (expected 'lenet' or a Table-II zoo name)");
-  }
-  return out;
+/// Parses "RxC" grid flags.
+lim::CrossbarGeometry parse_grid(const Args& args, const std::string& flag,
+                                 const std::string& fallback) {
+  const std::string grid_str = args.get_string(flag, fallback);
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos,
+               "--" + flag + " expects RxC, e.g. " + fallback);
+  return {std::stoll(grid_str.substr(0, x)),
+          std::stoll(grid_str.substr(x + 1))};
 }
 
 }  // namespace
@@ -126,9 +94,12 @@ commands:
              [--weights-dir DIR] [--retrain] [--verbose]
   evaluate   clean vs faulty accuracy
              --model M  --vectors FILE  [--images N] [--weights-dir DIR]
+             [--engine flim|device|tmr]
   campaign   repeated-seed sweep over injection rates
              --model M  --kind K  --rates 0,0.05,0.1  [--reps N]
+             [--engine flim|device|tmr]  [--jobs N (parallel repetitions)]
              [--granularity output|term] [--grid RxC] [--csv FILE]
+             [--json FILE]
   march      offline March test of a simulated crossbar
              --algorithm mats+|marchx|marchc-|raw1|all  [--grid RxC]
              single-fault mode: --inject KIND --at R,C [--severity S]
@@ -156,11 +127,7 @@ int cmd_generate(const Args& args) {
   const auto layers = args.get_list("layers");
   FLIM_REQUIRE(!layers.empty(), "--layers is required (comma-separated)");
 
-  const std::string grid_str = args.get_string("grid", "64x64");
-  const auto x = grid_str.find('x');
-  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC, e.g. 40x10");
-  const lim::CrossbarGeometry grid{std::stoll(grid_str.substr(0, x)),
-                                   std::stoll(grid_str.substr(x + 1))};
+  const lim::CrossbarGeometry grid = parse_grid(args, "grid", "64x64");
 
   fault::FaultSpec spec;
   spec.kind = parse_kind(args.get_string("kind", "bitflip"));
@@ -218,28 +185,35 @@ int cmd_inspect(const Args& args) {
 int cmd_train(const Args& args) {
   args.require_known({"model", "epochs", "samples", "weights-dir", "retrain",
                       "verbose", "images"});
-  const LoadedModel loaded = load_model_for(args);
-  bnn::ReferenceEngine engine;
-  const double acc = loaded.model.evaluate(loaded.eval_batch, engine);
+  exp::WorkloadSpec spec = workload_from(args);
+  spec.measure_clean_accuracy = true;
+  const exp::Workload loaded = exp::load_workload(spec);
   std::cout << loaded.model.name() << ": held-out accuracy "
-            << core::format_double(acc * 100.0, 2) << "% on "
+            << core::format_double(loaded.clean_accuracy * 100.0, 2) << "% on "
             << loaded.eval_batch.labels.size() << " images\n";
   return 0;
 }
 
 int cmd_evaluate(const Args& args) {
   args.require_known({"model", "vectors", "images", "weights-dir", "epochs",
-                      "samples", "retrain", "verbose"});
+                      "samples", "retrain", "verbose", "engine"});
   const std::string vectors_path = args.get_string("vectors");
   FLIM_REQUIRE(!vectors_path.empty(), "--vectors is required");
-  const LoadedModel loaded = load_model_for(args);
+  exp::EngineSpec engine_spec;
+  engine_spec.backend = exp::parse_backend(args.get_string("engine", "flim"));
+  FLIM_REQUIRE(engine_spec.backend != exp::Backend::kReference,
+               "--engine reference would ignore the vectors; pick "
+               "flim|device|tmr");
+  const exp::Workload loaded = exp::load_workload(workload_from(args));
   const fault::FaultVectorFile vectors =
       fault::FaultVectorFile::load(vectors_path);
 
-  bnn::ReferenceEngine clean;
-  bnn::FlimEngine faulty(vectors);
-  const double clean_acc = loaded.model.evaluate(loaded.eval_batch, clean);
-  const double faulty_acc = loaded.model.evaluate(loaded.eval_batch, faulty);
+  exp::EngineSpec clean_spec;
+  clean_spec.backend = exp::Backend::kReference;
+  const auto clean = exp::make_engine(clean_spec);
+  const auto faulty = exp::make_engine(engine_spec, vectors);
+  const double clean_acc = loaded.model.evaluate(loaded.eval_batch, *clean);
+  const double faulty_acc = loaded.model.evaluate(loaded.eval_batch, *faulty);
   core::Table table({"configuration", "accuracy_%"});
   table.add("clean", core::format_double(clean_acc * 100.0, 2));
   table.add("faulty (" + vectors_path + ")",
@@ -250,59 +224,53 @@ int cmd_evaluate(const Args& args) {
 
 int cmd_campaign(const Args& args) {
   args.require_known({"model", "kind", "rates", "reps", "granularity", "grid",
-                      "csv", "images", "weights-dir", "epochs", "samples",
-                      "retrain", "verbose", "seed"});
-  const LoadedModel loaded = load_model_for(args);
-  const fault::FaultKind kind = parse_kind(args.get_string("kind", "bitflip"));
-  const auto granularity =
-      parse_granularity(args.get_string("granularity", "output"));
+                      "csv", "json", "images", "weights-dir", "epochs",
+                      "samples", "retrain", "verbose", "seed", "engine",
+                      "jobs"});
   auto rates = args.get_double_list("rates");
   if (rates.empty()) rates = {0.0, 0.05, 0.10, 0.20};
 
-  const std::string grid_str = args.get_string("grid", "64x64");
-  const auto x = grid_str.find('x');
-  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC");
-  const lim::CrossbarGeometry grid{std::stoll(grid_str.substr(0, x)),
-                                   std::stoll(grid_str.substr(x + 1))};
+  exp::ScenarioSpec spec;
+  spec.name = "campaign";
+  spec.workload = workload_from(args);
+  spec.engine.backend = exp::parse_backend(args.get_string("engine", "flim"));
+  FLIM_REQUIRE(spec.engine.backend != exp::Backend::kReference,
+               "--engine reference would inject nothing; pick flim|device|tmr");
+  spec.fault.kind = parse_kind(args.get_string("kind", "bitflip"));
+  spec.fault.granularity =
+      parse_granularity(args.get_string("granularity", "output"));
+  spec.grid = parse_grid(args, "grid", "64x64");
+  spec.axes = {exp::rate_axis(rates)};
+  spec.repetitions = static_cast<int>(args.get_int("reps", 10));
+  spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  spec.jobs = static_cast<int>(args.get_int("jobs", 1));
 
-  core::CampaignConfig campaign;
-  campaign.repetitions = static_cast<int>(args.get_int("reps", 10));
-  campaign.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload loaded = exp::load_workload(spec.workload);
+  const exp::ScenarioResult result = runner.run(loaded);
 
   core::Table table({"rate", "accuracy_%", "stddev", "min_%", "max_%"});
-  for (const double rate : rates) {
-    const core::Summary s =
-        core::run_repeated(campaign, [&](std::uint64_t seed) {
-          fault::FaultGenerator gen(grid);
-          core::Rng rng(seed);
-          bnn::FlimEngine engine;
-          for (const auto& layer : loaded.layers) {
-            fault::FaultSpec spec;
-            spec.kind = kind;
-            spec.injection_rate = rate;
-            spec.granularity = granularity;
-            fault::FaultVectorEntry entry;
-            entry.layer_name = layer.layer_name;
-            entry.kind = kind;
-            entry.granularity = granularity;
-            entry.mask = gen.generate(spec, rng);
-            engine.set_layer_fault(std::move(entry));
-          }
-          return loaded.model.evaluate(loaded.eval_batch, engine);
-        });
-    table.add(core::format_double(rate, 3),
-              core::format_double(s.mean * 100.0, 2),
-              core::format_double(s.stddev * 100.0, 2),
-              core::format_double(s.min * 100.0, 2),
-              core::format_double(s.max * 100.0, 2));
+  for (const exp::ScenarioPoint& p : result.points) {
+    table.add(p.labels[0], core::format_double(p.metric.mean * 100.0, 2),
+              core::format_double(p.metric.stddev * 100.0, 2),
+              core::format_double(p.metric.min * 100.0, 2),
+              core::format_double(p.metric.max * 100.0, 2));
   }
-  core::print_table(std::cout,
-                    loaded.model.name() + " / " + to_string(kind) + " sweep",
-                    table);
+  std::string title =
+      loaded.model.name() + " / " + to_string(spec.fault.kind) + " sweep";
+  if (spec.engine.backend != exp::Backend::kFlim) {
+    title += " (" + exp::to_string(spec.engine.backend) + ")";
+  }
+  core::print_table(std::cout, title, table);
   const std::string csv = args.get_string("csv");
   if (!csv.empty()) {
     table.write_csv(csv);
     std::cout << "wrote " << csv << "\n";
+  }
+  const std::string json = args.get_string("json");
+  if (!json.empty()) {
+    table.write_json(json);
+    std::cout << "wrote " << json << "\n";
   }
   return 0;
 }
@@ -342,12 +310,10 @@ int cmd_march(const Args& args) {
                       "coverage", "samples", "seed"});
   const auto algorithms = parse_algorithms(args.get_string("algorithm", "all"));
 
-  const std::string grid_str = args.get_string("grid", "16x16");
-  const auto x = grid_str.find('x');
-  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC, e.g. 16x16");
+  const lim::CrossbarGeometry march_grid = parse_grid(args, "grid", "16x16");
   lim::CrossbarConfig array_cfg;
-  array_cfg.rows = std::stoll(grid_str.substr(0, x));
-  array_cfg.cols = std::stoll(grid_str.substr(x + 1));
+  array_cfg.rows = march_grid.rows;
+  array_cfg.cols = march_grid.cols;
 
   if (args.has("coverage")) {
     reliability::CoverageConfig cfg;
@@ -511,11 +477,7 @@ int cmd_lifetime(const Args& args) {
                       "retrain", "verbose", "seed", "csv"});
 
   reliability::LifetimeConfig cfg;
-  const std::string grid_str = args.get_string("grid", "64x64");
-  const auto x = grid_str.find('x');
-  FLIM_REQUIRE(x != std::string::npos, "--grid expects RxC");
-  cfg.grid = {std::stoll(grid_str.substr(0, x)),
-              std::stoll(grid_str.substr(x + 1))};
+  cfg.grid = parse_grid(args, "grid", "64x64");
   cfg.horizon_hours = args.get_double("horizon", 20000.0);
   cfg.step_hours = args.get_double("step", 2000.0);
   cfg.wearout.scale_hours = args.get_double("wearout-scale", 16000.0);
@@ -544,7 +506,7 @@ int cmd_lifetime(const Args& args) {
 
   // Validate the whole configuration before the (expensive) model load.
   const reliability::LifetimeSimulator sim(cfg);
-  const LoadedModel loaded = load_model_for(args);
+  const exp::Workload loaded = exp::load_workload(workload_from(args));
   const reliability::LifetimeCurve curve =
       sim.simulate(loaded.model, loaded.eval_batch, loaded.layers, stack);
 

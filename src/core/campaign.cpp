@@ -1,13 +1,27 @@
 #include "core/campaign.hpp"
 
-#include <mutex>
-
 #include "core/check.hpp"
 #include "core/report.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 
 namespace flim::core {
+
+void for_each_grid_index(
+    const std::vector<std::size_t>& sizes,
+    const std::function<void(const std::vector<std::size_t>&)>& fn) {
+  std::size_t cells = 1;
+  for (const std::size_t s : sizes) cells *= s;
+  std::vector<std::size_t> index(sizes.size(), 0);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    fn(index);
+    // Row-major advance: bump the last axis, carrying leftwards.
+    for (std::size_t a = sizes.size(); a-- > 0;) {
+      if (++index[a] < sizes[a]) break;
+      index[a] = 0;
+    }
+  }
+}
 
 Summary run_repeated(const CampaignConfig& config,
                      const std::function<double(std::uint64_t seed)>& metric) {
@@ -18,17 +32,21 @@ Summary run_repeated(const CampaignConfig& config,
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(config.repetitions));
   for (auto& s : seeds) s = master();
 
-  RunningStats stats;
+  // Collect per-repetition values by index and fold them in index order:
+  // floating-point accumulation then matches the serial run regardless of
+  // pool completion order.
+  std::vector<double> values(seeds.size());
   if (config.pool != nullptr && config.pool->size() > 1) {
-    std::mutex m;
     config.pool->parallel_for(seeds.size(), [&](std::size_t i) {
-      const double v = metric(seeds[i]);
-      std::lock_guard<std::mutex> lock(m);
-      stats.add(v);
+      values[i] = metric(seeds[i]);
     });
   } else {
-    for (const auto s : seeds) stats.add(metric(s));
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      values[i] = metric(seeds[i]);
+    }
   }
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
   return summarize(stats);
 }
 
@@ -36,17 +54,63 @@ std::vector<CampaignPoint> run_sweep(
     const CampaignConfig& config, const std::vector<double>& xs,
     const std::function<double(double x, std::uint64_t seed)>& metric,
     const std::function<std::string(double)>& label_fn) {
-  std::vector<CampaignPoint> points;
+  std::vector<SweepPoint> points;
   points.reserve(xs.size());
   for (const double x : xs) {
-    CampaignPoint p;
-    p.x = x;
-    p.label = label_fn ? label_fn(x) : format_double(x, 2);
-    p.metric = run_repeated(
-        config, [&](std::uint64_t seed) { return metric(x, seed); });
-    points.push_back(std::move(p));
+    points.push_back({x, label_fn ? label_fn(x) : format_double(x, 2)});
   }
-  return points;
+  return run_sweep(config, points, metric);
+}
+
+std::vector<CampaignPoint> run_sweep(
+    const CampaignConfig& config, const std::vector<SweepPoint>& points,
+    const std::function<double(double x, std::uint64_t seed)>& metric) {
+  std::vector<CampaignPoint> out;
+  out.reserve(points.size());
+  for (const SweepPoint& sp : points) {
+    CampaignPoint p;
+    p.x = sp.x;
+    p.label = sp.label;
+    p.metric = run_repeated(
+        config, [&](std::uint64_t seed) { return metric(sp.x, seed); });
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<GridPoint> run_grid_sweep(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed)>& metric,
+    const std::function<void(const GridPoint&)>& on_point) {
+  FLIM_REQUIRE(!axes.empty(), "grid sweep needs at least one axis");
+  std::vector<std::size_t> sizes;
+  sizes.reserve(axes.size());
+  std::size_t cells = 1;
+  for (const SweepAxis& axis : axes) {
+    FLIM_REQUIRE(!axis.points.empty(),
+                 "grid axis '" + axis.name + "' has no points");
+    sizes.push_back(axis.points.size());
+    cells *= axis.points.size();
+  }
+
+  std::vector<GridPoint> out;
+  out.reserve(cells);
+  for_each_grid_index(sizes, [&](const std::vector<std::size_t>& index) {
+    GridPoint p;
+    p.coords.reserve(axes.size());
+    p.labels.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const SweepPoint& sp = axes[a].points[index[a]];
+      p.coords.push_back(sp.x);
+      p.labels.push_back(sp.label);
+    }
+    p.metric = run_repeated(
+        config, [&](std::uint64_t seed) { return metric(p.coords, seed); });
+    if (on_point) on_point(p);
+    out.push_back(std::move(p));
+  });
+  return out;
 }
 
 }  // namespace flim::core

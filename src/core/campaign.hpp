@@ -4,7 +4,9 @@
 // re-seeding the random generator each time, and reports the mean accuracy.
 // Campaign encapsulates exactly that protocol: a metric function is invoked
 // once per repetition with a derived, independent seed, and the results are
-// aggregated into a Summary. Repetitions can optionally run on a thread pool.
+// aggregated into a Summary. Repetitions can optionally run on a thread pool;
+// aggregation order is fixed by repetition index, so pooled and serial runs
+// of the same campaign produce bit-identical summaries.
 #pragma once
 
 #include <cstdint>
@@ -35,15 +37,60 @@ struct CampaignPoint {
   Summary metric;
 };
 
+/// One pre-labeled value of a sweep axis.
+struct SweepPoint {
+  double x = 0.0;
+  std::string label;
+};
+
+/// A named axis of an N-dimensional grid sweep.
+struct SweepAxis {
+  std::string name;
+  std::vector<SweepPoint> points;
+};
+
+/// One evaluated cell of a grid sweep; coords/labels hold one entry per
+/// axis, in axis order.
+struct GridPoint {
+  std::vector<double> coords;
+  std::vector<std::string> labels;
+  Summary metric;
+};
+
+/// Calls `fn(indices)` for every cell of a grid with the given per-axis
+/// sizes, in row-major order (last axis fastest). Zero axes produce one call
+/// with an empty index vector; a zero-sized axis produces no calls.
+void for_each_grid_index(
+    const std::vector<std::size_t>& sizes,
+    const std::function<void(const std::vector<std::size_t>&)>& fn);
+
 /// Runs `metric(seed)` for `config.repetitions` derived seeds and aggregates.
 Summary run_repeated(const CampaignConfig& config,
                      const std::function<double(std::uint64_t seed)>& metric);
 
 /// Runs a 1-D sweep: for each x value, run_repeated() on metric(x, seed).
-/// `label_fn` names the point (defaults to the numeric value).
+/// `label_fn` names the point; a null label_fn (the default) falls back to
+/// the numeric value formatted with two decimals.
 std::vector<CampaignPoint> run_sweep(
     const CampaignConfig& config, const std::vector<double>& xs,
     const std::function<double(double x, std::uint64_t seed)>& metric,
     const std::function<std::string(double)>& label_fn = nullptr);
+
+/// 1-D sweep over pre-labeled points, so callers stop formatting labels by
+/// hand at every call site.
+std::vector<CampaignPoint> run_sweep(
+    const CampaignConfig& config, const std::vector<SweepPoint>& points,
+    const std::function<double(double x, std::uint64_t seed)>& metric);
+
+/// Runs the full cartesian product of `axes` in row-major order (the last
+/// axis varies fastest); every cell is aggregated with run_repeated() under
+/// the same campaign config, so each cell's repetition seeds are identical
+/// regardless of grid shape or evaluation order. `on_point` (optional) fires
+/// after each cell completes, in emission order.
+std::vector<GridPoint> run_grid_sweep(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed)>& metric,
+    const std::function<void(const GridPoint&)>& on_point = nullptr);
 
 }  // namespace flim::core

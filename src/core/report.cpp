@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -89,14 +90,67 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
-void Table::write_csv(const std::string& path) const {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path());
   }
   std::ofstream out(path, std::ios::trunc);
-  FLIM_REQUIRE(out.good(), "cannot open CSV output file: " + path);
-  out << to_csv();
+  FLIM_REQUIRE(out.good(),
+               "cannot open " + std::string(what) + " output file: " + path);
+  out << text;
+}
+
+}  // namespace
+
+std::string Table::to_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << ", ";
+      os << '"' << json_escape(columns_[c]) << "\": \""
+         << json_escape(rows_[r][c]) << '"';
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  write_text_file(path, to_csv(), "CSV");
+}
+
+void Table::write_json(const std::string& path) const {
+  write_text_file(path, to_json(), "JSON");
 }
 
 std::string format_double(double v, int precision) {

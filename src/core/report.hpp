@@ -37,8 +37,15 @@ class Table {
   /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
   std::string to_csv() const;
 
+  /// Renders a JSON array of row objects keyed by column name; every cell
+  /// value is emitted as a JSON string (cells are untyped text).
+  std::string to_json() const;
+
   /// Writes CSV to `path`, creating parent directories if needed.
   void write_csv(const std::string& path) const;
+
+  /// Writes to_json() to `path`, creating parent directories if needed.
+  void write_json(const std::string& path) const;
 
  private:
   static std::string format_cell(const std::string& s) { return s; }

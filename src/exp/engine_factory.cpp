@@ -1,0 +1,93 @@
+#include "exp/engine_factory.hpp"
+
+#include "bnn/flim_engine.hpp"
+#include "bnn/redundancy.hpp"
+#include "core/check.hpp"
+
+namespace flim::exp {
+
+Backend parse_backend(const std::string& name) {
+  if (name == "reference" || name == "vanilla") return Backend::kReference;
+  if (name == "flim") return Backend::kFlim;
+  if (name == "device" || name == "xfault") return Backend::kDevice;
+  if (name == "tmr") return Backend::kTmr;
+  FLIM_REQUIRE(false, "unknown backend: " + name +
+                          " (expected reference|flim|device|tmr)");
+  return Backend::kFlim;
+}
+
+std::string to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kReference: return "reference";
+    case Backend::kFlim: return "flim";
+    case Backend::kDevice: return "device";
+    case Backend::kTmr: return "tmr";
+  }
+  return "?";
+}
+
+void validate(const EngineSpec& spec) {
+  if (spec.backend == Backend::kDevice) {
+    FLIM_REQUIRE(spec.device.crossbar.rows > 0 && spec.device.crossbar.cols > 0,
+                 "device backend needs a positive crossbar geometry");
+  }
+  if (spec.backend == Backend::kTmr) {
+    FLIM_REQUIRE(spec.tmr_replicas >= 1 && spec.tmr_replicas % 2 == 1,
+                 "TMR needs an odd replica count >= 1");
+  }
+}
+
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(const EngineSpec& spec) {
+  return make_engine(spec, fault::FaultVectorFile{});
+}
+
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(
+    const EngineSpec& spec, const fault::FaultVectorFile& vectors) {
+  if (spec.backend == Backend::kTmr) {
+    // One shared file: every replica realizes the same masks.
+    validate(spec);
+    return make_engine(
+        spec, std::vector<fault::FaultVectorFile>(
+                  static_cast<std::size_t>(spec.tmr_replicas), vectors));
+  }
+  return make_engine(spec, std::vector<fault::FaultVectorFile>{vectors});
+}
+
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(
+    const EngineSpec& spec,
+    const std::vector<fault::FaultVectorFile>& replica_vectors) {
+  validate(spec);
+  switch (spec.backend) {
+    case Backend::kReference:
+      FLIM_REQUIRE(replica_vectors.size() == 1,
+                   "reference backend takes exactly one fault-vector file");
+      FLIM_REQUIRE(replica_vectors.front().size() == 0,
+                   "reference backend has no fault hooks; use flim or device "
+                   "to inject the given vectors");
+      return std::make_unique<bnn::ReferenceEngine>();
+    case Backend::kFlim:
+      FLIM_REQUIRE(replica_vectors.size() == 1,
+                   "flim backend takes exactly one fault-vector file");
+      return std::make_unique<bnn::FlimEngine>(replica_vectors.front());
+    case Backend::kDevice:
+      FLIM_REQUIRE(replica_vectors.size() == 1,
+                   "device backend takes exactly one fault-vector file");
+      return std::make_unique<xfault::DeviceEngine>(spec.device,
+                                                    replica_vectors.front());
+    case Backend::kTmr: {
+      FLIM_REQUIRE(
+          replica_vectors.size() == static_cast<std::size_t>(spec.tmr_replicas),
+          "tmr backend needs one fault-vector file per replica");
+      std::vector<std::unique_ptr<bnn::XnorExecutionEngine>> replicas;
+      replicas.reserve(replica_vectors.size());
+      for (const fault::FaultVectorFile& vectors : replica_vectors) {
+        replicas.push_back(std::make_unique<bnn::FlimEngine>(vectors));
+      }
+      return std::make_unique<bnn::MedianVoteEngine>(std::move(replicas));
+    }
+  }
+  FLIM_REQUIRE(false, "unhandled backend");
+  return nullptr;
+}
+
+}  // namespace flim::exp

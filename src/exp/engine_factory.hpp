@@ -1,0 +1,70 @@
+// Unified execution-engine factory.
+//
+// Every experiment front-end (CLI, benches, examples) used to hand-construct
+// its substrate: ReferenceEngine by value, FlimEngine from a fault-vector
+// file, DeviceEngine from a DeviceEngineConfig, MedianVoteEngine from an
+// owned replica vector. EngineSpec + make_engine() erase those constructor
+// differences: a backend is named declaratively and faults arrive as
+// fault-vector files, so swapping the substrate of a campaign is a one-field
+// change instead of new wiring.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/engine.hpp"
+#include "fault/fault_vector_file.hpp"
+#include "xfault/device_engine.hpp"
+
+namespace flim::exp {
+
+/// Interchangeable execution substrates (DESIGN.md, "Scenario layer").
+enum class Backend : std::uint8_t {
+  kReference = 0,  // vanilla packed XNOR+popcount, no fault hooks
+  kFlim = 1,       // mask-based fault injection on the fast path
+  kDevice = 2,     // X-Fault-style gate-by-gate crossbar simulation
+  kTmr = 3,        // N-modular redundancy over FLIM replicas, median vote
+};
+
+/// Parses "reference|flim|device|tmr"; throws std::invalid_argument on
+/// unknown names.
+Backend parse_backend(const std::string& name);
+
+/// Report name of a backend.
+std::string to_string(Backend backend);
+
+/// Declarative description of one execution engine.
+struct EngineSpec {
+  Backend backend = Backend::kFlim;
+
+  /// kDevice: electrical configuration + logic family of the simulated
+  /// crossbars. Ignored by the other backends.
+  xfault::DeviceEngineConfig device;
+
+  /// kTmr: number of replica engines voting (odd, >= 1).
+  int tmr_replicas = 3;
+};
+
+/// Validates an engine spec, throwing std::invalid_argument on nonsense
+/// values (even TMR replica counts, non-positive device geometry).
+void validate(const EngineSpec& spec);
+
+/// Builds a fault-free engine of the requested backend (kTmr replicas are
+/// clean FLIM engines, which degenerates to the reference behaviour).
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(const EngineSpec& spec);
+
+/// Builds an engine with `vectors` applied. kReference rejects non-empty
+/// vectors (it has no fault hooks); kTmr gives every replica the same
+/// vectors -- use the replica overload for independent per-replica masks.
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(
+    const EngineSpec& spec, const fault::FaultVectorFile& vectors);
+
+/// Builds an engine from per-replica fault vectors: kTmr requires exactly
+/// `tmr_replicas` files (replica i gets file i); every other backend
+/// requires exactly one.
+std::unique_ptr<bnn::XnorExecutionEngine> make_engine(
+    const EngineSpec& spec,
+    const std::vector<fault::FaultVectorFile>& replica_vectors);
+
+}  // namespace flim::exp

@@ -1,0 +1,425 @@
+#include "exp/scenario.hpp"
+
+#include <optional>
+
+#include "bnn/flim_engine.hpp"
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "data/synthetic_imagenet.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "fault/fault_generator.hpp"
+#include "models/pretrained.hpp"
+#include "models/zoo.hpp"
+
+namespace flim::exp {
+
+namespace {
+
+bool is_zoo_model(const std::string& name) {
+  for (const auto& m : models::zoo_model_names()) {
+    if (m == name) return true;
+  }
+  return false;
+}
+
+/// The fault configuration of one resolved grid point.
+struct PointConfig {
+  fault::FaultSpec spec;
+  std::vector<std::string> filter;
+};
+
+void apply_axis_value(PointConfig& pc, const ScenarioAxis& axis,
+                      const AxisValue& value) {
+  switch (axis.kind) {
+    case AxisKind::kInjectionRate:
+      pc.spec.injection_rate = value.number;
+      break;
+    case AxisKind::kDynamicPeriod:
+      pc.spec.dynamic_period = static_cast<int>(value.number);
+      break;
+    case AxisKind::kFaultyRows:
+      pc.spec.faulty_rows = static_cast<std::int64_t>(value.number);
+      break;
+    case AxisKind::kFaultyCols:
+      pc.spec.faulty_cols = static_cast<std::int64_t>(value.number);
+      break;
+    case AxisKind::kStuckAtOneFraction:
+      pc.spec.stuck_at_one_fraction = value.number;
+      break;
+    case AxisKind::kFaultKind:
+      pc.spec.kind =
+          static_cast<fault::FaultKind>(static_cast<std::uint8_t>(value.number));
+      break;
+    case AxisKind::kLayers:
+      if (value.text.empty() || value.text == "combined" ||
+          value.text == "all") {
+        pc.filter.clear();
+      } else {
+        pc.filter = {value.text};
+      }
+      break;
+  }
+}
+
+PointConfig resolve_point(const ScenarioSpec& spec,
+                          const std::vector<std::size_t>& indices) {
+  PointConfig pc{spec.fault, spec.layer_filter};
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    apply_axis_value(pc, spec.axes[a], spec.axes[a].values[indices[a]]);
+  }
+  return pc;
+}
+
+/// Calls `fn(indices)` for every cell of the axis grid in row-major order
+/// (last axis fastest). With no axes, fn sees one empty index vector.
+void for_each_cell(const std::vector<ScenarioAxis>& axes,
+                   const std::function<void(const std::vector<std::size_t>&)>&
+                       fn) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(axes.size());
+  for (const ScenarioAxis& axis : axes) sizes.push_back(axis.values.size());
+  core::for_each_grid_index(sizes, fn);
+}
+
+/// Every layer name a spec's filters can select. A name that matches no
+/// binarized layer of the workload would silently realize zero faults and
+/// report clean accuracy, so the runner rejects it up front. The
+/// all-layers sentinels ("", "combined", "all") are exempt.
+void check_layer_filters(const ScenarioSpec& spec, const Workload& workload) {
+  auto check = [&](const std::string& name) {
+    if (name.empty() || name == "combined" || name == "all") return;
+    for (const bnn::LayerWorkload& layer : workload.layers) {
+      if (layer.layer_name == name) return;
+    }
+    FLIM_REQUIRE(false, "layer filter names no binarized layer of " +
+                            workload.model.name() + ": " + name);
+  };
+  for (const std::string& name : spec.layer_filter) check(name);
+  for (const ScenarioAxis& axis : spec.axes) {
+    if (axis.kind != AxisKind::kLayers) continue;
+    for (const AxisValue& value : axis.values) check(value.text);
+  }
+}
+
+/// Draws the fault vectors of one repetition: one entry per selected
+/// binarized layer, masks drawn from `rng` in layer order. This is the
+/// exact realization order the pre-scenario benches used, which keeps CSV
+/// outputs byte-identical across the API boundary.
+fault::FaultVectorFile realize_vectors(const ScenarioSpec& spec,
+                                       const Workload& workload,
+                                       const PointConfig& pc, core::Rng& rng) {
+  fault::FaultGenerator gen(spec.grid);
+  fault::FaultVectorFile file;
+  for (const bnn::LayerWorkload& layer : workload.layers) {
+    if (!pc.filter.empty()) {
+      bool selected = false;
+      for (const auto& f : pc.filter) {
+        if (f == layer.layer_name) selected = true;
+      }
+      if (!selected) continue;
+    }
+    fault::FaultVectorEntry entry;
+    entry.layer_name = layer.layer_name;
+    entry.kind = pc.spec.kind;
+    entry.granularity = pc.spec.granularity;
+    entry.dynamic_period = pc.spec.dynamic_period;
+    entry.mask = gen.generate(pc.spec, rng);
+    file.add(std::move(entry));
+  }
+  return file;
+}
+
+/// One repetition: realize the fault vectors for `seed`, build the engine
+/// through the factory, evaluate.
+double evaluate_point(const ScenarioSpec& spec, const Workload& workload,
+                      const PointConfig& pc, std::uint64_t seed) {
+  switch (spec.engine.backend) {
+    case Backend::kReference: {
+      bnn::ReferenceEngine engine;
+      return workload.model.evaluate(workload.eval_batch, engine);
+    }
+    case Backend::kFlim:
+    case Backend::kDevice: {
+      core::Rng rng(seed);
+      const fault::FaultVectorFile vectors =
+          realize_vectors(spec, workload, pc, rng);
+      const auto engine = make_engine(spec.engine, vectors);
+      return workload.model.evaluate(workload.eval_batch, *engine);
+    }
+    case Backend::kTmr: {
+      // Replica r draws its masks from an independent child stream, so the
+      // redundant crossbars carry independent fault distributions.
+      const core::Rng master(seed);
+      std::vector<fault::FaultVectorFile> files;
+      files.reserve(static_cast<std::size_t>(spec.engine.tmr_replicas));
+      for (int r = 0; r < spec.engine.tmr_replicas; ++r) {
+        core::Rng rng = master.derive(static_cast<std::uint64_t>(r));
+        files.push_back(realize_vectors(spec, workload, pc, rng));
+      }
+      const auto engine = make_engine(spec.engine, files);
+      return workload.model.evaluate(workload.eval_batch, *engine);
+    }
+  }
+  FLIM_REQUIRE(false, "unhandled backend");
+  return 0.0;
+}
+
+}  // namespace
+
+Workload load_workload(const WorkloadSpec& spec) {
+  models::PretrainOptions opts;
+  opts.epochs = spec.epochs;
+  opts.train_samples = spec.train_samples;
+  opts.verbose = spec.verbose;
+  if (!spec.weights_dir.empty()) opts.cache_dir = spec.weights_dir;
+  opts.force_retrain = spec.force_retrain;
+
+  Workload w;
+  if (spec.model == "lenet") {
+    data::SyntheticMnistOptions d;
+    d.size = spec.train_samples + spec.eval_images;
+    data::SyntheticMnist ds(d);
+    w.model = models::pretrained_lenet(ds, opts);
+    w.eval_batch = data::load_batch(ds, spec.train_samples, spec.eval_images);
+    w.layers =
+        w.model.analyze(tensor::FloatTensor(tensor::Shape{1, 1, 28, 28}, 0.5f))
+            .binarized_layers;
+    w.dataset_name = ds.name();
+  } else if (is_zoo_model(spec.model)) {
+    data::SyntheticImagenetOptions d;
+    d.size = spec.train_samples + spec.eval_images;
+    data::SyntheticImagenet ds(d);
+    w.model = models::pretrained_zoo_model(spec.model, ds, opts);
+    w.eval_batch = data::load_batch(ds, spec.train_samples, spec.eval_images);
+    w.layers =
+        w.model.analyze(tensor::FloatTensor(tensor::Shape{1, 3, 32, 32}, 0.3f))
+            .binarized_layers;
+    w.dataset_name = ds.name();
+  } else {
+    FLIM_REQUIRE(false, "unknown model: " + spec.model +
+                            " (expected 'lenet' or a Table-II zoo name)");
+  }
+  if (spec.measure_clean_accuracy) {
+    bnn::ReferenceEngine ref;
+    w.clean_accuracy = w.model.evaluate(w.eval_batch, ref);
+  }
+  return w;
+}
+
+ScenarioAxis rate_axis(const std::vector<double>& rates) {
+  ScenarioAxis axis{AxisKind::kInjectionRate, "rate", {}};
+  for (const double r : rates) {
+    axis.values.push_back({r, "", core::format_double(r, 3)});
+  }
+  return axis;
+}
+
+ScenarioAxis period_axis(const std::vector<int>& periods) {
+  ScenarioAxis axis{AxisKind::kDynamicPeriod, "period", {}};
+  for (const int p : periods) {
+    axis.values.push_back({static_cast<double>(p), "", std::to_string(p)});
+  }
+  return axis;
+}
+
+ScenarioAxis faulty_rows_axis(const std::vector<int>& rows) {
+  ScenarioAxis axis{AxisKind::kFaultyRows, "faulty_rows", {}};
+  for (const int r : rows) {
+    axis.values.push_back({static_cast<double>(r), "", std::to_string(r)});
+  }
+  return axis;
+}
+
+ScenarioAxis faulty_cols_axis(const std::vector<int>& cols) {
+  ScenarioAxis axis{AxisKind::kFaultyCols, "faulty_cols", {}};
+  for (const int c : cols) {
+    axis.values.push_back({static_cast<double>(c), "", std::to_string(c)});
+  }
+  return axis;
+}
+
+ScenarioAxis stuck_at_one_fraction_axis(const std::vector<double>& fractions) {
+  ScenarioAxis axis{AxisKind::kStuckAtOneFraction, "sa1_fraction", {}};
+  for (const double f : fractions) {
+    axis.values.push_back({f, "", core::format_double(f, 2)});
+  }
+  return axis;
+}
+
+ScenarioAxis kind_axis(const std::vector<fault::FaultKind>& kinds) {
+  ScenarioAxis axis{AxisKind::kFaultKind, "kind", {}};
+  for (const fault::FaultKind k : kinds) {
+    axis.values.push_back({static_cast<double>(static_cast<std::uint8_t>(k)),
+                           "", fault::to_string(k)});
+  }
+  return axis;
+}
+
+ScenarioAxis layers_axis(const std::vector<std::string>& series) {
+  ScenarioAxis axis{AxisKind::kLayers, "layer", {}};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    axis.values.push_back({static_cast<double>(i), series[i], series[i]});
+  }
+  return axis;
+}
+
+void validate(const ScenarioSpec& spec) {
+  FLIM_REQUIRE(!spec.workload.model.empty(), "workload model name is required");
+  FLIM_REQUIRE(spec.workload.model == "lenet" ||
+                   is_zoo_model(spec.workload.model),
+               "unknown model: " + spec.workload.model +
+                   " (expected 'lenet' or a Table-II zoo name)");
+  FLIM_REQUIRE(spec.workload.eval_images > 0,
+               "workload needs >= 1 evaluation image");
+  FLIM_REQUIRE(spec.workload.epochs >= 1, "workload needs >= 1 epoch");
+  FLIM_REQUIRE(spec.workload.train_samples > 0,
+               "workload needs >= 1 training sample");
+  FLIM_REQUIRE(spec.repetitions > 0, "scenario needs >= 1 repetition");
+  FLIM_REQUIRE(spec.jobs >= 1, "jobs must be >= 1");
+  FLIM_REQUIRE(spec.grid.rows > 0 && spec.grid.cols > 0,
+               "fault grid must be positive");
+  validate(spec.engine);
+  for (const ScenarioAxis& axis : spec.axes) {
+    FLIM_REQUIRE(!axis.values.empty(),
+                 "sweep axis '" + axis.name + "' has no values");
+  }
+  // Resolve every grid point so a bad axis value fails now, not mid-run.
+  for_each_cell(spec.axes, [&](const std::vector<std::size_t>& indices) {
+    fault::validate(resolve_point(spec, indices).spec);
+  });
+}
+
+const core::Summary& ScenarioResult::at(
+    const std::vector<std::size_t>& indices) const {
+  FLIM_REQUIRE(indices.size() == axis_sizes.size(),
+               "index rank must match axis count");
+  std::size_t flat = 0;
+  for (std::size_t a = 0; a < indices.size(); ++a) {
+    FLIM_REQUIRE(indices[a] < axis_sizes[a], "axis index out of range");
+    flat = flat * axis_sizes[a] + indices[a];
+  }
+  return points[flat].metric;
+}
+
+core::Table ScenarioResult::to_table() const {
+  std::vector<std::string> columns = axis_names;
+  columns.insert(columns.end(),
+                 {"accuracy_%", "stddev_%", "min_%", "max_%"});
+  core::Table table(columns);
+  for (const ScenarioPoint& p : points) {
+    std::vector<std::string> row = p.labels;
+    row.push_back(core::format_double(p.metric.mean * 100.0, 2));
+    row.push_back(core::format_double(p.metric.stddev * 100.0, 2));
+    row.push_back(core::format_double(p.metric.min * 100.0, 2));
+    row.push_back(core::format_double(p.metric.max * 100.0, 2));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void ScenarioResult::write_csv(const std::string& path) const {
+  to_table().write_csv(path);
+}
+
+void ScenarioResult::write_json(const std::string& path) const {
+  to_table().write_json(path);
+}
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
+  validate(spec_);
+}
+
+ScenarioResult ScenarioRunner::run(
+    const std::function<void(const ScenarioPoint&)>& on_point) {
+  const Workload workload = load_workload(spec_.workload);
+  return run(workload, on_point);
+}
+
+ScenarioResult ScenarioRunner::run(
+    const Workload& workload,
+    const std::function<void(const ScenarioPoint&)>& on_point) {
+  check_layer_filters(spec_, workload);
+  core::CampaignConfig campaign;
+  campaign.repetitions = spec_.repetitions;
+  campaign.master_seed = spec_.master_seed;
+  std::optional<core::ThreadPool> pool;
+  if (spec_.jobs > 1) {
+    pool.emplace(static_cast<std::size_t>(spec_.jobs));
+    campaign.pool = &*pool;
+  }
+
+  ScenarioResult result;
+  result.name = spec_.name;
+  result.backend = to_string(spec_.engine.backend);
+  result.clean_accuracy = workload.clean_accuracy;
+  for (const ScenarioAxis& axis : spec_.axes) {
+    result.axis_names.push_back(axis.name);
+    result.axis_sizes.push_back(axis.values.size());
+  }
+
+  if (spec_.axes.empty()) {
+    const PointConfig pc{spec_.fault, spec_.layer_filter};
+    ScenarioPoint p;
+    p.metric = core::run_repeated(campaign, [&](std::uint64_t seed) {
+      return evaluate_point(spec_, workload, pc, seed);
+    });
+    if (on_point) on_point(p);
+    result.points.push_back(std::move(p));
+    return result;
+  }
+
+  // Axes are swept over value indices so categorical axes (layer series)
+  // ride the same numeric grid machinery.
+  std::vector<core::SweepAxis> core_axes;
+  core_axes.reserve(spec_.axes.size());
+  for (const ScenarioAxis& axis : spec_.axes) {
+    core::SweepAxis ca{axis.name, {}};
+    ca.points.reserve(axis.values.size());
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      ca.points.push_back({static_cast<double>(i), axis.values[i].label});
+    }
+    core_axes.push_back(std::move(ca));
+  }
+
+  auto to_indices = [&](const std::vector<double>& coords) {
+    std::vector<std::size_t> indices(coords.size());
+    for (std::size_t a = 0; a < coords.size(); ++a) {
+      indices[a] = static_cast<std::size_t>(coords[a]);
+    }
+    return indices;
+  };
+  auto to_scenario_point = [&](const core::GridPoint& cell) {
+    ScenarioPoint p;
+    p.labels = cell.labels;
+    p.values.reserve(cell.coords.size());
+    for (std::size_t a = 0; a < cell.coords.size(); ++a) {
+      const std::size_t i = static_cast<std::size_t>(cell.coords[a]);
+      p.values.push_back(spec_.axes[a].values[i].number);
+    }
+    p.metric = cell.metric;
+    return p;
+  };
+
+  std::function<void(const core::GridPoint&)> on_cell;
+  if (on_point) {
+    on_cell = [&](const core::GridPoint& cell) {
+      on_point(to_scenario_point(cell));
+    };
+  }
+  const std::vector<core::GridPoint> cells = core::run_grid_sweep(
+      campaign, core_axes,
+      [&](const std::vector<double>& coords, std::uint64_t seed) {
+        const PointConfig pc = resolve_point(spec_, to_indices(coords));
+        return evaluate_point(spec_, workload, pc, seed);
+      },
+      on_cell);
+
+  result.points.reserve(cells.size());
+  for (const core::GridPoint& cell : cells) {
+    result.points.push_back(to_scenario_point(cell));
+  }
+  return result;
+}
+
+}  // namespace flim::exp

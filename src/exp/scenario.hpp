@@ -1,0 +1,180 @@
+// Declarative fault-campaign scenarios.
+//
+// The paper's core experiment shape is always the same: load a model and an
+// evaluation batch, sweep one or more fault axes (rate, period, faulty
+// rows/columns, layer selection), and for every grid point run a re-seeded
+// repetition campaign on some execution substrate. Before this module, every
+// bench binary, CLI subcommand, and example re-implemented that wiring by
+// hand. A ScenarioSpec is the whole experiment as data; ScenarioRunner
+// validates it once and executes it through the unified engine factory
+// (engine_factory.hpp), preserving the determinism contract: the same spec
+// and seeds produce identical numbers on every backend, serial or pooled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bnn/model.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "data/dataset.hpp"
+#include "exp/engine_factory.hpp"
+#include "fault/fault_spec.hpp"
+#include "lim/mapper.hpp"
+
+namespace flim::exp {
+
+/// Which model/dataset to evaluate and how to train (or load) it.
+/// "lenet" runs on synthetic MNIST; every Table-II zoo name runs on
+/// synthetic ImageNet (models::zoo_model_names()).
+struct WorkloadSpec {
+  std::string model = "lenet";
+  std::int64_t eval_images = 300;
+  int epochs = 3;
+  std::int64_t train_samples = 3000;
+  bool verbose = false;
+  /// Weight-cache directory; empty uses the pretrained default
+  /// ($FLIM_WEIGHTS_DIR or "weights").
+  std::string weights_dir;
+  bool force_retrain = false;
+  /// Also evaluate the clean (reference-engine) accuracy once at load time.
+  bool measure_clean_accuracy = false;
+};
+
+/// A loaded workload: the trained model, its binarized-layer workloads (the
+/// fault-mapping targets), and the held-out evaluation batch.
+struct Workload {
+  bnn::Model model;
+  std::vector<bnn::LayerWorkload> layers;
+  data::Batch eval_batch;
+  double clean_accuracy = 0.0;  // only when measure_clean_accuracy was set
+  std::string dataset_name;
+};
+
+/// Trains or cache-loads the workload described by `spec`.
+Workload load_workload(const WorkloadSpec& spec);
+
+/// What a sweep axis varies.
+enum class AxisKind : std::uint8_t {
+  kInjectionRate = 0,      // FaultSpec::injection_rate
+  kDynamicPeriod = 1,      // FaultSpec::dynamic_period
+  kFaultyRows = 2,         // FaultSpec::faulty_rows
+  kFaultyCols = 3,         // FaultSpec::faulty_cols
+  kLayers = 4,             // layer filter ("combined" selects all layers)
+  kFaultKind = 5,          // FaultSpec::kind
+  kStuckAtOneFraction = 6, // FaultSpec::stuck_at_one_fraction
+};
+
+/// One value of a sweep axis. Numeric axes use `number`; kLayers uses
+/// `text` (and `number` holds the series index). `label` names the value in
+/// reports.
+struct AxisValue {
+  double number = 0.0;
+  std::string text;
+  std::string label;
+};
+
+/// One swept dimension of a scenario.
+struct ScenarioAxis {
+  AxisKind kind = AxisKind::kInjectionRate;
+  std::string name;  // axis/column name in reports
+  std::vector<AxisValue> values;
+};
+
+/// Axis constructors, so specs read declaratively.
+ScenarioAxis rate_axis(const std::vector<double>& rates);
+ScenarioAxis period_axis(const std::vector<int>& periods);
+ScenarioAxis faulty_rows_axis(const std::vector<int>& rows);
+ScenarioAxis faulty_cols_axis(const std::vector<int>& cols);
+ScenarioAxis stuck_at_one_fraction_axis(const std::vector<double>& fractions);
+ScenarioAxis kind_axis(const std::vector<fault::FaultKind>& kinds);
+/// `series` entries are layer names; "combined" (or "" / "all") selects
+/// every binarized layer at once, reproducing the figures' combined curve.
+ScenarioAxis layers_axis(const std::vector<std::string>& series);
+
+/// The whole fault campaign as data: workload, substrate, base fault spec,
+/// sweep axes, and the repetition protocol.
+struct ScenarioSpec {
+  /// Report title / CSV stem; free-form.
+  std::string name = "scenario";
+  WorkloadSpec workload;
+  EngineSpec engine;
+  /// Base fault configuration; sweep axes override individual fields per
+  /// grid point. An all-defaults spec with no axes evaluates one clean point.
+  fault::FaultSpec fault;
+  /// Virtual crossbar grid the masks are drawn on.
+  lim::CrossbarGeometry grid{64, 64};
+  /// Base layer filter (empty = all binarized layers); a kLayers axis
+  /// overrides it per point.
+  std::vector<std::string> layer_filter;
+  /// Sweep axes, outermost first; the cartesian product is evaluated in
+  /// row-major order (last axis fastest). Empty = a single point.
+  std::vector<ScenarioAxis> axes;
+  /// Repetition protocol (the paper uses 100 repetitions).
+  int repetitions = 10;
+  std::uint64_t master_seed = 2023;
+  /// Repetitions per point run on a thread pool of this size when > 1.
+  /// Results are bit-identical to the serial run.
+  int jobs = 1;
+};
+
+/// Validates a scenario, throwing std::invalid_argument on nonsense values.
+/// Resolves every grid point and validates its effective fault spec, so a
+/// bad axis value fails here instead of mid-campaign.
+void validate(const ScenarioSpec& spec);
+
+/// One evaluated grid point: per-axis values/labels plus the aggregated
+/// repetition summary (accuracy fraction).
+struct ScenarioPoint {
+  std::vector<double> values;
+  std::vector<std::string> labels;
+  core::Summary metric;
+};
+
+/// Structured result of a scenario run.
+struct ScenarioResult {
+  std::string name;
+  std::string backend;
+  std::vector<std::string> axis_names;
+  std::vector<std::size_t> axis_sizes;
+  /// Row-major over the axes (last axis fastest).
+  std::vector<ScenarioPoint> points;
+  double clean_accuracy = 0.0;
+
+  /// Summary at the given per-axis indices (size must match axis count).
+  const core::Summary& at(const std::vector<std::size_t>& indices) const;
+
+  /// Long-format table: one row per point (axis labels, then accuracy mean/
+  /// stddev/min/max in percent).
+  core::Table to_table() const;
+
+  /// Emit helpers (via core::report).
+  void write_csv(const std::string& path) const;
+  void write_json(const std::string& path) const;
+};
+
+/// Executes validated scenarios.
+class ScenarioRunner {
+ public:
+  /// Validates `spec` (throws std::invalid_argument on bad specs).
+  explicit ScenarioRunner(ScenarioSpec spec);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// Loads the workload described by the spec, then runs. `on_point` fires
+  /// after each grid point completes, in row-major order.
+  ScenarioResult run(
+      const std::function<void(const ScenarioPoint&)>& on_point = nullptr);
+
+  /// Runs against a caller-provided workload (shared bench fixtures).
+  ScenarioResult run(
+      const Workload& workload,
+      const std::function<void(const ScenarioPoint&)>& on_point = nullptr);
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace flim::exp

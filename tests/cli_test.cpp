@@ -53,6 +53,21 @@ TEST(Args, RejectsDuplicatesAndUnknown) {
   args.require_known({"known"});
 }
 
+TEST(Cli, CampaignRejectsReferenceEngine) {
+  // --engine reference would run a "fault sweep" that injects nothing;
+  // rejected before any model training happens.
+  EXPECT_THROW(run(parse({"campaign", "--engine", "reference"})),
+               std::invalid_argument);
+  EXPECT_THROW(run(parse({"campaign", "--engine", "warp9"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, EvaluateRejectsReferenceEngine) {
+  EXPECT_THROW(run(parse({"evaluate", "--vectors", "x.fvc", "--engine",
+                          "reference"})),
+               std::invalid_argument);
+}
+
 TEST(Cli, UnknownCommandFails) {
   EXPECT_EQ(run(parse({"frobnicate"})), 1);
   EXPECT_EQ(run(parse({"help"})), 0);

@@ -290,6 +290,121 @@ TEST(Campaign, SweepProducesOnePointPerX) {
   EXPECT_DOUBLE_EQ(points[2].x, 1.0);
 }
 
+TEST(Campaign, ParallelIsBitIdenticalToSerial) {
+  // Values are folded in repetition-index order, so pooled aggregation is
+  // exactly the serial result, not merely close.
+  CampaignConfig serial;
+  serial.repetitions = 64;
+  serial.master_seed = 77;
+  auto metric = [](std::uint64_t seed) { return Rng(seed).uniform_double(); };
+  const Summary s = run_repeated(serial, metric);
+
+  ThreadPool pool(4);
+  CampaignConfig parallel = serial;
+  parallel.pool = &pool;
+  const Summary p = run_repeated(parallel, metric);
+  EXPECT_EQ(s.mean, p.mean);
+  EXPECT_EQ(s.stddev, p.stddev);
+  EXPECT_EQ(s.min, p.min);
+  EXPECT_EQ(s.max, p.max);
+}
+
+TEST(Campaign, NullLabelFnFallsBackToNumericLabel) {
+  CampaignConfig cfg;
+  cfg.repetitions = 2;
+  const auto points = run_sweep(cfg, std::vector<double>{0.25},
+                                [](double x, std::uint64_t) { return x; });
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].label, "0.25");
+}
+
+TEST(Campaign, LabeledSweepKeepsGivenLabels) {
+  CampaignConfig cfg;
+  cfg.repetitions = 3;
+  const std::vector<SweepPoint> pts{{0.0, "clean"}, {0.3, "heavy"}};
+  const auto points =
+      run_sweep(cfg, pts, [](double x, std::uint64_t) { return x + 1.0; });
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].label, "clean");
+  EXPECT_EQ(points[1].label, "heavy");
+  EXPECT_DOUBLE_EQ(points[1].metric.mean, 1.3);
+  EXPECT_DOUBLE_EQ(points[1].x, 0.3);
+}
+
+TEST(Campaign, GridSweepIsRowMajorWithLastAxisFastest) {
+  CampaignConfig cfg;
+  cfg.repetitions = 2;
+  const std::vector<SweepAxis> axes{
+      {"a", {{1.0, "a1"}, {2.0, "a2"}}},
+      {"b", {{10.0, "b10"}, {20.0, "b20"}, {30.0, "b30"}}}};
+  std::vector<std::string> order;
+  const auto cells = run_grid_sweep(
+      cfg, axes,
+      [](const std::vector<double>& xs, std::uint64_t) {
+        return xs[0] + xs[1];
+      },
+      [&](const GridPoint& p) { order.push_back(p.labels[0] + p.labels[1]); });
+  ASSERT_EQ(cells.size(), 6u);
+  const std::vector<std::string> expected{"a1b10", "a1b20", "a1b30",
+                                          "a2b10", "a2b20", "a2b30"};
+  EXPECT_EQ(order, expected);
+  EXPECT_DOUBLE_EQ(cells[0].metric.mean, 11.0);
+  EXPECT_DOUBLE_EQ(cells[5].metric.mean, 32.0);
+  EXPECT_EQ(cells[4].labels, (std::vector<std::string>{"a2", "b20"}));
+  EXPECT_EQ(cells[4].coords, (std::vector<double>{2.0, 20.0}));
+}
+
+TEST(Campaign, GridSweepSeedsMatchRunRepeatedPerCell) {
+  // Every cell must see the exact seed sequence run_repeated derives, so a
+  // grid point reproduces the equivalent standalone campaign bit-for-bit.
+  CampaignConfig cfg;
+  cfg.repetitions = 4;
+  cfg.master_seed = 99;
+  auto metric_of = [](double x, std::uint64_t seed) {
+    return x + Rng(seed).uniform_double();
+  };
+  const Summary standalone = run_repeated(
+      cfg, [&](std::uint64_t seed) { return metric_of(5.0, seed); });
+  const auto cells = run_grid_sweep(
+      cfg, {{"x", {{1.0, "1"}, {5.0, "5"}}}},
+      [&](const std::vector<double>& xs, std::uint64_t seed) {
+        return metric_of(xs[0], seed);
+      });
+  EXPECT_EQ(cells[1].metric.mean, standalone.mean);
+  EXPECT_EQ(cells[1].metric.stddev, standalone.stddev);
+}
+
+TEST(Campaign, ForEachGridIndexHandlesDegenerateShapes) {
+  int calls = 0;
+  for_each_grid_index({}, [&](const std::vector<std::size_t>& idx) {
+    EXPECT_TRUE(idx.empty());
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // zero axes = one (empty) cell
+  for_each_grid_index({3, 0}, [&](const std::vector<std::size_t>&) {
+    FAIL() << "a zero-sized axis must produce no cells";
+  });
+}
+
+TEST(Campaign, GridSweepRejectsDegenerateAxes) {
+  CampaignConfig cfg;
+  cfg.repetitions = 1;
+  auto metric = [](const std::vector<double>&, std::uint64_t) { return 0.0; };
+  EXPECT_THROW(run_grid_sweep(cfg, {}, metric), std::invalid_argument);
+  EXPECT_THROW(run_grid_sweep(cfg, {{"empty", {}}}, metric),
+               std::invalid_argument);
+}
+
+TEST(Table, RendersJson) {
+  Table t({"name", "value"});
+  t.add("plain", 1);
+  t.add("needs \"escaping\"\n", 2);
+  const std::string json = t.to_json();
+  EXPECT_NE(json.find("\"name\": \"plain\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"escaping\\\"\\n"), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+}
+
 TEST(Campaign, RejectsZeroRepetitions) {
   CampaignConfig cfg;
   cfg.repetitions = 0;

@@ -1,0 +1,368 @@
+// Tests for the scenario layer: engine factory, spec validation, backend
+// equivalence across the factory boundary, and runner determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rng.hpp"
+#include "exp/scenario.hpp"
+#include "fault/fault_generator.hpp"
+
+namespace flim::exp {
+namespace {
+
+using tensor::BitMatrix;
+using tensor::FloatTensor;
+using tensor::IntTensor;
+using tensor::Shape;
+
+// ---------------------------------------------------------------------------
+// Engine factory
+
+TEST(EngineFactory, ParsesBackendNames) {
+  EXPECT_EQ(parse_backend("reference"), Backend::kReference);
+  EXPECT_EQ(parse_backend("flim"), Backend::kFlim);
+  EXPECT_EQ(parse_backend("device"), Backend::kDevice);
+  EXPECT_EQ(parse_backend("xfault"), Backend::kDevice);
+  EXPECT_EQ(parse_backend("tmr"), Backend::kTmr);
+  EXPECT_THROW(parse_backend("gpu"), std::invalid_argument);
+  EXPECT_EQ(to_string(Backend::kDevice), "device");
+}
+
+TEST(EngineFactory, ValidatesSpecs) {
+  EngineSpec tmr;
+  tmr.backend = Backend::kTmr;
+  tmr.tmr_replicas = 2;  // even
+  EXPECT_THROW(validate(tmr), std::invalid_argument);
+  tmr.tmr_replicas = 3;
+  validate(tmr);
+
+  EngineSpec device;
+  device.backend = Backend::kDevice;
+  device.device.crossbar.rows = 0;
+  EXPECT_THROW(validate(device), std::invalid_argument);
+}
+
+TEST(EngineFactory, ReferenceRejectsFaultVectors) {
+  EngineSpec spec;
+  spec.backend = Backend::kReference;
+  fault::FaultVectorEntry entry;
+  entry.layer_name = "layer";
+  entry.mask = fault::FaultMask(4, 4);
+  fault::FaultVectorFile vectors;
+  vectors.add(entry);
+  EXPECT_THROW(make_engine(spec, vectors), std::invalid_argument);
+  EXPECT_NE(make_engine(spec), nullptr);  // clean construction is fine
+}
+
+FloatTensor random_pm1(const Shape& shape, std::uint64_t seed) {
+  core::Rng rng(seed);
+  FloatTensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return t;
+}
+
+/// Random product-term (gate-grid) fault vectors for one layer.
+fault::FaultVectorFile gate_vectors(fault::FaultKind kind, double rate,
+                                    std::uint64_t seed) {
+  fault::FaultGenerator gen({3, 4});
+  fault::FaultSpec spec;
+  spec.kind = kind;
+  spec.injection_rate = rate;
+  spec.granularity = fault::FaultGranularity::kProductTerm;
+  core::Rng rng(seed);
+  fault::FaultVectorEntry entry;
+  entry.layer_name = "layer";
+  entry.kind = kind;
+  entry.granularity = spec.granularity;
+  entry.mask = gen.generate(spec, rng);
+  fault::FaultVectorFile file;
+  file.add(std::move(entry));
+  return file;
+}
+
+// The cross-validation contract through the factory: FLIM and the device
+// backend are bit-equivalent on the same product-term mask (DESIGN.md).
+TEST(EngineFactory, FlimAndDeviceAgreeOnSameMask) {
+  const BitMatrix a = BitMatrix::from_float(random_pm1(Shape{4, 12}, 3));
+  const BitMatrix w = BitMatrix::from_float(random_pm1(Shape{3, 12}, 4));
+  const fault::FaultVectorFile vectors =
+      gate_vectors(fault::FaultKind::kStuckAt, 0.25, 11);
+
+  EngineSpec flim_spec;
+  flim_spec.backend = Backend::kFlim;
+  EngineSpec device_spec;
+  device_spec.backend = Backend::kDevice;
+
+  IntTensor flim_out;
+  make_engine(flim_spec, vectors)->execute("layer", a, w, 1, flim_out);
+  IntTensor device_out;
+  make_engine(device_spec, vectors)->execute("layer", a, w, 1, device_out);
+  EXPECT_EQ(flim_out, device_out);
+}
+
+TEST(EngineFactory, TmrWithIdenticalReplicasMatchesSingleFlim) {
+  const BitMatrix a = BitMatrix::from_float(random_pm1(Shape{5, 12}, 6));
+  const BitMatrix w = BitMatrix::from_float(random_pm1(Shape{3, 12}, 7));
+  const fault::FaultVectorFile vectors =
+      gate_vectors(fault::FaultKind::kBitFlip, 0.3, 12);
+
+  EngineSpec flim_spec;
+  flim_spec.backend = Backend::kFlim;
+  IntTensor flim_out;
+  make_engine(flim_spec, vectors)->execute("layer", a, w, 1, flim_out);
+
+  EngineSpec tmr_spec;
+  tmr_spec.backend = Backend::kTmr;
+  tmr_spec.tmr_replicas = 3;
+  IntTensor tmr_out;
+  make_engine(tmr_spec, vectors)->execute("layer", a, w, 1, tmr_out);
+  EXPECT_EQ(tmr_out, flim_out);  // identical replicas vote unanimously
+}
+
+TEST(EngineFactory, TmrReplicaOverloadChecksCount) {
+  EngineSpec spec;
+  spec.backend = Backend::kTmr;
+  spec.tmr_replicas = 3;
+  const std::vector<fault::FaultVectorFile> two(2);
+  EXPECT_THROW(make_engine(spec, two), std::invalid_argument);
+  const std::vector<fault::FaultVectorFile> three(3);
+  EXPECT_NE(make_engine(spec, three), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario validation (no workload required)
+
+ScenarioSpec tiny_scenario() {
+  ScenarioSpec s;
+  s.workload.model = "lenet";
+  s.workload.eval_images = 16;
+  s.workload.epochs = 1;
+  s.workload.train_samples = 32;
+  s.workload.weights_dir = ::testing::TempDir() + "flim_exp_weights";
+  s.workload.measure_clean_accuracy = true;
+  s.axes = {rate_axis({0.0, 0.2})};
+  s.repetitions = 2;
+  s.master_seed = 7;
+  return s;
+}
+
+TEST(ScenarioValidation, AcceptsTheTinySpec) { validate(tiny_scenario()); }
+
+TEST(ScenarioValidation, RejectsBadSpecs) {
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.repetitions = 0;
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.jobs = 0;
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.workload.model = "no-such-model";
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.workload.eval_images = 0;
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.grid = {0, 64};
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.axes.push_back({AxisKind::kDynamicPeriod, "period", {}});
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    // An axis value producing an invalid effective fault spec fails at
+    // validation time, before any (expensive) workload load.
+    ScenarioSpec s = tiny_scenario();
+    s.axes = {rate_axis({0.0, 1.5})};
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.engine.backend = Backend::kTmr;
+    s.engine.tmr_replicas = 4;
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioValidation, RunnerValidatesAtConstruction) {
+  ScenarioSpec s = tiny_scenario();
+  s.repetitions = -3;
+  EXPECT_THROW(ScenarioRunner{s}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Runner behaviour on a tiny trained workload (sub-second training; the
+// weight cache is shared across tests through the fixed weights_dir).
+
+const Workload& tiny_workload() {
+  static const Workload* w = new Workload(load_workload(tiny_scenario().workload));
+  return *w;
+}
+
+TEST(ScenarioRunner, SweepsTheGridRowMajor) {
+  ScenarioSpec s = tiny_scenario();
+  s.axes = {rate_axis({0.0, 0.3}), layers_axis({"conv1", "combined"})};
+  std::vector<std::string> order;
+  ScenarioRunner runner(s);
+  const ScenarioResult result =
+      runner.run(tiny_workload(), [&](const ScenarioPoint& p) {
+        order.push_back(p.labels[0] + "/" + p.labels[1]);
+      });
+  ASSERT_EQ(result.points.size(), 4u);
+  const std::vector<std::string> expected{"0.000/conv1", "0.000/combined",
+                                          "0.300/conv1", "0.300/combined"};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(result.axis_names, (std::vector<std::string>{"rate", "layer"}));
+  EXPECT_EQ(result.axis_sizes, (std::vector<std::size_t>{2, 2}));
+  // at() resolves row-major indices.
+  EXPECT_EQ(result.at({1, 1}).mean, result.points[3].metric.mean);
+  // Rate 0 on every series is the clean accuracy.
+  EXPECT_DOUBLE_EQ(result.at({0, 0}).mean, tiny_workload().clean_accuracy);
+  EXPECT_DOUBLE_EQ(result.at({0, 1}).mean, tiny_workload().clean_accuracy);
+}
+
+TEST(ScenarioRunner, RejectsFilterNamingNoBinarizedLayer) {
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.axes = {rate_axis({0.1}), layers_axis({"conv_1"})};  // typo for conv1
+    EXPECT_THROW(ScenarioRunner(s).run(tiny_workload()),
+                 std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.layer_filter = {"dens0"};  // typo for dense0
+    EXPECT_THROW(ScenarioRunner(s).run(tiny_workload()),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ScenarioRunner, IsDeterministicAcrossRuns) {
+  ScenarioRunner runner(tiny_scenario());
+  const ScenarioResult a = runner.run(tiny_workload());
+  const ScenarioResult b = runner.run(tiny_workload());
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].metric.mean, b.points[i].metric.mean);
+    EXPECT_EQ(a.points[i].metric.stddev, b.points[i].metric.stddev);
+  }
+}
+
+TEST(ScenarioRunner, PooledRunIsBitIdenticalToSerial) {
+  ScenarioSpec s = tiny_scenario();
+  s.repetitions = 6;
+  ScenarioRunner serial(s);
+  const ScenarioResult sr = serial.run(tiny_workload());
+
+  s.jobs = 4;
+  ScenarioRunner pooled(s);
+  const ScenarioResult pr = pooled.run(tiny_workload());
+
+  ASSERT_EQ(sr.points.size(), pr.points.size());
+  for (std::size_t i = 0; i < sr.points.size(); ++i) {
+    EXPECT_EQ(sr.points[i].metric.mean, pr.points[i].metric.mean);
+    EXPECT_EQ(sr.points[i].metric.stddev, pr.points[i].metric.stddev);
+    EXPECT_EQ(sr.points[i].metric.min, pr.points[i].metric.min);
+    EXPECT_EQ(sr.points[i].metric.max, pr.points[i].metric.max);
+  }
+}
+
+TEST(ScenarioRunner, FlimAndDeviceBackendsAgreeEndToEnd) {
+  // The paper's FLIM <-> X-Fault cross-validation, through the scenario
+  // layer: identical seeds and product-term masks must give identical
+  // accuracy summaries on both backends. Kept tiny -- the device engine
+  // simulates every XNOR gate-by-gate.
+  ScenarioSpec s = tiny_scenario();
+  s.workload.eval_images = 2;
+  s.fault.kind = fault::FaultKind::kStuckAt;
+  s.fault.granularity = fault::FaultGranularity::kProductTerm;
+  s.grid = {8, 8};
+  s.axes = {rate_axis({0.1})};
+  s.repetitions = 1;
+
+  const Workload workload = load_workload(s.workload);
+
+  s.engine.backend = Backend::kFlim;
+  const ScenarioResult flim = ScenarioRunner(s).run(workload);
+  s.engine.backend = Backend::kDevice;
+  const ScenarioResult device = ScenarioRunner(s).run(workload);
+
+  ASSERT_EQ(flim.points.size(), 1u);
+  ASSERT_EQ(device.points.size(), 1u);
+  EXPECT_EQ(flim.points[0].metric.mean, device.points[0].metric.mean);
+}
+
+TEST(ScenarioRunner, TmrAtRateZeroMatchesCleanAccuracy) {
+  ScenarioSpec s = tiny_scenario();
+  s.engine.backend = Backend::kTmr;
+  s.engine.tmr_replicas = 3;
+  s.axes = {rate_axis({0.0})};
+  s.repetitions = 1;
+  const ScenarioResult result = ScenarioRunner(s).run(tiny_workload());
+  EXPECT_DOUBLE_EQ(result.points[0].metric.mean,
+                   tiny_workload().clean_accuracy);
+}
+
+TEST(ScenarioRunner, ReferenceBackendIgnoresFaultAxes) {
+  ScenarioSpec s = tiny_scenario();
+  s.engine.backend = Backend::kReference;
+  s.axes = {rate_axis({0.0, 0.3})};
+  s.repetitions = 1;
+  const ScenarioResult result = ScenarioRunner(s).run(tiny_workload());
+  EXPECT_DOUBLE_EQ(result.points[0].metric.mean,
+                   tiny_workload().clean_accuracy);
+  EXPECT_DOUBLE_EQ(result.points[1].metric.mean,
+                   tiny_workload().clean_accuracy);
+}
+
+TEST(ScenarioRunner, NoAxesEvaluatesTheBasePoint) {
+  ScenarioSpec s = tiny_scenario();
+  s.axes.clear();
+  s.fault.injection_rate = 0.0;
+  const ScenarioResult result = ScenarioRunner(s).run(tiny_workload());
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_TRUE(result.axis_names.empty());
+  EXPECT_DOUBLE_EQ(result.at({}).mean, tiny_workload().clean_accuracy);
+}
+
+TEST(ScenarioResult, EmitsTableCsvAndJson) {
+  ScenarioSpec s = tiny_scenario();
+  ScenarioRunner runner(s);
+  const ScenarioResult result = runner.run(tiny_workload());
+  const core::Table table = result.to_table();
+  EXPECT_EQ(table.columns(),
+            (std::vector<std::string>{"rate", "accuracy_%", "stddev_%",
+                                      "min_%", "max_%"}));
+  EXPECT_EQ(table.num_rows(), 2u);
+
+  const std::string csv_path = ::testing::TempDir() + "exp_result.csv";
+  const std::string json_path = ::testing::TempDir() + "exp_result.json";
+  result.write_csv(csv_path);
+  result.write_json(json_path);
+  std::ifstream csv(csv_path);
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "rate,accuracy_%,stddev_%,min_%,max_%");
+  std::ifstream json(json_path);
+  std::string first;
+  std::getline(json, first);
+  EXPECT_EQ(first, "[");
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+}  // namespace
+}  // namespace flim::exp
