@@ -1,10 +1,22 @@
 #include "bnn/activations.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "bnn/plan.hpp"
 #include "core/check.hpp"
 
 namespace flim::bnn {
+
+namespace {
+
+/// Plans a shape-preserving elementwise layer.
+void plan_elementwise(const Layer& layer, PlanContext& pc) {
+  const std::size_t si = pc.begin_step(layer);
+  pc.step(si).out_shape = pc.shape();
+}
+
+}  // namespace
 
 Sign::Sign(std::string name) : Layer(std::move(name)) {}
 
@@ -67,6 +79,68 @@ tensor::FloatTensor ChannelScale::forward(const tensor::FloatTensor& input,
   return out;
 }
 
+void Sign::plan(PlanContext& pc) const { plan_elementwise(*this, pc); }
+
+void Sign::execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+                   ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const float* in = input.data();
+  float* o = out.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = in[i] >= 0.0f ? 1.0f : -1.0f;
+  }
+}
+
+void ReLU::plan(PlanContext& pc) const { plan_elementwise(*this, pc); }
+
+void ReLU::execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+                   ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const float* in = input.data();
+  float* o = out.data();
+  const std::int64_t n = input.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    o[i] = std::max(0.0f, in[i]);
+  }
+}
+
+void ChannelScale::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 4 || in.rank() == 2,
+               "channel scale supports rank-2 and rank-4 inputs");
+  FLIM_REQUIRE(in[1] == gains_.numel(), "channel scale mismatch");
+  plan_elementwise(*this, pc);
+}
+
+void ChannelScale::execute(const tensor::FloatTensor& input,
+                           tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const std::int64_t channels = gains_.numel();
+  if (input.shape().rank() == 4) {
+    const std::int64_t n = input.shape()[0];
+    const std::int64_t hw = input.shape()[2] * input.shape()[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t c = 0; c < channels; ++c) {
+        const float g = gains_[c];
+        const float* in = input.data() + (b * channels + c) * hw;
+        float* o = out.data() + (b * channels + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) o[i] = g * in[i];
+      }
+    }
+  } else {
+    const std::int64_t n = input.shape()[0];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* in = input.data() + b * channels;
+      float* o = out.data() + b * channels;
+      for (std::int64_t c = 0; c < channels; ++c) o[c] = gains_[c] * in[c];
+    }
+  }
+}
+
 Identity::Identity(std::string name) : Layer(std::move(name)) {}
 
 tensor::FloatTensor Identity::forward(const tensor::FloatTensor& input,
@@ -84,6 +158,32 @@ tensor::FloatTensor Flatten::forward(const tensor::FloatTensor& input,
   const std::int64_t features = input.numel() / n;
   record_profile(ctx, 0, 0);
   return input.reshaped(tensor::Shape{n, features});
+}
+
+void Identity::plan(PlanContext& pc) const { plan_elementwise(*this, pc); }
+
+void Identity::execute(const tensor::FloatTensor& input,
+                       tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  std::memcpy(out.data(), input.data(),
+              static_cast<std::size_t>(input.numel()) * sizeof(float));
+}
+
+void Flatten::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() >= 2, "flatten expects rank >= 2");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape = tensor::Shape{in[0], in.numel() / in[0]};
+  pc.set_shape(pc.step(si).out_shape);
+}
+
+void Flatten::execute(const tensor::FloatTensor& input,
+                      tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  std::memcpy(out.data(), input.data(),
+              static_cast<std::size_t>(input.numel()) * sizeof(float));
 }
 
 }  // namespace flim::bnn

@@ -12,6 +12,9 @@ class Sign final : public Layer {
   std::string type() const override { return "sign"; }
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 };
 
 /// Rectified linear unit (used by the partially binarized models).
@@ -21,6 +24,9 @@ class ReLU final : public Layer {
   std::string type() const override { return "relu"; }
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 };
 
 /// Per-channel multiplicative gain (XNOR-Net's alpha scaling: "weights are
@@ -32,6 +38,9 @@ class ChannelScale final : public Layer {
   std::string type() const override { return "channel_scale"; }
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
   std::int64_t real_param_count() const override { return gains_.numel(); }
   const tensor::FloatTensor& gains() const { return gains_; }
 
@@ -46,6 +55,9 @@ class Flatten final : public Layer {
   std::string type() const override { return "flatten"; }
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 };
 
 /// Pass-through layer. Used where a training-only construct (e.g. a
@@ -56,6 +68,9 @@ class Identity final : public Layer {
   std::string type() const override { return "identity"; }
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 };
 
 }  // namespace flim::bnn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "bnn/plan.hpp"
 #include "core/check.hpp"
 
 namespace flim::bnn {
@@ -65,6 +66,45 @@ tensor::FloatTensor BatchNorm::forward(const tensor::FloatTensor& input,
   }
   record_profile(ctx, input.numel() / ctx.batch, 0);
   return out;
+}
+
+void BatchNorm::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 4 || in.rank() == 2,
+               "batch norm supports rank-2 and rank-4 inputs");
+  FLIM_REQUIRE(in[1] == channels_,
+               in.rank() == 4 ? "batch norm channel mismatch (NCHW dim 1)"
+                              : "batch norm feature mismatch (dim 1)");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape = in;
+}
+
+void BatchNorm::execute(const tensor::FloatTensor& input,
+                        tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  if (input.shape().rank() == 4) {
+    const std::int64_t n = input.shape()[0];
+    const std::int64_t hw = input.shape()[2] * input.shape()[3];
+    for (std::int64_t b = 0; b < n; ++b) {
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        const float s = scale_[c];
+        const float t = shift_[c];
+        const float* in = input.data() + (b * channels_ + c) * hw;
+        float* o = out.data() + (b * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) o[i] = s * in[i] + t;
+      }
+    }
+  } else {
+    const std::int64_t n = input.shape()[0];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* in = input.data() + b * channels_;
+      float* o = out.data() + b * channels_;
+      for (std::int64_t c = 0; c < channels_; ++c) {
+        o[c] = scale_[c] * in[c] + shift_[c];
+      }
+    }
+  }
 }
 
 }  // namespace flim::bnn

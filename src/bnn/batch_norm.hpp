@@ -21,6 +21,9 @@ class BatchNorm final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t real_param_count() const override { return 4 * channels_; }
 

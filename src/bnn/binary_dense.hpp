@@ -16,6 +16,9 @@ class BinaryDense final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t binary_param_count() const override {
     return packed_weights_.rows() * packed_weights_.cols();

@@ -22,6 +22,9 @@ class Sequential final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t real_param_count() const override;
   std::int64_t binary_param_count() const override;
@@ -47,6 +50,9 @@ class ResidualBlock final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t real_param_count() const override;
   std::int64_t binary_param_count() const override;
@@ -68,6 +74,9 @@ class ConcatBlock final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t real_param_count() const override;
   std::int64_t binary_param_count() const override;

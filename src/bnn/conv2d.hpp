@@ -23,6 +23,9 @@ class Conv2D final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t real_param_count() const override {
     return weights_.numel() + bias_.numel();

@@ -1,5 +1,6 @@
 #include "bnn/dense.hpp"
 
+#include "bnn/plan.hpp"
 #include "core/check.hpp"
 #include "tensor/gemm.hpp"
 
@@ -37,6 +38,30 @@ tensor::FloatTensor Dense::forward(const tensor::FloatTensor& input,
   }
   record_profile(ctx, in_features_ * out_features_, 0);
   return out;
+}
+
+void Dense::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 2, "dense expects [batch, features]");
+  FLIM_REQUIRE(in[1] == in_features_, "dense input feature mismatch");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape = tensor::Shape{in[0], out_features_};
+  pc.set_shape(pc.step(si).out_shape);
+}
+
+void Dense::execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+                    ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  tensor::gemm_bt(input, weights_, out);
+  if (bias_.numel() > 0) {
+    const std::int64_t n = out.shape()[0];
+    for (std::int64_t r = 0; r < n; ++r) {
+      for (std::int64_t c = 0; c < out_features_; ++c) {
+        out.at2(r, c) += bias_[c];
+      }
+    }
+  }
 }
 
 }  // namespace flim::bnn

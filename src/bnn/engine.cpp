@@ -10,7 +10,7 @@ void ReferenceEngine::execute(const std::string& /*layer_name*/,
                               const tensor::BitMatrix& weights,
                               std::int64_t /*positions_per_image*/,
                               tensor::IntTensor& out) {
-  tensor::xnor_gemm(activations, weights, out);
+  tensor::xnor_gemm(activations, weights, out, pool_);
 }
 
 void RecordingEngine::execute(const std::string& layer_name,

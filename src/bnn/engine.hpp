@@ -26,12 +26,21 @@
 #include "tensor/bit_matrix.hpp"
 #include "tensor/tensor.hpp"
 
+namespace flim::core {
+class ThreadPool;
+}
+
 namespace flim::bnn {
 
 /// Abstract executor of binarized layer arithmetic.
 class XnorExecutionEngine {
  public:
   virtual ~XnorExecutionEngine() = default;
+
+  /// Hands the engine a pool for intra-batch row sharding of its XNOR-GEMM
+  /// kernels (nullptr restores serial execution). Sharded and serial runs
+  /// are bit-identical; engines without a shardable fast path ignore it.
+  virtual void set_thread_pool(core::ThreadPool* /*pool*/) {}
 
   /// Computes out[i, j] = sum_k XNOR(activations[i, k], weights[j, k]) in
   /// the ±1 encoding. `positions_per_image` rows of `activations` belong to
@@ -51,11 +60,16 @@ class XnorExecutionEngine {
 /// Fault-free packed-bit engine.
 class ReferenceEngine final : public XnorExecutionEngine {
  public:
+  void set_thread_pool(core::ThreadPool* pool) override { pool_ = pool; }
+
   void execute(const std::string& layer_name,
                const tensor::BitMatrix& activations,
                const tensor::BitMatrix& weights,
                std::int64_t positions_per_image,
                tensor::IntTensor& out) override;
+
+ private:
+  core::ThreadPool* pool_ = nullptr;
 };
 
 /// Profile of one binarized layer execution.

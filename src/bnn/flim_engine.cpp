@@ -23,19 +23,23 @@ void FlimEngine::execute(const std::string& layer_name,
                          const tensor::BitMatrix& weights,
                          std::int64_t positions_per_image,
                          tensor::IntTensor& out) {
+  // Batch-consistency contracts hold on every path: the clean early return
+  // must not silently accept a positions/rows mismatch the faulty path
+  // would reject.
+  FLIM_REQUIRE(positions_per_image > 0, "positions_per_image must be > 0");
+  FLIM_REQUIRE(activations.rows() % positions_per_image == 0,
+               "activation rows must be a whole number of images");
+
   const auto it = injectors_.find(layer_name);
   if (it == injectors_.end()) {
-    tensor::xnor_gemm(activations, weights, out);
+    tensor::xnor_gemm(activations, weights, out, pool_);
     return;
   }
   fault::FaultInjector& injector = *it->second;
 
-  FLIM_REQUIRE(positions_per_image > 0, "positions_per_image must be > 0");
-  FLIM_REQUIRE(activations.rows() % positions_per_image == 0,
-               "activation rows must be a whole number of images");
   const std::int64_t m = activations.rows();
   const std::int64_t n = weights.rows();
-  if (out.shape() != tensor::Shape{m, n}) {
+  if (out.shape().rank() != 2 || out.shape()[0] != m || out.shape()[1] != n) {
     out = tensor::IntTensor(tensor::Shape{m, n});
   }
 
@@ -47,16 +51,16 @@ void FlimEngine::execute(const std::string& layer_name,
       if (injector.advance_execution()) {
         tensor::xnor_gemm_term_faults_rows(activations, weights, masks.flip,
                                            masks.sa0, masks.sa1, out, begin,
-                                           end);
+                                           end, pool_);
       } else {
-        tensor::xnor_gemm_rows(activations, weights, out, begin, end);
+        tensor::xnor_gemm_rows(activations, weights, out, begin, end, pool_);
       }
     }
   } else {
     // Output-element granularity: clean fast path, then per-image masking of
     // the feature map ("another XNOR operation" in the paper). Stuck ops pin
     // to the full-scale ±K accumulator value.
-    tensor::xnor_gemm(activations, weights, out);
+    tensor::xnor_gemm(activations, weights, out, pool_);
     const auto full_scale = static_cast<std::int32_t>(weights.cols());
     for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
       const std::int64_t end = begin + positions_per_image;

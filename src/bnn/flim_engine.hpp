@@ -33,6 +33,8 @@ class FlimEngine final : public XnorExecutionEngine {
   /// Number of layers with configured faults.
   std::size_t num_faulty_layers() const { return injectors_.size(); }
 
+  void set_thread_pool(core::ThreadPool* pool) override { pool_ = pool; }
+
   void execute(const std::string& layer_name,
                const tensor::BitMatrix& activations,
                const tensor::BitMatrix& weights,
@@ -43,6 +45,7 @@ class FlimEngine final : public XnorExecutionEngine {
 
  private:
   std::map<std::string, std::unique_ptr<fault::FaultInjector>> injectors_;
+  core::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace flim::bnn

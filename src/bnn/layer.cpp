@@ -1,6 +1,21 @@
 #include "bnn/layer.hpp"
 
+#include "core/check.hpp"
+
 namespace flim::bnn {
+
+void Layer::plan(PlanContext&) const {
+  FLIM_REQUIRE(false, "layer '" + name_ + "' (type " + type() +
+                          ") does not implement plan(); use the legacy "
+                          "Model::forward path");
+}
+
+void Layer::execute(const tensor::FloatTensor&, tensor::FloatTensor&,
+                    ExecContext&) const {
+  FLIM_REQUIRE(false, "layer '" + name_ + "' (type " + type() +
+                          ") does not implement execute(); use the legacy "
+                          "Model::forward path");
+}
 
 void Layer::record_profile(InferenceContext& ctx, std::int64_t real_macs,
                            std::int64_t binary_macs) const {

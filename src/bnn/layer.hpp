@@ -11,6 +11,8 @@
 namespace flim::bnn {
 
 class XnorExecutionEngine;
+class PlanContext;
+class ExecContext;
 
 /// Per-layer profile row collected during Model::analyze (Table II inputs).
 struct LayerProfile {
@@ -55,6 +57,24 @@ class Layer {
   /// Computes the layer output.
   virtual tensor::FloatTensor forward(const tensor::FloatTensor& input,
                                       InferenceContext& ctx) const = 0;
+
+  /// Compile phase of the plan/execute split (bnn/plan.hpp): resolves the
+  /// output shape from the planning context's current shape, precomputes any
+  /// static lowering data (im2col gather maps, packed-weight references),
+  /// and reserves workspace scratch slots. Called once per ForwardPlan;
+  /// every layer type overrides it (the base throws so an unported custom
+  /// layer fails loudly at plan time, while its legacy forward keeps
+  /// working).
+  virtual void plan(PlanContext& pc) const;
+
+  /// Execute phase: computes the layer output into `out`, a workspace-owned
+  /// buffer the layer reshapes to its planned output shape. Must be
+  /// arithmetic-identical to forward() (same operations in the same order),
+  /// and allocation-free once the workspace reached its high-water mark.
+  /// Implementations start by consuming their plan record via
+  /// ExecContext::next_step().
+  virtual void execute(const tensor::FloatTensor& input,
+                       tensor::FloatTensor& out, ExecContext& ec) const;
 
   /// Parameter counts (real-valued vs binarized).
   virtual std::int64_t real_param_count() const { return 0; }

@@ -10,17 +10,22 @@ void Model::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
 }
 
-tensor::FloatTensor Model::forward(const tensor::FloatTensor& input,
-                                   XnorExecutionEngine& engine) const {
+tensor::FloatTensor Model::run_layers(const tensor::FloatTensor& input,
+                                      InferenceContext& ctx) const {
   FLIM_REQUIRE(!layers_.empty(), "model has no layers");
-  InferenceContext ctx;
-  ctx.engine = &engine;
-  ctx.batch = input.shape().rank() >= 1 ? input.shape()[0] : 1;
   tensor::FloatTensor x = input;
   for (const auto& layer : layers_) {
     x = layer->forward(x, ctx);
   }
   return x;
+}
+
+tensor::FloatTensor Model::forward(const tensor::FloatTensor& input,
+                                   XnorExecutionEngine& engine) const {
+  InferenceContext ctx;
+  ctx.engine = &engine;
+  ctx.batch = input.shape().rank() >= 1 ? input.shape()[0] : 1;
+  return run_layers(input, ctx);
 }
 
 double Model::evaluate(const data::Batch& batch,
@@ -39,11 +44,7 @@ ModelCharacteristics Model::analyze(
   ctx.batch = 1;
   std::vector<LayerProfile> profile;
   ctx.profile = &profile;
-
-  tensor::FloatTensor x = sample_input;
-  for (const auto& layer : layers_) {
-    x = layer->forward(x, ctx);
-  }
+  run_layers(sample_input, ctx);
 
   ModelCharacteristics c;
   c.model_name = name_;

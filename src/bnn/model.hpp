@@ -54,6 +54,11 @@ class Model {
   ModelCharacteristics analyze(const tensor::FloatTensor& sample_input) const;
 
  private:
+  /// The one layer traversal both forward() and analyze() run through, so
+  /// profiling can never drift from inference.
+  tensor::FloatTensor run_layers(const tensor::FloatTensor& input,
+                                 InferenceContext& ctx) const;
+
   std::string name_;
   std::vector<LayerPtr> layers_;
 };

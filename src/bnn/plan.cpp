@@ -1,0 +1,93 @@
+#include "bnn/plan.hpp"
+
+#include "core/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace flim::bnn {
+
+std::size_t PlanContext::begin_step(const Layer& layer) {
+  PlanStep step;
+  step.layer = &layer;
+  steps_.push_back(std::move(step));
+  return steps_.size() - 1;
+}
+
+const PlanStep& ExecContext::next_step() {
+  FLIM_REQUIRE(cursor_ < steps_.size(),
+               "plan cursor overran the step records; plan() and execute() "
+               "traversal orders diverged");
+  return steps_[cursor_++];
+}
+
+// Slot-id validation stays on in Release: a stale -1 sentinel would wrap to
+// SIZE_MAX and grow the arena unboundedly instead of failing loudly, and
+// the check is cold relative to the buffer work behind it.
+tensor::FloatTensor& ExecContext::float_slot(int id) {
+  FLIM_REQUIRE(id >= 0, "plan step references an unassigned float slot");
+  return ws_.float_slot(static_cast<std::size_t>(id));
+}
+
+tensor::IntTensor& ExecContext::int_slot(int id) {
+  FLIM_REQUIRE(id >= 0, "plan step references an unassigned int slot");
+  return ws_.int_slot(static_cast<std::size_t>(id));
+}
+
+tensor::BitMatrix& ExecContext::bit_slot(int id) {
+  FLIM_REQUIRE(id >= 0, "plan step references an unassigned bit slot");
+  return ws_.bit_slot(static_cast<std::size_t>(id));
+}
+
+ForwardPlan::ForwardPlan(const Model& model, tensor::Shape input_shape)
+    : input_shape_(std::move(input_shape)) {
+  FLIM_REQUIRE(!model.layers().empty(), "model has no layers");
+  PlanContext pc(input_shape_);
+  slot_a_ = pc.alloc_float_slot();
+  slot_b_ = pc.alloc_float_slot();
+  roots_.reserve(model.layers().size());
+  for (const LayerPtr& layer : model.layers()) {
+    roots_.push_back(layer.get());
+    layer->plan(pc);
+  }
+  steps_ = std::move(pc.steps_);
+  output_shape_ = pc.shape();
+}
+
+const tensor::FloatTensor& ForwardPlan::execute(
+    const tensor::FloatTensor& input, tensor::Workspace& ws,
+    XnorExecutionEngine& engine, core::ThreadPool* gemm_pool) const {
+  FLIM_REQUIRE(input.shape() == input_shape_,
+               "input shape " + input.shape().to_string() +
+                   " does not match the planned shape " +
+                   input_shape_.to_string());
+  ExecContext ec(steps_, ws, engine);
+  // The pool is installed for this execution only; restore serial behaviour
+  // even on exceptions so a later legacy-path use of the same engine can
+  // never touch a stale (possibly destroyed) pool.
+  struct PoolGuard {
+    XnorExecutionEngine& engine;
+    ~PoolGuard() { engine.set_thread_pool(nullptr); }
+  } guard{engine};
+  engine.set_thread_pool(gemm_pool);
+  const tensor::FloatTensor* cur = &input;
+  bool pong = false;
+  for (const Layer* layer : roots_) {
+    tensor::FloatTensor& dst = ws.float_slot(
+        static_cast<std::size_t>(pong ? slot_b_ : slot_a_));
+    pong = !pong;
+    layer->execute(*cur, dst, ec);
+    cur = &dst;
+  }
+  FLIM_REQUIRE(ec.cursor() == steps_.size(),
+               "plan execution consumed fewer step records than planned");
+  return *cur;
+}
+
+double ForwardPlan::evaluate(const data::Batch& batch, tensor::Workspace& ws,
+                             XnorExecutionEngine& engine,
+                             core::ThreadPool* gemm_pool) const {
+  const tensor::FloatTensor& logits =
+      execute(batch.images, ws, engine, gemm_pool);
+  return tensor::accuracy(logits, batch.labels);
+}
+
+}  // namespace flim::bnn

@@ -1,0 +1,162 @@
+// Compiled forward plans: the one-time compile / cheap execute split.
+//
+// Model::forward rebuilds its world on every call -- each layer returns a
+// fresh FloatTensor by value and im2col re-derives gather geometry per
+// invocation. Fault campaigns run the same forward pass thousands of times
+// with only the fault masks changing, so ForwardPlan walks a Model ONCE for
+// a fixed input shape and freezes everything that does not depend on the
+// activations: per-layer output shapes, im2col gather maps, packed-weight
+// references, and workspace scratch-slot assignments. Executing the plan
+// through a tensor::Workspace then performs zero heap allocations in steady
+// state and is bit-identical to the legacy forward pass (same arithmetic in
+// the same order, same engine calls in the same order).
+//
+// Lifecycle and ownership:
+//   * A plan borrows the Model's layers; the Model must outlive the plan
+//     (moving the Model is fine -- layer storage is unique_ptr-stable).
+//   * A plan is immutable after construction and may be shared read-only by
+//     any number of workers.
+//   * Each worker executes through its own Workspace (and its own engine --
+//     engines are stateful); one Workspace must never be used concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/engine.hpp"
+#include "bnn/model.hpp"
+#include "data/dataset.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/workspace.hpp"
+
+namespace flim::core {
+class ThreadPool;
+}
+
+namespace flim::bnn {
+
+/// Frozen per-layer lowering data, produced by Layer::plan in plan-walk
+/// order (pre-order: a block's record precedes its children's).
+struct PlanStep {
+  const Layer* layer = nullptr;
+  tensor::Shape out_shape;
+
+  /// Conv lowering (binary_conv2d / conv2d): static geometry plus the
+  /// precomputed per-image gather map (tensor::make_im2col_gather).
+  tensor::ConvGeometry geom;
+  std::int64_t positions = 0;  // output positions per image (dense: 1)
+  std::vector<std::int32_t> gather;
+
+  /// Frozen scratch shapes, so steady-state execution never constructs a
+  /// Shape temporary (each would heap-allocate a small dims vector).
+  tensor::Shape acc_shape;    // engine accumulator / gemm output
+  tensor::Shape patch_shape;  // float im2col patches (real conv)
+
+  /// Workspace scratch slots (-1 = unused by this step).
+  int bit_slot = -1;       // packed ±1 activations
+  int bit_rows_slot = -1;  // padded packed image rows (word-level im2col)
+  int int_slot = -1;       // engine accumulator
+  int float_slot_a = -1;  // float patches / block chain ping
+  int float_slot_b = -1;  // gemm output / block chain pong
+  int float_slot_c = -1;  // residual bypass
+};
+
+/// Mutable state threaded through the one-time plan walk.
+class PlanContext {
+ public:
+  explicit PlanContext(tensor::Shape input_shape)
+      : shape_(std::move(input_shape)) {}
+
+  /// Shape of the activations entering the layer being planned.
+  const tensor::Shape& shape() const { return shape_; }
+  /// Records the planned layer's output shape (becomes the next input).
+  void set_shape(tensor::Shape s) { shape_ = std::move(s); }
+
+  /// Appends this layer's record and returns its index (indices stay valid
+  /// while references may not -- children append to the same vector).
+  std::size_t begin_step(const Layer& layer);
+  PlanStep& step(std::size_t index) { return steps_[index]; }
+
+  /// Reserves workspace slots; ids are stable across executions.
+  int alloc_float_slot() { return num_float_slots_++; }
+  int alloc_int_slot() { return num_int_slots_++; }
+  int alloc_bit_slot() { return num_bit_slots_++; }
+
+ private:
+  friend class ForwardPlan;
+  tensor::Shape shape_;
+  std::vector<PlanStep> steps_;
+  int num_float_slots_ = 0;
+  int num_int_slots_ = 0;
+  int num_bit_slots_ = 0;
+};
+
+/// Per-execution state: the engine, the worker's arena, and a cursor over
+/// the plan's step records. (Intra-gemm sharding pools are routed through
+/// XnorExecutionEngine::set_thread_pool, not the context.)
+class ExecContext {
+ public:
+  ExecContext(const std::vector<PlanStep>& steps, tensor::Workspace& ws,
+              XnorExecutionEngine& engine)
+      : steps_(steps), ws_(ws), engine_(engine) {}
+
+  XnorExecutionEngine& engine() { return engine_; }
+  tensor::Workspace& ws() { return ws_; }
+
+  /// Consumes the next plan record. Layers call this exactly once per
+  /// execute(), in the same order plan() registered records.
+  const PlanStep& next_step();
+
+  /// Workspace buffer behind a planned slot id.
+  tensor::FloatTensor& float_slot(int id);
+  tensor::IntTensor& int_slot(int id);
+  tensor::BitMatrix& bit_slot(int id);
+
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  const std::vector<PlanStep>& steps_;
+  tensor::Workspace& ws_;
+  XnorExecutionEngine& engine_;
+  std::size_t cursor_ = 0;
+};
+
+/// A compiled forward pass over a Model for one fixed input shape.
+class ForwardPlan {
+ public:
+  /// Walks `model` once; throws std::invalid_argument when a layer rejects
+  /// the shape (same contracts as the legacy forward pass).
+  ForwardPlan(const Model& model, tensor::Shape input_shape);
+
+  const tensor::Shape& input_shape() const { return input_shape_; }
+  const tensor::Shape& output_shape() const { return output_shape_; }
+  std::size_t num_steps() const { return steps_.size(); }
+  const std::vector<PlanStep>& steps() const { return steps_; }
+
+  /// Runs the compiled pass; returns the logits, which live in `ws` until
+  /// the next execution through that arena. `input` must match
+  /// input_shape() exactly (engine fault timing depends on the batch
+  /// extent). When `gemm_pool` is given, engines that support it shard
+  /// XNOR-GEMM row blocks across the pool (bit-identical to serial).
+  const tensor::FloatTensor& execute(const tensor::FloatTensor& input,
+                                     tensor::Workspace& ws,
+                                     XnorExecutionEngine& engine,
+                                     core::ThreadPool* gemm_pool = nullptr)
+      const;
+
+  /// Classification accuracy of the compiled pass over a batch.
+  double evaluate(const data::Batch& batch, tensor::Workspace& ws,
+                  XnorExecutionEngine& engine,
+                  core::ThreadPool* gemm_pool = nullptr) const;
+
+ private:
+  std::vector<const Layer*> roots_;  // borrowed from the Model
+  std::vector<PlanStep> steps_;
+  tensor::Shape input_shape_;
+  tensor::Shape output_shape_;
+  int slot_a_ = -1;  // top-level ping-pong activation buffers
+  int slot_b_ = -1;
+};
+
+}  // namespace flim::bnn

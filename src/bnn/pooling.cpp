@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bnn/plan.hpp"
 #include "core/check.hpp"
 
 namespace flim::bnn {
@@ -53,6 +54,44 @@ tensor::FloatTensor MaxPool2D::forward(const tensor::FloatTensor& input,
   return out;
 }
 
+void MaxPool2D::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 4, "max pool expects NCHW input");
+  FLIM_REQUIRE(in[2] >= kernel_ && in[3] >= kernel_,
+               "pool window exceeds input");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape =
+      tensor::Shape{in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+                    pooled_extent(in[3], kernel_, stride_)};
+  pc.set_shape(pc.step(si).out_shape);
+}
+
+void MaxPool2D::execute(const tensor::FloatTensor& input,
+                        tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t oh = st.out_shape[2];
+  const std::int64_t ow = st.out_shape[3];
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = input.at4(b, ch, y * stride_, x * stride_);
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              best = std::max(
+                  best, input.at4(b, ch, y * stride_ + ky, x * stride_ + kx));
+            }
+          }
+          out.at4(b, ch, y, x) = best;
+        }
+      }
+    }
+  }
+}
+
 GlobalAvgPool::GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
 
 tensor::FloatTensor GlobalAvgPool::forward(const tensor::FloatTensor& input,
@@ -72,6 +111,31 @@ tensor::FloatTensor GlobalAvgPool::forward(const tensor::FloatTensor& input,
   }
   record_profile(ctx, input.numel() / ctx.batch, 0);
   return out;
+}
+
+void GlobalAvgPool::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 4, "global avg pool expects NCHW");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape = tensor::Shape{in[0], in[1]};
+  pc.set_shape(pc.step(si).out_shape);
+}
+
+void GlobalAvgPool::execute(const tensor::FloatTensor& input,
+                            tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t hw = input.shape()[2] * input.shape()[3];
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* in = input.data() + (b * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < hw; ++i) acc += in[i];
+      out.at2(b, ch) = acc / static_cast<float>(hw);
+    }
+  }
 }
 
 AvgPool2D::AvgPool2D(std::string name, std::int64_t kernel, std::int64_t stride)
@@ -109,6 +173,44 @@ tensor::FloatTensor AvgPool2D::forward(const tensor::FloatTensor& input,
   }
   record_profile(ctx, 0, 0);
   return out;
+}
+
+void AvgPool2D::plan(PlanContext& pc) const {
+  const tensor::Shape& in = pc.shape();
+  FLIM_REQUIRE(in.rank() == 4, "avg pool expects NCHW input");
+  FLIM_REQUIRE(in[2] >= kernel_ && in[3] >= kernel_,
+               "pool window exceeds input");
+  const std::size_t si = pc.begin_step(*this);
+  pc.step(si).out_shape =
+      tensor::Shape{in[0], in[1], pooled_extent(in[2], kernel_, stride_),
+                    pooled_extent(in[3], kernel_, stride_)};
+  pc.set_shape(pc.step(si).out_shape);
+}
+
+void AvgPool2D::execute(const tensor::FloatTensor& input,
+                        tensor::FloatTensor& out, ExecContext& ec) const {
+  const PlanStep& st = ec.next_step();
+  ec.ws().reshape(out, st.out_shape);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c = input.shape()[1];
+  const std::int64_t oh = st.out_shape[2];
+  const std::int64_t ow = st.out_shape[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              acc += input.at4(b, ch, y * stride_ + ky, x * stride_ + kx);
+            }
+          }
+          out.at4(b, ch, y, x) = acc * inv;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace flim::bnn

@@ -14,6 +14,9 @@ class MaxPool2D final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t kernel() const { return kernel_; }
   std::int64_t stride() const { return stride_; }
@@ -31,6 +34,9 @@ class GlobalAvgPool final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 };
 
 /// Average pooling over square windows (used for DenseNet-style transitions).
@@ -42,6 +48,9 @@ class AvgPool2D final : public Layer {
 
   tensor::FloatTensor forward(const tensor::FloatTensor& input,
                               InferenceContext& ctx) const override;
+  void plan(PlanContext& pc) const override;
+  void execute(const tensor::FloatTensor& input, tensor::FloatTensor& out,
+               ExecContext& ec) const override;
 
   std::int64_t kernel() const { return kernel_; }
   std::int64_t stride() const { return stride_; }

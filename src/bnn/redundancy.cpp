@@ -40,6 +40,10 @@ void MedianVoteEngine::execute(const std::string& layer_name,
   }
 }
 
+void MedianVoteEngine::set_thread_pool(core::ThreadPool* pool) {
+  for (auto& r : replicas_) r->set_thread_pool(pool);
+}
+
 void MedianVoteEngine::reset_time() {
   for (auto& r : replicas_) r->reset_time();
 }

@@ -25,6 +25,9 @@ class MedianVoteEngine final : public XnorExecutionEngine {
 
   std::size_t num_replicas() const { return replicas_.size(); }
 
+  /// Forwards the sharding pool to every replica.
+  void set_thread_pool(core::ThreadPool* pool) override;
+
   void execute(const std::string& layer_name,
                const tensor::BitMatrix& activations,
                const tensor::BitMatrix& weights,

@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "bnn/plan.hpp"
 #include "core/check.hpp"
 #include "core/report.hpp"
 #include "core/rng.hpp"
@@ -212,8 +213,12 @@ int cmd_evaluate(const Args& args) {
   clean_spec.backend = exp::Backend::kReference;
   const auto clean = exp::make_engine(clean_spec);
   const auto faulty = exp::make_engine(engine_spec, vectors);
-  const double clean_acc = loaded.model.evaluate(loaded.eval_batch, *clean);
-  const double faulty_acc = loaded.model.evaluate(loaded.eval_batch, *faulty);
+  // One compiled plan + one arena serves both evaluations (bit-identical to
+  // the legacy Model::evaluate path).
+  const bnn::ForwardPlan plan(loaded.model, loaded.eval_batch.images.shape());
+  tensor::Workspace ws;
+  const double clean_acc = plan.evaluate(loaded.eval_batch, ws, *clean);
+  const double faulty_acc = plan.evaluate(loaded.eval_batch, ws, *faulty);
   core::Table table({"configuration", "accuracy_%"});
   table.add("clean", core::format_double(clean_acc * 100.0, 2));
   table.add("faulty (" + vectors_path + ")",

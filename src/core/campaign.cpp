@@ -23,8 +23,10 @@ void for_each_grid_index(
   }
 }
 
-Summary run_repeated(const CampaignConfig& config,
-                     const std::function<double(std::uint64_t seed)>& metric) {
+Summary run_repeated(
+    const CampaignConfig& config,
+    const std::function<double(std::uint64_t seed, std::size_t worker)>&
+        metric) {
   FLIM_REQUIRE(config.repetitions > 0, "campaign needs >= 1 repetition");
   // Derive one independent seed per repetition, mirroring the paper's
   // "reinitialized the random generator with a new seed value".
@@ -37,17 +39,25 @@ Summary run_repeated(const CampaignConfig& config,
   // pool completion order.
   std::vector<double> values(seeds.size());
   if (config.pool != nullptr && config.pool->size() > 1) {
-    config.pool->parallel_for(seeds.size(), [&](std::size_t i) {
-      values[i] = metric(seeds[i]);
-    });
+    config.pool->parallel_for_slotted(
+        seeds.size(), [&](std::size_t i, std::size_t worker) {
+          values[i] = metric(seeds[i], worker);
+        });
   } else {
     for (std::size_t i = 0; i < seeds.size(); ++i) {
-      values[i] = metric(seeds[i]);
+      values[i] = metric(seeds[i], 0);
     }
   }
   RunningStats stats;
   for (const double v : values) stats.add(v);
   return summarize(stats);
+}
+
+Summary run_repeated(const CampaignConfig& config,
+                     const std::function<double(std::uint64_t seed)>& metric) {
+  return run_repeated(config, [&](std::uint64_t seed, std::size_t /*worker*/) {
+    return metric(seed);
+  });
 }
 
 std::vector<CampaignPoint> run_sweep(
@@ -83,6 +93,19 @@ std::vector<GridPoint> run_grid_sweep(
     const std::function<double(const std::vector<double>& xs,
                                std::uint64_t seed)>& metric,
     const std::function<void(const GridPoint&)>& on_point) {
+  return run_grid_sweep(
+      config, axes,
+      [&](const std::vector<double>& xs, std::uint64_t seed,
+          std::size_t /*worker*/) { return metric(xs, seed); },
+      on_point);
+}
+
+std::vector<GridPoint> run_grid_sweep(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed, std::size_t worker)>&
+        metric,
+    const std::function<void(const GridPoint&)>& on_point) {
   FLIM_REQUIRE(!axes.empty(), "grid sweep needs at least one axis");
   std::vector<std::size_t> sizes;
   sizes.reserve(axes.size());
@@ -105,8 +128,10 @@ std::vector<GridPoint> run_grid_sweep(
       p.coords.push_back(sp.x);
       p.labels.push_back(sp.label);
     }
-    p.metric = run_repeated(
-        config, [&](std::uint64_t seed) { return metric(p.coords, seed); });
+    p.metric = run_repeated(config,
+                            [&](std::uint64_t seed, std::size_t worker) {
+                              return metric(p.coords, seed, worker);
+                            });
     if (on_point) on_point(p);
     out.push_back(std::move(p));
   });

@@ -68,6 +68,17 @@ void for_each_grid_index(
 Summary run_repeated(const CampaignConfig& config,
                      const std::function<double(std::uint64_t seed)>& metric);
 
+/// Worker-slot variant: `metric(seed, worker)` additionally receives a slot
+/// id in [0, pool size) (always 0 when serial) such that no two concurrent
+/// invocations share a slot. This is how campaign code reuses expensive
+/// per-worker state -- e.g. one inference Workspace per worker across every
+/// repetition and grid point -- without locking. Aggregation stays
+/// index-ordered, so results are bit-identical to the serial run.
+Summary run_repeated(
+    const CampaignConfig& config,
+    const std::function<double(std::uint64_t seed, std::size_t worker)>&
+        metric);
+
 /// Runs a 1-D sweep: for each x value, run_repeated() on metric(x, seed).
 /// `label_fn` names the point; a null label_fn (the default) falls back to
 /// the numeric value formatted with two decimals.
@@ -91,6 +102,17 @@ std::vector<GridPoint> run_grid_sweep(
     const CampaignConfig& config, const std::vector<SweepAxis>& axes,
     const std::function<double(const std::vector<double>& xs,
                                std::uint64_t seed)>& metric,
+    const std::function<void(const GridPoint&)>& on_point = nullptr);
+
+/// Worker-slot variant of run_grid_sweep (see the run_repeated overload):
+/// the metric receives a per-worker slot id that is stable across every
+/// cell and repetition of the sweep, enabling one compiled plan + one
+/// workspace per worker for the whole grid.
+std::vector<GridPoint> run_grid_sweep(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed, std::size_t worker)>&
+        metric,
     const std::function<void(const GridPoint&)>& on_point = nullptr);
 
 }  // namespace flim::core

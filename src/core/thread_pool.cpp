@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace flim::core {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -39,9 +41,23 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (on_worker_thread()) {
+    // Nested use from inside a pool task: enqueued chunks would wait behind
+    // the very workers blocked on them (deadlock). Degrade to inline.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
@@ -52,7 +68,68 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  drain(futures);
+}
+
+void ThreadPool::drain(std::vector<std::future<void>>& futures) {
+  // Every task must finish before the caller's stack frame (fn, slot state)
+  // goes away, even when one throws: collect the first exception and
+  // rethrow only after all futures completed.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  // Nested slotted use cannot degrade to inline: the calling task already
+  // holds a slot, and handing out another would collide with per-slot
+  // state. Fail loudly instead of deadlocking.
+  FLIM_REQUIRE(!on_worker_thread(),
+               "parallel_for_slotted cannot be nested on its own pool");
+  // At most size() chunk tasks run concurrently (one per worker thread), so
+  // a free-list of size() slot ids never runs dry.
+  std::vector<std::size_t> free_slots(size());
+  for (std::size_t s = 0; s < free_slots.size(); ++s) free_slots[s] = s;
+  std::mutex slots_mutex;
+
+  const std::size_t chunks = std::min(n, size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, n);
+    futures.push_back(submit([begin, end, &fn, &free_slots, &slots_mutex] {
+      std::size_t slot;
+      {
+        std::lock_guard<std::mutex> lock(slots_mutex);
+        slot = free_slots.back();
+        free_slots.pop_back();
+      }
+      // Return the slot even when fn throws, or a later chunk task would
+      // pop from an empty free-list.
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(slots_mutex);
+        free_slots.push_back(slot);
+        throw;
+      }
+      {
+        std::lock_guard<std::mutex> lock(slots_mutex);
+        free_slots.push_back(slot);
+      }
+    }));
+  }
+  drain(futures);
 }
 
 }  // namespace flim::core

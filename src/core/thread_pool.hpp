@@ -43,12 +43,30 @@ class ThreadPool {
     return fut;
   }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is chunked to limit per-task overhead.
+  /// Work is chunked to limit per-task overhead. Safe to call from one of
+  /// this pool's own workers (e.g. batch-level parallel_for whose tasks
+  /// shard their GEMMs on the same pool): the nested call runs inline
+  /// instead of enqueueing tasks the blocked workers could never drain.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for, but also hands each invocation a worker slot id in
+  /// [0, size()): at any instant no two concurrently running invocations
+  /// share a slot. Callers use the slot to index per-worker state (e.g. one
+  /// inference Workspace per worker) without locking or thread-locals.
+  void parallel_for_slotted(
+      std::size_t n,
+      const std::function<void(std::size_t index, std::size_t slot)>& fn);
 
  private:
   void worker_loop();
+
+  /// Waits for every future; rethrows the first captured exception only
+  /// after all tasks completed (tasks reference caller-stack state).
+  static void drain(std::vector<std::future<void>>& futures);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

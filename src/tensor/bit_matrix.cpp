@@ -1,5 +1,6 @@
 #include "tensor/bit_matrix.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace flim::tensor {
@@ -12,6 +13,35 @@ BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
   tail_mask_ = tail_bits == 0 ? ~std::uint64_t{0}
                               : ((std::uint64_t{1} << tail_bits) - 1);
   words_.assign(static_cast<std::size_t>(rows_ * words_per_row_), 0);
+}
+
+bool BitMatrix::resize(std::int64_t rows, std::int64_t cols) {
+  FLIM_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  rows_ = rows;
+  cols_ = cols;
+  words_per_row_ = (cols + 63) / 64;
+  const int tail_bits = static_cast<int>(cols % 64);
+  tail_mask_ = tail_bits == 0 ? ~std::uint64_t{0}
+                              : ((std::uint64_t{1} << tail_bits) - 1);
+  const auto n = static_cast<std::size_t>(rows_ * words_per_row_);
+  const bool grew = n > words_.capacity();
+  words_.resize(n);
+  return grew;
+}
+
+void BitMatrix::pack_rows_from_float(const float* values) {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const float* in = values + r * cols_;
+    std::uint64_t* words = row_words(r);
+    for (std::int64_t base = 0; base < cols_; base += 64) {
+      const std::int64_t limit = std::min<std::int64_t>(64, cols_ - base);
+      std::uint64_t word = 0;
+      for (std::int64_t j = 0; j < limit; ++j) {
+        if (in[base + j] >= 0.0f) word |= std::uint64_t{1} << j;
+      }
+      words[base / 64] = word;
+    }
+  }
 }
 
 int BitMatrix::get(std::int64_t r, std::int64_t c) const {
@@ -60,19 +90,7 @@ std::int32_t BitMatrix::dot_row(std::int64_t r, const BitMatrix& other,
 BitMatrix BitMatrix::from_float(const FloatTensor& m) {
   FLIM_REQUIRE(m.shape().rank() == 2, "from_float expects a rank-2 tensor");
   BitMatrix out(m.shape()[0], m.shape()[1]);
-  const std::int64_t cols = out.cols();
-  for (std::int64_t r = 0; r < out.rows(); ++r) {
-    const float* in = m.data() + r * cols;
-    std::uint64_t* words = out.row_words(r);
-    for (std::int64_t base = 0; base < cols; base += 64) {
-      const std::int64_t limit = std::min<std::int64_t>(64, cols - base);
-      std::uint64_t word = 0;
-      for (std::int64_t j = 0; j < limit; ++j) {
-        if (in[base + j] >= 0.0f) word |= std::uint64_t{1} << j;
-      }
-      words[base / 64] = word;
-    }
-  }
+  out.pack_rows_from_float(m.data());
   return out;
 }
 

@@ -41,6 +41,18 @@ class BitMatrix {
   /// Flips element (r, c).
   void flip(std::int64_t r, std::int64_t c);
 
+  /// Resizes in place to rows x cols. Returns true when the word storage had
+  /// to grow (an allocation happened); resizing within capacity is
+  /// allocation-free. Word contents are NOT reset: callers must rewrite every
+  /// word of every row they read (fill helpers such as im2col_binary_gather
+  /// and pack_rows_from_float do), keeping the padding-bits-zero invariant.
+  bool resize(std::int64_t rows, std::int64_t cols);
+
+  /// Packs the rows of a [rows() x cols()] float matrix into this matrix
+  /// (value >= 0 maps to +1), exactly like from_float but into existing
+  /// storage. `values` must hold rows()*cols() floats, row-major.
+  void pack_rows_from_float(const float* values);
+
   /// Raw word access for kernels.
   const std::uint64_t* row_words(std::int64_t r) const {
     FLIM_ASSERT(r >= 0 && r < rows_);

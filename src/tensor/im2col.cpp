@@ -1,5 +1,8 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "core/check.hpp"
 
 namespace flim::tensor {
@@ -84,6 +87,230 @@ FloatTensor col2im(const FloatTensor& patches, std::int64_t batch,
     }
   }
   return out;
+}
+
+std::vector<std::int32_t> make_im2col_gather(const ConvGeometry& g) {
+  FLIM_REQUIRE(g.stride >= 1, "stride must be >= 1");
+  FLIM_REQUIRE(g.out_h() > 0 && g.out_w() > 0,
+               "conv output would be empty; check geometry");
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t k = g.patch_size();
+  FLIM_REQUIRE(g.in_channels * g.in_h * g.in_w <
+                   std::numeric_limits<std::int32_t>::max(),
+               "image block too large for 32-bit gather offsets");
+  std::vector<std::int32_t> gather(static_cast<std::size_t>(oh * ow * k));
+
+  std::int64_t pos = 0;
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox, ++pos) {
+      std::int32_t* dst = gather.data() + pos * k;
+      std::int64_t idx = 0;
+      for (std::int64_t c = 0; c < g.in_channels; ++c) {
+        for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+          const std::int64_t iy = oy * g.stride + ky - g.pad;
+          for (std::int64_t kx = 0; kx < g.kernel_w; ++kx, ++idx) {
+            const std::int64_t ix = ox * g.stride + kx - g.pad;
+            dst[idx] =
+                (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w)
+                    ? -1
+                    : static_cast<std::int32_t>((c * g.in_h + iy) * g.in_w +
+                                                ix);
+          }
+        }
+      }
+    }
+  }
+  return gather;
+}
+
+void im2col_binary_gather(const FloatTensor& input, const ConvGeometry& g,
+                          const std::vector<std::int32_t>& gather,
+                          BitMatrix& out) {
+  require_input(input, g);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t positions = g.out_h() * g.out_w();
+  const std::int64_t k = g.patch_size();
+  FLIM_REQUIRE(static_cast<std::int64_t>(gather.size()) == positions * k,
+               "gather map does not match conv geometry");
+  FLIM_REQUIRE(out.rows() == n * positions && out.cols() == k,
+               "out must be pre-sized [N*out_h*out_w, patch_size]");
+
+  const std::int64_t chw = g.in_channels * g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* img = input.data() + b * chw;
+    for (std::int64_t p = 0; p < positions; ++p, ++row) {
+      const std::int32_t* src = gather.data() + p * k;
+      std::uint64_t* words = out.row_words(row);
+      for (std::int64_t base = 0; base < k; base += 64) {
+        const std::int64_t limit = std::min<std::int64_t>(64, k - base);
+        std::uint64_t word = 0;
+        for (std::int64_t j = 0; j < limit; ++j) {
+          const std::int32_t off = src[base + j];
+          // Padding (off < 0) stays bit 0 (-1), matching im2col_binary.
+          if (off >= 0 && img[off] >= 0.0f) word |= std::uint64_t{1} << j;
+        }
+        words[base / 64] = word;
+      }
+    }
+  }
+}
+
+void im2col_gather(const FloatTensor& input, const ConvGeometry& g,
+                   const std::vector<std::int32_t>& gather, float pad_value,
+                   FloatTensor& out) {
+  require_input(input, g);
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t positions = g.out_h() * g.out_w();
+  const std::int64_t k = g.patch_size();
+  FLIM_REQUIRE(static_cast<std::int64_t>(gather.size()) == positions * k,
+               "gather map does not match conv geometry");
+  // Dimension check without a Shape temporary (hot path: called per plan
+  // step with a pre-shaped out).
+  FLIM_REQUIRE(out.shape().rank() == 2 && out.shape()[0] == n * positions &&
+                   out.shape()[1] == k,
+               "out must be pre-shaped [N*out_h*out_w, patch_size]");
+
+  const std::int64_t chw = g.in_channels * g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* img = input.data() + b * chw;
+    for (std::int64_t p = 0; p < positions; ++p, ++row) {
+      const std::int32_t* src = gather.data() + p * k;
+      float* dst = out.data() + row * k;
+      for (std::int64_t j = 0; j < k; ++j) {
+        const std::int32_t off = src[j];
+        dst[j] = off >= 0 ? img[off] : pad_value;
+      }
+    }
+  }
+}
+
+void im2col_binary_packed(const FloatTensor& input, const ConvGeometry& g,
+                          BitMatrix& rows_scratch, BitMatrix& out) {
+  require_input(input, g);
+  FLIM_REQUIRE(g.kernel_w <= 64,
+               "im2col_binary_packed supports kernel_w <= 64");
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t c_in = g.in_channels;
+  const std::int64_t h = g.in_h;
+  const std::int64_t w = g.in_w;
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t k = g.patch_size();
+  const std::int64_t padded = w + 2 * g.pad;
+  FLIM_REQUIRE(rows_scratch.rows() == n * c_in * h &&
+                   rows_scratch.cols() == padded,
+               "rows_scratch must be pre-sized [N*C*H, W + 2*pad]");
+  FLIM_REQUIRE(out.rows() == n * oh * ow && out.cols() == k,
+               "out must be pre-sized [N*out_h*out_w, patch_size]");
+
+  // Phase 1: binarize every image row once, left-shifted by `pad` so window
+  // offsets are never negative; flank bits stay 0 (-1), matching the
+  // padding convention of im2col_binary.
+  const std::int64_t row_words = rows_scratch.words_per_row();
+  for (std::int64_t r = 0; r < rows_scratch.rows(); ++r) {
+    const float* in = input.data() + r * w;
+    std::uint64_t* words = rows_scratch.row_words(r);
+    for (std::int64_t t = 0; t < row_words; ++t) words[t] = 0;
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (in[x] >= 0.0f) {
+        const std::int64_t bit = x + g.pad;
+        words[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+
+  // Phase 2: each patch row is C*kh window extractions of kernel_w bits in
+  // (channel, kernel-row) order -- the same bit order im2col_binary
+  // produces one bit at a time.
+  const std::uint64_t kw_mask =
+      g.kernel_w == 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << g.kernel_w) - 1);
+  const int seg_len = static_cast<int>(g.kernel_w);
+  const std::int64_t out_words = out.words_per_row();
+
+  if (padded <= 64) {
+    // Fast path (every conv in the zoo: padded row fits one word). The
+    // whole padded row stays in a register and the ox loop is innermost, so
+    // placing one window is shift+mask+or with no loads but the output
+    // read-modify-write. Output words are OR-accumulated, so zero the block
+    // first.
+    std::int64_t out_row = 0;
+    for (std::int64_t b = 0; b < n; ++b) {
+      const std::int64_t img_row0 = b * c_in * h;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        std::uint64_t* block = out.row_words(out_row);  // ow contiguous rows
+        std::fill(block, block + ow * out_words, std::uint64_t{0});
+        std::int64_t bitpos = 0;
+        for (std::int64_t c = 0; c < c_in; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky, bitpos += seg_len) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= h) continue;  // padding row: bits stay 0
+            const std::uint64_t row =
+                rows_scratch.row_words(img_row0 + c * h + iy)[0];
+            const std::int64_t wi = bitpos >> 6;
+            const int off = static_cast<int>(bitpos & 63);
+            std::uint64_t* dst = block + wi;
+            if (off + seg_len <= 64) {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const std::uint64_t v = (row >> (ox * g.stride)) & kw_mask;
+                dst[ox * out_words] |= v << off;
+              }
+            } else {
+              for (std::int64_t ox = 0; ox < ow; ++ox) {
+                const std::uint64_t v = (row >> (ox * g.stride)) & kw_mask;
+                dst[ox * out_words] |= v << off;
+                dst[ox * out_words + 1] |= v >> (64 - off);
+              }
+            }
+          }
+        }
+        out_row += ow;
+      }
+    }
+    return;
+  }
+
+  // General path: append kernel_w-bit windows left to right.
+  std::int64_t out_row = 0;
+  for (std::int64_t b = 0; b < n; ++b) {
+    const std::int64_t img_row0 = b * c_in * h;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox, ++out_row) {
+        const std::int64_t off = ox * g.stride;
+        const std::int64_t lo = off >> 6;
+        const int sh = static_cast<int>(off & 63);
+        std::uint64_t* ow_words = out.row_words(out_row);
+        std::uint64_t cur = 0;
+        int bpos = 0;
+        std::int64_t wi = 0;
+        for (std::int64_t c = 0; c < c_in; ++c) {
+          for (std::int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky - g.pad;
+            std::uint64_t v = 0;
+            if (iy >= 0 && iy < h) {
+              const std::uint64_t* pr =
+                  rows_scratch.row_words(img_row0 + c * h + iy);
+              v = pr[lo] >> sh;
+              if (sh != 0 && lo + 1 < row_words) v |= pr[lo + 1] << (64 - sh);
+              v &= kw_mask;
+            }
+            // Append seg_len bits.
+            cur |= v << bpos;
+            bpos += seg_len;
+            if (bpos >= 64) {
+              ow_words[wi++] = cur;
+              bpos -= 64;
+              cur = bpos == 0 ? 0 : v >> (seg_len - bpos);
+            }
+          }
+        }
+        if (bpos > 0) ow_words[wi] = cur;
+      }
+    }
+  }
 }
 
 BitMatrix im2col_binary(const FloatTensor& input, const ConvGeometry& g) {

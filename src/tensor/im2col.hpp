@@ -43,4 +43,34 @@ FloatTensor col2im(const FloatTensor& patches, std::int64_t batch,
 /// binarized feature maps.
 BitMatrix im2col_binary(const FloatTensor& input, const ConvGeometry& g);
 
+/// Precomputed per-image gather map for a conv lowering: entry
+/// [p * patch_size + idx] is the flat offset into one image's C*H*W block
+/// feeding patch column `idx` of output position `p` (row-major oy, ox), or
+/// -1 for padding. Computed once at plan time so the per-batch patch
+/// extraction is a straight indexed gather instead of re-derived geometry.
+std::vector<std::int32_t> make_im2col_gather(const ConvGeometry& g);
+
+/// Gather-based im2col_binary into existing storage: bit-identical to
+/// im2col_binary. `out` must be pre-sized [N*out_h*out_w, patch_size] and
+/// every word is rewritten (safe after a BitMatrix::resize).
+void im2col_binary_gather(const FloatTensor& input, const ConvGeometry& g,
+                          const std::vector<std::int32_t>& gather,
+                          BitMatrix& out);
+
+/// Gather-based float im2col into existing storage: value-identical to
+/// im2col. `out` must be pre-shaped [N*out_h*out_w, patch_size].
+void im2col_gather(const FloatTensor& input, const ConvGeometry& g,
+                   const std::vector<std::int32_t>& gather, float pad_value,
+                   FloatTensor& out);
+
+/// Word-level im2col_binary, bit-identical to im2col_binary: binarizes each
+/// image row once into `rows_scratch` (pre-sized [N*C*H, W + 2*pad], the
+/// rows zero-padded on both flanks) and then assembles every patch row from
+/// kernel_w-bit window extractions instead of per-bit float gathers -- the
+/// compiled plan's fast path. Requires kernel_w <= 64 (wider kernels use
+/// im2col_binary_gather). `out` must be pre-sized [N*out_h*out_w,
+/// patch_size]; every word of both matrices is rewritten.
+void im2col_binary_packed(const FloatTensor& input, const ConvGeometry& g,
+                          BitMatrix& rows_scratch, BitMatrix& out);
+
 }  // namespace flim::tensor

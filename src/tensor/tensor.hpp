@@ -84,6 +84,20 @@ class Tensor {
   /// Sets every element to `value`.
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Reshapes in place, resizing storage to the new element count. Returns
+  /// true when the underlying storage had to grow (i.e. an allocation
+  /// happened); shrinking or resizing within capacity is allocation-free,
+  /// which is what lets Workspace buffers reach a zero-allocation steady
+  /// state (the shape copy-assignment likewise reuses its dims capacity).
+  /// Elements are NOT reset: callers must overwrite every element.
+  bool resize(const Shape& new_shape) {
+    const auto n = static_cast<std::size_t>(new_shape.numel());
+    const bool grew = n > data_.capacity();
+    shape_ = new_shape;
+    data_.resize(n);
+    return grew;
+  }
+
   /// Returns a copy with a new shape of identical element count.
   Tensor reshaped(Shape new_shape) const {
     FLIM_REQUIRE(new_shape.numel() == shape_.numel(),

@@ -1,0 +1,42 @@
+#include "tensor/workspace.hpp"
+
+namespace flim::tensor {
+
+namespace {
+
+template <typename T>
+T& slot_at(std::deque<T>& slots, std::size_t i, std::uint64_t& allocations) {
+  while (slots.size() <= i) {
+    slots.emplace_back();
+    ++allocations;  // slot bookkeeping itself allocates on first use
+  }
+  return slots[i];
+}
+
+}  // namespace
+
+FloatTensor& Workspace::float_slot(std::size_t i) {
+  return slot_at(floats_, i, allocations_);
+}
+
+IntTensor& Workspace::int_slot(std::size_t i) {
+  return slot_at(ints_, i, allocations_);
+}
+
+BitMatrix& Workspace::bit_slot(std::size_t i) {
+  return slot_at(bits_, i, allocations_);
+}
+
+void Workspace::reshape(FloatTensor& t, const Shape& shape) {
+  if (t.resize(shape)) ++allocations_;
+}
+
+void Workspace::reshape(IntTensor& t, const Shape& shape) {
+  if (t.resize(shape)) ++allocations_;
+}
+
+void Workspace::reshape(BitMatrix& m, std::int64_t rows, std::int64_t cols) {
+  if (m.resize(rows, cols)) ++allocations_;
+}
+
+}  // namespace flim::tensor

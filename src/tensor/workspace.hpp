@@ -1,0 +1,63 @@
+// Workspace: a reusable scratch-buffer arena for compiled forward plans.
+//
+// A ForwardPlan (bnn/plan.hpp) assigns every scratch buffer it needs --
+// ping-pong activation tensors, packed im2col activations, integer
+// accumulators -- a stable slot index at plan time. A Workspace owns the
+// storage behind those slots and hands it back call after call, so
+// steady-state inference performs zero heap allocations: buffers grow to
+// their high-water mark on the first execution and are only reshaped (never
+// reallocated) afterwards.
+//
+// Thread-safety contract: a Workspace is NOT thread-safe. One Workspace per
+// worker; a plan may be shared read-only by any number of workers, each
+// executing through its own arena.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "tensor/bit_matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flim::tensor {
+
+/// Slot-indexed arena of reusable tensors with an allocation counter.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Storage behind slot `i`; slots are created empty on first use.
+  /// References stay valid while the Workspace lives (deque-backed).
+  FloatTensor& float_slot(std::size_t i);
+  IntTensor& int_slot(std::size_t i);
+  BitMatrix& bit_slot(std::size_t i);
+
+  /// Reshapes a buffer, counting any storage growth as an allocation.
+  /// Contents are not reset; callers overwrite every element they read.
+  void reshape(FloatTensor& t, const Shape& shape);
+  void reshape(IntTensor& t, const Shape& shape);
+  void reshape(BitMatrix& m, std::int64_t rows, std::int64_t cols);
+
+  /// Cumulative count of buffer allocations (storage growth events)
+  /// observed through this arena. Flat across repeated executions of the
+  /// same plan <=> the steady state is allocation-free.
+  std::uint64_t allocation_count() const { return allocations_; }
+
+  std::size_t num_float_slots() const { return floats_.size(); }
+  std::size_t num_int_slots() const { return ints_.size(); }
+  std::size_t num_bit_slots() const { return bits_.size(); }
+
+ private:
+  // Deques keep slot references stable while later slots are created.
+  std::deque<FloatTensor> floats_;
+  std::deque<IntTensor> ints_;
+  std::deque<BitMatrix> bits_;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace flim::tensor

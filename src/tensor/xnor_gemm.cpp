@@ -1,12 +1,18 @@
 #include "tensor/xnor_gemm.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "core/check.hpp"
+#include "core/thread_pool.hpp"
 
 namespace flim::tensor {
 
 namespace {
+
+// Below this many output rows a range runs serially even when a pool is
+// given: task submission would cost more than the popcount work it moves.
+constexpr std::int64_t kMinRowsPerShard = 32;
 
 void require_shapes(const BitMatrix& activations, const BitMatrix& weights) {
   FLIM_REQUIRE(activations.cols() == weights.cols(),
@@ -19,29 +25,80 @@ void require_mask(const BitMatrix& mask, const BitMatrix& weights,
                std::string(name) + " mask must match weight shape");
 }
 
-void ensure_out(IntTensor& out, std::int64_t m, std::int64_t n) {
-  if (out.shape() != Shape{m, n}) out = IntTensor(Shape{m, n});
+bool is_shaped(const IntTensor& out, std::int64_t m, std::int64_t n) {
+  return out.shape().rank() == 2 && out.shape()[0] == m &&
+         out.shape()[1] == n;
 }
 
-}  // namespace
+void ensure_out(IntTensor& out, std::int64_t m, std::int64_t n) {
+  if (!is_shaped(out, m, n)) out = IntTensor(Shape{m, n});
+}
 
-void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
-                    IntTensor& out, std::int64_t row_begin,
-                    std::int64_t row_end) {
-  require_shapes(activations, weights);
-  const std::int64_t m = activations.rows();
+/// Runs `kernel(begin, end)` over [row_begin, row_end), sharded into
+/// contiguous row blocks on `pool` when the range is big enough. Blocks are
+/// disjoint, so results are identical to the serial call in any case.
+template <typename Kernel>
+void shard_rows(std::int64_t row_begin, std::int64_t row_end,
+                core::ThreadPool* pool, const Kernel& kernel) {
+  const std::int64_t rows = row_end - row_begin;
+  if (pool == nullptr || pool->size() <= 1 || rows < 2 * kMinRowsPerShard) {
+    kernel(row_begin, row_end);
+    return;
+  }
+  const std::int64_t max_shards =
+      std::min<std::int64_t>(rows / kMinRowsPerShard,
+                             static_cast<std::int64_t>(pool->size()) * 4);
+  const std::int64_t shards = std::max<std::int64_t>(1, max_shards);
+  const std::int64_t block = (rows + shards - 1) / shards;
+  pool->parallel_for(static_cast<std::size_t>(shards), [&](std::size_t s) {
+    const std::int64_t begin =
+        row_begin + static_cast<std::int64_t>(s) * block;
+    const std::int64_t end = std::min(begin + block, row_end);
+    if (begin < end) kernel(begin, end);
+  });
+}
+
+void xnor_gemm_rows_serial(const BitMatrix& activations,
+                           const BitMatrix& weights, IntTensor& out,
+                           std::int64_t row_begin, std::int64_t row_end) {
   const std::int64_t n = weights.rows();
   const std::int64_t k = activations.cols();
-  FLIM_REQUIRE((out.shape() == Shape{m, n}), "out must be pre-shaped [M, N]");
-  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
-               "row range out of bounds");
-
   const std::int64_t words = activations.words_per_row();
   const std::uint64_t tail = activations.tail_mask();
+  // Four weight rows per pass: each activation word is loaded once per
+  // quad instead of once per output channel. Integer popcount sums are
+  // associative, so the blocking is bit-identical to the plain loop.
+  const std::int64_t n4 = n - (n % 4);
   for (std::int64_t i = row_begin; i < row_end; ++i) {
     const std::uint64_t* a = activations.row_words(i);
     std::int32_t* orow = out.data() + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
+    std::int64_t j = 0;
+    for (; j < n4; j += 4) {
+      const std::uint64_t* w0 = weights.row_words(j);
+      const std::uint64_t* w1 = weights.row_words(j + 1);
+      const std::uint64_t* w2 = weights.row_words(j + 2);
+      const std::uint64_t* w3 = weights.row_words(j + 3);
+      std::int64_t m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+      for (std::int64_t t = 0; t + 1 < words; ++t) {
+        const std::uint64_t av = a[t];
+        m0 += std::popcount(~(av ^ w0[t]));
+        m1 += std::popcount(~(av ^ w1[t]));
+        m2 += std::popcount(~(av ^ w2[t]));
+        m3 += std::popcount(~(av ^ w3[t]));
+      }
+      if (words > 0) {
+        const std::uint64_t av = a[words - 1];
+        m0 += std::popcount(~(av ^ w0[words - 1]) & tail);
+        m1 += std::popcount(~(av ^ w1[words - 1]) & tail);
+        m2 += std::popcount(~(av ^ w2[words - 1]) & tail);
+        m3 += std::popcount(~(av ^ w3[words - 1]) & tail);
+      }
+      orow[j] = static_cast<std::int32_t>(2 * m0 - k);
+      orow[j + 1] = static_cast<std::int32_t>(2 * m1 - k);
+      orow[j + 2] = static_cast<std::int32_t>(2 * m2 - k);
+      orow[j + 3] = static_cast<std::int32_t>(2 * m3 - k);
+    }
+    for (; j < n; ++j) {
       const std::uint64_t* w = weights.row_words(j);
       std::int64_t match = 0;
       for (std::int64_t t = 0; t + 1 < words; ++t) {
@@ -55,31 +112,13 @@ void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
   }
 }
 
-void xnor_gemm(const BitMatrix& activations, const BitMatrix& weights,
-               IntTensor& out) {
-  require_shapes(activations, weights);
-  ensure_out(out, activations.rows(), weights.rows());
-  xnor_gemm_rows(activations, weights, out, 0, activations.rows());
-}
-
-void xnor_gemm_term_faults_rows(const BitMatrix& activations,
-                                const BitMatrix& weights,
-                                const BitMatrix& term_flip_mask,
-                                const BitMatrix& term_sa0_mask,
-                                const BitMatrix& term_sa1_mask, IntTensor& out,
-                                std::int64_t row_begin, std::int64_t row_end) {
-  require_shapes(activations, weights);
-  require_mask(term_flip_mask, weights, "flip");
-  require_mask(term_sa0_mask, weights, "sa0");
-  require_mask(term_sa1_mask, weights, "sa1");
-
-  const std::int64_t m = activations.rows();
+void xnor_gemm_term_faults_rows_serial(
+    const BitMatrix& activations, const BitMatrix& weights,
+    const BitMatrix& term_flip_mask, const BitMatrix& term_sa0_mask,
+    const BitMatrix& term_sa1_mask, IntTensor& out, std::int64_t row_begin,
+    std::int64_t row_end) {
   const std::int64_t n = weights.rows();
   const std::int64_t k = activations.cols();
-  FLIM_REQUIRE((out.shape() == Shape{m, n}), "out must be pre-shaped [M, N]");
-  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
-               "row range out of bounds");
-
   const std::int64_t words = activations.words_per_row();
   const std::uint64_t tail = activations.tail_mask();
   for (std::int64_t i = row_begin; i < row_end; ++i) {
@@ -106,15 +145,66 @@ void xnor_gemm_term_faults_rows(const BitMatrix& activations,
   }
 }
 
+}  // namespace
+
+void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
+                    IntTensor& out, std::int64_t row_begin,
+                    std::int64_t row_end, core::ThreadPool* pool) {
+  require_shapes(activations, weights);
+  const std::int64_t m = activations.rows();
+  const std::int64_t n = weights.rows();
+  FLIM_REQUIRE(is_shaped(out, m, n), "out must be pre-shaped [M, N]");
+  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
+               "row range out of bounds");
+  shard_rows(row_begin, row_end, pool,
+             [&](std::int64_t begin, std::int64_t end) {
+               xnor_gemm_rows_serial(activations, weights, out, begin, end);
+             });
+}
+
+void xnor_gemm(const BitMatrix& activations, const BitMatrix& weights,
+               IntTensor& out, core::ThreadPool* pool) {
+  require_shapes(activations, weights);
+  ensure_out(out, activations.rows(), weights.rows());
+  xnor_gemm_rows(activations, weights, out, 0, activations.rows(), pool);
+}
+
+void xnor_gemm_term_faults_rows(const BitMatrix& activations,
+                                const BitMatrix& weights,
+                                const BitMatrix& term_flip_mask,
+                                const BitMatrix& term_sa0_mask,
+                                const BitMatrix& term_sa1_mask, IntTensor& out,
+                                std::int64_t row_begin, std::int64_t row_end,
+                                core::ThreadPool* pool) {
+  require_shapes(activations, weights);
+  require_mask(term_flip_mask, weights, "flip");
+  require_mask(term_sa0_mask, weights, "sa0");
+  require_mask(term_sa1_mask, weights, "sa1");
+
+  const std::int64_t m = activations.rows();
+  const std::int64_t n = weights.rows();
+  FLIM_REQUIRE(is_shaped(out, m, n), "out must be pre-shaped [M, N]");
+  FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end && row_end <= m,
+               "row range out of bounds");
+  shard_rows(row_begin, row_end, pool,
+             [&](std::int64_t begin, std::int64_t end) {
+               xnor_gemm_term_faults_rows_serial(activations, weights,
+                                                 term_flip_mask, term_sa0_mask,
+                                                 term_sa1_mask, out, begin,
+                                                 end);
+             });
+}
+
 void xnor_gemm_term_faults(const BitMatrix& activations,
                            const BitMatrix& weights,
                            const BitMatrix& term_flip_mask,
                            const BitMatrix& term_sa0_mask,
-                           const BitMatrix& term_sa1_mask, IntTensor& out) {
+                           const BitMatrix& term_sa1_mask, IntTensor& out,
+                           core::ThreadPool* pool) {
   ensure_out(out, activations.rows(), weights.rows());
   xnor_gemm_term_faults_rows(activations, weights, term_flip_mask,
                              term_sa0_mask, term_sa1_mask, out, 0,
-                             activations.rows());
+                             activations.rows(), pool);
 }
 
 }  // namespace flim::tensor

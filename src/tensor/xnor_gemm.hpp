@@ -5,23 +5,33 @@
 // weights W (rows = output channels, cols = K), each output element is the
 // ±1 dot product dot(A_i, W_j) = 2 * popcount(XNOR(A_i, W_j)) - K, i.e. the
 // accumulate-over-XNOR the crossbar performs gate-by-gate.
+//
+// Every entry point takes an optional core::ThreadPool*: when given (and the
+// row range is large enough to amortize task overhead) output rows are
+// sharded into contiguous blocks across the pool. Output rows are disjoint
+// and the accumulators are integers, so pooled and serial runs are
+// bit-identical.
 #pragma once
 
 #include "tensor/bit_matrix.hpp"
 #include "tensor/tensor.hpp"
+
+namespace flim::core {
+class ThreadPool;
+}
 
 namespace flim::tensor {
 
 /// out[i, j] = ±1 dot product of activations row i with weights row j.
 /// Shapes: activations [M, K], weights [N, K], out [M, N].
 void xnor_gemm(const BitMatrix& activations, const BitMatrix& weights,
-               IntTensor& out);
+               IntTensor& out, core::ThreadPool* pool = nullptr);
 
 /// Computes only output rows [row_begin, row_end); `out` must already have
 /// shape [M, N]. Used for per-image fault scheduling.
 void xnor_gemm_rows(const BitMatrix& activations, const BitMatrix& weights,
                     IntTensor& out, std::int64_t row_begin,
-                    std::int64_t row_end);
+                    std::int64_t row_end, core::ThreadPool* pool = nullptr);
 
 /// Variant with a per-output-element bit-flip applied to `flips` positions:
 /// before accumulation, the product terms of output (i, j) whose indices are
@@ -31,7 +41,8 @@ void xnor_gemm_term_faults(const BitMatrix& activations,
                            const BitMatrix& weights,
                            const BitMatrix& term_flip_mask,
                            const BitMatrix& term_sa0_mask,
-                           const BitMatrix& term_sa1_mask, IntTensor& out);
+                           const BitMatrix& term_sa1_mask, IntTensor& out,
+                           core::ThreadPool* pool = nullptr);
 
 /// Row-range variant of xnor_gemm_term_faults; `out` must be pre-shaped.
 void xnor_gemm_term_faults_rows(const BitMatrix& activations,
@@ -39,6 +50,7 @@ void xnor_gemm_term_faults_rows(const BitMatrix& activations,
                                 const BitMatrix& term_flip_mask,
                                 const BitMatrix& term_sa0_mask,
                                 const BitMatrix& term_sa1_mask, IntTensor& out,
-                                std::int64_t row_begin, std::int64_t row_end);
+                                std::int64_t row_begin, std::int64_t row_end,
+                                core::ThreadPool* pool = nullptr);
 
 }  // namespace flim::tensor

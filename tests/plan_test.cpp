@@ -1,0 +1,346 @@
+// Compiled-forward-plan tests: plan-vs-legacy bit-equivalence across the
+// model zoo and every execution backend, workspace-reuse determinism, and
+// serial-vs-pooled intra-GEMM sharding identity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bnn/flim_engine.hpp"
+#include "bnn/model.hpp"
+#include "bnn/plan.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "exp/engine_factory.hpp"
+#include "fault/fault_generator.hpp"
+#include "fault/fault_vector_file.hpp"
+#include "models/zoo.hpp"
+#include "tensor/workspace.hpp"
+#include "tensor/xnor_gemm.hpp"
+#include "train/graph.hpp"
+#include "xfault/device_engine.hpp"
+
+namespace flim::bnn {
+namespace {
+
+using tensor::FloatTensor;
+using tensor::Shape;
+
+FloatTensor deterministic_input(Shape shape, std::uint64_t seed) {
+  FloatTensor x(std::move(shape));
+  core::Rng rng(seed);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform_double() * 2.0 - 1.0);
+  }
+  return x;
+}
+
+/// Draws one fault-vector file covering every binarized layer of `model`.
+fault::FaultVectorFile realize_vectors(const Model& model,
+                                       const FloatTensor& sample,
+                                       const fault::FaultSpec& spec,
+                                       std::uint64_t seed) {
+  const auto layers = model.analyze(sample).binarized_layers;
+  fault::FaultGenerator gen(lim::CrossbarGeometry{16, 16});
+  core::Rng rng(seed);
+  fault::FaultVectorFile file;
+  for (const LayerWorkload& layer : layers) {
+    fault::FaultVectorEntry entry;
+    entry.layer_name = layer.layer_name;
+    entry.kind = spec.kind;
+    entry.granularity = spec.granularity;
+    entry.dynamic_period = spec.dynamic_period;
+    entry.mask = gen.generate(spec, rng);
+    file.add(std::move(entry));
+  }
+  return file;
+}
+
+void expect_equal_logits(const FloatTensor& legacy, const FloatTensor& plan,
+                         const std::string& what) {
+  ASSERT_EQ(legacy.shape(), plan.shape()) << what;
+  for (std::int64_t i = 0; i < legacy.numel(); ++i) {
+    ASSERT_EQ(legacy[i], plan[i]) << what << " logit " << i;
+  }
+}
+
+/// Runs legacy forward and plan execute with independently constructed (but
+/// identically configured) engines and requires byte-identical logits.
+void expect_plan_matches_legacy(
+    const Model& model, const FloatTensor& x,
+    const std::function<std::unique_ptr<XnorExecutionEngine>()>& make,
+    const std::string& what) {
+  const auto legacy_engine = make();
+  const FloatTensor legacy = model.forward(x, *legacy_engine);
+
+  const ForwardPlan plan(model, x.shape());
+  tensor::Workspace ws;
+  const auto plan_engine = make();
+  const FloatTensor& planned = plan.execute(x, ws, *plan_engine);
+  expect_equal_logits(legacy, planned, what);
+}
+
+class PlanZooModels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlanZooModels, ReferenceBitEquivalent) {
+  Model model = models::build_zoo_graph(GetParam(), 3).to_inference_model();
+  const FloatTensor x = deterministic_input(Shape{2, 3, 32, 32}, 11);
+  expect_plan_matches_legacy(
+      model, x, [] { return std::make_unique<ReferenceEngine>(); },
+      GetParam() + "/reference");
+}
+
+TEST_P(PlanZooModels, FlimBitEquivalent) {
+  Model model = models::build_zoo_graph(GetParam(), 5).to_inference_model();
+  const FloatTensor sample = deterministic_input(Shape{1, 3, 32, 32}, 7);
+  const FloatTensor x = deterministic_input(Shape{2, 3, 32, 32}, 13);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kBitFlip;
+  spec.injection_rate = 0.1;
+  const fault::FaultVectorFile vectors =
+      realize_vectors(model, sample, spec, 21);
+  expect_plan_matches_legacy(
+      model, x,
+      [&] { return std::make_unique<FlimEngine>(vectors); },
+      GetParam() + "/flim-bitflip");
+
+  // Dynamic faults exercise the per-image execution counters: the plan path
+  // must call the engine in exactly the legacy order.
+  fault::FaultSpec dynamic = spec;
+  dynamic.kind = fault::FaultKind::kDynamic;
+  dynamic.dynamic_period = 2;
+  const fault::FaultVectorFile dynamic_vectors =
+      realize_vectors(model, sample, dynamic, 22);
+  expect_plan_matches_legacy(
+      model, x,
+      [&] { return std::make_unique<FlimEngine>(dynamic_vectors); },
+      GetParam() + "/flim-dynamic");
+}
+
+TEST_P(PlanZooModels, TmrBitEquivalent) {
+  Model model = models::build_zoo_graph(GetParam(), 6).to_inference_model();
+  const FloatTensor sample = deterministic_input(Shape{1, 3, 32, 32}, 7);
+  const FloatTensor x = deterministic_input(Shape{2, 3, 32, 32}, 17);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kStuckAt;
+  spec.injection_rate = 0.1;
+  const fault::FaultVectorFile vectors =
+      realize_vectors(model, sample, spec, 23);
+  exp::EngineSpec engine_spec;
+  engine_spec.backend = exp::Backend::kTmr;
+  engine_spec.tmr_replicas = 3;
+  expect_plan_matches_legacy(
+      model, x,
+      [&] { return exp::make_engine(engine_spec, vectors); },
+      GetParam() + "/tmr");
+}
+
+TEST_P(PlanZooModels, DeviceBitEquivalent) {
+  Model model = models::build_zoo_graph(GetParam(), 8).to_inference_model();
+  const FloatTensor sample = deterministic_input(Shape{1, 3, 32, 32}, 7);
+  // One image: the gate-by-gate device simulation is the slow baseline.
+  const FloatTensor x = deterministic_input(Shape{1, 3, 32, 32}, 19);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kBitFlip;
+  spec.injection_rate = 0.05;
+  const fault::FaultVectorFile vectors =
+      realize_vectors(model, sample, spec, 29);
+  xfault::DeviceEngineConfig cfg;
+  cfg.crossbar.rows = 16;
+  cfg.crossbar.cols = 64;
+  expect_plan_matches_legacy(
+      model, x,
+      [&] { return std::make_unique<xfault::DeviceEngine>(cfg, vectors); },
+      GetParam() + "/device");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, PlanZooModels,
+                         ::testing::ValuesIn(models::zoo_model_names()));
+
+TEST(Plan, LenetProductTermDynamicBitEquivalent) {
+  Model model = models::build_lenet_binary(2).to_inference_model();
+  const FloatTensor sample = deterministic_input(Shape{1, 1, 28, 28}, 3);
+  const FloatTensor x = deterministic_input(Shape{4, 1, 28, 28}, 31);
+
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::kDynamic;
+  spec.dynamic_period = 2;
+  spec.injection_rate = 0.15;
+  spec.granularity = fault::FaultGranularity::kProductTerm;
+  const fault::FaultVectorFile vectors =
+      realize_vectors(model, sample, spec, 37);
+  expect_plan_matches_legacy(
+      model, x,
+      [&] { return std::make_unique<FlimEngine>(vectors); },
+      "lenet/flim-product-term-dynamic");
+}
+
+TEST(Plan, WorkspaceReuseIsDeterministicAndAllocationFree) {
+  Model model =
+      models::build_zoo_graph("BinaryAlexNet", 4).to_inference_model();
+  const FloatTensor x = deterministic_input(Shape{2, 3, 32, 32}, 41);
+  const ForwardPlan plan(model, x.shape());
+
+  tensor::Workspace ws;
+  ReferenceEngine engine;
+  const FloatTensor first = plan.execute(x, ws, engine);  // copy
+  const std::uint64_t allocations_after_first = ws.allocation_count();
+
+  const FloatTensor& second = plan.execute(x, ws, engine);
+  expect_equal_logits(first, second, "workspace reuse");
+  EXPECT_EQ(ws.allocation_count(), allocations_after_first)
+      << "steady-state execution must not allocate";
+
+  const FloatTensor& third = plan.execute(x, ws, engine);
+  expect_equal_logits(first, third, "workspace reuse (third pass)");
+  EXPECT_EQ(ws.allocation_count(), allocations_after_first);
+}
+
+TEST(Plan, RejectsInputShapeMismatch) {
+  Model model = models::build_lenet_binary(2).to_inference_model();
+  const ForwardPlan plan(model, Shape{2, 1, 28, 28});
+  tensor::Workspace ws;
+  ReferenceEngine engine;
+  const FloatTensor wrong = deterministic_input(Shape{3, 1, 28, 28}, 5);
+  EXPECT_THROW(plan.execute(wrong, ws, engine), std::invalid_argument);
+}
+
+TEST(Plan, SharedPlanSeparateWorkspacesAgree) {
+  Model model = models::build_lenet_binary(6).to_inference_model();
+  const FloatTensor x = deterministic_input(Shape{3, 1, 28, 28}, 43);
+  const ForwardPlan plan(model, x.shape());
+
+  tensor::Workspace ws_a, ws_b;
+  ReferenceEngine engine_a, engine_b;
+  const FloatTensor& a = plan.execute(x, ws_a, engine_a);
+  const FloatTensor b = a;  // copy before the other arena executes
+  const FloatTensor& c = plan.execute(x, ws_b, engine_b);
+  expect_equal_logits(b, c, "per-worker workspaces");
+}
+
+TEST(Im2colVariants, PackedAndGatherMatchLegacyAcrossGeometries) {
+  struct Case {
+    std::int64_t c, h, w, k, stride, pad;
+  };
+  const Case cases[] = {
+      {1, 28, 28, 5, 1, 0},  // LeNet-ish
+      {3, 32, 32, 3, 1, 1},  // zoo stem
+      {64, 16, 16, 3, 1, 1},
+      {8, 33, 33, 5, 2, 2},   // odd extent, stride 2
+      {2, 9, 80, 7, 3, 3},    // padded width > 64: general packed path
+      {4, 12, 12, 1, 2, 0},   // 1x1 kernel, stride 2
+  };
+  core::Rng rng(71);
+  for (const Case& tc : cases) {
+    tensor::ConvGeometry g;
+    g.in_channels = tc.c;
+    g.in_h = tc.h;
+    g.in_w = tc.w;
+    g.kernel_h = g.kernel_w = tc.k;
+    g.stride = tc.stride;
+    g.pad = tc.pad;
+    tensor::FloatTensor input(Shape{2, tc.c, tc.h, tc.w});
+    for (std::int64_t i = 0; i < input.numel(); ++i) {
+      input[i] = static_cast<float>(rng.uniform_double() * 2.0 - 1.0);
+    }
+
+    const tensor::BitMatrix legacy = tensor::im2col_binary(input, g);
+
+    tensor::BitMatrix packed(2 * tc.c * tc.h, tc.w + 2 * tc.pad);
+    tensor::BitMatrix out(legacy.rows(), legacy.cols());
+    tensor::im2col_binary_packed(input, g, packed, out);
+    EXPECT_EQ(legacy, out) << "packed, k=" << tc.k << " w=" << tc.w;
+
+    tensor::BitMatrix gathered(legacy.rows(), legacy.cols());
+    tensor::im2col_binary_gather(input, g, tensor::make_im2col_gather(g),
+                                 gathered);
+    EXPECT_EQ(legacy, gathered) << "gather, k=" << tc.k << " w=" << tc.w;
+  }
+}
+
+tensor::BitMatrix random_bits(std::int64_t rows, std::int64_t cols,
+                              std::uint64_t seed) {
+  tensor::BitMatrix m(rows, cols);
+  core::Rng rng(seed);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      m.set_bit(r, c, rng.bernoulli(0.5));
+    }
+  }
+  return m;
+}
+
+TEST(PooledGemm, SerialAndShardedBitIdentical) {
+  const tensor::BitMatrix a = random_bits(301, 433, 51);
+  const tensor::BitMatrix w = random_bits(37, 433, 52);
+
+  tensor::IntTensor serial, pooled;
+  tensor::xnor_gemm(a, w, serial);
+  core::ThreadPool pool(4);
+  tensor::xnor_gemm(a, w, pooled, &pool);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(PooledGemm, TermFaultsSerialAndShardedBitIdentical) {
+  const tensor::BitMatrix a = random_bits(257, 195, 53);
+  const tensor::BitMatrix w = random_bits(41, 195, 54);
+  const tensor::BitMatrix flip = random_bits(41, 195, 55);
+  const tensor::BitMatrix sa0 = random_bits(41, 195, 56);
+  const tensor::BitMatrix sa1 = random_bits(41, 195, 57);
+
+  tensor::IntTensor serial, pooled;
+  tensor::xnor_gemm_term_faults(a, w, flip, sa0, sa1, serial);
+  core::ThreadPool pool(3);
+  tensor::xnor_gemm_term_faults(a, w, flip, sa0, sa1, pooled, &pool);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(PooledGemm, EngineShardingMatchesSerialInference) {
+  Model model = models::build_lenet_binary(9).to_inference_model();
+  const FloatTensor x = deterministic_input(Shape{2, 1, 28, 28}, 61);
+  const ForwardPlan plan(model, x.shape());
+
+  tensor::Workspace ws_serial, ws_pooled;
+  ReferenceEngine serial_engine, pooled_engine;
+  const FloatTensor serial = plan.execute(x, ws_serial, serial_engine);
+  core::ThreadPool pool(4);
+  const FloatTensor& pooled =
+      plan.execute(x, ws_pooled, pooled_engine, &pool);
+  expect_equal_logits(serial, pooled, "engine sharding");
+}
+
+TEST(PooledGemm, NestedUseOfOnePoolRunsInlineInsteadOfDeadlocking) {
+  // Batch-level parallel_for whose tasks shard their GEMMs on the same
+  // pool: the nested call must degrade to inline execution.
+  const tensor::BitMatrix a = random_bits(130, 96, 65);
+  const tensor::BitMatrix w = random_bits(8, 96, 66);
+  tensor::IntTensor serial;
+  tensor::xnor_gemm(a, w, serial);
+
+  core::ThreadPool pool(2);
+  std::vector<tensor::IntTensor> outs(4);
+  pool.parallel_for(outs.size(), [&](std::size_t i) {
+    tensor::xnor_gemm(a, w, outs[i], &pool);
+  });
+  for (const auto& out : outs) EXPECT_EQ(serial, out);
+}
+
+TEST(FlimEngineValidation, CleanPathRejectsBatchMismatch) {
+  // Regression: the clean early-return used to skip the batch-consistency
+  // checks the faulty path enforces.
+  FlimEngine engine;  // no fault entries -> clean path
+  const tensor::BitMatrix a = random_bits(10, 8, 63);
+  const tensor::BitMatrix w = random_bits(4, 8, 64);
+  tensor::IntTensor out;
+  EXPECT_THROW(engine.execute("layer", a, w, 0, out), std::invalid_argument);
+  EXPECT_THROW(engine.execute("layer", a, w, 3, out), std::invalid_argument);
+  // A consistent batch still runs clean.
+  engine.execute("layer", a, w, 5, out);
+  EXPECT_EQ(out.shape(), (Shape{10, 4}));
+}
+
+}  // namespace
+}  // namespace flim::bnn
