@@ -84,6 +84,16 @@ exp::Workload load_bench_workload(const exp::WorkloadSpec& spec) {
   return w;
 }
 
+exp::StoreOptions store_options_from_env(const std::string& scenario_name) {
+  exp::StoreOptions store;
+  if (const char* dir = std::getenv("FLIM_BENCH_STORE_DIR")) {
+    store.store_path = std::string(dir) + "/" + scenario_name + ".run.jsonl";
+    store.resume_from = store.store_path;
+    std::cerr << "[bench] durable run file: " << store.store_path << "\n";
+  }
+  return store;
+}
+
 ZooFixture make_zoo_fixture(const BenchOptions& options) {
   ZooFixture fx;
   data::SyntheticImagenetOptions d;

@@ -62,6 +62,14 @@ exp::WorkloadSpec zoo_workload_spec(const std::string& name,
 /// layer replacement for make_lenet_fixture / load_zoo_model).
 exp::Workload load_bench_workload(const exp::WorkloadSpec& spec);
 
+/// Durable-store options for a figure bench. When $FLIM_BENCH_STORE_DIR is
+/// set, the bench streams each completed grid point to
+/// `<dir>/<scenario_name>.run.jsonl` and resumes from that file when it
+/// already exists -- an interrupted paper-scale reproduction (FLIM_BENCH_REPS
+/// =100) picks up where it was killed instead of restarting, bit-identically.
+/// Unset, the default in-memory behaviour is unchanged.
+exp::StoreOptions store_options_from_env(const std::string& scenario_name);
+
 /// Shared zoo fixture for the Fig 5 / Table II benches.
 struct ZooFixture {
   data::SyntheticImagenet dataset;

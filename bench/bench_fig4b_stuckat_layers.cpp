@@ -25,7 +25,8 @@ int main() {
   exp::ScenarioRunner runner(spec);
   const exp::Workload fx = benchx::load_bench_workload(spec.workload);
   const exp::ScenarioResult result =
-      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+      runner.run(fx, benchx::store_options_from_env(spec.name),
+                 [&](const exp::ScenarioPoint& p) {
         if (p.labels[1] == series.back()) {
           std::cerr << "[fig4b] rate " << p.values[0] * 100.0 << "% done\n";
         }

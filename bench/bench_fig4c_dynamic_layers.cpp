@@ -27,7 +27,8 @@ int main() {
   exp::ScenarioRunner runner(spec);
   const exp::Workload fx = benchx::load_bench_workload(spec.workload);
   const exp::ScenarioResult result =
-      runner.run(fx, [&](const exp::ScenarioPoint& p) {
+      runner.run(fx, benchx::store_options_from_env(spec.name),
+                 [&](const exp::ScenarioPoint& p) {
         if (p.labels[1] == series.back()) {
           std::cerr << "[fig4c] period " << p.labels[0] << " done\n";
         }

@@ -30,7 +30,8 @@ int main() {
 
     exp::ScenarioRunner runner(spec);
     const exp::Workload fx = benchx::load_bench_workload(spec.workload);
-    const exp::ScenarioResult result = runner.run(fx);
+    const exp::ScenarioResult result =
+        runner.run(fx, benchx::store_options_from_env(spec.name));
 
     std::vector<std::string> row{name, benchx::pct(fx.clean_accuracy)};
     for (std::size_t i = 0; i < rates.size(); ++i) {

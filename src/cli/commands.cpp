@@ -7,6 +7,7 @@
 #include "core/report.hpp"
 #include "core/rng.hpp"
 #include "exp/scenario.hpp"
+#include "exp/store.hpp"
 #include "fault/fault_generator.hpp"
 #include "fault/fault_vector_file.hpp"
 #include "reliability/ecc.hpp"
@@ -101,6 +102,16 @@ commands:
              [--engine flim|device|tmr]  [--jobs N (parallel repetitions)]
              [--granularity output|term] [--grid RxC] [--csv FILE]
              [--json FILE]
+             durability: [--store RUNFILE (stream each completed point; an
+              existing RUNFILE with a matching spec is resumed in place,
+              never overwritten)]  [--resume RUNFILE (skip its points;
+              continues RUNFILE unless --store names another file)]
+             [--shard I/N (evaluate the deterministic 0-based slice I of N;
+              requires --store)]
+  merge      fold shard run files into one campaign result
+             --inputs a.run.jsonl,b.run.jsonl,...  [--csv FILE] [--json FILE]
+             (validates spec fingerprints, rejects overlaps and gaps; the
+              merged CSV is byte-identical to a single-process run)
   march      offline March test of a simulated crossbar
              --algorithm mats+|marchx|marchc-|raw1|all  [--grid RxC]
              single-fault mode: --inject KIND --at R,C [--severity S]
@@ -227,11 +238,65 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
+namespace {
+
+/// Parses one full --shard component; trailing garbage ("1/2x", "1/2/4")
+/// must fail here, not silently run the wrong grid partition and poison a
+/// multi-machine campaign at merge time.
+int parse_shard_component(const std::string& token) {
+  std::size_t consumed = 0;
+  int value = -1;
+  try {
+    value = std::stoi(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  FLIM_REQUIRE(!token.empty() && consumed == token.size(),
+               "--shard expects I/N (0-based integers), e.g. 0/4; got '" +
+                   token + "'");
+  return value;
+}
+
+/// Parses "--shard I/N" (0-based shard I of N) into store options.
+void parse_shard(const Args& args, exp::StoreOptions& store) {
+  const std::string shard = args.get_string("shard");
+  if (shard.empty()) return;
+  const auto slash = shard.find('/');
+  FLIM_REQUIRE(slash != std::string::npos,
+               "--shard expects I/N (0-based), e.g. 0/4");
+  store.shard_index = parse_shard_component(shard.substr(0, slash));
+  store.shard_count = parse_shard_component(shard.substr(slash + 1));
+  FLIM_REQUIRE(store.shard_count >= 1 && store.shard_index >= 0 &&
+                   store.shard_index < store.shard_count,
+               "--shard index must be in [0, N)");
+}
+
+/// Prints `result` (or its shard slice) and honors --csv / --json. Both the
+/// single-process campaign and `merge` funnel through ScenarioResult::
+/// to_table(), which is what makes their outputs byte-identical.
+void emit_scenario_result(const Args& args, const std::string& title,
+                          const exp::ScenarioResult& result) {
+  const core::Table table = result.to_table();
+  core::print_table(std::cout, title, table);
+  const std::string csv = args.get_string("csv");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  const std::string json = args.get_string("json");
+  if (!json.empty()) {
+    table.write_json(json);
+    std::cout << "wrote " << json << "\n";
+  }
+}
+
+}  // namespace
+
 int cmd_campaign(const Args& args) {
   args.require_known({"model", "kind", "rates", "reps", "granularity", "grid",
                       "csv", "json", "images", "weights-dir", "epochs",
                       "samples", "retrain", "verbose", "seed", "engine",
-                      "jobs"});
+                      "jobs", "store", "resume", "shard"});
   auto rates = args.get_double_list("rates");
   if (rates.empty()) rates = {0.0, 0.05, 0.10, 0.20};
 
@@ -250,33 +315,52 @@ int cmd_campaign(const Args& args) {
   spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
   spec.jobs = static_cast<int>(args.get_int("jobs", 1));
 
+  exp::StoreOptions store;
+  store.resume_from = args.get_string("resume");
+  // --resume alone continues its own file; --store redirects/creates one.
+  store.store_path = args.get_string("store", store.resume_from);
+  // --store alone also resumes in place: rerunning the same command after a
+  // kill must continue the checkpoint, never truncate it. (A different spec
+  // pointed at the same file fails the fingerprint check instead of
+  // clobbering it; delete the file to really start over.)
+  if (store.resume_from.empty()) store.resume_from = store.store_path;
+  parse_shard(args, store);
+  FLIM_REQUIRE(store.shard_count == 1 || !store.store_path.empty(),
+               "--shard needs --store so the slice can be merged later");
+
   exp::ScenarioRunner runner(spec);
   const exp::Workload loaded = exp::load_workload(spec.workload);
-  const exp::ScenarioResult result = runner.run(loaded);
+  const exp::ScenarioResult result = runner.run(loaded, store);
 
-  core::Table table({"rate", "accuracy_%", "stddev", "min_%", "max_%"});
-  for (const exp::ScenarioPoint& p : result.points) {
-    table.add(p.labels[0], core::format_double(p.metric.mean * 100.0, 2),
-              core::format_double(p.metric.stddev * 100.0, 2),
-              core::format_double(p.metric.min * 100.0, 2),
-              core::format_double(p.metric.max * 100.0, 2));
-  }
   std::string title =
       loaded.model.name() + " / " + to_string(spec.fault.kind) + " sweep";
   if (spec.engine.backend != exp::Backend::kFlim) {
     title += " (" + exp::to_string(spec.engine.backend) + ")";
   }
-  core::print_table(std::cout, title, table);
-  const std::string csv = args.get_string("csv");
-  if (!csv.empty()) {
-    table.write_csv(csv);
-    std::cout << "wrote " << csv << "\n";
+  if (store.shard_count > 1) {
+    title += " [shard " + std::to_string(store.shard_index) + "/" +
+             std::to_string(store.shard_count) + "]";
   }
-  const std::string json = args.get_string("json");
-  if (!json.empty()) {
-    table.write_json(json);
-    std::cout << "wrote " << json << "\n";
+  emit_scenario_result(args, title, result);
+  if (!store.store_path.empty()) {
+    std::cout << "run file: " << store.store_path << " ("
+              << result.points.size() << "/" << result.total_points
+              << " points)\n";
   }
+  return 0;
+}
+
+int cmd_merge(const Args& args) {
+  args.require_known({"inputs", "csv", "json"});
+  const std::vector<std::string> inputs = args.get_list("inputs");
+  FLIM_REQUIRE(!inputs.empty(),
+               "--inputs is required (comma-separated run files)");
+  const exp::ScenarioResult result = exp::merge_run_files(inputs);
+  emit_scenario_result(
+      args,
+      result.name + " (merged " + std::to_string(inputs.size()) +
+          " run files, " + result.backend + ")",
+      result);
   return 0;
 }
 
@@ -544,6 +628,7 @@ int run(const Args& args) {
   if (args.command() == "train") return cmd_train(args);
   if (args.command() == "evaluate") return cmd_evaluate(args);
   if (args.command() == "campaign") return cmd_campaign(args);
+  if (args.command() == "merge") return cmd_merge(args);
   if (args.command() == "march") return cmd_march(args);
   if (args.command() == "scrub") return cmd_scrub(args);
   if (args.command() == "monitor") return cmd_monitor(args);

@@ -4,7 +4,10 @@
 //   flim_cli inspect   -- summarize a fault-vector file
 //   flim_cli train     -- train a model and cache its weights
 //   flim_cli evaluate  -- clean vs faulty accuracy for a model + vector file
-//   flim_cli campaign  -- repeated-seed injection-rate sweep (CSV output)
+//   flim_cli campaign  -- repeated-seed injection-rate sweep (CSV output);
+//                         supports durable run files (--store), resumption
+//                         (--resume) and deterministic sharding (--shard)
+//   flim_cli merge     -- fold shard run files into one campaign result
 //   flim_cli march     -- offline March test / coverage on a device array
 //   flim_cli scrub     -- SEC-DED ECC scrub of a fault-vector file
 //   flim_cli monitor   -- canary-monitor detection latency for a vector file
@@ -29,6 +32,7 @@ int cmd_inspect(const Args& args);
 int cmd_train(const Args& args);
 int cmd_evaluate(const Args& args);
 int cmd_campaign(const Args& args);
+int cmd_merge(const Args& args);
 int cmd_march(const Args& args);
 int cmd_scrub(const Args& args);
 int cmd_monitor(const Args& args);

@@ -107,33 +107,53 @@ std::vector<GridPoint> run_grid_sweep(
         metric,
     const std::function<void(const GridPoint&)>& on_point) {
   FLIM_REQUIRE(!axes.empty(), "grid sweep needs at least one axis");
+  std::function<void(const SelectedGridPoint&)> on_cell;
+  if (on_point) {
+    on_cell = [&](const SelectedGridPoint& sp) { on_point(sp.point); };
+  }
+  std::vector<SelectedGridPoint> cells =
+      run_grid_sweep_selected(config, axes, nullptr, metric, on_cell);
+  std::vector<GridPoint> out;
+  out.reserve(cells.size());
+  for (SelectedGridPoint& sp : cells) out.push_back(std::move(sp.point));
+  return out;
+}
+
+std::vector<SelectedGridPoint> run_grid_sweep_selected(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<bool(std::size_t flat_index)>& selector,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed, std::size_t worker)>&
+        metric,
+    const std::function<void(const SelectedGridPoint&)>& on_point) {
   std::vector<std::size_t> sizes;
   sizes.reserve(axes.size());
-  std::size_t cells = 1;
   for (const SweepAxis& axis : axes) {
     FLIM_REQUIRE(!axis.points.empty(),
                  "grid axis '" + axis.name + "' has no points");
     sizes.push_back(axis.points.size());
-    cells *= axis.points.size();
   }
 
-  std::vector<GridPoint> out;
-  out.reserve(cells);
+  std::vector<SelectedGridPoint> out;
+  std::size_t flat = 0;
   for_each_grid_index(sizes, [&](const std::vector<std::size_t>& index) {
-    GridPoint p;
-    p.coords.reserve(axes.size());
-    p.labels.reserve(axes.size());
+    const std::size_t cell = flat++;
+    if (selector && !selector(cell)) return;
+    SelectedGridPoint sp;
+    sp.flat_index = cell;
+    sp.point.coords.reserve(axes.size());
+    sp.point.labels.reserve(axes.size());
     for (std::size_t a = 0; a < axes.size(); ++a) {
-      const SweepPoint& sp = axes[a].points[index[a]];
-      p.coords.push_back(sp.x);
-      p.labels.push_back(sp.label);
+      const SweepPoint& axis_point = axes[a].points[index[a]];
+      sp.point.coords.push_back(axis_point.x);
+      sp.point.labels.push_back(axis_point.label);
     }
-    p.metric = run_repeated(config,
-                            [&](std::uint64_t seed, std::size_t worker) {
-                              return metric(p.coords, seed, worker);
-                            });
-    if (on_point) on_point(p);
-    out.push_back(std::move(p));
+    sp.point.metric =
+        run_repeated(config, [&](std::uint64_t seed, std::size_t worker) {
+          return metric(sp.point.coords, seed, worker);
+        });
+    if (on_point) on_point(sp);
+    out.push_back(std::move(sp));
   });
   return out;
 }

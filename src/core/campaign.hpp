@@ -9,6 +9,11 @@
 // of the same campaign produce bit-identical summaries.
 #pragma once
 
+/// \file
+/// Generic experiment campaign runner: repeated-seed protocols, 1-D and
+/// N-D grid sweeps, and the selected-cell sweep variant that campaign
+/// resume and sharding build on.
+
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -16,8 +21,12 @@
 
 #include "core/stats.hpp"
 
+/// Cross-cutting infrastructure shared by every module: RNG, campaigns,
+/// statistics, reporting, hashing, logging, threading.
 namespace flim::core {
 
+/// Work-stealing-free fixed pool (thread_pool.hpp); forward-declared here so
+/// campaign configs can reference one without the header.
 class ThreadPool;
 
 /// Configuration of a repeated-trial experiment.
@@ -32,28 +41,38 @@ struct CampaignConfig {
 
 /// A single swept point: label -> aggregated metric.
 struct CampaignPoint {
+  /// Report label of the swept value.
   std::string label;
+  /// The swept numeric value.
   double x = 0.0;
+  /// Aggregated repetition summary.
   Summary metric;
 };
 
 /// One pre-labeled value of a sweep axis.
 struct SweepPoint {
+  /// The swept numeric value.
   double x = 0.0;
+  /// Report label of the value.
   std::string label;
 };
 
 /// A named axis of an N-dimensional grid sweep.
 struct SweepAxis {
+  /// Axis/column name in reports.
   std::string name;
+  /// The axis values, in sweep order.
   std::vector<SweepPoint> points;
 };
 
 /// One evaluated cell of a grid sweep; coords/labels hold one entry per
 /// axis, in axis order.
 struct GridPoint {
+  /// Numeric value per axis.
   std::vector<double> coords;
+  /// Report label per axis.
   std::vector<std::string> labels;
+  /// Aggregated repetition summary.
   Summary metric;
 };
 
@@ -114,5 +133,29 @@ std::vector<GridPoint> run_grid_sweep(
                                std::uint64_t seed, std::size_t worker)>&
         metric,
     const std::function<void(const GridPoint&)>& on_point = nullptr);
+
+/// A grid cell tagged with its row-major flat index (last axis fastest).
+struct SelectedGridPoint {
+  /// Row-major flat index of the cell within the full grid.
+  std::size_t flat_index = 0;
+  /// The evaluated cell.
+  GridPoint point;
+};
+
+/// Sparse variant of run_grid_sweep: `selector(flat_index)` decides per cell
+/// whether it is evaluated; skipped cells produce no output. Because every
+/// cell's repetition seeds derive only from `config.master_seed` (never from
+/// grid position or evaluation order), evaluating any subset yields
+/// bit-identical per-cell summaries to a full sweep -- the property campaign
+/// resume and sharding are built on. Unlike run_grid_sweep, zero axes are
+/// allowed and evaluate one cell with flat index 0. A null selector
+/// evaluates every cell.
+std::vector<SelectedGridPoint> run_grid_sweep_selected(
+    const CampaignConfig& config, const std::vector<SweepAxis>& axes,
+    const std::function<bool(std::size_t flat_index)>& selector,
+    const std::function<double(const std::vector<double>& xs,
+                               std::uint64_t seed, std::size_t worker)>&
+        metric,
+    const std::function<void(const SelectedGridPoint&)>& on_point = nullptr);
 
 }  // namespace flim::core

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -90,8 +91,6 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
-namespace {
-
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -114,6 +113,8 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
 
 void write_text_file(const std::string& path, const std::string& text,
                      const char* what) {
@@ -158,6 +159,27 @@ std::string format_double(double v, int precision) {
   os.setf(std::ios::fixed);
   os << std::setprecision(precision) << v;
   return os.str();
+}
+
+std::string format_double_roundtrip(double v) {
+  // 17 significant digits are sufficient (and necessary) for binary64 ->
+  // decimal -> binary64 to be the identity under correct rounding. Prefer
+  // std::to_chars: it is locale-independent, where %.17g would render a
+  // decimal comma under e.g. LC_NUMERIC=de_DE and corrupt run files and
+  // spec fingerprints of an embedding application that calls setlocale.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v,
+                                    std::chars_format::general, 17);
+  FLIM_REQUIRE(result.ec == std::errc(), "to_chars failed on a double");
+  return std::string(buf, result.ptr);
+#else
+  // Pre-C++17-FP-charconv toolchains (GCC 10): printf-compatible output;
+  // only locale-correct when LC_NUMERIC stays "C".
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+#endif
 }
 
 void print_table(std::ostream& os, const std::string& title, const Table& t) {

@@ -68,6 +68,16 @@ class Table {
 /// Formats a double with fixed precision.
 std::string format_double(double v, int precision = 2);
 
+/// Formats a double with enough significant digits (17) that a
+/// correctly-rounded strtod reproduces the exact IEEE-754 bits. Campaign run
+/// files persist summaries through this so a resumed or merged campaign
+/// emits byte-identical CSV to an uninterrupted run.
+std::string format_double_roundtrip(double v);
+
+/// Escapes `s` for embedding inside a JSON string literal (the surrounding
+/// quotes are not added).
+std::string json_escape(const std::string& s);
+
 /// Prints a banner line ("== title ==") followed by the table.
 void print_table(std::ostream& os, const std::string& title, const Table& t);
 

@@ -88,6 +88,30 @@ SystemInfo collect_system_info() {
   return info;
 }
 
+std::uint64_t fnv1a64(std::string_view data) {
+  // FNV-1a, 64-bit: offset basis / prime from the reference specification.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char ch : data) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string code_fingerprint() {
+  return std::string("flim-") + kVersionString;
+}
+
 std::string format_system_info(const SystemInfo& info) {
   std::ostringstream os;
   os << "Hardware\n"

@@ -1,8 +1,12 @@
-// Host introspection used to regenerate Table I (experimental setup).
+// Host introspection used to regenerate Table I (experimental setup), plus
+// the stable hashing / code-fingerprint helpers campaign run files embed so
+// a resumed or merged campaign can prove it was produced by a compatible
+// spec and library revision.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace flim::core {
 
@@ -23,5 +27,19 @@ SystemInfo collect_system_info();
 
 /// Renders the Table-I-shaped report.
 std::string format_system_info(const SystemInfo& info);
+
+/// 64-bit FNV-1a hash of `data`. The result depends only on the bytes, not
+/// on platform, compiler, or build flags, so it is safe to persist (run-file
+/// spec fingerprints) and compare across machines.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Formats `hash` as a fixed-width 16-digit lowercase hex string.
+std::string hash_hex(std::uint64_t hash);
+
+/// Fingerprint of the code that produces campaign numbers: the library
+/// version (campaign outputs are only guaranteed comparable within one
+/// version). Embedded in run-file headers; resume and merge refuse files
+/// whose spec fingerprint (which mixes this in) does not match.
+std::string code_fingerprint();
 
 }  // namespace flim::core

@@ -1,6 +1,6 @@
 // Minimal work-stealing-free thread pool used to parallelize inference over
 // a batch of images. This is the library's stand-in for the GPU acceleration
-// the paper reports in Fig 4f (see DESIGN.md, substitution table).
+// the paper reports in Fig 4f (see docs/architecture.md, substitution table).
 #pragma once
 
 #include <condition_variable>

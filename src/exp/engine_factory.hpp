@@ -9,6 +9,11 @@
 // change instead of new wiring.
 #pragma once
 
+/// \file
+/// Unified execution-engine factory: EngineSpec names a backend
+/// declaratively and make_engine() erases the constructor differences
+/// between the four engine classes.
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,12 +24,12 @@
 
 namespace flim::exp {
 
-/// Interchangeable execution substrates (DESIGN.md, "Scenario layer").
+/// Interchangeable execution substrates (docs/campaigns.md).
 enum class Backend : std::uint8_t {
-  kReference = 0,  // vanilla packed XNOR+popcount, no fault hooks
-  kFlim = 1,       // mask-based fault injection on the fast path
-  kDevice = 2,     // X-Fault-style gate-by-gate crossbar simulation
-  kTmr = 3,        // N-modular redundancy over FLIM replicas, median vote
+  kReference = 0,  ///< vanilla packed XNOR+popcount, no fault hooks
+  kFlim = 1,       ///< mask-based fault injection on the fast path
+  kDevice = 2,     ///< X-Fault-style gate-by-gate crossbar simulation
+  kTmr = 3,        ///< N-modular redundancy over FLIM replicas, median vote
 };
 
 /// Parses "reference|flim|device|tmr"; throws std::invalid_argument on
@@ -36,6 +41,7 @@ std::string to_string(Backend backend);
 
 /// Declarative description of one execution engine.
 struct EngineSpec {
+  /// Which substrate executes the binarized layers.
   Backend backend = Backend::kFlim;
 
   /// kDevice: electrical configuration + logic family of the simulated

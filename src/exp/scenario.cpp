@@ -1,12 +1,17 @@
 #include "exp/scenario.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <optional>
+#include <string_view>
 
 #include "bnn/flim_engine.hpp"
 #include "bnn/plan.hpp"
 #include "core/check.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
+#include "exp/store.hpp"
 #include "tensor/workspace.hpp"
 #include "data/synthetic_imagenet.hpp"
 #include "data/synthetic_mnist.hpp"
@@ -299,6 +304,9 @@ void validate(const ScenarioSpec& spec) {
 
 const core::Summary& ScenarioResult::at(
     const std::vector<std::size_t>& indices) const {
+  FLIM_REQUIRE(complete(),
+               "at() needs a complete result (a sharded run holds only its "
+               "own grid slice; merge the shard run files first)");
   FLIM_REQUIRE(indices.size() == axis_sizes.size(),
                "index rank must match axis count");
   std::size_t flat = 0;
@@ -340,13 +348,108 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {
 ScenarioResult ScenarioRunner::run(
     const std::function<void(const ScenarioPoint&)>& on_point) {
   const Workload workload = load_workload(spec_.workload);
-  return run(workload, on_point);
+  return run(workload, StoreOptions{}, on_point);
 }
 
 ScenarioResult ScenarioRunner::run(
     const Workload& workload,
     const std::function<void(const ScenarioPoint&)>& on_point) {
+  return run(workload, StoreOptions{}, on_point);
+}
+
+ScenarioResult ScenarioRunner::run(
+    const StoreOptions& store,
+    const std::function<void(const ScenarioPoint&)>& on_point) {
+  const Workload workload = load_workload(spec_.workload);
+  return run(workload, store, on_point);
+}
+
+ScenarioResult ScenarioRunner::run(
+    const Workload& workload, const StoreOptions& store,
+    const std::function<void(const ScenarioPoint&)>& on_point) {
   check_layer_filters(spec_, workload);
+  FLIM_REQUIRE(store.shard_count >= 1 && store.shard_index >= 0 &&
+                   store.shard_index < store.shard_count,
+               "shard index must be in [0, shard_count)");
+
+  std::size_t total_points = 1;
+  for (const ScenarioAxis& axis : spec_.axes) {
+    total_points *= axis.values.size();
+  }
+
+  // Restore completed points from the resume file, if one exists. A missing
+  // file -- or the residue of a crash between creating the file and durably
+  // writing its header (empty, or an unambiguous torn prefix of a run-file
+  // header with no newline yet) -- is a fresh start. Anything else must
+  // parse as a matching header: a mistyped path naming some other file
+  // should fail loudly, never be silently truncated.
+  const auto has_complete_first_line = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    return static_cast<bool>(std::getline(in, line)) && !in.eof();
+  };
+  const auto is_torn_header_residue = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    const std::string content((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    static constexpr std::string_view prefix = "{\"flim_run_format\"";
+    const std::size_t n = std::min(content.size(), prefix.size());
+    return content.compare(0, n, prefix, 0, n) == 0;  // empty counts
+  };
+  std::map<std::size_t, ScenarioPoint> restored;
+  bool resume_in_place = false;
+  std::size_t resume_prefix_bytes = 0;
+  const bool resume_file_exists =
+      !store.resume_from.empty() && std::filesystem::exists(store.resume_from);
+  if (resume_file_exists && !has_complete_first_line(store.resume_from)) {
+    FLIM_REQUIRE(is_torn_header_residue(store.resume_from),
+                 "refusing to overwrite " + store.resume_from +
+                     ": it is not a run file (nor the torn header of one)");
+  }
+  if (resume_file_exists && has_complete_first_line(store.resume_from)) {
+    const RunFile prior = RunFile::load(store.resume_from);
+    const std::string fingerprint = spec_fingerprint(spec_);
+    FLIM_REQUIRE(prior.header.fingerprint == fingerprint,
+                 "resume file " + store.resume_from +
+                     " was produced by a different spec (fingerprint " +
+                     prior.header.fingerprint + ", this spec is " +
+                     fingerprint + ")");
+    FLIM_REQUIRE(prior.header.total_points == total_points,
+                 "resume file grid size mismatch: " + store.resume_from);
+    FLIM_REQUIRE(prior.header.shard_index == store.shard_index &&
+                     prior.header.shard_count == store.shard_count,
+                 "resume file " + store.resume_from + " belongs to shard " +
+                     std::to_string(prior.header.shard_index) + "/" +
+                     std::to_string(prior.header.shard_count) +
+                     ", not this run's shard");
+    for (const StoredPoint& sp : prior.points) {
+      FLIM_REQUIRE(
+          shard_owns(sp.flat_index, store.shard_index, store.shard_count),
+          "resume file holds a point outside this shard's slice");
+      restored.emplace(sp.flat_index, sp.point);
+    }
+    resume_in_place = store.store_path == store.resume_from;
+    resume_prefix_bytes = prior.valid_prefix_bytes;
+  }
+
+  // Open the store. Resuming in place truncates any torn tail and appends;
+  // a fresh store re-logs restored points so the file is self-contained.
+  std::optional<RunStoreWriter> writer;
+  if (!store.store_path.empty()) {
+    if (resume_in_place) {
+      writer.emplace(RunStoreWriter::resume(
+          store.store_path, resume_prefix_bytes, store.fsync_each_point));
+    } else {
+      writer.emplace(store.store_path,
+                     make_run_header(spec_, workload.clean_accuracy,
+                                     store.shard_index, store.shard_count),
+                     store.fsync_each_point);
+      for (const auto& [flat, point] : restored) {
+        writer->append(flat, point);
+      }
+    }
+  }
+
   core::CampaignConfig campaign;
   campaign.repetitions = spec_.repetitions;
   campaign.master_seed = spec_.master_seed;
@@ -369,26 +472,14 @@ ScenarioResult ScenarioRunner::run(
   result.name = spec_.name;
   result.backend = to_string(spec_.engine.backend);
   result.clean_accuracy = workload.clean_accuracy;
+  result.total_points = total_points;
   for (const ScenarioAxis& axis : spec_.axes) {
     result.axis_names.push_back(axis.name);
     result.axis_sizes.push_back(axis.values.size());
   }
 
-  if (spec_.axes.empty()) {
-    const PointConfig pc{spec_.fault, spec_.layer_filter};
-    ScenarioPoint p;
-    p.metric = core::run_repeated(
-        campaign, [&](std::uint64_t seed, std::size_t worker) {
-          return evaluate_point(spec_, workload, plan, workspaces[worker], pc,
-                                seed);
-        });
-    if (on_point) on_point(p);
-    result.points.push_back(std::move(p));
-    return result;
-  }
-
   // Axes are swept over value indices so categorical axes (layer series)
-  // ride the same numeric grid machinery.
+  // ride the same numeric grid machinery. Zero axes evaluate one cell.
   std::vector<core::SweepAxis> core_axes;
   core_axes.reserve(spec_.axes.size());
   for (const ScenarioAxis& axis : spec_.axes) {
@@ -419,25 +510,43 @@ ScenarioResult ScenarioRunner::run(
     return p;
   };
 
-  std::function<void(const core::GridPoint&)> on_cell;
-  if (on_point) {
-    on_cell = [&](const core::GridPoint& cell) {
-      on_point(to_scenario_point(cell));
-    };
-  }
-  const std::vector<core::GridPoint> cells = core::run_grid_sweep(
-      campaign, core_axes,
-      [&](const std::vector<double>& coords, std::uint64_t seed,
-          std::size_t worker) {
-        const PointConfig pc = resolve_point(spec_, to_indices(coords));
-        return evaluate_point(spec_, workload, plan, workspaces[worker], pc,
-                              seed);
-      },
-      on_cell);
+  // Only cells this shard owns and the resume file does not already hold
+  // are evaluated; per-cell repetition seeds depend solely on the master
+  // seed, so the skipped cells would have produced exactly the restored
+  // summaries (run_grid_sweep_selected's contract).
+  const auto selector = [&](std::size_t flat) {
+    return shard_owns(flat, store.shard_index, store.shard_count) &&
+           restored.find(flat) == restored.end();
+  };
+  const std::vector<core::SelectedGridPoint> cells =
+      core::run_grid_sweep_selected(
+          campaign, core_axes, selector,
+          [&](const std::vector<double>& coords, std::uint64_t seed,
+              std::size_t worker) {
+            const PointConfig pc = resolve_point(spec_, to_indices(coords));
+            return evaluate_point(spec_, workload, plan, workspaces[worker],
+                                  pc, seed);
+          },
+          [&](const core::SelectedGridPoint& cell) {
+            const ScenarioPoint p = to_scenario_point(cell.point);
+            if (writer) writer->append(cell.flat_index, p);
+            if (on_point) on_point(p);
+          });
 
-  result.points.reserve(cells.size());
-  for (const core::GridPoint& cell : cells) {
-    result.points.push_back(to_scenario_point(cell));
+  // Fold restored and freshly evaluated points into ascending flat order.
+  auto cell_it = cells.begin();
+  for (std::size_t flat = 0; flat < total_points; ++flat) {
+    if (!shard_owns(flat, store.shard_index, store.shard_count)) continue;
+    const auto done = restored.find(flat);
+    if (done != restored.end()) {
+      result.points.push_back(done->second);
+    } else {
+      FLIM_REQUIRE(cell_it != cells.end() && cell_it->flat_index == flat,
+                   "internal: grid cell was neither restored nor evaluated");
+      result.points.push_back(to_scenario_point(cell_it->point));
+      ++cell_it;
+    }
+    result.flat_indices.push_back(flat);
   }
   return result;
 }

@@ -11,6 +11,11 @@
 // and seeds produce identical numbers on every backend, serial or pooled.
 #pragma once
 
+/// \file
+/// Declarative fault-campaign scenarios: ScenarioSpec (the experiment as
+/// data), workload loading, sweep axes, ScenarioRunner, and StoreOptions
+/// (durability/resume/sharding). See docs/campaigns.md.
+
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -24,16 +29,23 @@
 #include "fault/fault_spec.hpp"
 #include "lim/mapper.hpp"
 
+/// Experiment layer: declarative scenarios, the engine factory, workload
+/// loading, and the durable campaign store.
 namespace flim::exp {
 
 /// Which model/dataset to evaluate and how to train (or load) it.
 /// "lenet" runs on synthetic MNIST; every Table-II zoo name runs on
 /// synthetic ImageNet (models::zoo_model_names()).
 struct WorkloadSpec {
+  /// Model name: "lenet" or a Table-II zoo family.
   std::string model = "lenet";
+  /// Held-out evaluation images per repetition.
   std::int64_t eval_images = 300;
+  /// Training epochs when the weight cache is cold.
   int epochs = 3;
+  /// Training samples when the weight cache is cold.
   std::int64_t train_samples = 3000;
+  /// Log training progress to stderr.
   bool verbose = false;
   /// Weight-cache directory; empty uses the pretrained default
   /// ($FLIM_WEIGHTS_DIR or "weights").
@@ -46,10 +58,15 @@ struct WorkloadSpec {
 /// A loaded workload: the trained model, its binarized-layer workloads (the
 /// fault-mapping targets), and the held-out evaluation batch.
 struct Workload {
+  /// The trained (or cache-loaded) model.
   bnn::Model model;
+  /// Its binarized layers -- the fault-mapping targets.
   std::vector<bnn::LayerWorkload> layers;
+  /// Held-out evaluation batch.
   data::Batch eval_batch;
-  double clean_accuracy = 0.0;  // only when measure_clean_accuracy was set
+  /// Reference-engine accuracy; only when measure_clean_accuracy was set.
+  double clean_accuracy = 0.0;
+  /// Report name of the dataset the workload was drawn from.
   std::string dataset_name;
 };
 
@@ -58,37 +75,48 @@ Workload load_workload(const WorkloadSpec& spec);
 
 /// What a sweep axis varies.
 enum class AxisKind : std::uint8_t {
-  kInjectionRate = 0,      // FaultSpec::injection_rate
-  kDynamicPeriod = 1,      // FaultSpec::dynamic_period
-  kFaultyRows = 2,         // FaultSpec::faulty_rows
-  kFaultyCols = 3,         // FaultSpec::faulty_cols
-  kLayers = 4,             // layer filter ("combined" selects all layers)
-  kFaultKind = 5,          // FaultSpec::kind
-  kStuckAtOneFraction = 6, // FaultSpec::stuck_at_one_fraction
+  kInjectionRate = 0,      ///< FaultSpec::injection_rate
+  kDynamicPeriod = 1,      ///< FaultSpec::dynamic_period
+  kFaultyRows = 2,         ///< FaultSpec::faulty_rows
+  kFaultyCols = 3,         ///< FaultSpec::faulty_cols
+  kLayers = 4,             ///< layer filter ("combined" selects all layers)
+  kFaultKind = 5,          ///< FaultSpec::kind
+  kStuckAtOneFraction = 6, ///< FaultSpec::stuck_at_one_fraction
 };
 
 /// One value of a sweep axis. Numeric axes use `number`; kLayers uses
 /// `text` (and `number` holds the series index). `label` names the value in
 /// reports.
 struct AxisValue {
+  /// Numeric value (or value-series index for kLayers).
   double number = 0.0;
+  /// Textual value (layer name for kLayers axes).
   std::string text;
+  /// Name of this value in reports.
   std::string label;
 };
 
 /// One swept dimension of a scenario.
 struct ScenarioAxis {
+  /// Which fault field this axis varies.
   AxisKind kind = AxisKind::kInjectionRate;
-  std::string name;  // axis/column name in reports
+  /// Axis/column name in reports.
+  std::string name;
+  /// The swept values, in sweep order.
   std::vector<AxisValue> values;
 };
 
-/// Axis constructors, so specs read declaratively.
+/// Builds a kInjectionRate axis (specs read declaratively).
 ScenarioAxis rate_axis(const std::vector<double>& rates);
+/// Builds a kDynamicPeriod axis.
 ScenarioAxis period_axis(const std::vector<int>& periods);
+/// Builds a kFaultyRows axis.
 ScenarioAxis faulty_rows_axis(const std::vector<int>& rows);
+/// Builds a kFaultyCols axis.
 ScenarioAxis faulty_cols_axis(const std::vector<int>& cols);
+/// Builds a kStuckAtOneFraction axis.
 ScenarioAxis stuck_at_one_fraction_axis(const std::vector<double>& fractions);
+/// Builds a kFaultKind axis.
 ScenarioAxis kind_axis(const std::vector<fault::FaultKind>& kinds);
 /// `series` entries are layer names; "combined" (or "" / "all") selects
 /// every binarized layer at once, reproducing the figures' combined curve.
@@ -99,7 +127,9 @@ ScenarioAxis layers_axis(const std::vector<std::string>& series);
 struct ScenarioSpec {
   /// Report title / CSV stem; free-form.
   std::string name = "scenario";
+  /// Which model/dataset to evaluate.
   WorkloadSpec workload;
+  /// Which execution substrate runs the binarized layers.
   EngineSpec engine;
   /// Base fault configuration; sweep axes override individual fields per
   /// grid point. An all-defaults spec with no axes evaluates one clean point.
@@ -114,6 +144,7 @@ struct ScenarioSpec {
   std::vector<ScenarioAxis> axes;
   /// Repetition protocol (the paper uses 100 repetitions).
   int repetitions = 10;
+  /// Master seed; each repetition derives an independent seed from it.
   std::uint64_t master_seed = 2023;
   /// Repetitions per point run on a thread pool of this size when > 1.
   /// Results are bit-identical to the serial run.
@@ -128,30 +159,83 @@ void validate(const ScenarioSpec& spec);
 /// One evaluated grid point: per-axis values/labels plus the aggregated
 /// repetition summary (accuracy fraction).
 struct ScenarioPoint {
+  /// Numeric axis value per axis (value-series index for kLayers).
   std::vector<double> values;
+  /// Report label per axis.
   std::vector<std::string> labels;
+  /// Aggregated repetition summary (accuracy as a fraction).
   core::Summary metric;
 };
 
+/// Durability / resumption / sharding controls for ScenarioRunner::run.
+///
+/// The default-constructed value reproduces the classic in-memory run: the
+/// whole grid, nothing persisted. With `store_path` set, every completed
+/// grid point is appended (and fsync'd) to an append-only JSONL run file
+/// (exp/store.hpp) as soon as it is evaluated, so an interrupted campaign
+/// loses at most the in-flight point. `resume_from` loads such a file,
+/// verifies its spec fingerprint, and skips the points it already contains;
+/// per-point repetition seeds depend only on the master seed, so a resumed
+/// run is bit-identical to an uninterrupted one. `shard_index`/`shard_count`
+/// deterministically partition the grid (flat row-major index modulo count)
+/// so independent processes each evaluate and store a disjoint slice;
+/// merge_run_files folds the shard files back into one complete result.
+struct StoreOptions {
+  /// Run file to stream completed points into; empty disables the store.
+  std::string store_path;
+  /// Existing run file whose completed points are skipped; empty starts
+  /// fresh. May equal `store_path` (the common resume-in-place case); a
+  /// nonexistent path -- or a file without one complete line, the residue
+  /// of a crash before the header was durably written -- is treated as a
+  /// fresh start, so resume is safe at any kill point.
+  std::string resume_from;
+  /// 0-based shard id; this process evaluates flat indices with
+  /// `flat % shard_count == shard_index`.
+  int shard_index = 0;
+  /// Total number of shards (>= 1; 1 means the whole grid).
+  int shard_count = 1;
+  /// fsync the run file after every appended point (durable progress
+  /// markers). Disable only for tests/benchmarks on throwaway files.
+  bool fsync_each_point = true;
+};
+
 /// Structured result of a scenario run.
+///
+/// A full run covers the whole axis grid; a sharded run covers the owned
+/// subset (complete() tells them apart, flat_indices maps entries to grid
+/// cells). Tables/CSV list whichever points are present in row-major order.
 struct ScenarioResult {
+  /// Spec name the result was produced from.
   std::string name;
+  /// Report name of the execution backend.
   std::string backend;
+  /// Axis names, outermost first.
   std::vector<std::string> axis_names;
+  /// Axis sizes, outermost first.
   std::vector<std::size_t> axis_sizes;
-  /// Row-major over the axes (last axis fastest).
+  /// Evaluated points, ascending row-major order (last axis fastest).
   std::vector<ScenarioPoint> points;
+  /// Clean (reference-engine) accuracy when the workload measured it.
   double clean_accuracy = 0.0;
+  /// Total number of cells in the full axis grid.
+  std::size_t total_points = 0;
+  /// Row-major flat grid index of each entry of `points`.
+  std::vector<std::size_t> flat_indices;
+
+  /// True when every grid cell is present (always true for unsharded runs).
+  bool complete() const { return points.size() == total_points; }
 
   /// Summary at the given per-axis indices (size must match axis count).
+  /// Requires a complete() result.
   const core::Summary& at(const std::vector<std::size_t>& indices) const;
 
   /// Long-format table: one row per point (axis labels, then accuracy mean/
   /// stddev/min/max in percent).
   core::Table to_table() const;
 
-  /// Emit helpers (via core::report).
+  /// Writes to_table() as CSV to `path` (via core::report).
   void write_csv(const std::string& path) const;
+  /// Writes to_table() as JSON to `path` (via core::report).
   void write_json(const std::string& path) const;
 };
 
@@ -161,6 +245,7 @@ class ScenarioRunner {
   /// Validates `spec` (throws std::invalid_argument on bad specs).
   explicit ScenarioRunner(ScenarioSpec spec);
 
+  /// The validated spec this runner executes.
   const ScenarioSpec& spec() const { return spec_; }
 
   /// Loads the workload described by the spec, then runs. `on_point` fires
@@ -171,6 +256,20 @@ class ScenarioRunner {
   /// Runs against a caller-provided workload (shared bench fixtures).
   ScenarioResult run(
       const Workload& workload,
+      const std::function<void(const ScenarioPoint&)>& on_point = nullptr);
+
+  /// Loads the workload, then runs with durability/shard options.
+  ScenarioResult run(
+      const StoreOptions& store,
+      const std::function<void(const ScenarioPoint&)>& on_point = nullptr);
+
+  /// Durable/sharded run against a caller-provided workload. Points
+  /// restored from `store.resume_from` are folded into the result without
+  /// re-evaluation; `on_point` fires only for freshly evaluated points.
+  /// Throws std::invalid_argument when the resume file's spec fingerprint
+  /// or shard assignment does not match this runner's spec.
+  ScenarioResult run(
+      const Workload& workload, const StoreOptions& store,
       const std::function<void(const ScenarioPoint&)>& on_point = nullptr);
 
  private:

@@ -1,0 +1,648 @@
+#include "exp/store.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/check.hpp"
+#include "core/report.hpp"
+#include "core/sysinfo.hpp"
+#include "lim/logic_family.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace flim::exp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical spec serialization. Line-based key=value text, one field per
+// line in a fixed order, doubles at full round-trip precision -- the exact
+// bytes are what the fingerprint hashes, so the order and formatting here
+// are part of the run-file format and must stay stable (bump
+// kRunFormatVersion and the leading tag when they change).
+
+void put_s(std::ostringstream& os, const char* key, const std::string& v) {
+  os << key << '=' << core::json_escape(v) << '\n';
+}
+
+void put_i(std::ostringstream& os, const char* key, long long v) {
+  os << key << '=' << v << '\n';
+}
+
+void put_u(std::ostringstream& os, const char* key, std::uint64_t v) {
+  os << key << '=' << v << '\n';
+}
+
+void put_d(std::ostringstream& os, const char* key, double v) {
+  os << key << '=' << core::format_double_roundtrip(v) << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON for the flat run-file objects: numbers, strings, and arrays
+// of either. Parse failures throw ParseError (a file-local type), which the
+// loader maps to "corrupt tail" for point lines and to std::invalid_argument
+// for the header; semantic violations use FLIM_REQUIRE directly.
+
+struct ParseError {
+  std::string what;
+};
+
+struct JsonValue {
+  enum class Kind { kNumber, kString, kArray };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& line)
+      : p_(line.c_str()), end_(line.c_str() + line.size()) {}
+
+  std::map<std::string, JsonValue> parse_object_line() {
+    expect('{');
+    std::map<std::string, JsonValue> out;
+    skip_ws();
+    if (!eat('}')) {
+      while (true) {
+        std::string key = parse_string();
+        expect(':');
+        out.emplace(std::move(key), parse_value());
+        if (eat('}')) break;
+        expect(',');
+      }
+    }
+    skip_ws();
+    if (p_ != end_) fail("trailing content after object");
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) { throw ParseError{what}; }
+
+  void skip_ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r')) ++p_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (p_ >= end_ || *p_ != '"') fail("expected string");
+    ++p_;
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ >= end_) fail("unterminated escape");
+      const char e = *p_++;
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end_ - p_ < 4) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00xx for control bytes; decode the BMP
+          // anyway so hand-edited files stay loadable.
+          if (v < 0x80) {
+            out += static_cast<char>(v);
+          } else if (v < 0x800) {
+            out += static_cast<char>(0xC0 | (v >> 6));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (v >> 12));
+            out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (v & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    if (p_ >= end_) fail("unterminated string");
+    ++p_;
+    return out;
+  }
+
+  double parse_number() {
+    skip_ws();
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    // Locale-independent (strtod honors LC_NUMERIC, which would make an
+    // embedding app's setlocale() call silently reject every stored point
+    // as a corrupt tail) and bounded by the line end.
+    double v = 0.0;
+    const auto result = std::from_chars(p_, end_, v);
+    if (result.ec != std::errc() || result.ptr == p_) fail("expected number");
+    p_ = result.ptr;
+    return v;
+#else
+    char* num_end = nullptr;
+    const double v = std::strtod(p_, &num_end);
+    if (num_end == p_) fail("expected number");
+    p_ = num_end;
+    return v;
+#endif
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (p_ >= end_) fail("unexpected end of line");
+    JsonValue v;
+    if (*p_ == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.text = parse_string();
+      return v;
+    }
+    if (*p_ == '[') {
+      ++p_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      while (true) {
+        v.items.push_back(parse_value());
+        if (eat(']')) break;
+        expect(',');
+      }
+      return v;
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = parse_number();
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+const JsonValue& field(const std::map<std::string, JsonValue>& obj,
+                       const char* key) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw ParseError{std::string("missing field ") + key};
+  return it->second;
+}
+
+double number_field(const std::map<std::string, JsonValue>& obj,
+                    const char* key) {
+  const JsonValue& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kNumber) {
+    throw ParseError{std::string("field ") + key + " is not a number"};
+  }
+  return v.number;
+}
+
+std::string string_field(const std::map<std::string, JsonValue>& obj,
+                         const char* key) {
+  const JsonValue& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kString) {
+    throw ParseError{std::string("field ") + key + " is not a string"};
+  }
+  return v.text;
+}
+
+const std::vector<JsonValue>& array_field(
+    const std::map<std::string, JsonValue>& obj, const char* key) {
+  const JsonValue& v = field(obj, key);
+  if (v.kind != JsonValue::Kind::kArray) {
+    throw ParseError{std::string("field ") + key + " is not an array"};
+  }
+  return v.items;
+}
+
+// ---------------------------------------------------------------------------
+// Line formatting.
+
+std::string quote(const std::string& s) {
+  return '"' + core::json_escape(s) + '"';
+}
+
+std::string header_line(const RunHeader& h) {
+  std::ostringstream os;
+  os << "{\"flim_run_format\": " << h.format
+     << ", \"name\": " << quote(h.name)
+     << ", \"backend\": " << quote(h.backend)
+     << ", \"fingerprint\": " << quote(h.fingerprint)
+     << ", \"library_version\": " << quote(h.library_version)
+     // As a string: JSON numbers decay to binary64 on parse, which cannot
+     // hold every 64-bit seed exactly.
+     << ", \"master_seed\": \"" << h.master_seed << '"'
+     << ", \"repetitions\": " << h.repetitions
+     << ", \"total_points\": " << h.total_points
+     << ", \"shard_index\": " << h.shard_index
+     << ", \"shard_count\": " << h.shard_count
+     << ", \"clean_accuracy\": "
+     << core::format_double_roundtrip(h.clean_accuracy)
+     << ", \"axis_names\": [";
+  for (std::size_t i = 0; i < h.axis_names.size(); ++i) {
+    if (i) os << ", ";
+    os << quote(h.axis_names[i]);
+  }
+  os << "], \"axis_sizes\": [";
+  for (std::size_t i = 0; i < h.axis_sizes.size(); ++i) {
+    if (i) os << ", ";
+    os << h.axis_sizes[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string point_line(std::size_t flat_index, const ScenarioPoint& p) {
+  std::ostringstream os;
+  os << "{\"point\": " << flat_index << ", \"values\": [";
+  for (std::size_t i = 0; i < p.values.size(); ++i) {
+    if (i) os << ", ";
+    os << core::format_double_roundtrip(p.values[i]);
+  }
+  os << "], \"labels\": [";
+  for (std::size_t i = 0; i < p.labels.size(); ++i) {
+    if (i) os << ", ";
+    os << quote(p.labels[i]);
+  }
+  os << "], \"mean\": " << core::format_double_roundtrip(p.metric.mean)
+     << ", \"stddev\": " << core::format_double_roundtrip(p.metric.stddev)
+     << ", \"min\": " << core::format_double_roundtrip(p.metric.min)
+     << ", \"max\": " << core::format_double_roundtrip(p.metric.max)
+     << ", \"count\": " << p.metric.count << "}";
+  return os.str();
+}
+
+RunHeader parse_header(const std::string& line) {
+  const auto obj = Parser(line).parse_object_line();
+  RunHeader h;
+  h.format = static_cast<int>(number_field(obj, "flim_run_format"));
+  h.name = string_field(obj, "name");
+  h.backend = string_field(obj, "backend");
+  h.fingerprint = string_field(obj, "fingerprint");
+  h.library_version = string_field(obj, "library_version");
+  h.master_seed =
+      std::strtoull(string_field(obj, "master_seed").c_str(), nullptr, 10);
+  h.repetitions = static_cast<int>(number_field(obj, "repetitions"));
+  h.total_points = static_cast<std::size_t>(number_field(obj, "total_points"));
+  h.shard_index = static_cast<int>(number_field(obj, "shard_index"));
+  h.shard_count = static_cast<int>(number_field(obj, "shard_count"));
+  h.clean_accuracy = number_field(obj, "clean_accuracy");
+  for (const JsonValue& v : array_field(obj, "axis_names")) {
+    if (v.kind != JsonValue::Kind::kString) {
+      throw ParseError{"axis_names entry is not a string"};
+    }
+    h.axis_names.push_back(v.text);
+  }
+  for (const JsonValue& v : array_field(obj, "axis_sizes")) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      throw ParseError{"axis_sizes entry is not a number"};
+    }
+    h.axis_sizes.push_back(static_cast<std::size_t>(v.number));
+  }
+  return h;
+}
+
+StoredPoint parse_point(const std::string& line) {
+  const auto obj = Parser(line).parse_object_line();
+  StoredPoint sp;
+  sp.flat_index = static_cast<std::size_t>(number_field(obj, "point"));
+  for (const JsonValue& v : array_field(obj, "values")) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      throw ParseError{"values entry is not a number"};
+    }
+    sp.point.values.push_back(v.number);
+  }
+  for (const JsonValue& v : array_field(obj, "labels")) {
+    if (v.kind != JsonValue::Kind::kString) {
+      throw ParseError{"labels entry is not a string"};
+    }
+    sp.point.labels.push_back(v.text);
+  }
+  sp.point.metric.mean = number_field(obj, "mean");
+  sp.point.metric.stddev = number_field(obj, "stddev");
+  sp.point.metric.min = number_field(obj, "min");
+  sp.point.metric.max = number_field(obj, "max");
+  sp.point.metric.count = static_cast<std::size_t>(number_field(obj, "count"));
+  return sp;
+}
+
+void sync_now(std::FILE* f) {
+  std::fflush(f);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(f));
+#endif
+}
+
+}  // namespace
+
+std::string canonical_spec(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "flim-scenario-v1\n";
+  const WorkloadSpec& w = spec.workload;
+  put_s(os, "workload.model", w.model);
+  put_i(os, "workload.eval_images", w.eval_images);
+  put_i(os, "workload.epochs", w.epochs);
+  put_i(os, "workload.train_samples", w.train_samples);
+  put_i(os, "workload.measure_clean_accuracy", w.measure_clean_accuracy);
+
+  put_s(os, "engine.backend", to_string(spec.engine.backend));
+  if (spec.engine.backend == Backend::kTmr) {
+    put_i(os, "engine.tmr_replicas", spec.engine.tmr_replicas);
+  }
+  if (spec.engine.backend == Backend::kDevice) {
+    const xfault::DeviceEngineConfig& d = spec.engine.device;
+    put_s(os, "device.family", lim::to_string(d.family));
+    put_i(os, "device.rows", d.crossbar.rows);
+    put_i(os, "device.cols", d.crossbar.cols);
+    put_d(os, "device.v_prog", d.crossbar.v_prog);
+    put_d(os, "device.v_apply", d.crossbar.v_apply);
+    put_d(os, "device.v_cond", d.crossbar.v_cond);
+    put_d(os, "device.v_set", d.crossbar.v_set);
+    put_d(os, "device.r_load", d.crossbar.r_load);
+    put_d(os, "device.v_read", d.crossbar.v_read);
+    const lim::MemristorParams& m = d.crossbar.device;
+    put_d(os, "device.cell.r_on", m.r_on);
+    put_d(os, "device.cell.r_off", m.r_off);
+    put_d(os, "device.cell.v_on", m.v_on);
+    put_d(os, "device.cell.v_off", m.v_off);
+    put_d(os, "device.cell.k_on", m.k_on);
+    put_d(os, "device.cell.k_off", m.k_off);
+    put_d(os, "device.cell.dt", m.dt);
+    put_i(os, "device.cell.steps_per_pulse", m.steps_per_pulse);
+    put_d(os, "device.cell.read_threshold", m.read_threshold);
+  }
+
+  put_s(os, "fault.kind", fault::to_string(spec.fault.kind));
+  put_d(os, "fault.injection_rate", spec.fault.injection_rate);
+  put_i(os, "fault.faulty_rows", spec.fault.faulty_rows);
+  put_i(os, "fault.faulty_cols", spec.fault.faulty_cols);
+  put_i(os, "fault.dynamic_period", spec.fault.dynamic_period);
+  put_d(os, "fault.stuck_at_one_fraction", spec.fault.stuck_at_one_fraction);
+  put_s(os, "fault.granularity", fault::to_string(spec.fault.granularity));
+  put_s(os, "fault.distribution", fault::to_string(spec.fault.distribution));
+  put_i(os, "fault.cluster_count", spec.fault.cluster_count);
+  put_d(os, "fault.cluster_radius", spec.fault.cluster_radius);
+
+  put_i(os, "grid.rows", spec.grid.rows);
+  put_i(os, "grid.cols", spec.grid.cols);
+  for (const std::string& name : spec.layer_filter) {
+    put_s(os, "layer_filter", name);
+  }
+
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const ScenarioAxis& axis = spec.axes[a];
+    const std::string prefix = "axis." + std::to_string(a);
+    put_i(os, (prefix + ".kind").c_str(),
+          static_cast<long long>(static_cast<std::uint8_t>(axis.kind)));
+    put_s(os, (prefix + ".name").c_str(), axis.name);
+    for (std::size_t i = 0; i < axis.values.size(); ++i) {
+      const AxisValue& v = axis.values[i];
+      const std::string vkey = prefix + ".value." + std::to_string(i);
+      put_d(os, (vkey + ".number").c_str(), v.number);
+      put_s(os, (vkey + ".text").c_str(), v.text);
+      put_s(os, (vkey + ".label").c_str(), v.label);
+    }
+  }
+
+  put_i(os, "repetitions", spec.repetitions);
+  put_u(os, "master_seed", spec.master_seed);
+  return os.str();
+}
+
+std::string spec_fingerprint(const ScenarioSpec& spec) {
+  return core::hash_hex(
+      core::fnv1a64(core::code_fingerprint() + "\n" + canonical_spec(spec)));
+}
+
+RunHeader make_run_header(const ScenarioSpec& spec, double clean_accuracy,
+                          int shard_index, int shard_count) {
+  FLIM_REQUIRE(shard_count >= 1 && shard_index >= 0 &&
+                   shard_index < shard_count,
+               "shard index must be in [0, shard_count)");
+  RunHeader h;
+  h.name = spec.name;
+  h.backend = to_string(spec.engine.backend);
+  h.fingerprint = spec_fingerprint(spec);
+  h.library_version = core::code_fingerprint();
+  h.master_seed = spec.master_seed;
+  h.repetitions = spec.repetitions;
+  h.total_points = 1;
+  for (const ScenarioAxis& axis : spec.axes) {
+    h.total_points *= axis.values.size();
+    h.axis_names.push_back(axis.name);
+    h.axis_sizes.push_back(axis.values.size());
+  }
+  h.shard_index = shard_index;
+  h.shard_count = shard_count;
+  h.clean_accuracy = clean_accuracy;
+  return h;
+}
+
+bool shard_owns(std::size_t flat_index, int shard_index, int shard_count) {
+  FLIM_REQUIRE(shard_count >= 1 && shard_index >= 0 &&
+                   shard_index < shard_count,
+               "shard index must be in [0, shard_count)");
+  return flat_index % static_cast<std::size_t>(shard_count) ==
+         static_cast<std::size_t>(shard_index);
+}
+
+RunFile RunFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FLIM_REQUIRE(in.good(), "cannot open run file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  RunFile run;
+  std::set<std::size_t> seen;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: a torn final write. Everything before it is
+      // already accounted for; the fragment is dropped.
+      run.truncated_tail = true;
+      break;
+    }
+    const std::string line = data.substr(pos, nl - pos);
+    const std::size_t line_end = nl + 1;
+    if (!have_header) {
+      try {
+        run.header = parse_header(line);
+      } catch (const ParseError& e) {
+        FLIM_REQUIRE(false, "bad run-file header in " + path + ": " + e.what);
+      }
+      FLIM_REQUIRE(run.header.format == kRunFormatVersion,
+                   "unsupported run-file format version " +
+                       std::to_string(run.header.format) + " in " + path);
+      have_header = true;
+    } else {
+      StoredPoint sp;
+      try {
+        sp = parse_point(line);
+      } catch (const ParseError&) {
+        // Corrupt tail: accept the valid prefix, ignore the rest.
+        run.truncated_tail = true;
+        break;
+      }
+      FLIM_REQUIRE(sp.flat_index < run.header.total_points,
+                   "run file " + path + " has a point outside its grid");
+      FLIM_REQUIRE(sp.point.labels.size() == run.header.axis_names.size(),
+                   "run file " + path + " has a point of the wrong rank");
+      if (seen.insert(sp.flat_index).second) {
+        run.points.push_back(std::move(sp));
+      }
+    }
+    run.valid_prefix_bytes = line_end;
+    pos = line_end;
+  }
+  FLIM_REQUIRE(have_header, "run file has no header line: " + path);
+  return run;
+}
+
+bool RunFile::has(std::size_t flat_index) const {
+  for (const StoredPoint& sp : points) {
+    if (sp.flat_index == flat_index) return true;
+  }
+  return false;
+}
+
+void RunStoreWriter::FileCloser::operator()(std::FILE* f) const {
+  if (f != nullptr) std::fclose(f);
+}
+
+RunStoreWriter::RunStoreWriter(const std::string& path,
+                               const RunHeader& header, bool fsync_each_point)
+    : path_(path), fsync_each_point_(fsync_each_point) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  file_.reset(std::fopen(path.c_str(), "wb"));
+  FLIM_REQUIRE(file_ != nullptr, "cannot create run file: " + path);
+  write_line(header_line(header));
+}
+
+RunStoreWriter RunStoreWriter::resume(const std::string& path,
+                                      std::size_t valid_prefix_bytes,
+                                      bool fsync_each_point) {
+  FLIM_REQUIRE(std::filesystem::exists(path),
+               "cannot resume missing run file: " + path);
+  // Drop any torn tail before appending: once truncated, the file is a
+  // clean prefix again and every future line lands on a line boundary.
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_prefix_bytes, ec);
+  FLIM_REQUIRE(!ec, "cannot truncate run-file tail: " + path);
+  RunStoreWriter w;
+  w.path_ = path;
+  w.fsync_each_point_ = fsync_each_point;
+  w.file_.reset(std::fopen(path.c_str(), "ab"));
+  FLIM_REQUIRE(w.file_ != nullptr, "cannot open run file for append: " + path);
+  return w;
+}
+
+void RunStoreWriter::append(std::size_t flat_index,
+                            const ScenarioPoint& point) {
+  write_line(point_line(flat_index, point));
+}
+
+void RunStoreWriter::write_line(const std::string& line) {
+  FLIM_REQUIRE(file_ != nullptr, "run-file writer is closed");
+  const std::string with_newline = line + "\n";
+  const std::size_t written = std::fwrite(with_newline.data(), 1,
+                                          with_newline.size(), file_.get());
+  FLIM_REQUIRE(written == with_newline.size(),
+               "short write to run file: " + path_);
+  if (fsync_each_point_) {
+    sync_now(file_.get());
+  } else {
+    std::fflush(file_.get());
+  }
+}
+
+ScenarioResult merge_run_files(const std::vector<std::string>& paths) {
+  FLIM_REQUIRE(!paths.empty(), "merge needs at least one run file");
+  std::vector<RunFile> runs;
+  runs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    runs.push_back(RunFile::load(path));
+  }
+
+  const RunHeader& first = runs.front().header;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const RunHeader& h = runs[i].header;
+    FLIM_REQUIRE(h.fingerprint == first.fingerprint,
+                 "spec fingerprint mismatch between run files " + paths[0] +
+                     " and " + paths[i]);
+    FLIM_REQUIRE(h.total_points == first.total_points &&
+                     h.axis_names == first.axis_names &&
+                     h.axis_sizes == first.axis_sizes,
+                 "grid mismatch between run files " + paths[0] + " and " +
+                     paths[i]);
+    FLIM_REQUIRE(h.clean_accuracy == first.clean_accuracy,
+                 "clean-accuracy mismatch between run files " + paths[0] +
+                     " and " + paths[i]);
+  }
+
+  std::map<std::size_t, ScenarioPoint> merged;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    for (StoredPoint& sp : runs[i].points) {
+      const auto inserted = merged.emplace(sp.flat_index,
+                                           std::move(sp.point));
+      FLIM_REQUIRE(inserted.second,
+                   "overlapping grid point " + std::to_string(sp.flat_index) +
+                       " in " + paths[i] +
+                       " (shard run files must be disjoint)");
+    }
+  }
+  FLIM_REQUIRE(
+      merged.size() == first.total_points,
+      "merged run files cover " + std::to_string(merged.size()) + " of " +
+          std::to_string(first.total_points) +
+          " grid points (missing shards?)");
+
+  ScenarioResult result;
+  result.name = first.name;
+  result.backend = first.backend;
+  result.axis_names = first.axis_names;
+  result.axis_sizes = first.axis_sizes;
+  result.clean_accuracy = first.clean_accuracy;
+  result.total_points = first.total_points;
+  result.points.reserve(merged.size());
+  result.flat_indices.reserve(merged.size());
+  for (auto& [flat, point] : merged) {
+    result.flat_indices.push_back(flat);
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace flim::exp

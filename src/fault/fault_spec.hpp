@@ -31,7 +31,7 @@ enum class FaultDistribution : std::uint8_t {
   kClustered = 1,
 };
 
-/// Injection granularity (DESIGN.md, "Fault granularity").
+/// Injection granularity (docs/architecture.md, "Fault granularity").
 ///
 /// kOutputElement reproduces the paper's TensorFlow implementation: masks
 /// are applied to the layer's feature map (each element is "the XNOR op").

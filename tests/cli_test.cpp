@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
@@ -71,6 +73,98 @@ TEST(Cli, EvaluateRejectsReferenceEngine) {
 TEST(Cli, UnknownCommandFails) {
   EXPECT_EQ(run(parse({"frobnicate"})), 1);
   EXPECT_EQ(run(parse({"help"})), 0);
+}
+
+TEST(Cli, CampaignValidatesStoreFlags) {
+  // --shard without --store would evaluate a slice nobody can merge.
+  EXPECT_THROW(run(parse({"campaign", "--shard", "0/2"})),
+               std::invalid_argument);
+  // Malformed shard syntax and out-of-range indices fail loudly.
+  EXPECT_THROW(run(parse({"campaign", "--shard", "2", "--store", "/tmp/x"})),
+               std::invalid_argument);
+  EXPECT_THROW(run(parse({"campaign", "--shard", "3/2", "--store",
+                          "/tmp/x"})),
+               std::invalid_argument);
+  // Trailing garbage must not silently run the wrong partition.
+  EXPECT_THROW(run(parse({"campaign", "--shard", "1/2x", "--store",
+                          "/tmp/x"})),
+               std::invalid_argument);
+  EXPECT_THROW(run(parse({"campaign", "--shard", "1/2/4", "--store",
+                          "/tmp/x"})),
+               std::invalid_argument);
+  EXPECT_THROW(run(parse({"campaign", "--shard", "/2", "--store",
+                          "/tmp/x"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, MergeValidatesInput) {
+  EXPECT_THROW(cmd_merge(parse({"merge"})), std::invalid_argument);
+  EXPECT_THROW(cmd_merge(parse({"merge", "--inputs",
+                                "/nonexistent/a.run.jsonl"})),
+               std::exception);
+}
+
+TEST(Cli, ShardedCampaignMergeMatchesSingleRunCsv) {
+  // End-to-end acceptance path: two shard processes + merge reproduce the
+  // single-process CSV byte for byte. Tiny scale: 1-epoch LeNet, 8 images.
+  const std::string dir = ::testing::TempDir() + "/cli_store";
+  std::filesystem::create_directories(dir);
+  const std::string weights = dir + "/weights";
+  auto campaign = [&](std::initializer_list<const char*> extra) {
+    std::vector<const char*> argv{
+        "flim_cli", "campaign", "--model",   "lenet",           "--kind",
+        "bitflip",  "--rates",  "0,0.2",     "--reps",          "2",
+        "--epochs", "1",        "--samples", "32",              "--images",
+        "8",        "--weights-dir",         weights.c_str()};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    return Args::parse(static_cast<int>(argv.size()), argv.data());
+  };
+
+  const std::string single_csv = dir + "/single.csv";
+  const std::string s0 = dir + "/s0.run.jsonl";
+  const std::string s1 = dir + "/s1.run.jsonl";
+  const std::string merged_csv = dir + "/merged.csv";
+  ASSERT_EQ(cmd_campaign(campaign({"--csv", single_csv.c_str()})), 0);
+  ASSERT_EQ(cmd_campaign(campaign({"--shard", "0/2", "--store",
+                                   s0.c_str()})),
+            0);
+  ASSERT_EQ(cmd_campaign(campaign({"--shard", "1/2", "--store",
+                                   s1.c_str()})),
+            0);
+  const std::string inputs = s0 + "," + s1;
+  ASSERT_EQ(cmd_merge(parse({"merge", "--inputs", inputs.c_str(), "--csv",
+                             merged_csv.c_str()})),
+            0);
+
+  auto read = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  ASSERT_FALSE(read(single_csv).empty());
+  EXPECT_EQ(read(single_csv), read(merged_csv));
+
+  // Resuming the (complete) shard-0 file evaluates nothing and leaves the
+  // run file untouched.
+  const std::string before = read(s0);
+  ASSERT_EQ(cmd_campaign(campaign({"--shard", "0/2", "--resume",
+                                   s0.c_str()})),
+            0);
+  EXPECT_EQ(read(s0), before);
+
+  // --store alone resumes in place (rerunning the command after a kill must
+  // never truncate the checkpoint)...
+  ASSERT_EQ(cmd_campaign(campaign({"--shard", "0/2", "--store",
+                                   s0.c_str()})),
+            0);
+  EXPECT_EQ(read(s0), before);
+  // ...and a different spec pointed at the same file refuses to clobber it.
+  EXPECT_THROW(cmd_campaign(campaign({"--seed", "7", "--shard", "0/2",
+                                      "--store", s0.c_str()})),
+               std::invalid_argument);
+  EXPECT_EQ(read(s0), before);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, GenerateAndInspectRoundTrip) {

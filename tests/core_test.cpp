@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 
@@ -420,6 +421,63 @@ TEST(SysInfo, CollectsBasicFields) {
   const std::string report = format_system_info(info);
   EXPECT_NE(report.find("CPU"), std::string::npos);
   EXPECT_NE(report.find("FLIM"), std::string::npos);
+}
+
+TEST(Campaign, SelectedGridSweepMatchesFullSweepPerCell) {
+  // The resume/shard foundation: evaluating any subset of cells produces
+  // bit-identical summaries to the full sweep, tagged with row-major flat
+  // indices.
+  CampaignConfig cfg;
+  cfg.repetitions = 3;
+  cfg.master_seed = 7;
+  const std::vector<SweepAxis> axes{
+      {"a", {{1.0, "a1"}, {2.0, "a2"}}},
+      {"b", {{10.0, "b10"}, {20.0, "b20"}, {30.0, "b30"}}}};
+  auto metric = [](const std::vector<double>& xs, std::uint64_t seed,
+                   std::size_t) {
+    return xs[0] + xs[1] + Rng(seed).uniform_double();
+  };
+  const auto full = run_grid_sweep(cfg, axes, metric);
+  const auto odd = run_grid_sweep_selected(
+      cfg, axes, [](std::size_t flat) { return flat % 2 == 1; }, metric);
+  ASSERT_EQ(odd.size(), 3u);
+  for (const SelectedGridPoint& sp : odd) {
+    EXPECT_EQ(sp.flat_index % 2, 1u);
+    EXPECT_EQ(sp.point.metric.mean, full[sp.flat_index].metric.mean);
+    EXPECT_EQ(sp.point.metric.stddev, full[sp.flat_index].metric.stddev);
+    EXPECT_EQ(sp.point.labels, full[sp.flat_index].labels);
+    EXPECT_EQ(sp.point.coords, full[sp.flat_index].coords);
+  }
+  // A null selector evaluates everything; zero axes evaluate one cell.
+  EXPECT_EQ(run_grid_sweep_selected(cfg, axes, nullptr, metric).size(), 6u);
+  const auto single = run_grid_sweep_selected(
+      cfg, {}, nullptr,
+      [](const std::vector<double>& xs, std::uint64_t, std::size_t) {
+        return static_cast<double>(xs.size());
+      });
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].flat_index, 0u);
+  EXPECT_DOUBLE_EQ(single[0].point.metric.mean, 0.0);
+}
+
+TEST(Sysinfo, Fnv1a64IsStableAndSensitive) {
+  // Reference vectors from the FNV specification; persisted fingerprints
+  // rely on these exact values on every platform.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_NE(fnv1a64("campaign-a"), fnv1a64("campaign-b"));
+  EXPECT_EQ(hash_hex(0xcbf29ce484222325ull), "cbf29ce484222325");
+  EXPECT_EQ(hash_hex(0x1ull), "0000000000000001");
+  EXPECT_NE(code_fingerprint().find("flim-"), std::string::npos);
+}
+
+TEST(Report, RoundTripDoubleIsExact) {
+  const std::vector<double> values{0.0, 1.0 / 3.0, 0.1, 6.02e23, 5e-324,
+                                   -0.036084391824351615};
+  for (const double v : values) {
+    const std::string text = format_double_roundtrip(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
 }
 
 TEST(Check, RequireThrowsWithMessage) {

@@ -1,0 +1,418 @@
+// Tests for the durable campaign store: spec fingerprints, run-file
+// round-trips, kill-and-resume determinism (byte-identical CSV after a torn
+// write), deterministic sharding, and shard-file merging.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "exp/store.hpp"
+
+namespace flim::exp {
+namespace {
+
+/// ctest runs every test in its own concurrent process, so all scratch
+/// paths (run files, weight cache) are process-unique to keep the suite
+/// parallel-safe.
+std::string process_tag() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const std::string tag = std::to_string(::getpid());
+#else
+  static const std::string tag = "solo";
+#endif
+  return tag;
+}
+
+ScenarioSpec tiny_scenario() {
+  ScenarioSpec s;
+  s.name = "store-test";
+  s.workload.model = "lenet";
+  s.workload.eval_images = 16;
+  s.workload.epochs = 1;
+  s.workload.train_samples = 32;
+  s.workload.weights_dir =
+      ::testing::TempDir() + "flim_store_weights_" + process_tag();
+  s.workload.measure_clean_accuracy = true;
+  s.axes = {rate_axis({0.0, 0.15, 0.3}), layers_axis({"conv1", "combined"})};
+  s.repetitions = 2;
+  s.master_seed = 11;
+  return s;
+}
+
+const Workload& tiny_workload() {
+  static const Workload* w =
+      new Workload(load_workload(tiny_scenario().workload));
+  return *w;
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "flim_store_" + process_tag() + "_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// The uninterrupted reference run of the tiny scenario, with its CSV and
+/// run-file bytes (computed once; every durability test compares against
+/// these).
+struct Reference {
+  ScenarioResult result;
+  std::string csv;
+  std::string run_bytes;
+  std::string path;
+};
+
+const Reference& reference_run() {
+  static const Reference* ref = [] {
+    auto* r = new Reference;
+    r->path = tmp_path("reference.run.jsonl");
+    std::filesystem::remove(r->path);
+    StoreOptions store;
+    store.store_path = r->path;
+    r->result = ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+    r->csv = r->result.to_table().to_csv();
+    r->run_bytes = read_file(r->path);
+    return r;
+  }();
+  return *ref;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+
+TEST(SpecFingerprint, IgnoresExecutionOnlyKnobs) {
+  const ScenarioSpec base = tiny_scenario();
+  ScenarioSpec same = base;
+  same.jobs = 8;
+  same.name = "renamed";
+  same.workload.verbose = true;
+  same.workload.weights_dir = "/elsewhere";
+  same.workload.force_retrain = true;
+  EXPECT_EQ(spec_fingerprint(base), spec_fingerprint(same));
+  EXPECT_EQ(spec_fingerprint(base).size(), 16u);
+}
+
+TEST(SpecFingerprint, SeesEveryNumberChangingField) {
+  const ScenarioSpec base = tiny_scenario();
+  auto differs = [&](const ScenarioSpec& other) {
+    return spec_fingerprint(other) != spec_fingerprint(base);
+  };
+  ScenarioSpec s = base;
+  s.axes[0] = rate_axis({0.0, 0.15, 0.31});
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.engine.backend = Backend::kDevice;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.repetitions += 1;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.master_seed += 1;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.fault.kind = fault::FaultKind::kStuckAt;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.workload.eval_images += 1;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.grid = {32, 32};
+  EXPECT_TRUE(differs(s));
+}
+
+// ---------------------------------------------------------------------------
+// Run-file round-trip
+
+TEST(RunFile, HeaderRoundTripsThroughDisk) {
+  const ScenarioSpec spec = tiny_scenario();
+  const RunHeader header = make_run_header(spec, 0.75, 1, 4);
+  const std::string path = tmp_path("header.run.jsonl");
+  { RunStoreWriter writer(path, header); }
+  const RunFile run = RunFile::load(path);
+  EXPECT_EQ(run.header.format, kRunFormatVersion);
+  EXPECT_EQ(run.header.name, spec.name);
+  EXPECT_EQ(run.header.backend, "flim");
+  EXPECT_EQ(run.header.fingerprint, spec_fingerprint(spec));
+  EXPECT_EQ(run.header.master_seed, spec.master_seed);
+  EXPECT_EQ(run.header.repetitions, spec.repetitions);
+  EXPECT_EQ(run.header.total_points, 6u);
+  EXPECT_EQ(run.header.shard_index, 1);
+  EXPECT_EQ(run.header.shard_count, 4);
+  EXPECT_DOUBLE_EQ(run.header.clean_accuracy, 0.75);
+  EXPECT_EQ(run.header.axis_names,
+            (std::vector<std::string>{"rate", "layer"}));
+  EXPECT_EQ(run.header.axis_sizes, (std::vector<std::size_t>{3, 2}));
+  EXPECT_TRUE(run.points.empty());
+  EXPECT_FALSE(run.truncated_tail);
+  std::filesystem::remove(path);
+}
+
+TEST(RunFile, PointsRoundTripBitExactly) {
+  const Reference& ref = reference_run();
+  const RunFile run = RunFile::load(ref.path);
+  ASSERT_EQ(run.points.size(), ref.result.points.size());
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const StoredPoint& stored = run.points[i];
+    EXPECT_EQ(stored.flat_index, ref.result.flat_indices[i]);
+    const ScenarioPoint& expect = ref.result.points[i];
+    EXPECT_EQ(stored.point.values, expect.values);
+    EXPECT_EQ(stored.point.labels, expect.labels);
+    // Bit-exact doubles, not just approximately equal: resume and merge
+    // re-emit these into CSV.
+    EXPECT_EQ(stored.point.metric.mean, expect.metric.mean);
+    EXPECT_EQ(stored.point.metric.stddev, expect.metric.stddev);
+    EXPECT_EQ(stored.point.metric.min, expect.metric.min);
+    EXPECT_EQ(stored.point.metric.max, expect.metric.max);
+    EXPECT_EQ(stored.point.metric.count, expect.metric.count);
+  }
+  EXPECT_TRUE(run.has(0));
+  EXPECT_FALSE(run.has(99));
+}
+
+TEST(RunFile, LoadRejectsGarbage) {
+  const std::string path = tmp_path("garbage.run.jsonl");
+  write_file(path, "not a run file\n");
+  EXPECT_THROW(RunFile::load(path), std::invalid_argument);
+  EXPECT_THROW(RunFile::load(tmp_path("does_not_exist.run.jsonl")),
+               std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-tail recovery
+
+/// The reference run file cut after the header and two point lines, with a
+/// torn third point line appended (a crash mid-write).
+std::string torn_copy(const std::string& name) {
+  const Reference& ref = reference_run();
+  std::size_t pos = 0;
+  for (int lines = 0; lines < 3; ++lines) {
+    pos = ref.run_bytes.find('\n', pos) + 1;
+  }
+  const std::string path = tmp_path(name);
+  write_file(path, ref.run_bytes.substr(0, pos) + "{\"point\": 2, \"val");
+  return path;
+}
+
+TEST(RunFile, CorruptTailIsDroppedNotFatal) {
+  const std::string path = torn_copy("torn.run.jsonl");
+  const RunFile run = RunFile::load(path);
+  EXPECT_TRUE(run.truncated_tail);
+  EXPECT_EQ(run.points.size(), 2u);
+  EXPECT_LT(run.valid_prefix_bytes, std::filesystem::file_size(path));
+  // The valid prefix ends exactly on the last complete line.
+  EXPECT_EQ(read_file(path).compare(0, run.valid_prefix_bytes,
+                                    reference_run().run_bytes, 0,
+                                    run.valid_prefix_bytes),
+            0);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume determinism
+
+TEST(RunStore, KillAndResumeIsByteIdentical) {
+  const Reference& ref = reference_run();
+  const std::string path = torn_copy("resume.run.jsonl");
+
+  StoreOptions store;
+  store.store_path = path;
+  store.resume_from = path;
+  int fresh = 0;
+  const ScenarioResult resumed = ScenarioRunner(tiny_scenario())
+                                     .run(tiny_workload(), store,
+                                          [&](const ScenarioPoint&) {
+                                            ++fresh;
+                                          });
+  // Two of six points were restored; only the rest were re-evaluated.
+  EXPECT_EQ(fresh, 4);
+  EXPECT_TRUE(resumed.complete());
+  // The resumed CSV and the repaired run file match the uninterrupted run
+  // byte for byte.
+  EXPECT_EQ(resumed.to_table().to_csv(), ref.csv);
+  EXPECT_EQ(read_file(path), ref.run_bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(RunStore, ResumeIntoFreshStoreCopiesRestoredPoints) {
+  const std::string src = torn_copy("resume_src.run.jsonl");
+  const std::string dst = tmp_path("resume_dst.run.jsonl");
+  std::filesystem::remove(dst);
+  StoreOptions store;
+  store.resume_from = src;
+  store.store_path = dst;
+  ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+  // The new store is self-contained: restored + fresh points.
+  EXPECT_EQ(read_file(dst), reference_run().run_bytes);
+  std::filesystem::remove(src);
+  std::filesystem::remove(dst);
+}
+
+TEST(RunStore, ResumeFromMissingFileIsAFreshRun) {
+  const std::string path = tmp_path("fresh.run.jsonl");
+  std::filesystem::remove(path);
+  StoreOptions store;
+  store.store_path = path;
+  store.resume_from = path;
+  const ScenarioResult result =
+      ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(read_file(path), reference_run().run_bytes);
+  std::filesystem::remove(path);
+}
+
+TEST(RunStore, ResumeFromTornHeaderIsAFreshRun) {
+  // A crash between creating the run file and durably writing its header
+  // leaves an empty file or a partial, newline-less header line; resuming
+  // must recover (fresh start), not abort until someone deletes the file.
+  for (const std::string& residue : {std::string(), std::string("{\"flim_")}) {
+    const std::string path = tmp_path("torn_header.run.jsonl");
+    write_file(path, residue);
+    StoreOptions store;
+    store.store_path = path;
+    store.resume_from = path;
+    const ScenarioResult result =
+        ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+    EXPECT_TRUE(result.complete());
+    EXPECT_EQ(read_file(path), reference_run().run_bytes);
+    std::filesystem::remove(path);
+  }
+  // Anything that is not unambiguously our own torn header stays a loud
+  // error: it is some other file, and "recovering" would truncate it --
+  // whether or not it happens to contain a newline.
+  for (const std::string& content :
+       {std::string("column_a,column_b\n1,2\n"),
+        std::string("single line, no newline")}) {
+    const std::string path = tmp_path("not_a_run_file.jsonl");
+    write_file(path, content);
+    StoreOptions store;
+    store.store_path = path;
+    store.resume_from = path;
+    EXPECT_THROW(ScenarioRunner(tiny_scenario()).run(tiny_workload(), store),
+                 std::invalid_argument);
+    EXPECT_EQ(read_file(path), content);  // untouched
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(RunStore, ResumeRejectsMismatchedSpec) {
+  const std::string path = torn_copy("mismatch.run.jsonl");
+  ScenarioSpec other = tiny_scenario();
+  other.fault.kind = fault::FaultKind::kStuckAt;
+  StoreOptions store;
+  store.resume_from = path;
+  EXPECT_THROW(ScenarioRunner(other).run(tiny_workload(), store),
+               std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+TEST(RunStore, ResumeRejectsShardMismatch) {
+  const std::string path = torn_copy("shardmismatch.run.jsonl");
+  StoreOptions store;
+  store.resume_from = path;
+  store.store_path = path;
+  store.shard_index = 0;
+  store.shard_count = 2;  // file was written unsharded
+  EXPECT_THROW(ScenarioRunner(tiny_scenario()).run(tiny_workload(), store),
+               std::invalid_argument);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding and merge
+
+/// Runs shard `index` of `count`, storing to a run file; returns its path.
+std::string run_shard(int index, int count, const std::string& tag) {
+  StoreOptions store;
+  store.shard_index = index;
+  store.shard_count = count;
+  store.store_path =
+      tmp_path("shard_" + tag + "_" + std::to_string(index) + ".run.jsonl");
+  std::filesystem::remove(store.store_path);
+  ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+  return store.store_path;
+}
+
+TEST(RunStore, ShardsPartitionTheGridDeterministically) {
+  StoreOptions store;
+  store.shard_index = 1;
+  store.shard_count = 2;
+  store.store_path = tmp_path("slice.run.jsonl");
+  std::filesystem::remove(store.store_path);
+  const ScenarioResult slice =
+      ScenarioRunner(tiny_scenario()).run(tiny_workload(), store);
+  EXPECT_FALSE(slice.complete());
+  EXPECT_EQ(slice.total_points, 6u);
+  EXPECT_EQ(slice.flat_indices, (std::vector<std::size_t>{1, 3, 5}));
+  EXPECT_THROW(slice.at({0, 0}), std::invalid_argument);
+  // The slice's summaries equal the corresponding full-run points.
+  const Reference& ref = reference_run();
+  for (std::size_t i = 0; i < slice.points.size(); ++i) {
+    EXPECT_EQ(slice.points[i].metric.mean,
+              ref.result.points[slice.flat_indices[i]].metric.mean);
+  }
+  std::filesystem::remove(store.store_path);
+}
+
+TEST(Merge, ShardMergeMatchesSingleRunByteForByte) {
+  const Reference& ref = reference_run();
+  for (const int count : {2, 3}) {
+    std::vector<std::string> paths;
+    for (int i = 0; i < count; ++i) {
+      paths.push_back(run_shard(i, count, std::to_string(count)));
+    }
+    const ScenarioResult merged = merge_run_files(paths);
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(merged.to_table().to_csv(), ref.csv);
+    EXPECT_DOUBLE_EQ(merged.clean_accuracy, ref.result.clean_accuracy);
+    for (const std::string& path : paths) std::filesystem::remove(path);
+  }
+}
+
+TEST(Merge, SingleCompleteRunFileMaterializes) {
+  const Reference& ref = reference_run();
+  const ScenarioResult merged = merge_run_files({ref.path});
+  EXPECT_EQ(merged.to_table().to_csv(), ref.csv);
+}
+
+TEST(Merge, DetectsOverlapGapAndMismatch) {
+  EXPECT_THROW(merge_run_files({}), std::invalid_argument);
+
+  const std::string s0 = run_shard(0, 2, "dup");
+  // Overlap: the same shard twice.
+  EXPECT_THROW(merge_run_files({s0, s0}), std::invalid_argument);
+  // Gap: shard 1 of 2 is missing.
+  EXPECT_THROW(merge_run_files({s0}), std::invalid_argument);
+
+  // Fingerprint mismatch: a shard of a different spec.
+  ScenarioSpec other = tiny_scenario();
+  other.master_seed += 1;
+  StoreOptions store;
+  store.shard_index = 1;
+  store.shard_count = 2;
+  store.store_path = tmp_path("othershard.run.jsonl");
+  std::filesystem::remove(store.store_path);
+  ScenarioRunner(other).run(tiny_workload(), store);
+  EXPECT_THROW(merge_run_files({s0, store.store_path}),
+               std::invalid_argument);
+  std::filesystem::remove(s0);
+  std::filesystem::remove(store.store_path);
+}
+
+}  // namespace
+}  // namespace flim::exp

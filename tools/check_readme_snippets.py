@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Extracts fenced ``sh`` blocks from README.md and smoke-runs each one.
+
+Documentation that cannot be executed rots; this checker keeps every
+command line in the README honest. Rules:
+
+* Only ``` ```sh``` fences are run (```cpp`` etc. are ignored).
+* A block is skipped when an HTML comment of the form
+  ``<!-- snippet: skip ... -->`` appears on one of the few lines above
+  its fence (used for the tier-1 block CI runs as its own job, and for
+  paper-scale/long-running recipes).
+* Each block runs under ``bash -euo pipefail`` in its own scratch
+  directory, with the literal ``./build`` rewritten to the real build
+  tree, so blocks can create files without dirtying the checkout.
+* The caller scales workloads via the usual FLIM_BENCH_* environment
+  knobs (CI sets tiny values); FLIM_RESULTS_DIR/FLIM_WEIGHTS_DIR
+  default into the scratch directory so runs stay hermetic and the
+  model cache is shared across blocks.
+
+Usage: tools/check_readme_snippets.py [--build-dir BUILD] [--readme FILE]
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+SKIP_MARKER = "<!-- snippet: skip"
+SKIP_LOOKBACK_LINES = 3
+
+
+def extract_blocks(readme_text):
+    """Returns [(first_line_number, skipped, script)] for each sh fence."""
+    blocks = []
+    lines = readme_text.splitlines()
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == "```sh":
+            lookback = lines[max(0, i - SKIP_LOOKBACK_LINES):i]
+            skipped = any(SKIP_MARKER in line for line in lookback)
+            body = []
+            i += 1
+            first_line = i + 1
+            while i < len(lines) and lines[i].strip() != "```":
+                body.append(lines[i])
+                i += 1
+            blocks.append((first_line, skipped, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    parser.add_argument("--build-dir", default=str(repo / "build"))
+    parser.add_argument("--readme", default=str(repo / "README.md"))
+    args = parser.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir).resolve()
+    if not build_dir.is_dir():
+        print(f"error: build dir {build_dir} does not exist (build first)")
+        return 2
+
+    blocks = extract_blocks(pathlib.Path(args.readme).read_text())
+    if not blocks:
+        print("error: no ```sh blocks found -- did the README change shape?")
+        return 2
+
+    failures = 0
+    ran = 0
+    with tempfile.TemporaryDirectory(prefix="readme_snippets_") as scratch:
+        scratch = pathlib.Path(scratch)
+        env = dict(os.environ)
+        # Hermetic output/cache dirs; the weight cache is shared across
+        # blocks so each model trains at most once.
+        env.setdefault("FLIM_RESULTS_DIR", str(scratch / "results"))
+        env.setdefault("FLIM_WEIGHTS_DIR", str(scratch / "weights"))
+        for index, (line, skipped, script) in enumerate(blocks):
+            label = f"block #{index} (README.md:{line})"
+            if skipped:
+                print(f"-- {label}: skipped by marker")
+                continue
+            ran += 1
+            workdir = scratch / f"block_{index}"
+            workdir.mkdir()
+            rewritten = script.replace("./build", str(build_dir))
+            print(f"-- {label}: running\n{script}")
+            proc = subprocess.run(
+                ["bash", "-euo", "pipefail", "-c", rewritten],
+                cwd=workdir, env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            if proc.returncode != 0:
+                failures += 1
+                print(f"** {label} FAILED (exit {proc.returncode})")
+                print(proc.stdout[-4000:])
+            else:
+                print(f"-- {label}: ok")
+    print(f"README snippets: {ran} run, "
+          f"{len(blocks) - ran} skipped, {failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
