@@ -38,7 +38,12 @@ int main() {
               spec.kind = fault::FaultKind::kStuckAt;
               spec.injection_rate = rate;
               spec.granularity = granularity;
-              spec.distribution = distribution;
+              // Placement is meaningless with zero faults (and the spec
+              // validator rejects clustered mode at rate 0); the clean
+              // point is identical either way.
+              spec.distribution =
+                  rate == 0.0 ? fault::FaultDistribution::kUniform
+                              : distribution;
               spec.cluster_radius = 2.0;
               return benchx::evaluate_with_faults(fx.model, fx.eval_batch,
                                                   fx.layers, {}, spec, seed,

@@ -5,6 +5,7 @@
 
 #include "bnn/flim_engine.hpp"
 #include "core/log.hpp"
+#include "core/report.hpp"
 #include "core/rng.hpp"
 #include "fault/fault_generator.hpp"
 #include "models/pretrained.hpp"
@@ -92,6 +93,15 @@ exp::StoreOptions store_options_from_env(const std::string& scenario_name) {
     std::cerr << "[bench] durable run file: " << store.store_path << "\n";
   }
   return store;
+}
+
+exp::ScenarioAxis rate_or_expr_axis(const std::vector<double>& rates) {
+  const char* expr = std::getenv("FLIM_BENCH_FAULT_EXPR");
+  if (expr == nullptr || *expr == '\0') {
+    return exp::rate_axis(rates);
+  }
+  std::cerr << "[bench] fault-expression override: " << expr << "\n";
+  return exp::fault_expr_axis(std::string(expr), rates);
 }
 
 ZooFixture make_zoo_fixture(const BenchOptions& options) {

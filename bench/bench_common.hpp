@@ -70,6 +70,16 @@ exp::Workload load_bench_workload(const exp::WorkloadSpec& spec);
 /// Unset, the default in-memory behaviour is unchanged.
 exp::StoreOptions store_options_from_env(const std::string& scenario_name);
 
+/// The rate axis of a figure bench, overridable through the composable
+/// fault-model registry: when $FLIM_BENCH_FAULT_EXPR is set (an expression
+/// with '@' as the swept-rate placeholder, e.g. "readdisturb(rate=@)" or
+/// "stuckat(rate=@)+drift(tau=2000)"), the swept axis becomes a
+/// fault-expression axis with '@' expanded per rate -- the figure's grid
+/// shape, table layout, and store/resume behaviour are unchanged, only the
+/// injected fault stack is swapped. Unset, this is exactly
+/// exp::rate_axis(rates), byte-identical to the pre-registry benches.
+exp::ScenarioAxis rate_or_expr_axis(const std::vector<double>& rates);
+
 /// Shared zoo fixture for the Fig 5 / Table II benches.
 struct ZooFixture {
   data::SyntheticImagenet dataset;

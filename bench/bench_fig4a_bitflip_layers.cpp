@@ -21,7 +21,7 @@ int main() {
   spec.name = "fig4a_bitflip_layers";
   spec.workload = benchx::lenet_workload_spec(options);
   spec.fault.kind = fault::FaultKind::kBitFlip;
-  spec.axes = {exp::rate_axis(rates), exp::layers_axis(series)};
+  spec.axes = {benchx::rate_or_expr_axis(rates), exp::layers_axis(series)};
   spec.repetitions = options.repetitions;
   spec.master_seed = options.master_seed;
 

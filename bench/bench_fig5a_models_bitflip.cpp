@@ -24,7 +24,7 @@ int main() {
     spec.name = "fig5a_" + name;
     spec.workload = benchx::zoo_workload_spec(name, options);
     spec.fault.kind = fault::FaultKind::kBitFlip;
-    spec.axes = {exp::rate_axis(rates)};
+    spec.axes = {benchx::rate_or_expr_axis(rates)};
     spec.repetitions = options.repetitions;
     spec.master_seed = options.master_seed;
 

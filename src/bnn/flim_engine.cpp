@@ -44,13 +44,17 @@ void FlimEngine::execute(const std::string& layer_name,
   }
 
   if (injector.granularity() == fault::FaultGranularity::kProductTerm) {
-    const fault::TermMasks& masks =
-        injector.term_masks(weights.rows(), weights.cols());
     for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
       const std::int64_t end = begin + positions_per_image;
-      if (injector.advance_execution()) {
-        tensor::xnor_gemm_term_faults_rows(activations, weights, masks.flip,
-                                           masks.sa0, masks.sa1, out, begin,
+      const std::int64_t exec = injector.advance_execution();
+      // The injector folds the planes of the components active on this
+      // execution (cached per signature); no active component means the
+      // clean fast path.
+      const fault::TermMasks* masks =
+          injector.term_masks(weights.rows(), weights.cols(), exec);
+      if (masks != nullptr) {
+        tensor::xnor_gemm_term_faults_rows(activations, weights, masks->flip,
+                                           masks->sa0, masks->sa1, out, begin,
                                            end, pool_);
       } else {
         tensor::xnor_gemm_rows(activations, weights, out, begin, end, pool_);
@@ -58,14 +62,14 @@ void FlimEngine::execute(const std::string& layer_name,
     }
   } else {
     // Output-element granularity: clean fast path, then per-image masking of
-    // the feature map ("another XNOR operation" in the paper). Stuck ops pin
-    // to the full-scale ±K accumulator value.
+    // the feature map ("another XNOR operation" in the paper) by every
+    // component active on this execution, in stack order.
     tensor::xnor_gemm(activations, weights, out, pool_);
     const auto full_scale = static_cast<std::int32_t>(weights.cols());
     for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
       const std::int64_t end = begin + positions_per_image;
-      const bool active = injector.advance_execution();
-      injector.apply_output_element(out, begin, end, active, full_scale);
+      const std::int64_t exec = injector.advance_execution();
+      injector.apply_output_element(out, begin, end, exec, full_scale);
     }
   }
 }

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cmath>
 #include <iostream>
 
 #include "bnn/plan.hpp"
@@ -9,6 +10,7 @@
 #include "exp/scenario.hpp"
 #include "exp/store.hpp"
 #include "fault/fault_generator.hpp"
+#include "fault/fault_registry.hpp"
 #include "fault/fault_vector_file.hpp"
 #include "reliability/ecc.hpp"
 #include "reliability/lifetime.hpp"
@@ -86,19 +88,30 @@ commands:
   generate   draw fault masks and write a fault-vector file
              --out FILE (required), --layers a,b,c (required)
              --kind bitflip|stuckat|dynamic  --rate R (0..1)
+             or --fault EXPR (composable model stack; replaces --kind/--rate)
              --grid RxC (default 64x64)  --faulty-rows N  --faulty-cols N
              --period N (dynamic)  --sa1-fraction F  --granularity output|term
              --distribution uniform|clustered [--clusters N]
              [--cluster-radius R]  --seed S
   inspect    summarize a fault-vector file: --file FILE
+  faults     list the registered fault models (name, params, time semantics)
+             [--describe MODEL (full parameter docs)]
+             [--expr EXPR (parse/validate an expression, print its
+              canonical form)]
+             expression grammar: name(k=v,...)+name(...), e.g.
+             stuckat(rate=5e-4,sa1=0.7)+drift(tau=2000)
   train      train and cache a model
              --model lenet|<zoo name>  --epochs N  --samples N
              [--weights-dir DIR] [--retrain] [--verbose]
   evaluate   clean vs faulty accuracy
              --model M  --vectors FILE  [--images N] [--weights-dir DIR]
              [--engine flim|device|tmr]
-  campaign   repeated-seed sweep over injection rates
+  campaign   repeated-seed sweep over injection rates or fault expressions
              --model M  --kind K  --rates 0,0.05,0.1  [--reps N]
+             or --fault EXPR: sweep a composable fault stack; a '@'
+              placeholder is expanded with each --rates value, e.g.
+              --fault drift(rate=@,tau=500) --rates 0.01,0.05; without
+              '@' the stack is evaluated as a single point
              [--engine flim|device|tmr]  [--jobs N (parallel repetitions)]
              [--granularity output|term] [--grid RxC] [--csv FILE]
              [--json FILE]
@@ -130,19 +143,53 @@ commands:
 )";
 }
 
+namespace {
+
+/// Aggregate plane population counts of an entry (legacy mask plus every
+/// realized component).
+struct EntryCounts {
+  std::int64_t flips = 0;
+  std::int64_t sa0 = 0;
+  std::int64_t sa1 = 0;
+};
+
+EntryCounts count_entry(const fault::FaultVectorEntry& entry) {
+  EntryCounts counts;
+  if (!entry.mask.empty()) {
+    counts.flips += entry.mask.count_flip();
+    counts.sa0 += entry.mask.count_sa0();
+    counts.sa1 += entry.mask.count_sa1();
+  }
+  for (const fault::RealizedFault& c : entry.components) {
+    counts.flips += c.mask.count_flip();
+    counts.sa0 += c.mask.count_sa0();
+    counts.sa1 += c.mask.count_sa1();
+  }
+  return counts;
+}
+
+std::string entry_grid_string(const fault::FaultVectorEntry& entry) {
+  const fault::FaultMask& mask =
+      entry.components.empty() ? entry.mask : entry.components.front().mask;
+  return std::to_string(mask.rows()) + "x" + std::to_string(mask.cols());
+}
+
+}  // namespace
+
 int cmd_generate(const Args& args) {
-  args.require_known({"out", "layers", "kind", "rate", "grid", "faulty-rows",
-                      "faulty-cols", "period", "sa1-fraction", "granularity",
-                      "seed", "distribution", "clusters", "cluster-radius"});
+  args.require_known({"out", "layers", "kind", "fault", "rate", "grid",
+                      "faulty-rows", "faulty-cols", "period", "sa1-fraction",
+                      "granularity", "seed", "distribution", "clusters",
+                      "cluster-radius"});
   const std::string out_path = args.get_string("out");
   FLIM_REQUIRE(!out_path.empty(), "--out is required");
   const auto layers = args.get_list("layers");
   FLIM_REQUIRE(!layers.empty(), "--layers is required (comma-separated)");
 
   const lim::CrossbarGeometry grid = parse_grid(args, "grid", "64x64");
+  const std::string fault_expr = args.get_string("fault");
 
   fault::FaultSpec spec;
-  spec.kind = parse_kind(args.get_string("kind", "bitflip"));
   spec.injection_rate = args.get_double("rate", 0.0);
   spec.faulty_rows = args.get_int("faulty-rows", 0);
   spec.faulty_cols = args.get_int("faulty-cols", 0);
@@ -153,22 +200,50 @@ int cmd_generate(const Args& args) {
       parse_distribution(args.get_string("distribution", "uniform"));
   spec.cluster_count = static_cast<int>(args.get_int("clusters", 0));
   spec.cluster_radius = args.get_double("cluster-radius", 2.0);
-  validate(spec);
 
-  fault::FaultGenerator generator(grid);
   core::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
   fault::FaultVectorFile file;
-  for (const auto& layer : layers) {
-    fault::FaultVectorEntry entry;
-    entry.layer_name = layer;
-    entry.kind = spec.kind;
-    entry.granularity = spec.granularity;
-    entry.dynamic_period = spec.dynamic_period;
-    entry.mask = generator.generate(spec, rng);
-    std::cout << layer << ": " << entry.mask.count_flip() << " flips, "
-              << entry.mask.count_sa0() << " SA0, " << entry.mask.count_sa1()
-              << " SA1 on " << grid.rows << "x" << grid.cols << "\n";
-    file.add(std::move(entry));
+  if (!fault_expr.empty()) {
+    // Composable path: realize the parsed model stack per layer. Every
+    // single-kind flag is rejected (not silently ignored): their meanings
+    // live in the model parameters now.
+    FLIM_REQUIRE(!args.has("kind") && !args.has("rate") &&
+                     !args.has("faulty-rows") && !args.has("faulty-cols") &&
+                     !args.has("period") && !args.has("sa1-fraction"),
+                 "--fault replaces --kind/--rate/--faulty-rows/--faulty-cols/"
+                 "--period/--sa1-fraction; express them as model parameters, "
+                 "e.g. --fault 'stuckat(rate=0.05,sa1=0.7,rows=2)' or "
+                 "'dynamic(rate=0.05,period=4)'");
+    const fault::FaultStack stack = fault::parse_fault_expr(fault_expr);
+    stack.validate_granularity(spec.granularity);
+    fault::RealizeContext ctx;
+    ctx.grid = grid;
+    ctx.distribution = spec.distribution;
+    ctx.cluster_count = spec.cluster_count;
+    ctx.cluster_radius = spec.cluster_radius;
+    for (const auto& layer : layers) {
+      file.add(stack.realize_entry(layer, spec.granularity, ctx, rng));
+    }
+    std::cout << "fault stack: " << stack.canonical() << "\n";
+  } else {
+    spec.kind = parse_kind(args.get_string("kind", "bitflip"));
+    validate(spec);
+    fault::FaultGenerator generator(grid);
+    for (const auto& layer : layers) {
+      fault::FaultVectorEntry entry;
+      entry.layer_name = layer;
+      entry.kind = spec.kind;
+      entry.granularity = spec.granularity;
+      entry.dynamic_period = spec.dynamic_period;
+      entry.mask = generator.generate(spec, rng);
+      file.add(std::move(entry));
+    }
+  }
+  for (const auto& entry : file.entries()) {
+    const EntryCounts counts = count_entry(entry);
+    std::cout << entry.layer_name << ": " << counts.flips << " flips, "
+              << counts.sa0 << " SA0, " << counts.sa1 << " SA1 on "
+              << grid.rows << "x" << grid.cols << "\n";
   }
   file.save(out_path);
   std::cout << "wrote " << file.size() << " fault vectors to " << out_path
@@ -181,16 +256,89 @@ int cmd_inspect(const Args& args) {
   const std::string path = args.get_string("file");
   FLIM_REQUIRE(!path.empty(), "--file is required");
   const fault::FaultVectorFile file = fault::FaultVectorFile::load(path);
-  core::Table table({"layer", "kind", "granularity", "period", "grid",
+  core::Table table({"layer", "fault", "granularity", "period", "grid",
                      "flips", "sa0", "sa1"});
   for (const auto& e : file.entries()) {
-    table.add(e.layer_name, to_string(e.kind), to_string(e.granularity),
-              e.dynamic_period,
-              std::to_string(e.mask.rows()) + "x" +
-                  std::to_string(e.mask.cols()),
-              e.mask.count_flip(), e.mask.count_sa0(), e.mask.count_sa1());
+    const EntryCounts counts = count_entry(e);
+    table.add(e.layer_name, e.describe(), to_string(e.granularity),
+              e.dynamic_period, entry_grid_string(e), counts.flips,
+              counts.sa0, counts.sa1);
   }
   core::print_table(std::cout, path, table);
+  return 0;
+}
+
+int cmd_faults(const Args& args) {
+  args.require_known({"describe", "expr"});
+  const fault::FaultRegistry& registry = fault::FaultRegistry::instance();
+
+  const std::string expr = args.get_string("expr");
+  if (!expr.empty()) {
+    const fault::FaultStack stack = fault::parse_fault_expr(expr);
+    std::cout << "canonical: " << stack.canonical() << "\n";
+    core::Table table({"model", "params", "time"});
+    for (const fault::FaultStackItem& item : stack.items()) {
+      std::string params;
+      for (const auto& [key, value] : item.params.values()) {
+        if (!params.empty()) params += ",";
+        params += key + "=" + core::format_double_shortest(value);
+      }
+      if (params.empty()) params = "(defaults)";
+      table.add(item.model->info().name, params,
+                item.model->info().time_semantics);
+    }
+    core::print_table(std::cout, "fault stack (" +
+                                     std::to_string(stack.items().size()) +
+                                     " components)",
+                      table);
+    return 0;
+  }
+
+  const std::string name = args.get_string("describe");
+  if (!name.empty()) {
+    const fault::FaultModel& model = registry.get(name);
+    const fault::ModelInfo& meta = model.info();
+    std::cout << meta.name << ": " << meta.summary << "\n"
+              << "time semantics: " << meta.time_semantics << "\n"
+              << "granularity:    " << (meta.output_element ? "output" : "")
+              << (meta.output_element && meta.product_term ? "|" : "")
+              << (meta.product_term ? "term" : "") << "\n"
+              << "device engine:  " << (meta.device_backend ? "yes" : "no")
+              << "\n";
+    core::Table table({"param", "default", "range", "doc"});
+    for (const fault::ParamInfo& p : meta.params) {
+      const std::string lo = std::isinf(p.min_value)
+                                 ? std::string("-inf")
+                                 : core::format_double_shortest(p.min_value);
+      const std::string hi = std::isinf(p.max_value)
+                                 ? std::string("inf")
+                                 : core::format_double_shortest(p.max_value);
+      table.add(p.name, core::format_double_shortest(p.default_value),
+                "[" + lo + ", " + hi + "]" + (p.integer ? " int" : ""),
+                p.doc);
+    }
+    core::print_table(std::cout, "parameters of " + meta.name, table);
+    return 0;
+  }
+
+  core::Table table({"model", "params", "time", "granularity", "device"});
+  for (const fault::FaultModel* model : registry.models()) {
+    const fault::ModelInfo& meta = model->info();
+    std::string params;
+    for (const fault::ParamInfo& p : meta.params) {
+      if (!params.empty()) params += ",";
+      params += p.name;
+    }
+    std::string granularity;
+    if (meta.output_element) granularity += "output";
+    if (meta.product_term) granularity += granularity.empty() ? "term" : "|term";
+    table.add(meta.name, params, meta.time_semantics, granularity,
+              meta.device_backend ? "yes" : "no");
+  }
+  core::print_table(std::cout, "registered fault models", table);
+  std::cout << "describe one with: flim_cli faults --describe MODEL\n"
+            << "compose with '+': flim_cli campaign --fault "
+               "\"stuckat(rate=5e-4,sa1=0.7)+drift(tau=2000)\"\n";
   return 0;
 }
 
@@ -293,10 +441,11 @@ void emit_scenario_result(const Args& args, const std::string& title,
 }  // namespace
 
 int cmd_campaign(const Args& args) {
-  args.require_known({"model", "kind", "rates", "reps", "granularity", "grid",
-                      "csv", "json", "images", "weights-dir", "epochs",
-                      "samples", "retrain", "verbose", "seed", "engine",
-                      "jobs", "store", "resume", "shard"});
+  args.require_known({"model", "kind", "fault", "rates", "reps",
+                      "granularity", "grid", "csv", "json", "images",
+                      "weights-dir", "epochs", "samples", "retrain",
+                      "verbose", "seed", "engine", "jobs", "store", "resume",
+                      "shard"});
   auto rates = args.get_double_list("rates");
   if (rates.empty()) rates = {0.0, 0.05, 0.10, 0.20};
 
@@ -306,11 +455,28 @@ int cmd_campaign(const Args& args) {
   spec.engine.backend = exp::parse_backend(args.get_string("engine", "flim"));
   FLIM_REQUIRE(spec.engine.backend != exp::Backend::kReference,
                "--engine reference would inject nothing; pick flim|device|tmr");
-  spec.fault.kind = parse_kind(args.get_string("kind", "bitflip"));
   spec.fault.granularity =
       parse_granularity(args.get_string("granularity", "output"));
   spec.grid = parse_grid(args, "grid", "64x64");
-  spec.axes = {exp::rate_axis(rates)};
+  const std::string fault_expr = args.get_string("fault");
+  if (!fault_expr.empty()) {
+    FLIM_REQUIRE(!args.has("kind"),
+                 "--fault replaces --kind; drop one of them");
+    if (fault_expr.find('@') != std::string::npos) {
+      // Expand the '@' placeholder with each swept rate: one composed
+      // stack per grid point, e.g. "drift(rate=@)" x {0.01, 0.05}.
+      spec.axes = {exp::fault_expr_axis(fault_expr, rates)};
+    } else {
+      FLIM_REQUIRE(!args.has("rates"),
+                   "--rates with --fault needs a '@' placeholder in the "
+                   "expression (e.g. --fault 'bitflip(rate=@)'); without "
+                   "one the stack is a single point");
+      spec.fault_expr = fault::canonical_fault_expr(fault_expr);
+    }
+  } else {
+    spec.fault.kind = parse_kind(args.get_string("kind", "bitflip"));
+    spec.axes = {exp::rate_axis(rates)};
+  }
   spec.repetitions = static_cast<int>(args.get_int("reps", 10));
   spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
   spec.jobs = static_cast<int>(args.get_int("jobs", 1));
@@ -332,8 +498,13 @@ int cmd_campaign(const Args& args) {
   const exp::Workload loaded = exp::load_workload(spec.workload);
   const exp::ScenarioResult result = runner.run(loaded, store);
 
-  std::string title =
-      loaded.model.name() + " / " + to_string(spec.fault.kind) + " sweep";
+  std::string title = loaded.model.name() + " / ";
+  if (!fault_expr.empty()) {
+    title += spec.fault_expr.empty() ? "fault-expression sweep"
+                                     : spec.fault_expr;
+  } else {
+    title += to_string(spec.fault.kind) + " sweep";
+  }
   if (spec.engine.backend != exp::Backend::kFlim) {
     title += " (" + exp::to_string(spec.engine.backend) + ")";
   }
@@ -481,8 +652,31 @@ int cmd_scrub(const Args& args) {
   for (const auto& entry : input.entries()) {
     reliability::EccScrubStats stats;
     fault::FaultVectorEntry scrubbed = entry;
-    scrubbed.mask =
-        reliability::apply_secded_scrub(entry.mask, options, &stats);
+    if (entry.components.empty()) {
+      scrubbed.mask =
+          reliability::apply_secded_scrub(entry.mask, options, &stats);
+    } else {
+      // Composable entries: SEC-DED sees the *physical* word, i.e. the
+      // union of every component's planes -- a word holding faults from
+      // two components is uncorrectable even when each component alone
+      // looks single-fault. Scrub the combined mask once, then clear
+      // per-component bits only at the slots the combined scrub repaired.
+      const fault::FaultMask combined = entry.combined_mask();
+      const fault::FaultMask repaired =
+          reliability::apply_secded_scrub(combined, options, &stats);
+      const auto faulty = [](const fault::FaultMask& mask,
+                             std::int64_t slot) {
+        return mask.flip(slot) || mask.sa0(slot) || mask.sa1(slot);
+      };
+      for (std::int64_t slot = 0; slot < combined.num_slots(); ++slot) {
+        if (!faulty(combined, slot) || faulty(repaired, slot)) continue;
+        for (fault::RealizedFault& component : scrubbed.components) {
+          component.mask.set_flip(slot, false);
+          component.mask.set_sa0(slot, false);
+          component.mask.set_sa1(slot, false);
+        }
+      }
+    }
     table.add(entry.layer_name, stats.words, stats.corrected_words,
               stats.uncorrectable_words, stats.faulty_bits_before,
               stats.faulty_bits_after);
@@ -508,9 +702,12 @@ int cmd_monitor(const Args& args) {
       fault::FaultVectorFile::load(vectors_path);
   const fault::FaultVectorEntry* entry = vectors.find(layer);
   FLIM_REQUIRE(entry != nullptr, "no entry for layer " + layer);
+  // The union of all planes is the static defect footprint the canary
+  // monitor probes (composable entries carry one mask per component).
+  const fault::FaultMask defects = entry->combined_mask();
 
   reliability::MonitorConfig cfg;
-  cfg.grid = {entry->mask.rows(), entry->mask.cols()};
+  cfg.grid = {defects.rows(), defects.cols()};
   cfg.test_period = static_cast<int>(args.get_int("period", 8));
   cfg.slots_per_round = static_cast<int>(args.get_int("slots", 16));
   const std::string policy = args.get_string("policy", "roundrobin");
@@ -535,7 +732,7 @@ int cmd_monitor(const Args& args) {
     cfg.seed = seed + static_cast<std::uint64_t>(rep);
     const reliability::OnlineMonitor monitor(cfg);
     const reliability::DetectionOutcome outcome =
-        monitor.run_until_detection(entry->mask, horizon);
+        monitor.run_until_detection(defects, horizon);
     if (outcome.detected) {
       ++detected;
       latency_total += static_cast<double>(outcome.inferences_elapsed);
@@ -625,6 +822,7 @@ int run(const Args& args) {
   }
   if (args.command() == "generate") return cmd_generate(args);
   if (args.command() == "inspect") return cmd_inspect(args);
+  if (args.command() == "faults") return cmd_faults(args);
   if (args.command() == "train") return cmd_train(args);
   if (args.command() == "evaluate") return cmd_evaluate(args);
   if (args.command() == "campaign") return cmd_campaign(args);

@@ -2,6 +2,8 @@
 //
 //   flim_cli generate  -- draw fault masks and write a fault-vector file
 //   flim_cli inspect   -- summarize a fault-vector file
+//   flim_cli faults    -- list/describe the registered fault models and
+//                         validate fault expressions
 //   flim_cli train     -- train a model and cache its weights
 //   flim_cli evaluate  -- clean vs faulty accuracy for a model + vector file
 //   flim_cli campaign  -- repeated-seed injection-rate sweep (CSV output);
@@ -29,6 +31,7 @@ void print_usage();
 
 int cmd_generate(const Args& args);
 int cmd_inspect(const Args& args);
+int cmd_faults(const Args& args);
 int cmd_train(const Args& args);
 int cmd_evaluate(const Args& args);
 int cmd_campaign(const Args& args);

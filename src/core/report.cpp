@@ -182,6 +182,19 @@ std::string format_double_roundtrip(double v) {
 #endif
 }
 
+std::string format_double_shortest(double v) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  // Plain to_chars is the shortest representation that parses back to the
+  // exact same binary64 value (and is locale-independent).
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  FLIM_REQUIRE(result.ec == std::errc(), "to_chars failed on a double");
+  return std::string(buf, result.ptr);
+#else
+  return format_double_roundtrip(v);
+#endif
+}
+
 void print_table(std::ostream& os, const std::string& title, const Table& t) {
   os << "== " << title << " ==\n" << t.to_ascii();
 }

@@ -74,6 +74,11 @@ std::string format_double(double v, int precision = 2);
 /// emits byte-identical CSV to an uninterrupted run.
 std::string format_double_roundtrip(double v);
 
+/// Shortest decimal that round-trips to the exact IEEE-754 bits ("0.05",
+/// not "0.050000000000000003"). Used where exact values must stay
+/// human-readable: canonical fault expressions and their fingerprints.
+std::string format_double_shortest(double v);
+
 /// Escapes `s` for embedding inside a JSON string literal (the surrounding
 /// quotes are not added).
 std::string json_escape(const std::string& s);

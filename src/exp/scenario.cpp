@@ -16,6 +16,7 @@
 #include "data/synthetic_imagenet.hpp"
 #include "data/synthetic_mnist.hpp"
 #include "fault/fault_generator.hpp"
+#include "fault/fault_registry.hpp"
 #include "models/pretrained.hpp"
 #include "models/zoo.hpp"
 
@@ -33,6 +34,9 @@ bool is_zoo_model(const std::string& name) {
 /// The fault configuration of one resolved grid point.
 struct PointConfig {
   fault::FaultSpec spec;
+  /// Composable fault expression; empty selects the legacy single-kind
+  /// fields of `spec`.
+  std::string expr;
   std::vector<std::string> filter;
 };
 
@@ -66,12 +70,15 @@ void apply_axis_value(PointConfig& pc, const ScenarioAxis& axis,
         pc.filter = {value.text};
       }
       break;
+    case AxisKind::kFaultExpr:
+      pc.expr = value.text;
+      break;
   }
 }
 
 PointConfig resolve_point(const ScenarioSpec& spec,
                           const std::vector<std::size_t>& indices) {
-  PointConfig pc{spec.fault, spec.layer_filter};
+  PointConfig pc{spec.fault, spec.fault_expr, spec.layer_filter};
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     apply_axis_value(pc, spec.axes[a], spec.axes[a].values[indices[a]]);
   }
@@ -112,11 +119,22 @@ void check_layer_filters(const ScenarioSpec& spec, const Workload& workload) {
 /// Draws the fault vectors of one repetition: one entry per selected
 /// binarized layer, masks drawn from `rng` in layer order. This is the
 /// exact realization order the pre-scenario benches used, which keeps CSV
-/// outputs byte-identical across the API boundary.
+/// outputs byte-identical across the API boundary. A point with a fault
+/// expression realizes the parsed FaultStack instead (component entries);
+/// the legacy path keeps the single-kind entry layout and its RNG stream
+/// untouched.
 fault::FaultVectorFile realize_vectors(const ScenarioSpec& spec,
                                        const Workload& workload,
                                        const PointConfig& pc, core::Rng& rng) {
   fault::FaultGenerator gen(spec.grid);
+  fault::RealizeContext ctx;
+  ctx.grid = spec.grid;
+  ctx.distribution = pc.spec.distribution;
+  ctx.cluster_count = pc.spec.cluster_count;
+  ctx.cluster_radius = pc.spec.cluster_radius;
+  fault::FaultStack stack;
+  if (!pc.expr.empty()) stack = fault::parse_fault_expr(pc.expr);
+
   fault::FaultVectorFile file;
   for (const bnn::LayerWorkload& layer : workload.layers) {
     if (!pc.filter.empty()) {
@@ -125,6 +143,11 @@ fault::FaultVectorFile realize_vectors(const ScenarioSpec& spec,
         if (f == layer.layer_name) selected = true;
       }
       if (!selected) continue;
+    }
+    if (!pc.expr.empty()) {
+      file.add(stack.realize_entry(layer.layer_name, pc.spec.granularity, ctx,
+                                   rng));
+      continue;
     }
     fault::FaultVectorEntry entry;
     entry.layer_name = layer.layer_name;
@@ -268,6 +291,38 @@ ScenarioAxis kind_axis(const std::vector<fault::FaultKind>& kinds) {
   return axis;
 }
 
+ScenarioAxis fault_expr_axis(const std::vector<std::string>& exprs) {
+  ScenarioAxis axis{AxisKind::kFaultExpr, "fault", {}};
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    // Canonical text and label: two spellings of the same stack share
+    // report labels and store fingerprints.
+    const std::string canonical = fault::canonical_fault_expr(exprs[i]);
+    axis.values.push_back({static_cast<double>(i), canonical, canonical});
+  }
+  return axis;
+}
+
+ScenarioAxis fault_expr_axis(const std::string& pattern,
+                             const std::vector<double>& rates) {
+  FLIM_REQUIRE(pattern.find('@') != std::string::npos,
+               "rate-placeholder expansion needs a '@' in the fault "
+               "expression (e.g. \"bitflip(rate=@)\"); got: " + pattern);
+  std::vector<std::string> exprs;
+  exprs.reserve(rates.size());
+  for (const double rate : rates) {
+    std::string expanded;
+    for (const char c : pattern) {
+      if (c == '@') {
+        expanded += core::format_double_shortest(rate);
+      } else {
+        expanded += c;
+      }
+    }
+    exprs.push_back(std::move(expanded));
+  }
+  return fault_expr_axis(exprs);
+}
+
 ScenarioAxis layers_axis(const std::vector<std::string>& series) {
   ScenarioAxis axis{AxisKind::kLayers, "layer", {}};
   for (std::size_t i = 0; i < series.size(); ++i) {
@@ -297,8 +352,29 @@ void validate(const ScenarioSpec& spec) {
                  "sweep axis '" + axis.name + "' has no values");
   }
   // Resolve every grid point so a bad axis value fails now, not mid-run.
+  // Expressions repeat across points, so parse each distinct one once.
+  std::map<std::string, fault::FaultStack> parsed;
   for_each_cell(spec.axes, [&](const std::vector<std::size_t>& indices) {
-    fault::validate(resolve_point(spec, indices).spec);
+    const PointConfig pc = resolve_point(spec, indices);
+    if (pc.expr.empty()) {
+      fault::validate(pc.spec);
+      return;
+    }
+    // Expression points take only placement/granularity from the legacy
+    // spec; its single-kind fields (injection_rate et al.) are unused, so
+    // the clustered-needs-a-rate rule must not fire on them -- the rates
+    // live in the model parameters. Every other field check still applies.
+    fault::FaultSpec placement = pc.spec;
+    placement.distribution = fault::FaultDistribution::kUniform;
+    fault::validate(placement);
+    auto it = parsed.find(pc.expr);
+    if (it == parsed.end()) {
+      it = parsed.emplace(pc.expr, fault::parse_fault_expr(pc.expr)).first;
+    }
+    it->second.validate_granularity(pc.spec.granularity);
+    if (spec.engine.backend == Backend::kDevice) {
+      it->second.validate_device_backend();
+    }
   });
 }
 

@@ -82,6 +82,7 @@ enum class AxisKind : std::uint8_t {
   kLayers = 4,             ///< layer filter ("combined" selects all layers)
   kFaultKind = 5,          ///< FaultSpec::kind
   kStuckAtOneFraction = 6, ///< FaultSpec::stuck_at_one_fraction
+  kFaultExpr = 7,          ///< ScenarioSpec::fault_expr (composable stacks)
 };
 
 /// One value of a sweep axis. Numeric axes use `number`; kLayers uses
@@ -118,6 +119,20 @@ ScenarioAxis faulty_cols_axis(const std::vector<int>& cols);
 ScenarioAxis stuck_at_one_fraction_axis(const std::vector<double>& fractions);
 /// Builds a kFaultKind axis.
 ScenarioAxis kind_axis(const std::vector<fault::FaultKind>& kinds);
+/// Builds a kFaultExpr axis from fault expressions such as
+/// "bitflip(rate=1e-3)" or "stuckat(rate=5e-4)+drift(tau=2000)". Every
+/// expression is parsed against the fault-model registry (throws on unknown
+/// models or bad parameters) and stored in canonical form (sorted params,
+/// round-trip numbers), so two spellings of one stack share labels and
+/// store fingerprints.
+ScenarioAxis fault_expr_axis(const std::vector<std::string>& exprs);
+/// Builds a kFaultExpr axis by expanding every '@' in `pattern` with each
+/// rate (shortest round-trip formatting): fault_expr_axis("drift(rate=@)",
+/// {0, 0.05}) sweeps drift(rate=0) and drift(rate=0.05). The CLI's
+/// `campaign --fault` and the figure benches' $FLIM_BENCH_FAULT_EXPR both
+/// route through this. Throws when `pattern` has no '@'.
+ScenarioAxis fault_expr_axis(const std::string& pattern,
+                             const std::vector<double>& rates);
 /// `series` entries are layer names; "combined" (or "" / "all") selects
 /// every binarized layer at once, reproducing the figures' combined curve.
 ScenarioAxis layers_axis(const std::vector<std::string>& series);
@@ -134,6 +149,13 @@ struct ScenarioSpec {
   /// Base fault configuration; sweep axes override individual fields per
   /// grid point. An all-defaults spec with no axes evaluates one clean point.
   fault::FaultSpec fault;
+  /// Composable fault-model expression (fault_registry.hpp grammar, e.g.
+  /// "stuckat(rate=5e-4,sa1=0.7)+drift(tau=2000)"). When non-empty it
+  /// replaces the single-kind fields of `fault` (kind, injection_rate,
+  /// faulty rows/cols, dynamic_period, stuck_at_one_fraction); granularity
+  /// and the distribution/cluster placement settings still come from
+  /// `fault`. A kFaultExpr axis overrides it per grid point.
+  std::string fault_expr;
   /// Virtual crossbar grid the masks are drawn on.
   lim::CrossbarGeometry grid{64, 64};
   /// Base layer filter (empty = all binarized layers); a kLayers axis

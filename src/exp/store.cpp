@@ -11,6 +11,7 @@
 #include "core/check.hpp"
 #include "core/report.hpp"
 #include "core/sysinfo.hpp"
+#include "fault/fault_registry.hpp"
 #include "lim/logic_family.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -409,6 +410,13 @@ std::string canonical_spec(const ScenarioSpec& spec) {
   put_s(os, "fault.distribution", fault::to_string(spec.fault.distribution));
   put_i(os, "fault.cluster_count", spec.fault.cluster_count);
   put_d(os, "fault.cluster_radius", spec.fault.cluster_radius);
+  // Emitted only when set, in canonical form (model names + sorted params,
+  // round-trip numbers): legacy single-kind specs keep their pre-expression
+  // fingerprints, so their old run files still resume, and two spellings of
+  // one stack fingerprint identically.
+  if (!spec.fault_expr.empty()) {
+    put_s(os, "fault.expr", fault::canonical_fault_expr(spec.fault_expr));
+  }
 
   put_i(os, "grid.rows", spec.grid.rows);
   put_i(os, "grid.cols", spec.grid.cols);

@@ -74,8 +74,10 @@ struct RunHeader {
 
 /// Canonical, deterministic serialization of everything in a ScenarioSpec
 /// that can change campaign *numbers*: workload scale, engine/backend
-/// configuration, base fault spec, grid, layer filters, axes, repetitions,
-/// and master seed. Execution-only knobs that are guaranteed not to change
+/// configuration, base fault spec, the fault expression (in canonical form
+/// -- sorted params, round-trip numbers -- and only when set, so legacy
+/// single-kind specs keep their pre-expression fingerprints), grid, layer
+/// filters, axes, repetitions, and master seed. Execution-only knobs that are guaranteed not to change
 /// results -- `jobs` (pooled runs are bit-identical to serial), `verbose`,
 /// `weights_dir`, `force_retrain` (training is seed-deterministic) -- and
 /// the cosmetic `name` are deliberately excluded, so a resumed campaign may

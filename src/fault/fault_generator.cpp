@@ -1,69 +1,11 @@
 #include "fault/fault_generator.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <utility>
 
 #include "core/check.hpp"
+#include "fault/fault_registry.hpp"
 
 namespace flim::fault {
-
-namespace {
-
-/// Scatters `marked` distinct slots around random cluster centers: each
-/// site is a discrete Gaussian offset from a uniformly chosen center.
-/// Slots falling off-grid or onto an occupied slot are redrawn; if the
-/// clusters saturate (tiny radius, many faults) the remainder falls back
-/// to uniform placement so the exact count is always honored.
-std::vector<std::int64_t> place_clustered(const lim::CrossbarGeometry& grid,
-                                          std::int64_t marked,
-                                          const FaultSpec& spec,
-                                          core::Rng& rng) {
-  const std::int64_t slots = grid.num_cells();
-  const int centers = spec.cluster_count > 0
-                          ? spec.cluster_count
-                          : std::max<int>(1, static_cast<int>(marked / 24));
-  std::vector<std::int64_t> center_slots;
-  center_slots.reserve(static_cast<std::size_t>(centers));
-  for (int i = 0; i < centers; ++i) {
-    center_slots.push_back(static_cast<std::int64_t>(
-        rng.uniform(static_cast<std::uint64_t>(slots))));
-  }
-
-  std::vector<std::uint8_t> occupied(static_cast<std::size_t>(slots), 0);
-  std::vector<std::int64_t> placed;
-  placed.reserve(static_cast<std::size_t>(marked));
-  std::int64_t attempts_left = 64 * marked + 64;
-  while (static_cast<std::int64_t>(placed.size()) < marked &&
-         attempts_left-- > 0) {
-    const std::int64_t center = center_slots[static_cast<std::size_t>(
-        rng.uniform(static_cast<std::uint64_t>(centers)))];
-    const std::int64_t r =
-        center / grid.cols +
-        static_cast<std::int64_t>(std::llround(
-            rng.normal(0.0, spec.cluster_radius)));
-    const std::int64_t c =
-        center % grid.cols +
-        static_cast<std::int64_t>(std::llround(
-            rng.normal(0.0, spec.cluster_radius)));
-    if (r < 0 || r >= grid.rows || c < 0 || c >= grid.cols) continue;
-    const std::int64_t slot = r * grid.cols + c;
-    if (occupied[static_cast<std::size_t>(slot)] != 0) continue;
-    occupied[static_cast<std::size_t>(slot)] = 1;
-    placed.push_back(slot);
-  }
-  // Saturated clusters: fill the remainder uniformly (exact-count contract).
-  while (static_cast<std::int64_t>(placed.size()) < marked) {
-    const auto slot = static_cast<std::int64_t>(
-        rng.uniform(static_cast<std::uint64_t>(slots)));
-    if (occupied[static_cast<std::size_t>(slot)] != 0) continue;
-    occupied[static_cast<std::size_t>(slot)] = 1;
-    placed.push_back(slot);
-  }
-  return placed;
-}
-
-}  // namespace
 
 FaultGenerator::FaultGenerator(lim::CrossbarGeometry grid) : grid_(grid) {
   FLIM_REQUIRE(grid_.rows > 0 && grid_.cols > 0,
@@ -73,64 +15,16 @@ FaultGenerator::FaultGenerator(lim::CrossbarGeometry grid) : grid_(grid) {
 FaultMask FaultGenerator::generate(const FaultSpec& spec,
                                    core::Rng& rng) const {
   validate(spec);
-  FaultMask mask(grid_.rows, grid_.cols);
-  const std::int64_t slots = mask.num_slots();
-
-  // "The injection rate specifies the number of elements within the array
-  // set to 1": exact count, not per-slot Bernoulli, so the realized rate
-  // matches the requested one (up to rounding).
-  const auto marked = static_cast<std::int64_t>(
-      std::llround(spec.injection_rate * static_cast<double>(slots)));
-
-  std::vector<std::int64_t> sites;
-  if (spec.distribution == FaultDistribution::kClustered) {
-    sites = place_clustered(grid_, marked, spec, rng);
-  } else {
-    for (const auto slot : rng.sample_without_replacement(
-             static_cast<std::uint64_t>(slots),
-             static_cast<std::uint64_t>(marked))) {
-      sites.push_back(static_cast<std::int64_t>(slot));
-    }
-  }
-
-  switch (spec.kind) {
-    case FaultKind::kBitFlip:
-    case FaultKind::kDynamic: {
-      for (const auto slot : sites) {
-        mask.set_flip(slot, true);
-      }
-      break;
-    }
-    case FaultKind::kStuckAt: {
-      for (const auto slot : sites) {
-        if (rng.bernoulli(spec.stuck_at_one_fraction)) {
-          mask.set_sa1(slot, true);
-        } else {
-          mask.set_sa0(slot, true);
-        }
-      }
-      break;
-    }
-  }
-
-  // Whole faulty rows / columns (part of the bit-flip mask in the paper:
-  // "entire rows/columns may also be faulty; thus, these rows/columns are
-  // set to 1").
-  FLIM_REQUIRE(spec.faulty_rows <= grid_.rows,
-               "more faulty rows than grid rows");
-  FLIM_REQUIRE(spec.faulty_cols <= grid_.cols,
-               "more faulty columns than grid columns");
-  for (const auto r : rng.sample_without_replacement(
-           static_cast<std::uint64_t>(grid_.rows),
-           static_cast<std::uint64_t>(spec.faulty_rows))) {
-    mask.mark_row_flip(static_cast<std::int64_t>(r));
-  }
-  for (const auto c : rng.sample_without_replacement(
-           static_cast<std::uint64_t>(grid_.cols),
-           static_cast<std::uint64_t>(spec.faulty_cols))) {
-    mask.mark_col_flip(static_cast<std::int64_t>(c));
-  }
-  return mask;
+  // The legacy single-kind path is the one-model stack of the matching
+  // registered model; realization (and the RNG draw order) lives there.
+  const FaultStack stack = stack_from_spec(spec);
+  RealizeContext ctx;
+  ctx.grid = grid_;
+  ctx.distribution = spec.distribution;
+  ctx.cluster_count = spec.cluster_count;
+  ctx.cluster_radius = spec.cluster_radius;
+  std::vector<RealizedFault> components = stack.realize(ctx, rng);
+  return std::move(components.front().mask);
 }
 
 }  // namespace flim::fault

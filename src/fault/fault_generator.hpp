@@ -23,7 +23,10 @@ class FaultGenerator {
 
   const lim::CrossbarGeometry& grid() const { return grid_; }
 
-  /// Realizes one mask for `spec` with randomness from `rng`.
+  /// Realizes one mask for `spec` with randomness from `rng`. Since the
+  /// registry redesign this is a thin wrapper over the registered model
+  /// matching spec.kind (fault_registry.hpp) -- masks are bit-identical to
+  /// the pre-registry generator for the same seed:
   /// - kBitFlip / kDynamic: injection_rate * slots random flips, plus the
   ///   requested whole faulty rows/columns;
   /// - kStuckAt: injection_rate * slots random stuck cells, each stuck-at-1

@@ -1,78 +1,118 @@
 #include "fault/fault_injector.hpp"
 
 #include "core/check.hpp"
+#include "fault/fault_registry.hpp"
 
 namespace flim::fault {
 
 FaultInjector::FaultInjector(FaultVectorEntry entry)
     : entry_(std::move(entry)) {
-  FLIM_REQUIRE(!entry_.mask.empty(), "fault injector needs a non-empty mask");
-}
-
-bool FaultInjector::advance_execution() {
-  const std::int64_t exec = execution_counter_++;
-  if (entry_.kind != FaultKind::kDynamic) return true;
-  const std::int64_t period = std::max(1, entry_.dynamic_period);
-  // Fires on executions period-1, 2*period-1, ... -- "every n-th operation".
-  return (exec % period) == period - 1;
+  const FaultRegistry& registry = FaultRegistry::instance();
+  if (entry_.components.empty()) {
+    // Legacy single-kind entry: adapt (kind, dynamic_period, mask) into the
+    // matching registered model. Behaviour is bit-identical to the
+    // pre-registry switch.
+    FLIM_REQUIRE(!entry_.mask.empty(),
+                 "fault injector needs a non-empty mask or components");
+    legacy_.model = model_name_for(entry_.kind);
+    if (entry_.kind == FaultKind::kDynamic) {
+      legacy_.params = {{"period", static_cast<double>(entry_.dynamic_period)}};
+    }
+    legacy_.mask = entry_.mask;
+    components_.push_back({&registry.get(legacy_.model), &legacy_});
+  } else {
+    components_.reserve(entry_.components.size());
+    for (const RealizedFault& fault : entry_.components) {
+      FLIM_REQUIRE(!fault.mask.empty(),
+                   "fault component '" + fault.model + "' has an empty mask");
+      components_.push_back({&registry.get(fault.model), &fault});
+    }
+  }
+  FLIM_REQUIRE(components_.size() <= 64,
+               "fault stacks are limited to 64 components per layer");
+  for (const Component& component : components_) {
+    const ModelInfo& meta = component.model->info();
+    if (entry_.granularity == FaultGranularity::kProductTerm) {
+      FLIM_REQUIRE(meta.product_term,
+                   "fault model '" + meta.name +
+                       "' does not support product-term granularity");
+    } else {
+      FLIM_REQUIRE(meta.output_element,
+                   "fault model '" + meta.name +
+                       "' does not support output-element granularity");
+    }
+  }
 }
 
 void FaultInjector::reset_time() { execution_counter_ = 0; }
 
+std::uint64_t FaultInjector::active_signature(std::int64_t execution) const {
+  std::uint64_t signature = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i].model->active(*components_[i].fault, execution)) {
+      signature |= std::uint64_t{1} << i;
+    }
+  }
+  return signature;
+}
+
+bool FaultInjector::any_active(std::int64_t execution) const {
+  return active_signature(execution) != 0;
+}
+
 void FaultInjector::apply_output_element(tensor::IntTensor& feature,
                                          std::int64_t row_begin,
-                                         std::int64_t row_end, bool active,
+                                         std::int64_t row_end,
+                                         std::int64_t execution,
                                          std::int32_t full_scale) const {
-  if (!active) return;
   FLIM_REQUIRE(full_scale > 0, "full_scale must be positive");
   FLIM_REQUIRE(feature.shape().rank() == 2,
                "feature map must be [positions, channels]");
   FLIM_REQUIRE(row_begin >= 0 && row_begin <= row_end &&
                    row_end <= feature.shape()[0],
                "image row range out of bounds");
-  const std::int64_t channels = feature.shape()[1];
-  const std::int64_t slots = entry_.mask.num_slots();
-
-  std::int64_t op = 0;  // op index within this image, position-major
-  for (std::int64_t r = row_begin; r < row_end; ++r) {
-    std::int32_t* row = feature.data() + r * channels;
-    for (std::int64_t c = 0; c < channels; ++c, ++op) {
-      const std::int64_t slot = op % slots;
-      std::int32_t v = row[c];
-      if (entry_.mask.flip(slot)) v = -v;
-      // Stuck-at dominates (a stuck op cannot toggle) and pins the element
-      // to the full-scale ±K accumulator value.
-      if (entry_.mask.sa0(slot)) v = -full_scale;
-      if (entry_.mask.sa1(slot)) v = +full_scale;
-      row[c] = v;
-    }
+  for (const Component& component : components_) {
+    if (!component.model->active(*component.fault, execution)) continue;
+    component.model->apply_output_element(*component.fault, feature,
+                                          row_begin, row_end, execution,
+                                          full_scale);
   }
 }
 
-const TermMasks& FaultInjector::term_masks(std::int64_t out_channels,
-                                           std::int64_t k) {
-  if (!term_masks_built_) {
-    FLIM_REQUIRE(out_channels > 0 && k > 0,
-                 "term mask dimensions must be positive");
-    cached_term_masks_.flip = tensor::BitMatrix(out_channels, k);
-    cached_term_masks_.sa0 = tensor::BitMatrix(out_channels, k);
-    cached_term_masks_.sa1 = tensor::BitMatrix(out_channels, k);
-    const std::int64_t slots = entry_.mask.num_slots();
-    for (std::int64_t ch = 0; ch < out_channels; ++ch) {
-      for (std::int64_t t = 0; t < k; ++t) {
-        const std::int64_t slot = (ch * k + t) % slots;
-        if (entry_.mask.flip(slot)) cached_term_masks_.flip.set_bit(ch, t, true);
-        if (entry_.mask.sa0(slot)) cached_term_masks_.sa0.set_bit(ch, t, true);
-        if (entry_.mask.sa1(slot)) cached_term_masks_.sa1.set_bit(ch, t, true);
-      }
-    }
-    term_masks_built_ = true;
+const TermMasks* FaultInjector::term_masks(std::int64_t out_channels,
+                                           std::int64_t k,
+                                           std::int64_t execution) {
+  FLIM_REQUIRE(out_channels > 0 && k > 0,
+               "term mask dimensions must be positive");
+  const std::uint64_t signature = active_signature(execution);
+  if (signature == 0) return nullptr;
+
+  // Folding the planes costs O(out_channels * K) -- worth caching per
+  // active-component signature, and the cache must stay consistent when a
+  // pooled campaign drives one injector from several workers.
+  std::lock_guard<std::mutex> lock(term_cache_mutex_);
+  if (term_out_channels_ < 0) {
+    term_out_channels_ = out_channels;
+    term_k_ = k;
   } else {
-    FLIM_REQUIRE(cached_term_masks_.flip.rows() == out_channels &&
-                     cached_term_masks_.flip.cols() == k,
+    FLIM_REQUIRE(term_out_channels_ == out_channels && term_k_ == k,
                  "term mask shape changed between calls");
   }
-  return cached_term_masks_;
+  const auto cached = term_cache_.find(signature);
+  if (cached != term_cache_.end()) return cached->second.get();
+
+  auto masks = std::make_unique<TermMasks>();
+  masks->flip = tensor::BitMatrix(out_channels, k);
+  masks->sa0 = tensor::BitMatrix(out_channels, k);
+  masks->sa1 = tensor::BitMatrix(out_channels, k);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if ((signature & (std::uint64_t{1} << i)) == 0) continue;
+    components_[i].model->fold_term_planes(*components_[i].fault, *masks,
+                                           out_channels, k);
+  }
+  const TermMasks* result = masks.get();
+  term_cache_.emplace(signature, std::move(masks));
+  return result;
 }
 
 }  // namespace flim::fault

@@ -1,73 +1,106 @@
-// The Fault Injector: applies realized masks to running inference.
+// The Fault Injector: applies realized fault components to running
+// inference.
 //
 // One injector instance is attached to one binarized layer. It owns the
-// layer's mask entry, the dynamic-fault execution counter ("notion of time":
-// faults can be sensitized only every n-th execution of the layer), and the
-// cached product-term masks.
+// layer's realized component stack, the execution counter ("notion of
+// time": models can be sensitized only on some executions), and the cached
+// product-term mask planes per active-component signature.
 //
-// Application semantics (see DESIGN.md):
+// All fault behaviour is dispatched polymorphically through the registered
+// FaultModel of each component -- there is no fault-kind switch here. A
+// legacy single-kind entry (empty `components`) is adapted on construction
+// into the matching registered model, which reproduces the pre-registry
+// semantics bit for bit.
+//
+// Application semantics (see docs/fault-models.md):
 // * kOutputElement -- the paper's implementation: the layer's feature map is
-//   treated as the XNOR-op outputs. A flipped op negates the accumulator
-//   value ("applying the fault masks by performing another XNOR operation"),
-//   a stuck-at op pins it to the stuck logic value in the ±1 encoding.
+//   treated as the XNOR-op outputs; every active component corrupts it in
+//   stack order (later models see earlier models' corruption).
 // * kProductTerm -- device-faithful: individual a_i XNOR w_i product terms
 //   are corrupted before the CMOS popcount. Because LIM crossbars are
 //   weight-stationary, a faulty cell corrupts the same (channel, term)
 //   coordinate for every output position; masks are therefore shaped
-//   [out_channels, K].
+//   [out_channels, K] and folded over the active components (flips XOR,
+//   stuck-at OR).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
 
+#include "fault/fault_model.hpp"
 #include "fault/fault_vector_file.hpp"
 #include "tensor/bit_matrix.hpp"
 #include "tensor/tensor.hpp"
 
 namespace flim::fault {
 
-/// Cached product-term mask planes shaped [out_channels, K].
-struct TermMasks {
-  tensor::BitMatrix flip;
-  tensor::BitMatrix sa0;
-  tensor::BitMatrix sa1;
-};
-
 /// Stateful per-layer fault applier.
 class FaultInjector {
  public:
+  /// Resolves the entry's components against the model registry; throws on
+  /// unknown models, unsupported granularity, or an entry with neither a
+  /// legacy mask nor components.
   explicit FaultInjector(FaultVectorEntry entry);
 
   const FaultVectorEntry& entry() const { return entry_; }
   FaultGranularity granularity() const { return entry_.granularity; }
+  std::size_t num_components() const { return components_.size(); }
 
-  /// Advances the layer execution counter (call once per image) and reports
-  /// whether faults are active for this execution. Static faults are always
-  /// active; dynamic faults fire every `dynamic_period`-th execution.
-  bool advance_execution();
+  /// Returns the 0-based index of this execution and advances the layer
+  /// execution counter (call once per image).
+  std::int64_t advance_execution() { return execution_counter_++; }
 
-  /// Resets the dynamic execution counter (new campaign repetition).
+  /// Resets the execution counter (new campaign repetition).
   void reset_time();
 
-  /// Output-element granularity: corrupts rows [row_begin, row_end) of the
+  /// True when any component is sensitized at `execution`.
+  bool any_active(std::int64_t execution) const;
+
+  /// Output-element granularity: applies every component active at
+  /// `execution`, in stack order, to rows [row_begin, row_end) of the
   /// integer feature map (rows = output positions, cols = channels) of one
   /// image. Op i of the image (position-major) maps to virtual slot
-  /// i mod num_slots. A flipped op negates the accumulator; a stuck-at op
-  /// pins it to the full-scale value ∓`full_scale` (= K, the product-term
-  /// count: a stuck XNOR column reports all-mismatch or all-match). No-op
-  /// when `active` is false.
+  /// i mod num_slots. `full_scale` is K, the product-term count.
   void apply_output_element(tensor::IntTensor& feature,
                             std::int64_t row_begin, std::int64_t row_end,
-                            bool active, std::int32_t full_scale) const;
+                            std::int64_t execution,
+                            std::int32_t full_scale) const;
 
-  /// Product-term granularity: lazily builds and caches the [out_ch, K]
-  /// masks. Term op (ch, k) maps to virtual slot (ch*K + k) mod num_slots.
-  const TermMasks& term_masks(std::int64_t out_channels, std::int64_t k);
+  /// Product-term granularity: the folded [out_channels, K] planes of the
+  /// components active at `execution`, or nullptr when none is (clean fast
+  /// path). Planes are built once per active-component signature and
+  /// cached; the cache is mutex-guarded, so concurrent campaign workers
+  /// sharing one injector stay race-free. Term op (ch, k) maps to virtual
+  /// slot (ch*K + t) mod num_slots.
+  const TermMasks* term_masks(std::int64_t out_channels, std::int64_t k,
+                              std::int64_t execution);
 
  private:
+  /// Resolved view of one component: the registry model plus a pointer
+  /// into entry_.components (or legacy_) -- masks and site_values are
+  /// never copied. The mutex member below makes the injector immovable,
+  /// so the pointers stay valid for its whole lifetime.
+  struct Component {
+    const FaultModel* model = nullptr;
+    const RealizedFault* fault = nullptr;
+  };
+
+  /// Bitmask over components active at `execution`.
+  std::uint64_t active_signature(std::int64_t execution) const;
+
   FaultVectorEntry entry_;
+  /// The component synthesized from a legacy single-kind entry.
+  RealizedFault legacy_;
+  std::vector<Component> components_;
   std::int64_t execution_counter_ = 0;
-  bool term_masks_built_ = false;
-  TermMasks cached_term_masks_;
+
+  mutable std::mutex term_cache_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<TermMasks>> term_cache_;
+  std::int64_t term_out_channels_ = -1;
+  std::int64_t term_k_ = -1;
 };
 
 }  // namespace flim::fault

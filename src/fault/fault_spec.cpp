@@ -31,15 +31,33 @@ std::string to_string(FaultDistribution distribution) {
 
 void validate(const FaultSpec& spec) {
   FLIM_REQUIRE(spec.injection_rate >= 0.0 && spec.injection_rate <= 1.0,
-               "injection rate must be in [0, 1]");
+               "injection rate must be in [0, 1], got " +
+                   std::to_string(spec.injection_rate));
   FLIM_REQUIRE(spec.faulty_rows >= 0 && spec.faulty_cols >= 0,
-               "faulty row/column counts must be non-negative");
-  FLIM_REQUIRE(spec.dynamic_period >= 0, "dynamic period must be >= 0");
+               "faulty row/column counts must be non-negative, got rows=" +
+                   std::to_string(spec.faulty_rows) + " cols=" +
+                   std::to_string(spec.faulty_cols));
+  FLIM_REQUIRE(spec.dynamic_period >= 0,
+               "dynamic period must be >= 0, got " +
+                   std::to_string(spec.dynamic_period));
   FLIM_REQUIRE(
       spec.stuck_at_one_fraction >= 0.0 && spec.stuck_at_one_fraction <= 1.0,
-      "stuck-at-1 fraction must be in [0, 1]");
-  FLIM_REQUIRE(spec.cluster_count >= 0, "cluster count must be >= 0");
-  FLIM_REQUIRE(spec.cluster_radius > 0.0, "cluster radius must be positive");
+      "stuck-at-1 fraction must be in [0, 1], got " +
+          std::to_string(spec.stuck_at_one_fraction));
+  FLIM_REQUIRE(spec.cluster_count >= 0,
+               "cluster count must be >= 0, got " +
+                   std::to_string(spec.cluster_count) +
+                   " (use 0 to derive one center per ~24 faults)");
+  FLIM_REQUIRE(spec.cluster_radius > 0.0,
+               "cluster radius must be positive, got " +
+                   std::to_string(spec.cluster_radius) +
+                   " (cells of Gaussian scatter around each center)");
+  if (spec.distribution == FaultDistribution::kClustered) {
+    FLIM_REQUIRE(spec.injection_rate > 0.0,
+                 "clustered distribution with a zero injection rate places "
+                 "no clustered faults; set a positive rate or use the "
+                 "uniform distribution");
+  }
 }
 
 }  // namespace flim::fault

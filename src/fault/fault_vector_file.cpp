@@ -5,13 +5,18 @@
 #include <fstream>
 
 #include "core/check.hpp"
+#include "core/report.hpp"
 
 namespace flim::fault {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x314356464d494c46ull;  // "FLIMFVC1"
-constexpr std::uint32_t kVersion = 1;
+// Version 1: legacy single-kind entries. Version 2 appends the realized
+// fault-model components; it is written only when an entry carries any, so
+// legacy files stay byte-identical.
+constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersionComponents = 2;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xff);
@@ -89,7 +94,76 @@ std::vector<std::uint8_t> read_packed_plane(Reader& r, std::size_t n) {
   return plane;
 }
 
+std::uint64_t bit_cast_u64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bit_cast_double(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void put_mask(std::vector<std::uint8_t>& out, const FaultMask& mask) {
+  put_u64(out, static_cast<std::uint64_t>(mask.rows()));
+  put_u64(out, static_cast<std::uint64_t>(mask.cols()));
+  put_packed_plane(out, mask.flip_plane());
+  put_packed_plane(out, mask.sa0_plane());
+  put_packed_plane(out, mask.sa1_plane());
+}
+
+FaultMask read_mask(Reader& r) {
+  const auto rows = static_cast<std::int64_t>(r.u64());
+  const auto cols = static_cast<std::int64_t>(r.u64());
+  FLIM_REQUIRE(rows > 0 && cols > 0 && rows * cols < (std::int64_t{1} << 32),
+               "implausible mask dimensions in fault vector file");
+  FaultMask mask(rows, cols);
+  const auto n = static_cast<std::size_t>(rows * cols);
+  mask.mutable_flip_plane() = read_packed_plane(r, n);
+  mask.mutable_sa0_plane() = read_packed_plane(r, n);
+  mask.mutable_sa1_plane() = read_packed_plane(r, n);
+  return mask;
+}
+
 }  // namespace
+
+std::string FaultVectorEntry::describe() const {
+  if (components.empty()) return to_string(kind);
+  std::string out;
+  for (const RealizedFault& c : components) {
+    if (!out.empty()) out += "+";
+    out += c.model;
+    if (!c.params.empty()) {
+      out += "(";
+      for (std::size_t i = 0; i < c.params.size(); ++i) {
+        if (i) out += ",";
+        out += c.params[i].first + "=" +
+               core::format_double_shortest(c.params[i].second);
+      }
+      out += ")";
+    }
+  }
+  return out;
+}
+
+FaultMask FaultVectorEntry::combined_mask() const {
+  if (components.empty()) return mask;
+  const FaultMask& first = components.front().mask;
+  FaultMask combined(first.rows(), first.cols());
+  for (const RealizedFault& c : components) {
+    FLIM_REQUIRE(c.mask.rows() == first.rows() &&
+                     c.mask.cols() == first.cols(),
+                 "fault components of one entry must share a mask grid");
+    for (std::int64_t slot = 0; slot < c.mask.num_slots(); ++slot) {
+      if (c.mask.flip(slot)) combined.set_flip(slot, true);
+      if (c.mask.sa0(slot)) combined.set_sa0(slot, true);
+      if (c.mask.sa1(slot)) combined.set_sa1(slot, true);
+    }
+  }
+  return combined;
+}
 
 const FaultVectorEntry* FaultVectorFile::find(
     const std::string& layer_name) const {
@@ -100,9 +174,16 @@ const FaultVectorEntry* FaultVectorFile::find(
 }
 
 std::vector<std::uint8_t> FaultVectorFile::serialize() const {
+  bool any_components = false;
+  for (const auto& e : entries_) {
+    if (!e.components.empty()) any_components = true;
+  }
+  const std::uint32_t version =
+      any_components ? kVersionComponents : kVersionLegacy;
+
   std::vector<std::uint8_t> out;
   put_u64(out, kMagic);
-  put_u32(out, kVersion);
+  put_u32(out, version);
   put_u32(out, static_cast<std::uint32_t>(entries_.size()));
   for (const auto& e : entries_) {
     put_u32(out, static_cast<std::uint32_t>(e.layer_name.size()));
@@ -110,11 +191,29 @@ std::vector<std::uint8_t> FaultVectorFile::serialize() const {
     out.push_back(static_cast<std::uint8_t>(e.kind));
     out.push_back(static_cast<std::uint8_t>(e.granularity));
     put_u32(out, static_cast<std::uint32_t>(e.dynamic_period));
-    put_u64(out, static_cast<std::uint64_t>(e.mask.rows()));
-    put_u64(out, static_cast<std::uint64_t>(e.mask.cols()));
-    put_packed_plane(out, e.mask.flip_plane());
-    put_packed_plane(out, e.mask.sa0_plane());
-    put_packed_plane(out, e.mask.sa1_plane());
+    // Component entries carry an empty legacy mask; persist a 1x1 stand-in
+    // so the version-1 "positive dimensions" invariant holds everywhere.
+    const FaultMask placeholder(1, 1);
+    put_mask(out, e.mask.empty() ? placeholder : e.mask);
+    if (version == kVersionComponents) {
+      put_u32(out, static_cast<std::uint32_t>(e.components.size()));
+      for (const RealizedFault& c : e.components) {
+        put_u32(out, static_cast<std::uint32_t>(c.model.size()));
+        out.insert(out.end(), c.model.begin(), c.model.end());
+        put_u32(out, static_cast<std::uint32_t>(c.params.size()));
+        for (const auto& [key, value] : c.params) {
+          put_u32(out, static_cast<std::uint32_t>(key.size()));
+          out.insert(out.end(), key.begin(), key.end());
+          put_u64(out, bit_cast_u64(value));
+        }
+        put_u64(out, static_cast<std::uint64_t>(c.first_active));
+        put_mask(out, c.mask);
+        put_u64(out, static_cast<std::uint64_t>(c.site_values.size()));
+        for (const std::int64_t v : c.site_values) {
+          put_u64(out, static_cast<std::uint64_t>(v));
+        }
+      }
+    }
   }
   return out;
 }
@@ -123,7 +222,9 @@ FaultVectorFile FaultVectorFile::deserialize(
     const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   FLIM_REQUIRE(r.u64() == kMagic, "not a FLIM fault vector file");
-  FLIM_REQUIRE(r.u32() == kVersion, "unsupported fault vector file version");
+  const std::uint32_t version = r.u32();
+  FLIM_REQUIRE(version == kVersionLegacy || version == kVersionComponents,
+               "unsupported fault vector file version");
   const std::uint32_t count = r.u32();
   FaultVectorFile file;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -133,15 +234,42 @@ FaultVectorFile FaultVectorFile::deserialize(
     e.kind = static_cast<FaultKind>(r.u8());
     e.granularity = static_cast<FaultGranularity>(r.u8());
     e.dynamic_period = static_cast<int>(r.u32());
-    const auto rows = static_cast<std::int64_t>(r.u64());
-    const auto cols = static_cast<std::int64_t>(r.u64());
-    FLIM_REQUIRE(rows > 0 && cols > 0 && rows * cols < (std::int64_t{1} << 32),
-                 "implausible mask dimensions in fault vector file");
-    e.mask = FaultMask(rows, cols);
-    const auto n = static_cast<std::size_t>(rows * cols);
-    e.mask.mutable_flip_plane() = read_packed_plane(r, n);
-    e.mask.mutable_sa0_plane() = read_packed_plane(r, n);
-    e.mask.mutable_sa1_plane() = read_packed_plane(r, n);
+    e.mask = read_mask(r);
+    if (version == kVersionComponents) {
+      const std::uint32_t component_count = r.u32();
+      e.components.reserve(component_count);
+      for (std::uint32_t c = 0; c < component_count; ++c) {
+        RealizedFault rf;
+        rf.model = r.str(r.u32());
+        const std::uint32_t param_count = r.u32();
+        rf.params.reserve(param_count);
+        for (std::uint32_t p = 0; p < param_count; ++p) {
+          std::string key = r.str(r.u32());
+          rf.params.emplace_back(std::move(key), bit_cast_double(r.u64()));
+        }
+        rf.first_active = static_cast<std::int64_t>(r.u64());
+        rf.mask = read_mask(r);
+        const std::uint64_t n_values = r.u64();
+        // All-or-nothing: models that carry per-site state (drift) always
+        // serialize one value per slot and index the vector by slot, so a
+        // partial vector would read out of bounds at apply time.
+        FLIM_REQUIRE(n_values == 0 ||
+                         n_values == static_cast<std::uint64_t>(
+                                         rf.mask.num_slots()),
+                     "implausible site-value count in fault vector file");
+        rf.site_values.reserve(static_cast<std::size_t>(n_values));
+        for (std::uint64_t v = 0; v < n_values; ++v) {
+          rf.site_values.push_back(static_cast<std::int64_t>(r.u64()));
+        }
+        e.components.push_back(std::move(rf));
+      }
+      // A component entry round-trips its placeholder legacy mask back to
+      // empty so equality with the in-memory original holds.
+      if (!e.components.empty() && e.mask.rows() == 1 && e.mask.cols() == 1 &&
+          !e.mask.any()) {
+        e.mask = FaultMask();
+      }
+    }
     file.add(std::move(e));
   }
   return file;

@@ -13,28 +13,60 @@
 //     u64 rows, u64 cols
 //     bit-packed flip plane, sa0 plane, sa1 plane (rows*cols bits each,
 //     padded to whole bytes)
+//   version 2 appends, per entry, the realized fault-model components:
+//     u32 component_count
+//     per component:
+//       u32 model_len, model bytes
+//       u32 param_count; per param: u32 key_len, key bytes, f64 value
+//       i64 first_active
+//       u64 rows, u64 cols, the three bit-packed planes
+//       u64 site_value_count; i64 site values
+// Version 1 is still written whenever no entry carries components, so files
+// produced by the legacy single-kind API stay byte-identical and loadable
+// by older builds.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "fault/fault_mask.hpp"
+#include "fault/fault_model.hpp"
 #include "fault/fault_spec.hpp"
 
 namespace flim::fault {
 
-/// One named mask entry (typically one per BNN layer).
+/// One named fault entry (typically one per BNN layer).
+///
+/// Two representations coexist:
+/// * legacy single-kind: `components` is empty and (kind, dynamic_period,
+///   mask) describe one fault of the paper taxonomy; the injector
+///   synthesizes the matching registered model, so behaviour is identical
+///   to the pre-registry switch.
+/// * composable: `components` holds the realized models of a FaultStack in
+///   application order; kind/mask above are ignored.
 struct FaultVectorEntry {
   std::string layer_name;
   FaultKind kind = FaultKind::kBitFlip;
   FaultGranularity granularity = FaultGranularity::kOutputElement;
   int dynamic_period = 0;
   FaultMask mask;
+  /// Realized fault-model components (composable representation).
+  std::vector<RealizedFault> components;
+
+  /// Canonical description: the component stack expression, or the legacy
+  /// kind name.
+  std::string describe() const;
+
+  /// Union of all fault planes (the legacy mask, or every component's
+  /// planes OR-ed together) -- the static defect footprint consumers like
+  /// the canary monitor and ECC scrubber see.
+  FaultMask combined_mask() const;
 
   bool operator==(const FaultVectorEntry& other) const {
     return layer_name == other.layer_name && kind == other.kind &&
            granularity == other.granularity &&
-           dynamic_period == other.dynamic_period && mask == other.mask;
+           dynamic_period == other.dynamic_period && mask == other.mask &&
+           components == other.components;
   }
 };
 

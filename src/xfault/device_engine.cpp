@@ -1,6 +1,7 @@
 #include "xfault/device_engine.hpp"
 
 #include "core/check.hpp"
+#include "fault/fault_registry.hpp"
 
 namespace flim::xfault {
 
@@ -31,43 +32,81 @@ void DeviceEngine::inject_device_fault(const std::string& layer_name,
 
 DeviceEngine::LayerState DeviceEngine::make_state(
     const fault::FaultVectorEntry* entry) const {
+  // Resolve the entry's component stack (a legacy single-kind entry adapts
+  // into the matching registered model, exactly like the FLIM injector).
+  const fault::FaultRegistry& registry = fault::FaultRegistry::instance();
+  std::vector<FlipComponent> components;
+  if (entry != nullptr) {
+    if (entry->components.empty()) {
+      FlipComponent component;
+      component.fault.model = fault::model_name_for(entry->kind);
+      if (entry->kind == fault::FaultKind::kDynamic) {
+        component.fault.params = {
+            {"period", static_cast<double>(entry->dynamic_period)}};
+      }
+      component.fault.mask = entry->mask;
+      component.model = &registry.get(component.fault.model);
+      components.push_back(std::move(component));
+    } else {
+      for (const fault::RealizedFault& fault : entry->components) {
+        FlipComponent component;
+        component.model = &registry.get(fault.model);
+        component.fault = fault;
+        components.push_back(std::move(component));
+      }
+    }
+    for (const FlipComponent& component : components) {
+      const fault::ModelInfo& meta = component.model->info();
+      FLIM_REQUIRE(meta.device_backend,
+                   "fault model '" + meta.name +
+                       "' is not supported by the device backend (it does "
+                       "not reduce to per-gate flips plus static stuck "
+                       "cells); use the flim engine");
+      FLIM_REQUIRE(component.fault.mask.rows() ==
+                           components.front().fault.mask.rows() &&
+                       component.fault.mask.cols() ==
+                           components.front().fault.mask.cols(),
+                   "fault components of one layer must share a mask grid");
+    }
+  }
+
   LayerState state;
   lim::CrossbarConfig cfg = config_.crossbar;
-  if (entry != nullptr) {
+  if (!components.empty()) {
     // Mask grid at gate granularity: one slot per gate.
-    cfg.rows = entry->mask.rows();
-    cfg.cols = entry->mask.cols() * lim::kCellsPerGate;
+    cfg.rows = components.front().fault.mask.rows();
+    cfg.cols = components.front().fault.mask.cols() * lim::kCellsPerGate;
   }
   state.xbar = std::make_unique<lim::CrossbarArray>(cfg);
   const std::int64_t gates = state.xbar->num_gates();
-  state.flip_gate.assign(static_cast<std::size_t>(gates), 0);
+  const std::int64_t gates_per_row = state.xbar->gates_per_row();
 
-  if (entry != nullptr) {
-    state.kind = entry->kind;
-    state.dynamic_period = entry->dynamic_period;
-    const std::int64_t gates_per_row = state.xbar->gates_per_row();
-    for (std::int64_t slot = 0; slot < entry->mask.num_slots(); ++slot) {
+  for (FlipComponent& component : components) {
+    const fault::FaultMask& mask = component.fault.mask;
+    component.gate.assign(static_cast<std::size_t>(gates), 0);
+    for (std::int64_t slot = 0; slot < mask.num_slots(); ++slot) {
       const std::int64_t row = slot / gates_per_row;
       const std::int64_t base_col =
           (slot % gates_per_row) * lim::kCellsPerGate;
-      if (entry->mask.flip(slot)) {
-        state.flip_gate[static_cast<std::size_t>(slot)] = 1;
+      if (mask.flip(slot)) {
+        component.gate[static_cast<std::size_t>(slot)] = 1;
         state.has_faults = true;
       }
       const auto result_col =
           base_col + static_cast<int>(family_->result_cell());
-      if (entry->mask.sa0(slot)) {
+      if (mask.sa0(slot)) {
         state.xbar->inject_device_fault(row, result_col,
                                         lim::DeviceFaultKind::kStuckAt0);
         state.has_faults = true;
       }
-      if (entry->mask.sa1(slot)) {
+      if (mask.sa1(slot)) {
         state.xbar->inject_device_fault(row, result_col,
                                         lim::DeviceFaultKind::kStuckAt1);
         state.has_faults = true;
       }
     }
   }
+  state.flips = std::move(components);
   return state;
 }
 
@@ -101,16 +140,29 @@ void DeviceEngine::execute(const std::string& layer_name,
   LayerState& state = state_for(layer_name);
   const std::int64_t gates = state.xbar->num_gates();
 
+  std::vector<std::uint8_t> folded_flips;  // reused across images
   for (std::int64_t begin = 0; begin < m; begin += positions_per_image) {
     const std::int64_t end = std::min(begin + positions_per_image, m);
-    // Dynamic faults fire only every n-th execution of the layer.
-    bool flips_active = true;
-    if (state.kind == fault::FaultKind::kDynamic) {
-      const std::int64_t period =
-          std::max(1, state.dynamic_period);
-      flips_active = (state.execution_counter % period) == period - 1;
+    // Each component's model decides whether its flips are sensitized on
+    // this execution (e.g. the dynamic model fires every period-th one).
+    // The active planes fold into one per-gate lookup outside the hot
+    // product-term loop (XOR: stacked flip mechanisms cancel, matching
+    // FaultModel::fold_term_planes).
+    const std::int64_t exec = state.execution_counter++;
+    const std::vector<std::uint8_t>* flip_plane = nullptr;
+    std::size_t active_count = 0;
+    for (const FlipComponent& component : state.flips) {
+      if (!component.model->active(component.fault, exec)) continue;
+      if (++active_count == 1) {
+        flip_plane = &component.gate;
+      } else {
+        if (active_count == 2) folded_flips = *flip_plane;
+        for (std::size_t g = 0; g < folded_flips.size(); ++g) {
+          folded_flips[g] ^= component.gate[g];
+        }
+        flip_plane = &folded_flips;
+      }
     }
-    ++state.execution_counter;
 
     for (std::int64_t i = begin; i < end; ++i) {
       for (std::int64_t j = 0; j < n; ++j) {
@@ -121,8 +173,8 @@ void DeviceEngine::execute(const std::string& layer_name,
           const std::int64_t gate = (j * k + t) % gates;
           bool a = activations.get(i, t) > 0;
           const bool w = weights.get(j, t) > 0;
-          if (flips_active &&
-              state.flip_gate[static_cast<std::size_t>(gate)] != 0) {
+          if (flip_plane != nullptr &&
+              (*flip_plane)[static_cast<std::size_t>(gate)] != 0) {
             a = !a;  // transient deviation of the stored operand state
           }
           const bool r = state.xbar->execute_xnor_on_gate(*family_, gate, a, w);

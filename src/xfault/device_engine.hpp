@@ -7,11 +7,15 @@
 // micro-op schedule (operand programming pulses, MAGIC/IMPLY gate steps with
 // transient device integration, sense-amp read) on a simulated crossbar.
 //
-// Fault realization at device level:
-// * bit-flip  -- the stored state of operand A flips before the gate
-//                evaluates (transient deviation), which inverts the XNOR;
-// * stuck-at  -- the gate's result cell is a stuck device (kStuckAt0/1);
-// * dynamic   -- flips are sensitized only every n-th execution of the layer.
+// Fault realization at device level is driven by the registered fault
+// models of each entry's component stack (fault_registry.hpp): a
+// component's flip plane corrupts the stored state of operand A before the
+// gate evaluates (transient deviation, gated by the model's time
+// semantics, e.g. the dynamic model's period), and its stuck-at planes
+// plant stuck result-cell devices (kStuckAt0/1). Models whose effect does
+// not reduce to that shape (drift, readdisturb) are rejected with a
+// pointer to the FLIM engine. Legacy single-kind entries are adapted to
+// the matching model, bit-identically to the old FaultKind switch.
 //
 // Gate assignment is weight-stationary and identical to the FLIM
 // product-term mapping (gate = (channel*K + term) mod gates), so FLIM and
@@ -83,11 +87,17 @@ class DeviceEngine final : public bnn::XnorExecutionEngine {
   DeviceEngineStats stats() const;
 
  private:
+  /// One realized flip-plane component: transient operand corruption over
+  /// the gate grid, sensitized per execution through the component's model.
+  struct FlipComponent {
+    const fault::FaultModel* model = nullptr;
+    fault::RealizedFault fault;
+    std::vector<std::uint8_t> gate;  // flip plane at gate granularity
+  };
+
   struct LayerState {
     std::unique_ptr<lim::CrossbarArray> xbar;
-    std::vector<std::uint8_t> flip_gate;  // transient operand corruption
-    fault::FaultKind kind = fault::FaultKind::kBitFlip;
-    int dynamic_period = 0;
+    std::vector<FlipComponent> flips;
     std::int64_t execution_counter = 0;
     bool has_faults = false;
   };

@@ -191,6 +191,115 @@ TEST(Cli, GenerateAndInspectRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(Cli, FaultsListsDescribesAndValidatesExpressions) {
+  EXPECT_EQ(cmd_faults(parse({"faults"})), 0);
+  EXPECT_EQ(cmd_faults(parse({"faults", "--describe", "drift"})), 0);
+  EXPECT_EQ(cmd_faults(parse({"faults", "--expr",
+                              "stuckat(rate=5e-4,sa1=0.7)+drift(tau=2000)"})),
+            0);
+  EXPECT_THROW(cmd_faults(parse({"faults", "--describe", "bogus"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_faults(parse({"faults", "--expr", "bitflip(rate=9)"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_faults(parse({"faults", "--unknown-flag", "1"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, GenerateWithFaultExpressionWritesComponentEntries) {
+  const std::string path = ::testing::TempDir() + "/cli_expr_vectors.bin";
+  std::vector<const char*> argv{
+      "flim_cli", "generate", "--out", path.c_str(), "--layers",
+      "conv1,dense0", "--fault", "stuckat(rate=0.25,sa1=1)+coupling(rate=0.1)",
+      "--grid", "8x8", "--seed", "3"};
+  EXPECT_EQ(cmd_generate(
+                Args::parse(static_cast<int>(argv.size()), argv.data())),
+            0);
+  const fault::FaultVectorFile file = fault::FaultVectorFile::load(path);
+  EXPECT_EQ(file.size(), 2u);
+  ASSERT_NE(file.find("conv1"), nullptr);
+  ASSERT_EQ(file.find("conv1")->components.size(), 2u);
+  EXPECT_EQ(file.find("conv1")->components[0].mask.count_sa1(), 16);
+  EXPECT_EQ(file.find("conv1")->describe(),
+            "stuckat(rate=0.25,sa1=1)+coupling(rate=0.1)");
+  // The summary table renders component entries too.
+  std::vector<const char*> inspect{"flim_cli", "inspect", "--file",
+                                   path.c_str()};
+  EXPECT_EQ(cmd_inspect(Args::parse(4, inspect.data())), 0);
+  std::filesystem::remove(path);
+
+  // --fault conflicts with every legacy single-kind flag (silently
+  // ignoring them would write masks that contradict the command line).
+  EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",
+                                   "a", "--fault", "bitflip", "--kind",
+                                   "stuckat"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",
+                                   "a", "--fault", "bitflip(rate=0.05)",
+                                   "--faulty-rows", "4"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",
+                                   "a", "--fault", "dynamic(rate=0.05)",
+                                   "--period", "4"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, CampaignValidatesFaultExpressionFlags) {
+  // Bad expressions fail before any training.
+  EXPECT_THROW(run(parse({"campaign", "--fault", "warpcore(rate=0.1)"})),
+               std::invalid_argument);
+  // --fault and --kind are mutually exclusive.
+  EXPECT_THROW(run(parse({"campaign", "--fault", "bitflip(rate=0.1)",
+                          "--kind", "bitflip"})),
+               std::invalid_argument);
+  // Explicit --rates without a '@' placeholder is a likely mistake.
+  EXPECT_THROW(run(parse({"campaign", "--fault", "bitflip(rate=0.1)",
+                          "--rates", "0,0.1"})),
+               std::invalid_argument);
+  // Unsupported granularity/backend combinations fail at validation.
+  EXPECT_THROW(run(parse({"campaign", "--fault", "drift(rate=0.1)",
+                          "--granularity", "term"})),
+               std::invalid_argument);
+  EXPECT_THROW(run(parse({"campaign", "--fault", "readdisturb(rate=0.1)",
+                          "--engine", "device"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, ExpressionCampaignStoreAndResumeRoundTrip) {
+  // A composed-stack sweep via '@' expansion: store, then resume with a
+  // differently spelled but canonically identical expression -- the
+  // fingerprint must match and the CSVs must be byte-identical.
+  const std::string dir = ::testing::TempDir() + "/cli_expr_store";
+  std::filesystem::create_directories(dir);
+  const std::string weights = dir + "/weights";
+  const std::string run_file = dir + "/expr.run.jsonl";
+  const std::string csv_a = dir + "/a.csv";
+  const std::string csv_b = dir + "/b.csv";
+  auto campaign = [&](const char* expr, const std::string& csv) {
+    std::vector<const char*> argv{
+        "flim_cli", "campaign", "--model", "lenet", "--fault", expr,
+        "--rates", "0,0.2", "--reps", "2", "--epochs", "1",
+        "--samples", "32", "--images", "8", "--weights-dir", weights.c_str(),
+        "--store", run_file.c_str(), "--csv", csv.c_str()};
+    return Args::parse(static_cast<int>(argv.size()), argv.data());
+  };
+  ASSERT_EQ(cmd_campaign(campaign("drift(rate=@,tau=2)+coupling(rate=0.05)",
+                                  csv_a)),
+            0);
+  ASSERT_EQ(cmd_campaign(campaign("drift(tau=2.0, rate=@) + coupling( "
+                                  "rate = 0.05 )",
+                                  csv_b)),
+            0);
+  auto read = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  ASSERT_FALSE(read(csv_a).empty());
+  EXPECT_EQ(read(csv_a), read(csv_b));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Cli, GenerateValidatesInput) {
   EXPECT_THROW(cmd_generate(parse({"generate"})), std::invalid_argument);
   EXPECT_THROW(cmd_generate(parse({"generate", "--out", "/tmp/x", "--layers",

@@ -364,5 +364,173 @@ TEST(ScenarioResult, EmitsTableCsvAndJson) {
   std::remove(json_path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Composable fault expressions through the scenario layer.
+
+TEST(ScenarioValidation, FaultExpressionsAreValidatedUpFront) {
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.fault_expr = "no-such-model(rate=0.1)";
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s = tiny_scenario();
+    s.axes = {fault_expr_axis({"bitflip(rate=0.1)"})};
+    validate(s);  // a good expression axis passes
+  }
+  {
+    // Expression axes are parsed at construction: bad values fail early.
+    EXPECT_THROW(fault_expr_axis({"bitflip(rate=2)"}), std::invalid_argument);
+  }
+  {
+    // drift cannot produce static product-term planes.
+    ScenarioSpec s = tiny_scenario();
+    s.fault.granularity = fault::FaultGranularity::kProductTerm;
+    s.fault_expr = "drift(rate=0.1)";
+    s.axes.clear();
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    // The device backend cannot realize data/time-dependent models.
+    ScenarioSpec s = tiny_scenario();
+    s.engine.backend = Backend::kDevice;
+    s.fault_expr = "readdisturb(rate=0.1)";
+    s.axes.clear();
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+  {
+    // Expression points carry their rates in the model params, so the
+    // legacy clustered-needs-a-rate rule must not reject expr+clustered
+    // scenarios (the base spec's injection_rate is unused there).
+    ScenarioSpec s = tiny_scenario();
+    s.fault.distribution = fault::FaultDistribution::kClustered;
+    s.fault_expr = "bitflip(rate=0.1)";
+    s.axes.clear();
+    validate(s);
+    s.fault.cluster_radius = 0.0;  // other placement checks still apply
+    EXPECT_THROW(validate(s), std::invalid_argument);
+  }
+}
+
+/// Runs `spec` on the shared tiny workload and returns the result.
+ScenarioResult run_tiny(ScenarioSpec spec) {
+  return ScenarioRunner(std::move(spec)).run(tiny_workload());
+}
+
+// Golden equivalence: a paper kind swept through the expression path must
+// reproduce the legacy single-kind sweep summaries exactly -- same seeds,
+// same masks, same numbers (the byte-identical-CSV contract, asserted on
+// the summary values that feed the CSV writer).
+TEST(ScenarioRunner, ExpressionPathMatchesLegacyKindPath) {
+  struct Case {
+    fault::FaultKind kind;
+    const char* zero;
+    const char* faulty;
+  };
+  const std::vector<Case> cases{
+      {fault::FaultKind::kBitFlip, "bitflip(rate=0)", "bitflip(rate=0.25)"},
+      {fault::FaultKind::kStuckAt, "stuckat(rate=0)", "stuckat(rate=0.25)"},
+      {fault::FaultKind::kDynamic, "dynamic(rate=0,period=3)",
+       "dynamic(rate=0.25,period=3)"},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec legacy = tiny_scenario();
+    legacy.fault.kind = c.kind;
+    legacy.fault.dynamic_period = 3;
+    legacy.axes = {rate_axis({0.0, 0.25})};
+
+    ScenarioSpec expr = tiny_scenario();
+    expr.axes = {fault_expr_axis({c.zero, c.faulty})};
+
+    const ScenarioResult a = run_tiny(legacy);
+    const ScenarioResult b = run_tiny(expr);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+      EXPECT_EQ(a.points[i].metric.mean, b.points[i].metric.mean)
+          << fault::to_string(c.kind) << " point " << i;
+      EXPECT_EQ(a.points[i].metric.stddev, b.points[i].metric.stddev);
+      EXPECT_EQ(a.points[i].metric.min, b.points[i].metric.min);
+      EXPECT_EQ(a.points[i].metric.max, b.points[i].metric.max);
+    }
+  }
+}
+
+TEST(ScenarioRunner, ExpressionPathMatchesLegacyOnDeviceBackend) {
+  ScenarioSpec legacy = tiny_scenario();
+  legacy.workload.eval_images = 2;
+  legacy.engine.backend = Backend::kDevice;
+  legacy.fault.kind = fault::FaultKind::kStuckAt;
+  legacy.fault.granularity = fault::FaultGranularity::kProductTerm;
+  legacy.grid = {8, 8};
+  legacy.axes = {rate_axis({0.1})};
+  legacy.repetitions = 1;
+
+  ScenarioSpec expr = legacy;
+  expr.axes = {fault_expr_axis({"stuckat(rate=0.1)"})};
+
+  const Workload workload = load_workload(legacy.workload);
+  const ScenarioResult a = ScenarioRunner(legacy).run(workload);
+  const ScenarioResult b = ScenarioRunner(expr).run(workload);
+  EXPECT_EQ(a.points[0].metric.mean, b.points[0].metric.mean);
+}
+
+// Satellite regression: product-term campaigns must stay bit-identical
+// between serial and pooled execution (the injector's term-mask cache is
+// shared state guarded against concurrent builds).
+TEST(ScenarioRunner, PooledProductTermCampaignIsBitIdenticalToSerial) {
+  ScenarioSpec s = tiny_scenario();
+  s.fault.kind = fault::FaultKind::kStuckAt;
+  s.fault.granularity = fault::FaultGranularity::kProductTerm;
+  s.grid = {16, 16};
+  s.axes = {rate_axis({0.0, 0.2})};
+  s.repetitions = 6;
+
+  const ScenarioResult serial = run_tiny(s);
+  s.jobs = 4;
+  const ScenarioResult pooled = run_tiny(s);
+  ASSERT_EQ(serial.points.size(), pooled.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].metric.mean, pooled.points[i].metric.mean);
+    EXPECT_EQ(serial.points[i].metric.stddev, pooled.points[i].metric.stddev);
+    EXPECT_EQ(serial.points[i].metric.min, pooled.points[i].metric.min);
+    EXPECT_EQ(serial.points[i].metric.max, pooled.points[i].metric.max);
+  }
+}
+
+TEST(ScenarioRunner, NewModelsSweepEndToEnd) {
+  // readdisturb / drift / coupling run end-to-end, deterministically, and a
+  // rate-0 stack reproduces the clean accuracy.
+  ScenarioSpec s = tiny_scenario();
+  s.axes = {fault_expr_axis(
+      {"readdisturb(rate=0)", "readdisturb(rate=0.3)", "drift(rate=0.3,tau=2)",
+       "coupling(rate=0.1,strength=0.8)",
+       "stuckat(rate=0.05)+drift(rate=0.1,tau=3)"})};
+  const ScenarioResult a = run_tiny(s);
+  const ScenarioResult b = run_tiny(s);
+  ASSERT_EQ(a.points.size(), 5u);
+  EXPECT_DOUBLE_EQ(a.points[0].metric.mean, tiny_workload().clean_accuracy);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_GE(a.points[i].metric.mean, 0.0);
+    EXPECT_LE(a.points[i].metric.mean, 1.0);
+    EXPECT_EQ(a.points[i].metric.mean, b.points[i].metric.mean);
+  }
+  // The expression axis canonicalizes labels.
+  EXPECT_EQ(a.points[4].labels[0], "stuckat(rate=0.05)+drift(rate=0.1,tau=3)");
+}
+
+TEST(ScenarioRunner, PooledExpressionSweepIsBitIdenticalToSerial) {
+  ScenarioSpec s = tiny_scenario();
+  s.axes = {fault_expr_axis(
+      {"drift(rate=0.2,tau=2)", "coupling(rate=0.1,strength=1)"})};
+  s.repetitions = 4;
+  const ScenarioResult serial = run_tiny(s);
+  s.jobs = 3;
+  const ScenarioResult pooled = run_tiny(s);
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].metric.mean, pooled.points[i].metric.mean);
+    EXPECT_EQ(serial.points[i].metric.stddev, pooled.points[i].metric.stddev);
+  }
+}
+
 }  // namespace
 }  // namespace flim::exp

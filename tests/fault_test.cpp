@@ -1,9 +1,10 @@
 // Unit tests for the fault subsystem: specs, masks, generator, vector files,
-// and the injector.
+// the model registry + expression language, and the injector.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,11 +12,23 @@
 #include "fault/fault_generator.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_mask.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/fault_registry.hpp"
 #include "fault/fault_spec.hpp"
 #include "fault/fault_vector_file.hpp"
 
 namespace flim::fault {
 namespace {
+
+/// Error message produced by validating `spec` (empty when it passes).
+std::string validation_error(const FaultSpec& spec) {
+  try {
+    validate(spec);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
 
 TEST(FaultSpec, ValidationRejectsNonsense) {
   FaultSpec bad;
@@ -28,6 +41,29 @@ TEST(FaultSpec, ValidationRejectsNonsense) {
   bad.stuck_at_one_fraction = 2.0;
   EXPECT_THROW(validate(bad), std::invalid_argument);
   validate(FaultSpec{});  // defaults are fine
+}
+
+TEST(FaultSpec, ValidationRejectsNonsenseClusterParameters) {
+  // Each rejection carries an actionable message naming the bad value.
+  FaultSpec bad;
+  bad.cluster_count = -3;
+  EXPECT_NE(validation_error(bad).find("cluster count"), std::string::npos);
+  EXPECT_NE(validation_error(bad).find("-3"), std::string::npos);
+
+  bad = FaultSpec{};
+  bad.cluster_radius = 0.0;
+  EXPECT_NE(validation_error(bad).find("cluster radius"), std::string::npos);
+  bad.cluster_radius = -1.5;
+  EXPECT_NE(validation_error(bad).find("cluster radius"), std::string::npos);
+
+  bad = FaultSpec{};
+  bad.distribution = FaultDistribution::kClustered;
+  bad.injection_rate = 0.0;
+  const std::string error = validation_error(bad);
+  EXPECT_NE(error.find("zero injection rate"), std::string::npos);
+  EXPECT_NE(error.find("uniform"), std::string::npos);  // suggests the fix
+  bad.injection_rate = 0.05;
+  validate(bad);  // a positive rate makes clustered mode meaningful
 }
 
 TEST(FaultSpec, Names) {
@@ -174,15 +210,21 @@ TEST(FaultGenerator, ClusteredSitesAreSpatiallyTighter) {
   clustered.cluster_count = 1;  // single cluster: all pairs are intra-cluster
   clustered.cluster_radius = 1.5;
 
-  // Averaged over seeds, cluster scatter is far tighter than uniform.
+  // Averaged over seeds, cluster scatter is far tighter than uniform, while
+  // the realized mask popcount is identical in both modes (the distribution
+  // ablation varies only spatial correlation, never the fault budget).
   double uniform_dist = 0.0;
   double clustered_dist = 0.0;
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     core::Rng r1(seed), r2(seed);
-    uniform_dist += mean_pairwise_distance(gen.generate(uniform, r1));
-    clustered_dist += mean_pairwise_distance(gen.generate(clustered, r2));
+    const FaultMask uniform_mask = gen.generate(uniform, r1);
+    const FaultMask clustered_mask = gen.generate(clustered, r2);
+    EXPECT_EQ(uniform_mask.count_flip(), clustered_mask.count_flip());
+    uniform_dist += mean_pairwise_distance(uniform_mask);
+    clustered_dist += mean_pairwise_distance(clustered_mask);
   }
   EXPECT_LT(clustered_dist, 0.25 * uniform_dist);
+  EXPECT_LT(clustered_dist, uniform_dist);  // below the uniform baseline
 }
 
 TEST(FaultGenerator, ClusteredIsDeterministicPerSeed) {
@@ -226,6 +268,22 @@ TEST(FaultSpec, DistributionNames) {
   EXPECT_EQ(to_string(FaultDistribution::kClustered), "clustered");
 }
 
+TEST(FaultGenerator, ClusteredPopcountMatchesUniformForStuckAt) {
+  FaultGenerator gen({32, 32});
+  FaultSpec uniform;
+  uniform.kind = FaultKind::kStuckAt;
+  uniform.injection_rate = 0.08;
+  FaultSpec clustered = uniform;
+  clustered.distribution = FaultDistribution::kClustered;
+  clustered.cluster_count = 3;
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    core::Rng r1(seed), r2(seed);
+    const FaultMask u = gen.generate(uniform, r1);
+    const FaultMask c = gen.generate(clustered, r2);
+    EXPECT_EQ(u.count_sa0() + u.count_sa1(), c.count_sa0() + c.count_sa1());
+  }
+}
+
 TEST(FaultVectorFile, SerializationRoundTrip) {
   FaultGenerator gen({13, 17});
   core::Rng rng(6);
@@ -237,13 +295,15 @@ TEST(FaultVectorFile, SerializationRoundTrip) {
 
   FaultVectorFile file;
   file.add({"conv1", FaultKind::kBitFlip, FaultGranularity::kOutputElement, 0,
-            gen.generate(flips, rng)});
+            gen.generate(flips, rng), {}});
   file.add({"dense0", FaultKind::kStuckAt, FaultGranularity::kProductTerm, 0,
-            gen.generate(stuck, rng)});
+            gen.generate(stuck, rng), {}});
   file.add({"conv2", FaultKind::kDynamic, FaultGranularity::kOutputElement, 3,
-            gen.generate(flips, rng)});
+            gen.generate(flips, rng), {}});
 
   const auto bytes = file.serialize();
+  // Legacy entries keep the version-1 layout byte for byte.
+  EXPECT_EQ(bytes[8], 1u);
   const FaultVectorFile loaded = FaultVectorFile::deserialize(bytes);
   EXPECT_EQ(loaded, file);
   ASSERT_NE(loaded.find("conv2"), nullptr);
@@ -258,7 +318,7 @@ TEST(FaultVectorFile, FileRoundTrip) {
   spec.injection_rate = 0.25;
   FaultVectorFile file;
   file.add({"layer", FaultKind::kBitFlip, FaultGranularity::kOutputElement, 0,
-            gen.generate(spec, rng)});
+            gen.generate(spec, rng), {}});
   const std::string path = ::testing::TempDir() + "/flim_vectors_test.bin";
   file.save(path);
   const FaultVectorFile loaded = FaultVectorFile::load(path);
@@ -291,9 +351,9 @@ TEST(FaultInjector, FlipNegatesMappedOps) {
 
   tensor::IntTensor feature(tensor::Shape{2, 4});
   for (std::int64_t i = 0; i < 8; ++i) feature[i] = static_cast<int>(i + 1);
-  const bool active = inj.advance_execution();
-  EXPECT_TRUE(active);
-  inj.apply_output_element(feature, 0, 2, active, /*full_scale=*/1);
+  const std::int64_t exec = inj.advance_execution();
+  EXPECT_TRUE(inj.any_active(exec));
+  inj.apply_output_element(feature, 0, 2, exec, /*full_scale=*/1);
   EXPECT_EQ(feature[0], 1);
   EXPECT_EQ(feature[1], -2);  // op 1 -> slot 1 flipped
   EXPECT_EQ(feature[5], -6);  // op 5 -> slot 1 flipped
@@ -309,7 +369,7 @@ TEST(FaultInjector, StuckAtPinsValues) {
   feature[0] = 10;
   feature[1] = 20;
   feature[2] = 30;
-  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/1);
+  inj.apply_output_element(feature, 0, 1, /*execution=*/0, /*full_scale=*/1);
   EXPECT_EQ(feature[0], -1);  // stuck-at-0 pins to -1 in the ±1 encoding
   EXPECT_EQ(feature[1], 20);
   EXPECT_EQ(feature[2], 1);  // stuck-at-1 pins to +1
@@ -324,7 +384,7 @@ TEST(FaultInjector, StuckAtPinsToFullScale) {
   tensor::IntTensor feature(tensor::Shape{1, 2});
   feature[0] = 3;
   feature[1] = -3;
-  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/7);
+  inj.apply_output_element(feature, 0, 1, /*execution=*/0, /*full_scale=*/7);
   EXPECT_EQ(feature[0], -7);
   EXPECT_EQ(feature[1], 7);
 }
@@ -336,17 +396,20 @@ TEST(FaultInjector, StuckAtDominatesFlipOnSameSlot) {
   FaultInjector inj(e);
   tensor::IntTensor feature(tensor::Shape{1, 1});
   feature[0] = -5;
-  inj.apply_output_element(feature, 0, 1, true, /*full_scale=*/1);
+  inj.apply_output_element(feature, 0, 1, /*execution=*/0, /*full_scale=*/1);
   EXPECT_EQ(feature[0], 1);
 }
 
 TEST(FaultInjector, InactiveApplicationIsNoop) {
-  FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 2);
+  // A dynamic entry with period 2 is dormant on execution 0.
+  FaultVectorEntry e = make_entry(FaultKind::kDynamic, 1, 2);
+  e.dynamic_period = 2;
   e.mask.set_flip(0, true);
   FaultInjector inj(e);
   tensor::IntTensor feature(tensor::Shape{1, 2});
   feature[0] = 3;
-  inj.apply_output_element(feature, 0, 1, /*active=*/false, /*full_scale=*/1);
+  EXPECT_FALSE(inj.any_active(0));
+  inj.apply_output_element(feature, 0, 1, /*execution=*/0, /*full_scale=*/1);
   EXPECT_EQ(feature[0], 3);
 }
 
@@ -360,7 +423,7 @@ TEST_P(DynamicSchedule, FiresEveryNthExecution) {
   FaultInjector inj(e);
   const int effective = std::max(1, period);
   for (int exec = 0; exec < 3 * effective; ++exec) {
-    const bool fired = inj.advance_execution();
+    const bool fired = inj.any_active(inj.advance_execution());
     EXPECT_EQ(fired, (exec % effective) == effective - 1)
         << "period=" << period << " exec=" << exec;
   }
@@ -373,16 +436,18 @@ TEST(FaultInjector, ResetTimeRestartsDynamicSchedule) {
   FaultVectorEntry e = make_entry(FaultKind::kDynamic, 1, 1);
   e.dynamic_period = 2;
   FaultInjector inj(e);
-  EXPECT_FALSE(inj.advance_execution());
-  EXPECT_TRUE(inj.advance_execution());
+  EXPECT_FALSE(inj.any_active(inj.advance_execution()));
+  EXPECT_TRUE(inj.any_active(inj.advance_execution()));
   inj.reset_time();
-  EXPECT_FALSE(inj.advance_execution());
+  EXPECT_FALSE(inj.any_active(inj.advance_execution()));
 }
 
 TEST(FaultInjector, StaticKindsAlwaysActive) {
   FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 1, 1);
   FaultInjector inj(e);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(inj.advance_execution());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(inj.any_active(inj.advance_execution()));
+  }
 }
 
 TEST(FaultInjector, TermMasksFollowSlotMapping) {
@@ -392,31 +457,401 @@ TEST(FaultInjector, TermMasksFollowSlotMapping) {
   e.granularity = FaultGranularity::kProductTerm;
   e.mask.set_flip(2, true);
   FaultInjector inj(e);
-  const TermMasks& masks = inj.term_masks(2, 5);
-  EXPECT_EQ(masks.flip.rows(), 2);
-  EXPECT_EQ(masks.flip.cols(), 5);
+  const TermMasks* masks = inj.term_masks(2, 5, /*execution=*/0);
+  ASSERT_NE(masks, nullptr);
+  EXPECT_EQ(masks->flip.rows(), 2);
+  EXPECT_EQ(masks->flip.cols(), 5);
   // ch0: term indices 0..4 -> slots 0,1,2,3,0 => k=2 flipped.
-  EXPECT_EQ(masks.flip.get(0, 2), 1);
-  EXPECT_EQ(masks.flip.get(0, 0), -1);
+  EXPECT_EQ(masks->flip.get(0, 2), 1);
+  EXPECT_EQ(masks->flip.get(0, 0), -1);
   // ch1: term indices 5..9 -> slots 1,2,3,0,1 => k=1 flipped.
-  EXPECT_EQ(masks.flip.get(1, 1), 1);
-  EXPECT_EQ(masks.flip.get(1, 2), -1);
+  EXPECT_EQ(masks->flip.get(1, 1), 1);
+  EXPECT_EQ(masks->flip.get(1, 2), -1);
 }
 
 TEST(FaultInjector, TermMasksAreCachedAndShapeChecked) {
   FaultVectorEntry e = make_entry(FaultKind::kBitFlip, 2, 2);
+  e.mask.set_flip(0, true);
   e.granularity = FaultGranularity::kProductTerm;
   FaultInjector inj(e);
-  const TermMasks& a = inj.term_masks(3, 4);
-  const TermMasks& b = inj.term_masks(3, 4);
-  EXPECT_EQ(&a, &b);
-  EXPECT_THROW(inj.term_masks(4, 4), std::invalid_argument);
+  const TermMasks* a = inj.term_masks(3, 4, 0);
+  const TermMasks* b = inj.term_masks(3, 4, 1);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same active signature -> same cached planes
+  EXPECT_THROW(inj.term_masks(4, 4, 0), std::invalid_argument);
+}
+
+TEST(FaultInjector, TermMasksNullWhenDormant) {
+  // A period-3 dynamic entry folds planes only on the firing execution.
+  FaultVectorEntry e = make_entry(FaultKind::kDynamic, 1, 4);
+  e.dynamic_period = 3;
+  e.granularity = FaultGranularity::kProductTerm;
+  e.mask.set_flip(1, true);
+  FaultInjector inj(e);
+  EXPECT_EQ(inj.term_masks(2, 4, 0), nullptr);
+  EXPECT_EQ(inj.term_masks(2, 4, 1), nullptr);
+  const TermMasks* firing = inj.term_masks(2, 4, 2);
+  ASSERT_NE(firing, nullptr);
+  EXPECT_EQ(firing->flip.get(0, 1), 1);
 }
 
 TEST(FaultInjector, RejectsEmptyMask) {
   FaultVectorEntry e;
   e.layer_name = "x";
   EXPECT_THROW(FaultInjector{e}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Model registry and the expression language.
+
+TEST(FaultRegistry, ListsBuiltinModelsSorted) {
+  const auto models = FaultRegistry::instance().models();
+  std::vector<std::string> names;
+  for (const FaultModel* m : models) names.push_back(m->info().name);
+  const std::vector<std::string> expected{"bitflip",     "coupling",
+                                          "drift",       "dynamic",
+                                          "readdisturb", "stuckat"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(FaultRegistry, UnknownModelNamesTheRegisteredOnes) {
+  try {
+    FaultRegistry::instance().get("gamma-ray");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gamma-ray"), std::string::npos);
+    EXPECT_NE(what.find("bitflip"), std::string::npos);
+    EXPECT_NE(what.find("drift"), std::string::npos);
+  }
+}
+
+TEST(FaultExpr, ParsesSingleModel) {
+  const FaultStack stack = parse_fault_expr("bitflip(rate=0.1)");
+  ASSERT_EQ(stack.items().size(), 1u);
+  EXPECT_EQ(stack.items()[0].model->info().name, "bitflip");
+  EXPECT_EQ(stack.items()[0].params.get("rate", 0.0), 0.1);
+  EXPECT_EQ(stack.canonical(), "bitflip(rate=0.1)");
+}
+
+TEST(FaultExpr, CanonicalSortsParamsAndSurvivesRoundTrip) {
+  const std::string canonical =
+      canonical_fault_expr(" stuckat( sa1 = 0.7 , rate = 5e-4 ) ");
+  EXPECT_EQ(canonical, "stuckat(rate=5e-04,sa1=0.7)");
+  // Canonicalization is idempotent and spelling-independent.
+  EXPECT_EQ(canonical_fault_expr(canonical), canonical);
+  EXPECT_EQ(canonical_fault_expr("stuckat(rate=5e-04,sa1=0.7)"),
+            canonical_fault_expr("stuckat(sa1=0.70,rate=5.0e-4)"));
+}
+
+TEST(FaultExpr, ParsesComposedStacksInOrder) {
+  const FaultStack stack =
+      parse_fault_expr("stuckat(rate=5e-4,sa1=0.7)+drift(tau=2000)+coupling");
+  ASSERT_EQ(stack.items().size(), 3u);
+  EXPECT_EQ(stack.items()[0].model->info().name, "stuckat");
+  EXPECT_EQ(stack.items()[1].model->info().name, "drift");
+  EXPECT_EQ(stack.items()[2].model->info().name, "coupling");
+  EXPECT_EQ(stack.canonical(),
+            "stuckat(rate=5e-04,sa1=0.7)+drift(tau=2000)+coupling");
+}
+
+TEST(FaultExpr, RejectsMalformedExpressions) {
+  EXPECT_THROW(parse_fault_expr(""), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("   "), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("unknownmodel(rate=0.1)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate)"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate=)"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate=0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate=0.1)x"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip+"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(bogus=1)"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate=1.5)"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("bitflip(rate=0.1,rate=0.2)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("dynamic(period=1.5)"),  // integer param
+               std::invalid_argument);
+}
+
+TEST(FaultExpr, LegacySpecConvertsToOneModelStack) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStuckAt;
+  spec.injection_rate = 0.05;
+  spec.stuck_at_one_fraction = 0.7;
+  const FaultStack stack = stack_from_spec(spec);
+  ASSERT_EQ(stack.items().size(), 1u);
+  EXPECT_EQ(stack.items()[0].model->info().name, "stuckat");
+  EXPECT_EQ(stack.canonical(),
+            "stuckat(cols=0,rate=0.05,rows=0,sa1=0.7)");
+}
+
+TEST(FaultExpr, StackRealizationMatchesLegacyGenerator) {
+  // The registered paper models must consume the RNG exactly like the
+  // legacy generator: same seed, same masks, for every kind.
+  const lim::CrossbarGeometry grid{24, 16};
+  FaultGenerator gen(grid);
+  for (const FaultKind kind :
+       {FaultKind::kBitFlip, FaultKind::kStuckAt, FaultKind::kDynamic}) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.injection_rate = 0.08;
+    spec.faulty_rows = 2;
+    spec.faulty_cols = 1;
+    spec.dynamic_period = 4;
+    core::Rng r1(77), r2(77);
+    const FaultMask legacy = gen.generate(spec, r1);
+    RealizeContext ctx;
+    ctx.grid = grid;
+    const std::vector<RealizedFault> components =
+        stack_from_spec(spec).realize(ctx, r2);
+    ASSERT_EQ(components.size(), 1u);
+    EXPECT_EQ(components[0].mask, legacy) << to_string(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The extended models.
+
+TEST(ReadDisturbModel, FlipsOnlyMatchingReads) {
+  const FaultStack stack = parse_fault_expr("readdisturb(rate=1)");
+  RealizeContext ctx;
+  ctx.grid = {1, 4};
+  core::Rng rng(5);
+  FaultVectorEntry entry = stack.realize_entry(
+      "layer", FaultGranularity::kOutputElement, ctx, rng);
+  ASSERT_EQ(entry.components.size(), 1u);
+  EXPECT_EQ(entry.components[0].mask.count_flip(), 4);
+
+  FaultInjector inj(entry);
+  tensor::IntTensor feature(tensor::Shape{1, 4});
+  feature[0] = 3;   // positive read: disturbed
+  feature[1] = -3;  // negative read: untouched
+  feature[2] = 0;   // at threshold: untouched
+  feature[3] = 7;
+  inj.apply_output_element(feature, 0, 1, /*execution=*/0, /*full_scale=*/8);
+  EXPECT_EQ(feature[0], -3);
+  EXPECT_EQ(feature[1], -3);
+  EXPECT_EQ(feature[2], 0);
+  EXPECT_EQ(feature[3], -7);
+}
+
+TEST(ReadDisturbModel, HonorsThresholdFraction) {
+  const FaultStack stack =
+      parse_fault_expr("readdisturb(rate=1,threshold=0.5)");
+  RealizeContext ctx;
+  ctx.grid = {1, 2};
+  core::Rng rng(6);
+  FaultInjector inj(stack.realize_entry(
+      "layer", FaultGranularity::kOutputElement, ctx, rng));
+  tensor::IntTensor feature(tensor::Shape{1, 2});
+  feature[0] = 5;  // above 0.5 * 8 = 4: disturbed
+  feature[1] = 4;  // at the cutoff: untouched
+  inj.apply_output_element(feature, 0, 1, 0, /*full_scale=*/8);
+  EXPECT_EQ(feature[0], -5);
+  EXPECT_EQ(feature[1], 4);
+}
+
+TEST(DriftModel, StuckPopulationGrowsWithExecutions) {
+  const FaultStack stack = parse_fault_expr("drift(rate=0.5,tau=50)");
+  RealizeContext ctx;
+  ctx.grid = {16, 16};
+  core::Rng rng(7);
+  FaultVectorEntry entry = stack.realize_entry(
+      "layer", FaultGranularity::kOutputElement, ctx, rng);
+  ASSERT_EQ(entry.components.size(), 1u);
+  const RealizedFault& fault = entry.components[0];
+  EXPECT_EQ(fault.mask.count_sa0() + fault.mask.count_sa1(), 128);
+  EXPECT_EQ(fault.site_values.size(), 256u);
+
+  // Count elements pinned at increasing execution indices: monotone, and
+  // eventually the whole aged population is stuck.
+  FaultInjector inj(entry);
+  const auto pinned_at = [&](std::int64_t exec) {
+    tensor::IntTensor feature(tensor::Shape{256, 1});
+    for (std::int64_t i = 0; i < 256; ++i) feature[i] = 2;
+    inj.apply_output_element(feature, 0, 256, exec, /*full_scale=*/9);
+    std::int64_t pinned = 0;
+    for (std::int64_t i = 0; i < 256; ++i) {
+      if (feature[i] == 9 || feature[i] == -9) ++pinned;
+    }
+    return pinned;
+  };
+  const std::int64_t early = pinned_at(0);
+  const std::int64_t mid = pinned_at(50);
+  const std::int64_t late = pinned_at(100000);
+  EXPECT_LE(early, mid);
+  EXPECT_LT(mid, late);
+  EXPECT_EQ(late, 128);
+  // Before the first onset the component reports inactive (fast path).
+  if (fault.first_active > 0) {
+    EXPECT_FALSE(inj.any_active(fault.first_active - 1));
+  }
+  EXPECT_TRUE(inj.any_active(fault.first_active));
+}
+
+TEST(DriftModel, ClearedPolarityPlanesDisableTheCell) {
+  // An ECC scrub repairs faults by clearing mask planes; a drift cell whose
+  // polarity planes were cleared must inject nothing even past its onset
+  // (the planes gate the pin, site_values only time it).
+  const FaultStack stack = parse_fault_expr("drift(rate=1,tau=1,sa1=1)");
+  RealizeContext ctx;
+  ctx.grid = {1, 2};
+  core::Rng rng(13);
+  FaultVectorEntry entry = stack.realize_entry(
+      "layer", FaultGranularity::kOutputElement, ctx, rng);
+  entry.components[0].mask.set_sa1(0, false);  // "scrubbed" cell
+  FaultInjector inj(entry);
+  tensor::IntTensor feature(tensor::Shape{1, 2});
+  feature[0] = 3;
+  feature[1] = 3;
+  inj.apply_output_element(feature, 0, 1, /*execution=*/100000,
+                           /*full_scale=*/8);
+  EXPECT_EQ(feature[0], 3);  // cleared planes: no fault
+  EXPECT_EQ(feature[1], 8);  // intact cell pins to +K
+}
+
+TEST(CouplingModel, StrengthZeroIsExactlyTheSeeds) {
+  const FaultStack stack = parse_fault_expr("coupling(rate=0.1,strength=0)");
+  RealizeContext ctx;
+  ctx.grid = {20, 20};
+  core::Rng rng(8);
+  const std::vector<RealizedFault> components = stack.realize(ctx, rng);
+  EXPECT_EQ(components[0].mask.count_flip(), 40);  // 10% of 400 seeds only
+}
+
+TEST(CouplingModel, FullStrengthFlipsEveryNeighbor) {
+  const FaultStack stack =
+      parse_fault_expr("coupling(rate=0.01,strength=1,reach=1)");
+  RealizeContext ctx;
+  ctx.grid = {16, 16};
+  core::Rng rng(9);
+  const std::vector<RealizedFault> components = stack.realize(ctx, rng);
+  const FaultMask& mask = components[0].mask;
+  // Same seed, strength 1 vs 0: full strength must add every in-grid
+  // neighbor, bounded by the 3x3 neighborhood of each seed.
+  core::Rng rng2(9);
+  const std::vector<RealizedFault> seeds_only =
+      parse_fault_expr("coupling(rate=0.01,strength=0,reach=1)")
+          .realize(ctx, rng2);
+  EXPECT_GT(mask.count_flip(), seeds_only[0].mask.count_flip());
+  EXPECT_LE(mask.count_flip(), 9 * seeds_only[0].mask.count_flip());
+}
+
+TEST(CouplingModel, SitesAreSpatiallyCorrelated) {
+  // Equal flip budgets: coupling's realized sites must sit closer together
+  // than a uniform bitflip mask of the same popcount.
+  RealizeContext ctx;
+  ctx.grid = {32, 32};
+  double coupled_dist = 0.0;
+  double uniform_dist = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    core::Rng r1(seed);
+    const FaultMask coupled =
+        parse_fault_expr("coupling(rate=0.02,strength=1,reach=1)")
+            .realize(ctx, r1)[0]
+            .mask;
+    const double rate = static_cast<double>(coupled.count_flip()) / 1024.0;
+    core::Rng r2(seed + 100);
+    FaultSpec uniform;
+    uniform.injection_rate = rate;
+    const FaultMask baseline = FaultGenerator(ctx.grid).generate(uniform, r2);
+    coupled_dist += mean_pairwise_distance(coupled);
+    uniform_dist += mean_pairwise_distance(baseline);
+  }
+  EXPECT_LT(coupled_dist, uniform_dist);
+}
+
+// ---------------------------------------------------------------------------
+// Composition and granularity rules.
+
+TEST(FaultStack, ComponentsApplyInStackOrder) {
+  // stuckat then bitflip: the flip negates the pinned value; in the other
+  // order the pin wins. Both single-slot models on a 1x1 grid.
+  RealizeContext ctx;
+  ctx.grid = {1, 1};
+  core::Rng r1(3);
+  FaultVectorEntry pinned_then_flipped =
+      parse_fault_expr("stuckat(rate=1,sa1=1)+bitflip(rate=1)")
+          .realize_entry("l", FaultGranularity::kOutputElement, ctx, r1);
+  FaultInjector inj1(pinned_then_flipped);
+  tensor::IntTensor feature(tensor::Shape{1, 1});
+  feature[0] = 2;
+  inj1.apply_output_element(feature, 0, 1, 0, /*full_scale=*/5);
+  EXPECT_EQ(feature[0], -5);  // pinned to +5, then flipped
+
+  core::Rng r2(3);
+  FaultVectorEntry flipped_then_pinned =
+      parse_fault_expr("bitflip(rate=1)+stuckat(rate=1,sa1=1)")
+          .realize_entry("l", FaultGranularity::kOutputElement, ctx, r2);
+  FaultInjector inj2(flipped_then_pinned);
+  feature[0] = 2;
+  inj2.apply_output_element(feature, 0, 1, 0, /*full_scale=*/5);
+  EXPECT_EQ(feature[0], 5);  // flip first, pin wins
+}
+
+TEST(FaultStack, TermPlanesFoldFlipsByXor) {
+  // Two stacked flip mechanisms on the same slot cancel.
+  RealizeContext ctx;
+  ctx.grid = {1, 1};
+  core::Rng rng(4);
+  FaultVectorEntry entry =
+      parse_fault_expr("bitflip(rate=1)+bitflip(rate=1)")
+          .realize_entry("l", FaultGranularity::kProductTerm, ctx, rng);
+  FaultInjector inj(entry);
+  const TermMasks* masks = inj.term_masks(1, 1, 0);
+  ASSERT_NE(masks, nullptr);
+  EXPECT_EQ(masks->flip.get(0, 0), -1);  // flipped twice == clean
+}
+
+TEST(FaultStack, GranularitySupportIsValidated) {
+  const FaultStack drift = parse_fault_expr("drift(rate=0.1)");
+  drift.validate_granularity(FaultGranularity::kOutputElement);
+  EXPECT_THROW(drift.validate_granularity(FaultGranularity::kProductTerm),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_expr("readdisturb(rate=0.1)")
+                   .validate_granularity(FaultGranularity::kProductTerm),
+               std::invalid_argument);
+
+  // The injector enforces the same rule on realized entries.
+  RealizeContext ctx;
+  ctx.grid = {4, 4};
+  core::Rng rng(5);
+  FaultVectorEntry entry = parse_fault_expr("drift(rate=0.5)").realize_entry(
+      "l", FaultGranularity::kProductTerm, ctx, rng);
+  EXPECT_THROW(FaultInjector{entry}, std::invalid_argument);
+}
+
+TEST(FaultStack, DeviceBackendSupportIsValidated) {
+  parse_fault_expr("bitflip(rate=0.1)+coupling(rate=0.1)")
+      .validate_device_backend();
+  EXPECT_THROW(
+      parse_fault_expr("drift(rate=0.1)").validate_device_backend(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_fault_expr("readdisturb(rate=0.1)").validate_device_backend(),
+      std::invalid_argument);
+}
+
+TEST(FaultVectorFile, ComponentEntriesRoundTrip) {
+  RealizeContext ctx;
+  ctx.grid = {9, 5};
+  core::Rng rng(11);
+  const FaultStack stack =
+      parse_fault_expr("stuckat(rate=0.2,sa1=0.7)+drift(rate=0.1,tau=300)");
+  FaultVectorFile file;
+  file.add(stack.realize_entry("conv1", FaultGranularity::kOutputElement, ctx,
+                               rng));
+  file.add(stack.realize_entry("dense0", FaultGranularity::kOutputElement,
+                               ctx, rng));
+
+  const auto bytes = file.serialize();
+  EXPECT_EQ(bytes[8], 2u);  // component entries use the version-2 layout
+  const FaultVectorFile loaded = FaultVectorFile::deserialize(bytes);
+  EXPECT_EQ(loaded, file);
+  ASSERT_NE(loaded.find("conv1"), nullptr);
+  EXPECT_EQ(loaded.find("conv1")->components.size(), 2u);
+  EXPECT_EQ(loaded.find("conv1")->describe(),
+            "stuckat(rate=0.2,sa1=0.7)+drift(rate=0.1,tau=300)");
 }
 
 }  // namespace

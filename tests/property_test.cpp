@@ -160,8 +160,8 @@ TEST(FaultInvariants, OutputElementFlipIsAnInvolution) {
     feature[i] = static_cast<std::int32_t>(rng.uniform(41)) - 20;
   }
   const tensor::IntTensor original = feature;
-  inj.apply_output_element(feature, 0, 8, true, 20);
-  inj.apply_output_element(feature, 0, 8, true, 20);
+  inj.apply_output_element(feature, 0, 8, /*execution=*/0, 20);
+  inj.apply_output_element(feature, 0, 8, /*execution=*/1, 20);
   EXPECT_EQ(feature, original);
 }
 
@@ -176,9 +176,9 @@ TEST(FaultInvariants, StuckAtIsIdempotent) {
   tensor::IntTensor feature(tensor::Shape{2, 2});
   feature[0] = 9;
   feature[3] = -9;
-  inj.apply_output_element(feature, 0, 2, true, 12);
+  inj.apply_output_element(feature, 0, 2, /*execution=*/0, 12);
   const tensor::IntTensor once = feature;
-  inj.apply_output_element(feature, 0, 2, true, 12);
+  inj.apply_output_element(feature, 0, 2, /*execution=*/1, 12);
   EXPECT_EQ(feature, once);  // pinning again changes nothing
 }
 

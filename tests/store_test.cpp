@@ -135,6 +135,36 @@ TEST(SpecFingerprint, SeesEveryNumberChangingField) {
   EXPECT_TRUE(differs(s));
 }
 
+TEST(SpecFingerprint, CanonicalizesFaultExpressions) {
+  const ScenarioSpec base = tiny_scenario();
+  // A legacy spec's canonical form carries no expression field, which is
+  // what keeps pre-expression fingerprints (and old run files) valid.
+  EXPECT_EQ(canonical_spec(base).find("fault.expr"), std::string::npos);
+
+  ScenarioSpec expr = base;
+  expr.fault_expr = "stuckat(sa1=0.70,rate=5.0e-4)+drift(tau=2000)";
+  EXPECT_NE(spec_fingerprint(expr), spec_fingerprint(base));
+  EXPECT_NE(canonical_spec(expr).find(
+                "fault.expr=stuckat(rate=5e-04,sa1=0.7)+drift(tau=2000)"),
+            std::string::npos);
+
+  // Two spellings of the same stack (whitespace, param order, number
+  // format) fingerprint identically -- either one resumes the other's run
+  // files.
+  ScenarioSpec respelled = base;
+  respelled.fault_expr = " stuckat( rate = 0.0005 , sa1 = 0.7 ) + drift( "
+                         "tau = 2000.0 ) ";
+  EXPECT_EQ(spec_fingerprint(expr), spec_fingerprint(respelled));
+
+  // Expression axes are fingerprinted through their canonical text.
+  ScenarioSpec with_axis = base;
+  with_axis.axes = {fault_expr_axis({"drift(tau=100,rate=0.1)"})};
+  ScenarioSpec with_axis2 = base;
+  with_axis2.axes = {fault_expr_axis({"drift(rate=0.10,tau=1e2)"})};
+  EXPECT_EQ(spec_fingerprint(with_axis), spec_fingerprint(with_axis2));
+  EXPECT_NE(spec_fingerprint(with_axis), spec_fingerprint(base));
+}
+
 // ---------------------------------------------------------------------------
 // Run-file round-trip
 
