@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis annotations, compiled away elsewhere.
+//
+// Clang's -Wthread-safety turns lock discipline into a compile-time
+// property: members declare which mutex guards them (FLIM_GUARDED_BY),
+// functions declare which locks they need (FLIM_REQUIRES) or take
+// (FLIM_ACQUIRE/FLIM_RELEASE), and any access that cannot be proven to hold
+// the right lock is a hard error under -Werror. The static-analysis CI job
+// builds the tree with Clang and -Wthread-safety -Werror; GCC and MSVC see
+// empty macros, so the annotations cost nothing off Clang.
+//
+// Conventions (see docs/static-analysis.md#thread-safety-annotations):
+// * every mutex-protected member is annotated FLIM_GUARDED_BY(its mutex) --
+//   tools/flim_lint.py's `mutex-annotation` rule enforces this for new code;
+// * private helpers called under a lock are annotated FLIM_REQUIRES(...) so
+//   the analysis follows them instead of stopping at the call;
+// * FLIM_NO_THREAD_SAFETY_ANALYSIS is a last resort for patterns the
+//   analysis cannot express (conditional locking); prefer restructuring.
+#pragma once
+
+#if defined(__clang__)
+#define FLIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FLIM_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares that the annotated type is a lockable capability (mutexes from
+/// <mutex> are pre-annotated by libc++/libstdc++ on Clang; this is for
+/// wrapper types).
+#define FLIM_CAPABILITY(x) FLIM_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability for its lifetime.
+#define FLIM_SCOPED_CAPABILITY FLIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define FLIM_GUARDED_BY(x) FLIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer member's *pointee* is protected by `x` (the pointer
+/// itself is not).
+#define FLIM_PT_GUARDED_BY(x) FLIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Callers must hold the listed capabilities (exclusively) before calling.
+#define FLIM_REQUIRES(...) \
+  FLIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Callers must hold the listed capabilities at least shared.
+#define FLIM_REQUIRES_SHARED(...) \
+  FLIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release them.
+#define FLIM_ACQUIRE(...) \
+  FLIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities shared.
+#define FLIM_ACQUIRE_SHARED(...) \
+  FLIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define FLIM_RELEASE(...) \
+  FLIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock prevention).
+#define FLIM_EXCLUDES(...) FLIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result.
+#define FLIM_RETURN_CAPABILITY(x) FLIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the definition is exempt from the analysis. Use only for
+/// patterns the analysis cannot model, with a comment saying why.
+#define FLIM_NO_THREAD_SAFETY_ANALYSIS \
+  FLIM_THREAD_ANNOTATION(no_thread_safety_analysis)

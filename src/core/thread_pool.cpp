@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,8 +31,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      // Explicit predicate loop (not the cv_.wait(lock, pred) overload):
+      // thread-safety analysis cannot see that the predicate lambda runs
+      // under the lock, so the guarded reads live in this scope instead.
+      CondLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) lock.wait(cv_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -99,7 +102,7 @@ void ThreadPool::parallel_for_slotted(
   // a free-list of size() slot ids never runs dry.
   std::vector<std::size_t> free_slots(size());
   for (std::size_t s = 0; s < free_slots.size(); ++s) free_slots[s] = s;
-  std::mutex slots_mutex;
+  Mutex slots_mutex;
 
   const std::size_t chunks = std::min(n, size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
@@ -110,7 +113,7 @@ void ThreadPool::parallel_for_slotted(
     futures.push_back(submit([begin, end, &fn, &free_slots, &slots_mutex] {
       std::size_t slot;
       {
-        std::lock_guard<std::mutex> lock(slots_mutex);
+        const MutexLock lock(slots_mutex);
         slot = free_slots.back();
         free_slots.pop_back();
       }
@@ -119,12 +122,12 @@ void ThreadPool::parallel_for_slotted(
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i, slot);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(slots_mutex);
+        const MutexLock lock(slots_mutex);
         free_slots.push_back(slot);
         throw;
       }
       {
-        std::lock_guard<std::mutex> lock(slots_mutex);
+        const MutexLock lock(slots_mutex);
         free_slots.push_back(slot);
       }
     }));

@@ -12,6 +12,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
+
 namespace flim::core {
 
 /// Fixed-size pool of worker threads executing submitted tasks FIFO.
@@ -36,7 +39,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -68,11 +71,13 @@ class ThreadPool {
   /// after all tasks completed (tasks reference caller-stack state).
   static void drain(std::vector<std::future<void>>& futures);
 
+  /// Immutable after the constructor returns (read by on_worker_thread()
+  /// from arbitrary threads without a lock).
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ FLIM_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ FLIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace flim::core

@@ -547,15 +547,20 @@ void RunStoreWriter::FileCloser::operator()(std::FILE* f) const {
   if (f != nullptr) std::fclose(f);
 }
 
+RunStoreWriter::RunStoreWriter()
+    : mutex_(std::make_unique<core::Mutex>()) {}
+
 RunStoreWriter::RunStoreWriter(const std::string& path,
                                const RunHeader& header, bool fsync_each_point)
-    : path_(path), fsync_each_point_(fsync_each_point) {
+    : path_(path), mutex_(std::make_unique<core::Mutex>()),
+      fsync_each_point_(fsync_each_point) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path());
   }
   file_.reset(std::fopen(path.c_str(), "wb"));
   FLIM_REQUIRE(file_ != nullptr, "cannot create run file: " + path);
+  const core::MutexLock lock(*mutex_);
   write_line(header_line(header));
 }
 
@@ -579,7 +584,13 @@ RunStoreWriter RunStoreWriter::resume(const std::string& path,
 
 void RunStoreWriter::append(std::size_t flat_index,
                             const ScenarioPoint& point) {
-  write_line(point_line(flat_index, point));
+  // Serialize the whole line under the lock: concurrent appends land as
+  // complete, newline-terminated progress markers in some order, never
+  // interleaved byte-wise.
+  const std::string line = point_line(flat_index, point);
+  FLIM_REQUIRE(mutex_ != nullptr, "run-file writer was moved from");
+  const core::MutexLock lock(*mutex_);
+  write_line(line);
 }
 
 void RunStoreWriter::write_line(const std::string& line) {

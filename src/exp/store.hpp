@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
 #include "exp/scenario.hpp"
 
 namespace flim::exp {
@@ -129,6 +131,9 @@ struct RunFile {
 
 /// Append-only run-file writer. Every append() writes one complete JSONL
 /// line and (by default) fsyncs, making the line a durable progress marker.
+/// append() is thread-safe: the stream is mutex-guarded, so concurrent
+/// producers (e.g. a future campaign coordinator folding worker results)
+/// serialize on whole lines and can never interleave partial writes.
 class RunStoreWriter {
  public:
   /// Creates (or truncates) `path`, writes the header line, and syncs it.
@@ -143,23 +148,26 @@ class RunStoreWriter {
                                std::size_t valid_prefix_bytes,
                                bool fsync_each_point = true);
 
-  /// Appends one completed grid point and syncs it.
+  /// Appends one completed grid point and syncs it. Thread-safe.
   void append(std::size_t flat_index, const ScenarioPoint& point);
 
   /// The run file being written.
   const std::string& path() const { return path_; }
 
  private:
-  RunStoreWriter() = default;
+  RunStoreWriter();
 
   struct FileCloser {
     void operator()(std::FILE* f) const;
   };
 
-  void write_line(const std::string& line);
+  void write_line(const std::string& line) FLIM_REQUIRES(*mutex_);
 
   std::string path_;
-  std::unique_ptr<std::FILE, FileCloser> file_;
+  /// Heap-allocated (never null) so the writer stays movable; a moved-from
+  /// writer is only good for destruction.
+  std::unique_ptr<core::Mutex> mutex_;
+  std::unique_ptr<std::FILE, FileCloser> file_ FLIM_PT_GUARDED_BY(*mutex_);
   bool fsync_each_point_ = true;
 };
 

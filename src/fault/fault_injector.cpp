@@ -90,7 +90,7 @@ const TermMasks* FaultInjector::term_masks(std::int64_t out_channels,
   // Folding the planes costs O(out_channels * K) -- worth caching per
   // active-component signature, and the cache must stay consistent when a
   // pooled campaign drives one injector from several workers.
-  std::lock_guard<std::mutex> lock(term_cache_mutex_);
+  const core::MutexLock lock(term_cache_mutex_);
   if (term_out_channels_ < 0) {
     term_out_channels_ = out_channels;
     term_k_ = k;

@@ -27,9 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/fault_vector_file.hpp"
 #include "tensor/bit_matrix.hpp"
@@ -97,10 +98,13 @@ class FaultInjector {
   std::vector<Component> components_;
   std::int64_t execution_counter_ = 0;
 
-  mutable std::mutex term_cache_mutex_;
-  std::map<std::uint64_t, std::unique_ptr<TermMasks>> term_cache_;
-  std::int64_t term_out_channels_ = -1;
-  std::int64_t term_k_ = -1;
+  mutable core::Mutex term_cache_mutex_;
+  /// Entries are immutable once inserted and never erased, so the pointer
+  /// term_masks() returns stays valid after the lock is released.
+  std::map<std::uint64_t, std::unique_ptr<TermMasks>> term_cache_
+      FLIM_GUARDED_BY(term_cache_mutex_);
+  std::int64_t term_out_channels_ FLIM_GUARDED_BY(term_cache_mutex_) = -1;
+  std::int64_t term_k_ FLIM_GUARDED_BY(term_cache_mutex_) = -1;
 };
 
 }  // namespace flim::fault

@@ -425,6 +425,7 @@ void FaultRegistry::add(std::unique_ptr<FaultModel> model) {
   FLIM_REQUIRE(model != nullptr, "cannot register a null fault model");
   const std::string& name = model->info().name;
   FLIM_REQUIRE(!name.empty(), "fault model name must be non-empty");
+  const core::MutexLock lock(mutex_);
   const auto at = std::lower_bound(
       slots_.begin(), slots_.end(), name,
       [](const Slot& s, const std::string& n) { return s.name < n; });
@@ -433,7 +434,7 @@ void FaultRegistry::add(std::unique_ptr<FaultModel> model) {
   slots_.insert(at, Slot{name, std::move(model)});
 }
 
-const FaultModel* FaultRegistry::find(const std::string& name) const {
+const FaultModel* FaultRegistry::find_locked(const std::string& name) const {
   const auto at = std::lower_bound(
       slots_.begin(), slots_.end(), name,
       [](const Slot& s, const std::string& n) { return s.name < n; });
@@ -441,8 +442,14 @@ const FaultModel* FaultRegistry::find(const std::string& name) const {
   return at->model.get();
 }
 
+const FaultModel* FaultRegistry::find(const std::string& name) const {
+  const core::MutexLock lock(mutex_);
+  return find_locked(name);
+}
+
 const FaultModel& FaultRegistry::get(const std::string& name) const {
-  const FaultModel* model = find(name);
+  const core::MutexLock lock(mutex_);
+  const FaultModel* model = find_locked(name);
   if (model == nullptr) {
     std::string known;
     for (const Slot& s : slots_) {
@@ -456,6 +463,7 @@ const FaultModel& FaultRegistry::get(const std::string& name) const {
 }
 
 std::vector<const FaultModel*> FaultRegistry::models() const {
+  const core::MutexLock lock(mutex_);
   std::vector<const FaultModel*> out;
   out.reserve(slots_.size());
   for (const Slot& s : slots_) out.push_back(s.model.get());

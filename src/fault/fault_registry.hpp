@@ -24,13 +24,18 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/fault_vector_file.hpp"
 
 namespace flim::fault {
 
-/// Process-wide model registry. Lookups are read-only and thread-safe after
-/// registration; add() is meant for startup wiring (tests, embedders).
+/// Process-wide model registry. add() is meant for startup wiring (tests,
+/// embedders), but the slot table is mutex-guarded so a late registration
+/// cannot race the lookups running campaign workers issue; returned
+/// FaultModel pointers stay valid for the process lifetime (models are
+/// never removed).
 class FaultRegistry {
  public:
   /// The singleton, with the built-in models pre-registered.
@@ -55,7 +60,13 @@ class FaultRegistry {
     std::string name;
     std::unique_ptr<FaultModel> model;
   };
-  std::vector<Slot> slots_;  // name-sorted
+  /// Unlocked lookup shared by find() and get() (get() holds the lock
+  /// across lookup and error-message assembly).
+  const FaultModel* find_locked(const std::string& name) const
+      FLIM_REQUIRES(mutex_);
+
+  mutable core::Mutex mutex_;
+  std::vector<Slot> slots_ FLIM_GUARDED_BY(mutex_);  // name-sorted
 };
 
 /// One configured entry of a fault stack.

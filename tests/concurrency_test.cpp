@@ -1,0 +1,380 @@
+// Concurrency stress suite. These tests hammer every mutex-guarded surface
+// of the library from many threads at once; they pass trivially in a plain
+// build and earn their keep under -DFLIM_SANITIZE=thread, where the TSan CI
+// job turns any data race or lock-discipline slip into a hard failure. Keep
+// iteration counts modest: TSan runs ~5-15x slower than native.
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "exp/store.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_registry.hpp"
+
+namespace flim {
+namespace {
+
+TEST(ThreadPoolConcurrency, ParallelForHammer) {
+  core::ThreadPool pool(8);
+  for (int round = 0; round < 4; ++round) {
+    constexpr std::size_t kN = 2000;
+    std::vector<std::atomic<int>> visits(kN);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(kN, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+    EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolConcurrency, SlottedNeverSharesASlot) {
+  core::ThreadPool pool(8);
+  for (int round = 0; round < 4; ++round) {
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<bool>> occupied(pool.size());
+    std::vector<std::atomic<int>> visits(kN);
+    pool.parallel_for_slotted(kN, [&](std::size_t i, std::size_t slot) {
+      ASSERT_LT(slot, pool.size());
+      // Two concurrent invocations holding the same slot would both see
+      // `false` here; exchange makes that a deterministic test failure (and
+      // the unsynchronized per-slot workspaces it models would be a race).
+      ASSERT_FALSE(occupied[slot].exchange(true)) << "slot " << slot;
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      occupied[slot].store(false);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolConcurrency, SubmitFromManyExternalThreads) {
+  core::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(50);
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.submit([&] { done.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(done.load(), 4 * 50);
+}
+
+// Builds a realized product-term entry whose active-component signature
+// depends on the execution index: bitflip is static, dynamic(period=2)
+// fires on odd executions only.
+fault::FaultVectorEntry make_term_entry(std::uint64_t seed) {
+  const fault::FaultStack stack =
+      fault::parse_fault_expr("bitflip(rate=0.2)+dynamic(rate=0.3,period=2)");
+  fault::RealizeContext ctx;
+  core::Rng rng(seed);
+  return stack.realize_entry("conv1", fault::FaultGranularity::kProductTerm,
+                             ctx, rng);
+}
+
+TEST(FaultInjectorConcurrency, TermMaskCacheUnderContention) {
+  constexpr std::int64_t kChannels = 8;
+  constexpr std::int64_t kK = 16;
+
+  // Serial reference: one injector queried serially gives the ground-truth
+  // planes per signature.
+  fault::FaultInjector reference(make_term_entry(7));
+  const fault::TermMasks* ref_even = reference.term_masks(kChannels, kK, 0);
+  const fault::TermMasks* ref_odd = reference.term_masks(kChannels, kK, 1);
+  ASSERT_NE(ref_even, nullptr);
+  ASSERT_NE(ref_odd, nullptr);
+  ASSERT_NE(ref_even, ref_odd);
+
+  fault::FaultInjector injector(make_term_entry(7));
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 200;
+  std::vector<const fault::TermMasks*> even_ptr(kThreads);
+  std::vector<const fault::TermMasks*> odd_ptr(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueries; ++q) {
+        // Interleave identical and distinct signatures across threads.
+        const std::int64_t execution = (t + q) % 2;
+        const fault::TermMasks* masks =
+            injector.term_masks(kChannels, kK, execution);
+        ASSERT_NE(masks, nullptr);
+        if (execution == 0) {
+          even_ptr[t] = masks;
+        } else {
+          odd_ptr[t] = masks;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // One cache entry per signature: every thread saw the same pointer.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(even_ptr[t], even_ptr[0]);
+    EXPECT_EQ(odd_ptr[t], odd_ptr[0]);
+  }
+  EXPECT_NE(even_ptr[0], odd_ptr[0]);
+
+  // And the concurrently built planes match the serial reference bit for
+  // bit.
+  const auto planes_equal = [](const tensor::BitMatrix& a,
+                               const tensor::BitMatrix& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+    for (std::int64_t r = 0; r < a.rows(); ++r) {
+      for (std::int64_t c = 0; c < a.cols(); ++c) {
+        if (a.get(r, c) != b.get(r, c)) return false;
+      }
+    }
+    return true;
+  };
+  EXPECT_TRUE(planes_equal(even_ptr[0]->flip, ref_even->flip));
+  EXPECT_TRUE(planes_equal(even_ptr[0]->sa0, ref_even->sa0));
+  EXPECT_TRUE(planes_equal(even_ptr[0]->sa1, ref_even->sa1));
+  EXPECT_TRUE(planes_equal(odd_ptr[0]->flip, ref_odd->flip));
+  EXPECT_TRUE(planes_equal(odd_ptr[0]->sa0, ref_odd->sa0));
+  EXPECT_TRUE(planes_equal(odd_ptr[0]->sa1, ref_odd->sa1));
+}
+
+// A deterministic, allocation-light stand-in for an inference metric; the
+// value depends only on the seed, as campaign metrics must.
+double seeded_metric(std::uint64_t seed) {
+  core::Rng rng(seed);
+  double acc = 0.0;
+  for (int i = 0; i < 64; ++i) acc += rng.uniform_double();
+  return acc / 64.0;
+}
+
+TEST(CampaignConcurrency, PooledRunRepeatedBitIdenticalToSerial) {
+  core::CampaignConfig serial;
+  serial.repetitions = 96;
+  serial.master_seed = 1234;
+  const core::Summary expect = core::run_repeated(
+      serial, [](std::uint64_t seed) { return seeded_metric(seed); });
+
+  core::ThreadPool pool(8);
+  core::CampaignConfig pooled = serial;
+  pooled.pool = &pool;
+  for (int round = 0; round < 8; ++round) {
+    const core::Summary got = core::run_repeated(
+        pooled, [](std::uint64_t seed, std::size_t /*worker*/) {
+          return seeded_metric(seed);
+        });
+    EXPECT_EQ(got.mean, expect.mean);
+    EXPECT_EQ(got.stddev, expect.stddev);
+    EXPECT_EQ(got.min, expect.min);
+    EXPECT_EQ(got.max, expect.max);
+    EXPECT_EQ(got.count, expect.count);
+  }
+}
+
+TEST(CampaignConcurrency, PooledGridSweepBitIdenticalToSerial) {
+  const std::vector<core::SweepAxis> axes = {
+      {"rate", {{0.0, "0"}, {0.1, "0.1"}, {0.2, "0.2"}}},
+      {"layer", {{0.0, "conv1"}, {1.0, "conv2"}}},
+  };
+  const auto metric = [](const std::vector<double>& xs, std::uint64_t seed,
+                         std::size_t /*worker*/) {
+    return seeded_metric(seed) + xs[0] * 0.01 + xs[1] * 0.001;
+  };
+
+  core::CampaignConfig serial;
+  serial.repetitions = 24;
+  serial.master_seed = 99;
+  const std::vector<core::GridPoint> expect =
+      core::run_grid_sweep(serial, axes, metric);
+
+  core::ThreadPool pool(8);
+  core::CampaignConfig pooled = serial;
+  pooled.pool = &pool;
+  const std::vector<core::GridPoint> got =
+      core::run_grid_sweep(pooled, axes, metric);
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].coords, expect[i].coords);
+    EXPECT_EQ(got[i].labels, expect[i].labels);
+    EXPECT_EQ(got[i].metric.mean, expect[i].metric.mean);
+    EXPECT_EQ(got[i].metric.stddev, expect[i].metric.stddev);
+  }
+}
+
+// Minimal registrable model for the lookup-during-add stress: realize()
+// marks nothing, so it never perturbs campaign numbers even if leaked into
+// other suites (registration is process-global).
+class NullModel : public fault::FaultModel {
+ public:
+  explicit NullModel(std::string name) {
+    info_.name = std::move(name);
+    info_.summary = "concurrency-test model (no faults)";
+    info_.time_semantics = "static";
+  }
+
+  const fault::ModelInfo& info() const override { return info_; }
+
+  fault::RealizedFault realize(const fault::ModelParams& params,
+                               const fault::RealizeContext& ctx,
+                               core::Rng& /*rng*/) const override {
+    fault::RealizedFault fault;
+    fault.model = info_.name;
+    fault.params = params.values();
+    fault.mask = fault::FaultMask(ctx.grid.rows, ctx.grid.cols);
+    return fault;
+  }
+
+ private:
+  fault::ModelInfo info_;
+};
+
+TEST(FaultRegistryConcurrency, LookupsRaceRegistration) {
+  fault::FaultRegistry& registry = fault::FaultRegistry::instance();
+  constexpr int kModels = 32;
+  std::atomic<bool> stop{false};
+  std::atomic<int> found{0};
+
+  // Readers resolve built-in models (the campaign hot path) and poll for
+  // the models being registered concurrently.
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EXPECT_NE(registry.find("bitflip"), nullptr);
+        EXPECT_EQ(registry.get("stuckat").info().name, "stuckat");
+        EXPECT_GE(registry.models().size(), 6u);
+        if (registry.find("concurrency_test_model_17") != nullptr) {
+          found.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kModels; ++i) {
+    registry.add(std::make_unique<NullModel>(
+        "concurrency_test_model_" + std::to_string(i)));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  for (int i = 0; i < kModels; ++i) {
+    const std::string name = "concurrency_test_model_" + std::to_string(i);
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+exp::RunHeader make_test_header(std::size_t total_points) {
+  exp::RunHeader header;
+  header.name = "concurrency";
+  header.backend = "flim";
+  header.fingerprint = "deadbeefdeadbeef";
+  header.library_version = "test";
+  header.master_seed = 42;
+  header.repetitions = 3;
+  header.total_points = total_points;
+  header.axis_names = {"rate"};
+  header.axis_sizes = {total_points};
+  return header;
+}
+
+exp::ScenarioPoint make_test_point(std::size_t flat) {
+  exp::ScenarioPoint point;
+  point.values = {static_cast<double>(flat) * 0.01};
+  point.labels = {std::to_string(flat)};
+  point.metric.mean = static_cast<double>(flat);
+  point.metric.count = 3;
+  return point;
+}
+
+TEST(RunStoreConcurrency, ParallelAppendThenResume) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "flim_concurrency_store.jsonl")
+          .string();
+  constexpr std::size_t kPoints = 64;
+  constexpr int kThreads = 8;
+
+  {
+    exp::RunStoreWriter writer(path, make_test_header(kPoints),
+                               /*fsync_each_point=*/false);
+    // Each thread appends a disjoint slice; lines may interleave in any
+    // order but must never tear.
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < kPoints / 2;
+             i += kThreads) {
+          writer.append(i, make_test_point(i));
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+
+  exp::RunFile half = exp::RunFile::load(path);
+  EXPECT_FALSE(half.truncated_tail);
+  EXPECT_EQ(half.points.size(), kPoints / 2);
+  for (std::size_t i = 0; i < kPoints / 2; ++i) {
+    EXPECT_TRUE(half.has(i)) << "missing point " << i;
+  }
+
+  // Simulate a crash mid-write, then a parallel resumed second half.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"point\": 999, \"torn", f);
+    std::fclose(f);
+  }
+  exp::RunFile torn = exp::RunFile::load(path);
+  EXPECT_TRUE(torn.truncated_tail);
+  ASSERT_EQ(torn.points.size(), kPoints / 2);
+
+  {
+    exp::RunStoreWriter writer = exp::RunStoreWriter::resume(
+        path, torn.valid_prefix_bytes, /*fsync_each_point=*/false);
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (std::size_t i = kPoints / 2 + static_cast<std::size_t>(t);
+             i < kPoints; i += kThreads) {
+          writer.append(i, make_test_point(i));
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+
+  exp::RunFile full = exp::RunFile::load(path);
+  EXPECT_FALSE(full.truncated_tail);
+  EXPECT_EQ(full.points.size(), kPoints);
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    EXPECT_TRUE(full.has(i)) << "missing point " << i;
+  }
+  for (const exp::StoredPoint& sp : full.points) {
+    EXPECT_EQ(sp.point.metric.mean, static_cast<double>(sp.flat_index));
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace flim

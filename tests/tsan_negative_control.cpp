@@ -1,0 +1,42 @@
+// TSan negative control: a deliberately seeded data race.
+//
+// The concurrency suite passing under ThreadSanitizer only means something
+// if the TSan build can actually see races. This fixture races two plain
+// (unsynchronized, non-atomic) increments through the real ThreadPool and
+// is registered in ctest with WILL_FAIL when -DFLIM_SANITIZE=thread: TSan
+// must report the race and exit non-zero, so a TSan toolchain that silently
+// stopped instrumenting turns the control test red. It is built only in
+// TSan builds and is never part of tier-1.
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+int main() {
+  constexpr int kTasks = 4;
+  flim::core::ThreadPool pool(kTasks);
+  // Intentional race: every task mutates `counter` without synchronization.
+  // Do NOT "fix" this -- the point is to be caught. The arrival barrier is
+  // what makes the control reliable: without it a fast worker can drain the
+  // whole queue alone and the racy access pattern never actually
+  // interleaves, which TSan (correctly) does not report. Spinning until all
+  // tasks hold a worker guarantees the unsynchronized increments overlap.
+  int counter = 0;
+  std::atomic<int> arrived{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&counter, &arrived] {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      while (arrived.load(std::memory_order_relaxed) < kTasks) {
+      }
+      for (int n = 0; n < 100000; ++n) ++counter;
+    }));
+  }
+  for (auto& f : futures) f.get();
+  std::printf("counter=%d (racy; a TSan report is the expected outcome)\n",
+              counter);
+  return 0;
+}

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Self-test for flim_lint.py, wired into ctest as `lint_selftest`.
+
+Builds a throwaway fixture tree with exactly one violation per rule plus an
+allowlisted exception, and asserts the linter finds precisely what it
+should: every planted violation (and nothing else), suppression through the
+allowlist, per-line vs file-level entries, and stale-entry detection. The
+linter guards the determinism story of the whole repo; this keeps the
+linter itself from silently rotting.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import flim_lint  # noqa: E402
+
+
+FIXTURES = {
+    # One rng-source violation (line 3).
+    "src/core/campaign_fix.cpp": (
+        "#include <cstdlib>\n"
+        "int draw() {\n"
+        "  return rand() % 7;\n"
+        "}\n"
+    ),
+    # One unordered-emission violation (line 2): unordered container in an
+    # emission-path file.
+    "src/exp/store_fix.cpp": (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, double> g_points;\n"
+    ),
+    # One cout-in-library violation (line 2).
+    "src/tensor/ops_fix.cpp": (
+        "#include <iostream>\n"
+        "void dump() { std::cout << 1; }\n"
+    ),
+    # One float-keyed-map violation (line 2).
+    "src/fault/table_fix.hpp": (
+        "#include <map>\n"
+        "std::map<double, int> by_rate;\n"
+    ),
+    # One mutex-annotation violation (line 4): header mutex member, no
+    # GUARDED_BY anywhere in the file.
+    "src/core/cache_fix.hpp": (
+        "#include <mutex>\n"
+        "class Cache {\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  int value_ = 0;\n"
+        "};\n"
+    ),
+    # Allowlisted exception: a CLI-style file that prints to stdout; the
+    # fixture allowlist vets it file-level, mirroring src/cli in the repo.
+    "src/cli/print_fix.cpp": (
+        "#include <iostream>\n"
+        "void emit() { std::cout << \"csv\"; }\n"
+    ),
+    # Clean file: patterns inside comments and strings must NOT fire, and
+    # identifiers containing rule tokens (reset_time) are not violations.
+    "src/core/clean_fix.cpp": (
+        "// rand() and std::cout in a comment are fine\n"
+        "/* std::unordered_map<int,int> in a block comment */\n"
+        "const char* kDoc = \"call srand() at time()\";\n"
+        "void reset_time();\n"
+        "int runtime(int x);\n"
+    ),
+    # Annotated header: mutex member + GUARDED_BY elsewhere in the file is
+    # the sanctioned pattern and must pass.
+    "src/core/annotated_fix.hpp": (
+        "#include <mutex>\n"
+        "#define FLIM_GUARDED_BY(x)\n"
+        "class Pool {\n"
+        "  std::mutex mutex_;\n"
+        "  int tasks_ FLIM_GUARDED_BY(mutex_) = 0;\n"
+        "};\n"
+    ),
+}
+
+ALLOWLIST = (
+    "# fixture allowlist\n"
+    "cout-in-library src/cli/print_fix.cpp  # CLI output is the product\n"
+)
+
+
+class LintSelfTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="flim_lint_fixture_")
+        self.root = Path(self._tmp.name)
+        for rel, content in FIXTURES.items():
+            path = self.root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(content, encoding="utf-8")
+        self.allowlist = self.root / "allowlist.txt"
+        self.allowlist.write_text(ALLOWLIST, encoding="utf-8")
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_lint(self, allowlist: Path | None = None):
+        findings = []
+        for rel in flim_lint.iter_sources(self.root):
+            findings.extend(flim_lint.scan_file(self.root, rel))
+        entries = flim_lint.load_allowlist(allowlist or self.allowlist)
+        kept = flim_lint.apply_allowlist(findings, entries)
+        return kept, entries
+
+    def test_one_violation_per_rule_and_nothing_else(self):
+        kept, _ = self.run_lint()
+        got = {(f.path, f.line_no, f.rule.name) for f in kept}
+        expect = {
+            ("src/core/campaign_fix.cpp", 3, "rng-source"),
+            ("src/exp/store_fix.cpp", 2, "unordered-emission"),
+            ("src/tensor/ops_fix.cpp", 2, "cout-in-library"),
+            ("src/fault/table_fix.hpp", 2, "float-keyed-map"),
+            ("src/core/cache_fix.hpp", 4, "mutex-annotation"),
+        }
+        self.assertEqual(got, expect)
+
+    def test_allowlist_suppresses_the_vetted_file(self):
+        kept, entries = self.run_lint()
+        self.assertNotIn(
+            "src/cli/print_fix.cpp", [f.path for f in kept],
+            "file-level allowlist entry must suppress the CLI fixture",
+        )
+        self.assertEqual(entries[0].used, 1)
+
+    def test_per_line_entry_only_suppresses_matching_lines(self):
+        allow = self.root / "perline.txt"
+        allow.write_text(
+            "rng-source src/core/campaign_fix.cpp rand() % 7\n"
+            "unordered-emission src/exp/store_fix.cpp g_points\n",
+            encoding="utf-8",
+        )
+        kept, entries = self.run_lint(allowlist=allow)
+        rules_left = {f.rule.name for f in kept}
+        self.assertNotIn("rng-source", rules_left)
+        self.assertNotIn("unordered-emission", rules_left)
+        self.assertTrue(all(e.used == 1 for e in entries))
+
+    def test_stale_allowlist_entry_is_reported(self):
+        allow = self.root / "stale.txt"
+        allow.write_text(
+            "cout-in-library src/cli/print_fix.cpp\n"
+            "rng-source src/core/clean_fix.cpp  # suppresses nothing\n",
+            encoding="utf-8",
+        )
+        _, entries = self.run_lint(allowlist=allow)
+        stale = [e for e in entries if e.used == 0]
+        self.assertEqual(len(stale), 1)
+        self.assertEqual(stale[0].path, "src/core/clean_fix.cpp")
+
+    def test_unknown_rule_in_allowlist_is_rejected(self):
+        allow = self.root / "bad.txt"
+        allow.write_text("no-such-rule src/core/clean_fix.cpp\n", encoding="utf-8")
+        with self.assertRaises(SystemExit):
+            flim_lint.load_allowlist(allow)
+
+    def test_main_exit_codes(self):
+        # The fixture tree has violations -> 1; with every violation vetted
+        # per-line -> 0.
+        self.assertEqual(
+            flim_lint.main(["--root", str(self.root),
+                            "--allowlist", str(self.allowlist)]),
+            1,
+        )
+        allow = self.root / "all.txt"
+        allow.write_text(
+            "cout-in-library src/cli/print_fix.cpp\n"
+            "rng-source src/core/campaign_fix.cpp rand()\n"
+            "unordered-emission src/exp/store_fix.cpp g_points\n"
+            "cout-in-library src/tensor/ops_fix.cpp std::cout\n"
+            "float-keyed-map src/fault/table_fix.hpp by_rate\n"
+            "mutex-annotation src/core/cache_fix.hpp std::mutex mutex_\n",
+            encoding="utf-8",
+        )
+        self.assertEqual(
+            flim_lint.main(["--root", str(self.root), "--allowlist", str(allow)]),
+            0,
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()
