@@ -10,10 +10,17 @@ Args Args::parse(int argc, const char* const* argv) {
   Args args;
   if (argc < 2) return args;
   args.command_ = argv[1];
+  bool flags_began = false;
   for (int i = 2; i < argc; ++i) {
     const std::string token = argv[i];
-    FLIM_REQUIRE(token.rfind("--", 0) == 0,
-                 "expected --flag, got: " + token);
+    if (token.rfind("--", 0) != 0) {
+      // Bare tokens before any flag are positionals; later ones could only
+      // be a mistyped flag (flag *values* are consumed with their flag).
+      FLIM_REQUIRE(!flags_began, "expected --flag, got: " + token);
+      args.positionals_.push_back(token);
+      continue;
+    }
+    flags_began = true;
     const std::string flag = token.substr(2);
     FLIM_REQUIRE(!flag.empty(), "empty flag name");
     FLIM_REQUIRE(args.values_.find(flag) == args.values_.end() &&
@@ -83,13 +90,18 @@ std::vector<double> Args::get_double_list(const std::string& flag) const {
   return out;
 }
 
-void Args::require_known(const std::set<std::string>& allowed) const {
+void Args::require_known(const std::set<std::string>& allowed,
+                         std::size_t max_positionals) const {
   for (const auto& [flag, value] : values_) {
     FLIM_REQUIRE(allowed.count(flag) > 0, "unknown flag: --" + flag);
   }
   for (const auto& flag : switches_) {
     FLIM_REQUIRE(allowed.count(flag) > 0, "unknown flag: --" + flag);
   }
+  FLIM_REQUIRE(positionals_.size() <= max_positionals,
+               "unexpected argument: " +
+                   (positionals_.empty() ? std::string()
+                                         : positionals_[max_positionals]));
 }
 
 }  // namespace flim::cli

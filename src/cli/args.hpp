@@ -1,8 +1,11 @@
 // Minimal command-line argument parsing for the flim_cli tool.
 //
-// Grammar: flim_cli <command> [--flag value]... [--switch]...
-// Values are parsed on demand with type-checked accessors; unknown flags are
-// rejected so typos fail loudly.
+// Grammar: flim_cli <command> [positional]... [--flag value]... [--switch]...
+// Bare tokens between the command and the first flag are positionals
+// (subcommand names, file paths); after the first flag a bare token can only
+// be a flag's value. Values are parsed on demand with type-checked
+// accessors; unknown flags and unexpected positionals are rejected so typos
+// fail loudly.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +20,15 @@ namespace flim::cli {
 /// Parsed command line.
 class Args {
  public:
-  /// Parses argv[1..); argv[1] is the command. Throws std::invalid_argument
-  /// on malformed input (flag without value, duplicate flag).
+  /// Parses argv[1..); argv[1] is the command, following bare tokens up to
+  /// the first --flag are positionals. Throws std::invalid_argument on
+  /// malformed input (bare token after flags began, duplicate flag).
   static Args parse(int argc, const char* const* argv);
 
   const std::string& command() const { return command_; }
+
+  /// Bare tokens between the command and the first flag, in order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
 
   /// Typed accessors; `fallback` is returned when the flag is absent.
   std::string get_string(const std::string& flag,
@@ -36,11 +43,15 @@ class Args {
   /// Comma-separated doubles ("0,0.1,0.2").
   std::vector<double> get_double_list(const std::string& flag) const;
 
-  /// Verifies that every provided flag is in `allowed`; throws otherwise.
-  void require_known(const std::set<std::string>& allowed) const;
+  /// Verifies that every provided flag is in `allowed` and that at most
+  /// `max_positionals` positionals were given; throws otherwise. Commands
+  /// that take no positionals (the default) keep rejecting bare tokens.
+  void require_known(const std::set<std::string>& allowed,
+                     std::size_t max_positionals = 0) const;
 
  private:
   std::string command_;
+  std::vector<std::string> positionals_;
   std::map<std::string, std::string> values_;
   std::set<std::string> switches_;
 };

@@ -1,7 +1,9 @@
 #include "cli/commands.hpp"
 
 #include <cmath>
+#include <filesystem>
 #include <iostream>
+#include <limits>
 
 #include "bnn/plan.hpp"
 #include "core/check.hpp"
@@ -12,6 +14,8 @@
 #include "fault/fault_generator.hpp"
 #include "fault/fault_registry.hpp"
 #include "fault/fault_vector_file.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/worker.hpp"
 #include "reliability/ecc.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/march.hpp"
@@ -121,6 +125,25 @@ commands:
               continues RUNFILE unless --store names another file)]
              [--shard I/N (evaluate the deterministic 0-based slice I of N;
               requires --store)]
+  campaign serve   coordinate a worker fleet over TCP until the grid is
+             complete, then merge the uploaded shards (same spec flags as
+             campaign; the merged CSV is byte-identical to a single-process
+             run)
+             --shards N (default 2)  [--host A] [--port P (default 7641)]
+             [--lease-ttl-ms MS (default 30000; must exceed the slowest
+              point)] [--heartbeat-ms MS] [--wait-retry-ms MS]
+             [--work-dir DIR (default fleet-work)] [--csv FILE] [--json FILE]
+  campaign work    lease and run shards for a coordinator (same spec flags
+             as campaign; the spec fingerprint must match the coordinator's
+             or the worker is rejected)
+             [--host A] [--port P]  [--name ID]  [--work-dir DIR (shared
+              with other workers to resume abandoned shards)]
+             [--heartbeat-ms MS (0 = adopt the grant's cadence)]
+             [--io-timeout-ms MS] [--connect-attempts N] [--no-fsync]
+             [--max-points N (testing: simulate a crash after N points)]
+  campaign status  inspect run files: fingerprint, shard, progress, torn
+             tail bytes; exits 0 only when every file is complete
+             flim_cli campaign status <run-file>...
   merge      fold shard run files into one campaign result
              --inputs a.run.jsonl,b.run.jsonl,...  [--csv FILE] [--json FILE]
              (validates spec fingerprints, rejects overlaps and gaps; the
@@ -438,18 +461,35 @@ void emit_scenario_result(const Args& args, const std::string& title,
   }
 }
 
-}  // namespace
+/// Flags that feed the ScenarioSpec every campaign subcommand shares: the
+/// coordinator, workers, and the classic single-process run must all build
+/// the exact same spec, or the fingerprint handshake rejects the fleet.
+std::set<std::string> campaign_spec_flags(
+    std::initializer_list<const char*> extra) {
+  std::set<std::string> flags = {"model",       "kind",    "fault",
+                                 "rates",       "reps",    "granularity",
+                                 "grid",        "images",  "weights-dir",
+                                 "epochs",      "samples", "retrain",
+                                 "verbose",     "seed",    "engine",
+                                 "jobs"};
+  for (const char* flag : extra) flags.insert(flag);
+  return flags;
+}
 
-int cmd_campaign(const Args& args) {
-  args.require_known({"model", "kind", "fault", "rates", "reps",
-                      "granularity", "grid", "csv", "json", "images",
-                      "weights-dir", "epochs", "samples", "retrain",
-                      "verbose", "seed", "engine", "jobs", "store", "resume",
-                      "shard"});
+/// A campaign spec plus the raw --fault text (for report titles).
+struct BuiltCampaign {
+  exp::ScenarioSpec spec;
+  std::string fault_expr;
+};
+
+/// Maps the shared campaign flags onto a ScenarioSpec (the single funnel
+/// behind `campaign`, `campaign serve`, and `campaign work`).
+BuiltCampaign campaign_spec_from(const Args& args) {
   auto rates = args.get_double_list("rates");
   if (rates.empty()) rates = {0.0, 0.05, 0.10, 0.20};
 
-  exp::ScenarioSpec spec;
+  BuiltCampaign built;
+  exp::ScenarioSpec& spec = built.spec;
   spec.name = "campaign";
   spec.workload = workload_from(args);
   spec.engine.backend = exp::parse_backend(args.get_string("engine", "flim"));
@@ -458,20 +498,20 @@ int cmd_campaign(const Args& args) {
   spec.fault.granularity =
       parse_granularity(args.get_string("granularity", "output"));
   spec.grid = parse_grid(args, "grid", "64x64");
-  const std::string fault_expr = args.get_string("fault");
-  if (!fault_expr.empty()) {
+  built.fault_expr = args.get_string("fault");
+  if (!built.fault_expr.empty()) {
     FLIM_REQUIRE(!args.has("kind"),
                  "--fault replaces --kind; drop one of them");
-    if (fault_expr.find('@') != std::string::npos) {
+    if (built.fault_expr.find('@') != std::string::npos) {
       // Expand the '@' placeholder with each swept rate: one composed
       // stack per grid point, e.g. "drift(rate=@)" x {0.01, 0.05}.
-      spec.axes = {exp::fault_expr_axis(fault_expr, rates)};
+      spec.axes = {exp::fault_expr_axis(built.fault_expr, rates)};
     } else {
       FLIM_REQUIRE(!args.has("rates"),
                    "--rates with --fault needs a '@' placeholder in the "
                    "expression (e.g. --fault 'bitflip(rate=@)'); without "
                    "one the stack is a single point");
-      spec.fault_expr = fault::canonical_fault_expr(fault_expr);
+      spec.fault_expr = fault::canonical_fault_expr(built.fault_expr);
     }
   } else {
     spec.fault.kind = parse_kind(args.get_string("kind", "bitflip"));
@@ -480,6 +520,144 @@ int cmd_campaign(const Args& args) {
   spec.repetitions = static_cast<int>(args.get_int("reps", 10));
   spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
   spec.jobs = static_cast<int>(args.get_int("jobs", 1));
+  return built;
+}
+
+/// Report title for a campaign result (shared by classic and fleet runs).
+std::string campaign_title(const BuiltCampaign& built,
+                           const std::string& model_name) {
+  std::string title = model_name + " / ";
+  if (!built.fault_expr.empty()) {
+    title += built.spec.fault_expr.empty() ? "fault-expression sweep"
+                                           : built.spec.fault_expr;
+  } else {
+    title += to_string(built.spec.fault.kind) + " sweep";
+  }
+  if (built.spec.engine.backend != exp::Backend::kFlim) {
+    title += " (" + exp::to_string(built.spec.engine.backend) + ")";
+  }
+  return title;
+}
+
+/// `campaign serve`: coordinate a worker fleet until the grid is complete.
+int cmd_campaign_serve(const Args& args) {
+  args.require_known(
+      campaign_spec_flags({"shards", "host", "port", "lease-ttl-ms",
+                           "heartbeat-ms", "wait-retry-ms", "work-dir", "csv",
+                           "json"}),
+      1);
+  const BuiltCampaign built = campaign_spec_from(args);
+
+  fleet::CoordinatorOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(args.get_int("port", 7641));
+  options.shard_count = static_cast<int>(args.get_int("shards", 2));
+  options.lease_ttl_ms = args.get_int("lease-ttl-ms", 30000);
+  options.heartbeat_ms = args.get_int("heartbeat-ms", 5000);
+  options.wait_retry_ms = args.get_int("wait-retry-ms", 500);
+  options.work_dir = args.get_string("work-dir", "fleet-work");
+
+  fleet::Coordinator coordinator(built.spec, options);
+  coordinator.start();
+  std::cout << "fleet: serving " << options.shard_count << " shard(s) on "
+            << options.host << ":" << coordinator.port() << " (work dir "
+            << options.work_dir << ")\n";
+  const exp::ScenarioResult result = coordinator.wait();
+  coordinator.stop();
+  emit_scenario_result(args,
+                       campaign_title(built, built.spec.workload.model) +
+                           " [fleet, " + std::to_string(options.shard_count) +
+                           " shards]",
+                       result);
+  return 0;
+}
+
+/// `campaign work`: lease and run shards until the coordinator says done.
+int cmd_campaign_work(const Args& args) {
+  args.require_known(
+      campaign_spec_flags({"host", "port", "name", "work-dir", "heartbeat-ms",
+                           "io-timeout-ms", "connect-attempts", "max-points",
+                           "no-fsync"}),
+      1);
+  const BuiltCampaign built = campaign_spec_from(args);
+
+  fleet::WorkerOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(args.get_int("port", 7641));
+  options.name = args.get_string("name", "worker");
+  options.work_dir = args.get_string("work-dir", "fleet-work");
+  options.heartbeat_ms = args.get_int("heartbeat-ms", 0);
+  options.io_timeout_ms = args.get_int("io-timeout-ms", 30000);
+  options.max_connect_attempts =
+      static_cast<int>(args.get_int("connect-attempts", 8));
+  options.jobs = built.spec.jobs;
+  options.fsync_each_point = !args.has("no-fsync");
+  options.max_points =
+      static_cast<std::size_t>(args.get_int("max-points", 0));
+
+  const fleet::WorkerReport report = run_worker(built.spec, options);
+  core::Table table({"metric", "value"});
+  table.add("shards_completed", report.shards_completed);
+  table.add("points_evaluated", report.points_evaluated);
+  table.add("leases_granted", report.leases_granted);
+  table.add("leases_lost", report.leases_lost);
+  table.add("saw_done", report.saw_done ? "yes" : "no");
+  core::print_table(std::cout, "fleet worker " + options.name, table);
+  // A worker that stopped without campaign completion (crash hook) exits
+  // nonzero so scripts notice.
+  return report.saw_done ? 0 : 3;
+}
+
+/// `campaign status`: inspect run files without touching them.
+int cmd_campaign_status(const Args& args) {
+  args.require_known({}, std::numeric_limits<std::size_t>::max());
+  const std::vector<std::string>& pos = args.positionals();
+  FLIM_REQUIRE(pos.size() >= 2,
+               "usage: flim_cli campaign status <run-file>...");
+  core::Table table({"file", "name", "backend", "fingerprint", "shard",
+                     "points", "state", "torn_bytes"});
+  bool all_complete = true;
+  for (std::size_t i = 1; i < pos.size(); ++i) {
+    const std::string& path = pos[i];
+    try {
+      const exp::RunFile run = exp::RunFile::load(path);
+      const auto file_bytes =
+          static_cast<std::size_t>(std::filesystem::file_size(path));
+      const std::size_t torn = file_bytes - run.valid_prefix_bytes;
+      const bool complete = run.complete();
+      if (!complete) all_complete = false;
+      table.add(path, run.header.name, run.header.backend,
+                run.header.fingerprint,
+                std::to_string(run.header.shard_index) + "/" +
+                    std::to_string(run.header.shard_count),
+                std::to_string(run.points.size()) + "/" +
+                    std::to_string(run.owned_points()),
+                complete ? "complete" : "partial", torn);
+    } catch (const std::exception&) {
+      all_complete = false;
+      table.add(path, "-", "-", "-", "-", "-", "unreadable", "-");
+    }
+  }
+  core::print_table(std::cout, "campaign status", table);
+  // Scriptable: 0 only when every file is a complete, healthy shard.
+  return all_complete ? 0 : 2;
+}
+
+}  // namespace
+
+int cmd_campaign(const Args& args) {
+  if (!args.positionals().empty()) {
+    const std::string& sub = args.positionals().front();
+    if (sub == "serve") return cmd_campaign_serve(args);
+    if (sub == "work") return cmd_campaign_work(args);
+    if (sub == "status") return cmd_campaign_status(args);
+    FLIM_REQUIRE(false, "unknown campaign subcommand: " + sub +
+                            " (expected serve|work|status)");
+  }
+  args.require_known(
+      campaign_spec_flags({"csv", "json", "store", "resume", "shard"}));
+  const BuiltCampaign built = campaign_spec_from(args);
+  const exp::ScenarioSpec& spec = built.spec;
 
   exp::StoreOptions store;
   store.resume_from = args.get_string("resume");
@@ -498,16 +676,7 @@ int cmd_campaign(const Args& args) {
   const exp::Workload loaded = exp::load_workload(spec.workload);
   const exp::ScenarioResult result = runner.run(loaded, store);
 
-  std::string title = loaded.model.name() + " / ";
-  if (!fault_expr.empty()) {
-    title += spec.fault_expr.empty() ? "fault-expression sweep"
-                                     : spec.fault_expr;
-  } else {
-    title += to_string(spec.fault.kind) + " sweep";
-  }
-  if (spec.engine.backend != exp::Backend::kFlim) {
-    title += " (" + exp::to_string(spec.engine.backend) + ")";
-  }
+  std::string title = campaign_title(built, loaded.model.name());
   if (store.shard_count > 1) {
     title += " [shard " + std::to_string(store.shard_index) + "/" +
              std::to_string(store.shard_count) + "]";

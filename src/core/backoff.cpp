@@ -1,0 +1,36 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace flim::core {
+
+void validate(const BackoffPolicy& policy) {
+  FLIM_REQUIRE(policy.initial_delay_ms >= 1,
+               "backoff initial_delay_ms must be >= 1");
+  FLIM_REQUIRE(policy.max_delay_ms >= policy.initial_delay_ms,
+               "backoff max_delay_ms must be >= initial_delay_ms");
+  FLIM_REQUIRE(policy.multiplier >= 1.0, "backoff multiplier must be >= 1");
+  FLIM_REQUIRE(policy.jitter_fraction >= 0.0 && policy.jitter_fraction < 1.0,
+               "backoff jitter_fraction must be in [0, 1)");
+}
+
+std::int64_t backoff_delay_ms(const BackoffPolicy& policy, int attempt,
+                              Rng& rng) {
+  validate(policy);
+  FLIM_REQUIRE(attempt >= 0, "backoff attempt must be >= 0");
+  // Saturating exponential in double space: attempt counts stay small, but
+  // pow() overflow must clamp to the ceiling rather than wrap.
+  const double grown = static_cast<double>(policy.initial_delay_ms) *
+                       std::pow(policy.multiplier, attempt);
+  const double capped =
+      std::min(grown, static_cast<double>(policy.max_delay_ms));
+  const double scale = 1.0 - policy.jitter_fraction +
+                       2.0 * policy.jitter_fraction * rng.uniform_double();
+  const double jittered = capped * scale;
+  return std::max<std::int64_t>(1, std::llround(jittered));
+}
+
+}  // namespace flim::core

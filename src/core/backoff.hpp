@@ -1,0 +1,45 @@
+// Exponential backoff with jitter for retry loops.
+//
+// Fleet workers reconnect to a coordinator that may not be up yet (or is
+// restarting); hammering it on a fixed period synchronizes every worker into
+// thundering-herd retries. The standard fix is exponential growth capped at
+// a ceiling, with multiplicative jitter so independent retriers decorrelate.
+// Randomness flows from the caller's seeded core::Rng -- never an ambient
+// entropy source -- so retry schedules are reproducible in tests.
+#pragma once
+
+/// \file
+/// Deterministic exponential backoff with jitter; the shared retry policy
+/// for fleet connect/reconnect loops (and future remote engines).
+
+#include <cstdint>
+
+#include "core/rng.hpp"
+
+namespace flim::core {
+
+/// Shape of an exponential backoff schedule. The default policy retries at
+/// ~50ms growing 2x per attempt up to 2s, each delay jittered +-20%.
+struct BackoffPolicy {
+  /// Delay before the first retry (attempt 0), in milliseconds (>= 1).
+  std::int64_t initial_delay_ms = 50;
+  /// Ceiling the exponential growth saturates at (>= initial_delay_ms).
+  std::int64_t max_delay_ms = 2000;
+  /// Per-attempt growth factor (>= 1).
+  double multiplier = 2.0;
+  /// Multiplicative jitter: the delay is scaled by a uniform draw from
+  /// [1 - jitter_fraction, 1 + jitter_fraction]. Must be in [0, 1).
+  double jitter_fraction = 0.2;
+};
+
+/// Throws std::invalid_argument when a policy field is out of range.
+void validate(const BackoffPolicy& policy);
+
+/// Delay in milliseconds before retry number `attempt` (0-based): the
+/// capped exponential initial * multiplier^attempt, jittered by a uniform
+/// draw from `rng`. Deterministic given (policy, attempt, rng state); the
+/// result is always >= 1.
+std::int64_t backoff_delay_ms(const BackoffPolicy& policy, int attempt,
+                              Rng& rng);
+
+}  // namespace flim::core

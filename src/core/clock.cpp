@@ -1,0 +1,19 @@
+#include "core/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace flim::core {
+
+std::int64_t steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(std::int64_t ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace flim::core

@@ -1,0 +1,28 @@
+// Monotonic wall-time for lease/heartbeat bookkeeping.
+//
+// The determinism lint bans ad-hoc clock reads in library code because
+// wall time must never leak into campaign *numbers*. Fleet coordination is
+// the one place time is genuinely part of the model -- lease TTLs and
+// heartbeat deadlines are wall-clock by nature -- so this header is the
+// single sanctioned monotonic time source (vetted in the lint allowlist).
+// Everything that consumes time takes explicit millisecond values, so tests
+// drive lease logic with fake clocks and stay deterministic.
+#pragma once
+
+/// \file
+/// The sanctioned monotonic clock: steady milliseconds and sleeping. Time
+/// never feeds campaign numbers; it only drives fleet lease bookkeeping.
+
+#include <cstdint>
+
+namespace flim::core {
+
+/// Milliseconds elapsed on the process-wide monotonic (steady) clock.
+/// Only differences are meaningful; the epoch is unspecified.
+std::int64_t steady_now_ms();
+
+/// Blocks the calling thread for at least `ms` milliseconds (no-op for
+/// values <= 0).
+void sleep_ms(std::int64_t ms);
+
+}  // namespace flim::core

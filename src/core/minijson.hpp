@@ -1,0 +1,58 @@
+// Minimal JSON parsing for line-delimited protocols and run files.
+//
+// The durable store (exp/store) and the fleet wire protocol (fleet/wire)
+// both speak one-object-per-line JSON restricted to numbers, strings, and
+// arrays of either -- small enough that a dependency-free recursive parser
+// is simpler and more auditable than any third-party library. Parse
+// failures throw JsonError, a plain struct (not a std::exception), so
+// callers are forced to decide explicitly what a malformed line means in
+// their domain: the store maps it to "corrupt tail", the wire layer to a
+// protocol violation.
+#pragma once
+
+/// \file
+/// Minimal JSON values and the one-line object parser shared by the durable
+/// campaign store and the fleet wire protocol.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace flim::core {
+
+/// Thrown (by value) on malformed JSON. Deliberately not a std::exception:
+/// a catch(...) or catch(const std::exception&) handler must not silently
+/// swallow protocol/format violations.
+struct JsonError {
+  std::string what;
+};
+
+/// One parsed JSON value: a number, a string, or an array of values.
+/// Objects only appear at the top level (one per line) and are returned as
+/// maps by parse_json_object_line.
+struct JsonValue {
+  enum class Kind { kNumber, kString, kArray };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+};
+
+/// Parses one line holding exactly one JSON object of string keys to
+/// number/string/array values. Trailing non-whitespace content after the
+/// object is an error. Throws JsonError on malformed input.
+std::map<std::string, JsonValue> parse_json_object_line(
+    const std::string& line);
+
+/// Field accessors for parsed objects; each throws JsonError when the key
+/// is missing or holds the wrong kind.
+const JsonValue& json_field(const std::map<std::string, JsonValue>& obj,
+                            const char* key);
+double json_number(const std::map<std::string, JsonValue>& obj,
+                   const char* key);
+std::string json_string(const std::map<std::string, JsonValue>& obj,
+                        const char* key);
+const std::vector<JsonValue>& json_array(
+    const std::map<std::string, JsonValue>& obj, const char* key);
+
+}  // namespace flim::core

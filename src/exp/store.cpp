@@ -1,6 +1,5 @@
 #include "exp/store.hpp"
 
-#include <charconv>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +8,7 @@
 #include <sstream>
 
 #include "core/check.hpp"
+#include "core/minijson.hpp"
 #include "core/report.hpp"
 #include "core/sysinfo.hpp"
 #include "fault/fault_registry.hpp"
@@ -46,202 +46,17 @@ void put_d(std::ostringstream& os, const char* key, double v) {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON for the flat run-file objects: numbers, strings, and arrays
-// of either. Parse failures throw ParseError (a file-local type), which the
-// loader maps to "corrupt tail" for point lines and to std::invalid_argument
-// for the header; semantic violations use FLIM_REQUIRE directly.
+// JSON for the flat run-file objects comes from core/minijson (numbers,
+// strings, and arrays of either). Parse failures throw core::JsonError,
+// which the loader maps to "corrupt tail" for point lines and to
+// std::invalid_argument for the header; semantic violations use
+// FLIM_REQUIRE directly.
 
-struct ParseError {
-  std::string what;
-};
-
-struct JsonValue {
-  enum class Kind { kNumber, kString, kArray };
-  Kind kind = Kind::kNumber;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& line)
-      : p_(line.c_str()), end_(line.c_str() + line.size()) {}
-
-  std::map<std::string, JsonValue> parse_object_line() {
-    expect('{');
-    std::map<std::string, JsonValue> out;
-    skip_ws();
-    if (!eat('}')) {
-      while (true) {
-        std::string key = parse_string();
-        expect(':');
-        out.emplace(std::move(key), parse_value());
-        if (eat('}')) break;
-        expect(',');
-      }
-    }
-    skip_ws();
-    if (p_ != end_) fail("trailing content after object");
-    return out;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) { throw ParseError{what}; }
-
-  void skip_ws() {
-    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\r')) ++p_;
-  }
-
-  bool eat(char c) {
-    skip_ws();
-    if (p_ < end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-
-  void expect(char c) {
-    if (!eat(c)) fail(std::string("expected '") + c + "'");
-  }
-
-  std::string parse_string() {
-    skip_ws();
-    if (p_ >= end_ || *p_ != '"') fail("expected string");
-    ++p_;
-    std::string out;
-    while (p_ < end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (p_ >= end_) fail("unterminated escape");
-      const char e = *p_++;
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (end_ - p_ < 4) fail("truncated \\u escape");
-          unsigned v = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = *p_++;
-            v <<= 4;
-            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // The writer only emits \u00xx for control bytes; decode the BMP
-          // anyway so hand-edited files stay loadable.
-          if (v < 0x80) {
-            out += static_cast<char>(v);
-          } else if (v < 0x800) {
-            out += static_cast<char>(0xC0 | (v >> 6));
-            out += static_cast<char>(0x80 | (v & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (v >> 12));
-            out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (v & 0x3F));
-          }
-          break;
-        }
-        default: fail("bad escape");
-      }
-    }
-    if (p_ >= end_) fail("unterminated string");
-    ++p_;
-    return out;
-  }
-
-  double parse_number() {
-    skip_ws();
-#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
-    // Locale-independent (strtod honors LC_NUMERIC, which would make an
-    // embedding app's setlocale() call silently reject every stored point
-    // as a corrupt tail) and bounded by the line end.
-    double v = 0.0;
-    const auto result = std::from_chars(p_, end_, v);
-    if (result.ec != std::errc() || result.ptr == p_) fail("expected number");
-    p_ = result.ptr;
-    return v;
-#else
-    char* num_end = nullptr;
-    const double v = std::strtod(p_, &num_end);
-    if (num_end == p_) fail("expected number");
-    p_ = num_end;
-    return v;
-#endif
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    if (p_ >= end_) fail("unexpected end of line");
-    JsonValue v;
-    if (*p_ == '"') {
-      v.kind = JsonValue::Kind::kString;
-      v.text = parse_string();
-      return v;
-    }
-    if (*p_ == '[') {
-      ++p_;
-      v.kind = JsonValue::Kind::kArray;
-      skip_ws();
-      if (eat(']')) return v;
-      while (true) {
-        v.items.push_back(parse_value());
-        if (eat(']')) break;
-        expect(',');
-      }
-      return v;
-    }
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = parse_number();
-    return v;
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-const JsonValue& field(const std::map<std::string, JsonValue>& obj,
-                       const char* key) {
-  const auto it = obj.find(key);
-  if (it == obj.end()) throw ParseError{std::string("missing field ") + key};
-  return it->second;
-}
-
-double number_field(const std::map<std::string, JsonValue>& obj,
-                    const char* key) {
-  const JsonValue& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kNumber) {
-    throw ParseError{std::string("field ") + key + " is not a number"};
-  }
-  return v.number;
-}
-
-std::string string_field(const std::map<std::string, JsonValue>& obj,
-                         const char* key) {
-  const JsonValue& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kString) {
-    throw ParseError{std::string("field ") + key + " is not a string"};
-  }
-  return v.text;
-}
-
-const std::vector<JsonValue>& array_field(
-    const std::map<std::string, JsonValue>& obj, const char* key) {
-  const JsonValue& v = field(obj, key);
-  if (v.kind != JsonValue::Kind::kArray) {
-    throw ParseError{std::string("field ") + key + " is not an array"};
-  }
-  return v.items;
-}
+using core::JsonError;
+using core::JsonValue;
+using core::json_array;
+using core::json_number;
+using core::json_string;
 
 // ---------------------------------------------------------------------------
 // Line formatting.
@@ -301,29 +116,29 @@ std::string point_line(std::size_t flat_index, const ScenarioPoint& p) {
 }
 
 RunHeader parse_header(const std::string& line) {
-  const auto obj = Parser(line).parse_object_line();
+  const auto obj = core::parse_json_object_line(line);
   RunHeader h;
-  h.format = static_cast<int>(number_field(obj, "flim_run_format"));
-  h.name = string_field(obj, "name");
-  h.backend = string_field(obj, "backend");
-  h.fingerprint = string_field(obj, "fingerprint");
-  h.library_version = string_field(obj, "library_version");
+  h.format = static_cast<int>(json_number(obj, "flim_run_format"));
+  h.name = json_string(obj, "name");
+  h.backend = json_string(obj, "backend");
+  h.fingerprint = json_string(obj, "fingerprint");
+  h.library_version = json_string(obj, "library_version");
   h.master_seed =
-      std::strtoull(string_field(obj, "master_seed").c_str(), nullptr, 10);
-  h.repetitions = static_cast<int>(number_field(obj, "repetitions"));
-  h.total_points = static_cast<std::size_t>(number_field(obj, "total_points"));
-  h.shard_index = static_cast<int>(number_field(obj, "shard_index"));
-  h.shard_count = static_cast<int>(number_field(obj, "shard_count"));
-  h.clean_accuracy = number_field(obj, "clean_accuracy");
-  for (const JsonValue& v : array_field(obj, "axis_names")) {
+      std::strtoull(json_string(obj, "master_seed").c_str(), nullptr, 10);
+  h.repetitions = static_cast<int>(json_number(obj, "repetitions"));
+  h.total_points = static_cast<std::size_t>(json_number(obj, "total_points"));
+  h.shard_index = static_cast<int>(json_number(obj, "shard_index"));
+  h.shard_count = static_cast<int>(json_number(obj, "shard_count"));
+  h.clean_accuracy = json_number(obj, "clean_accuracy");
+  for (const JsonValue& v : json_array(obj, "axis_names")) {
     if (v.kind != JsonValue::Kind::kString) {
-      throw ParseError{"axis_names entry is not a string"};
+      throw JsonError{"axis_names entry is not a string"};
     }
     h.axis_names.push_back(v.text);
   }
-  for (const JsonValue& v : array_field(obj, "axis_sizes")) {
+  for (const JsonValue& v : json_array(obj, "axis_sizes")) {
     if (v.kind != JsonValue::Kind::kNumber) {
-      throw ParseError{"axis_sizes entry is not a number"};
+      throw JsonError{"axis_sizes entry is not a number"};
     }
     h.axis_sizes.push_back(static_cast<std::size_t>(v.number));
   }
@@ -331,26 +146,26 @@ RunHeader parse_header(const std::string& line) {
 }
 
 StoredPoint parse_point(const std::string& line) {
-  const auto obj = Parser(line).parse_object_line();
+  const auto obj = core::parse_json_object_line(line);
   StoredPoint sp;
-  sp.flat_index = static_cast<std::size_t>(number_field(obj, "point"));
-  for (const JsonValue& v : array_field(obj, "values")) {
+  sp.flat_index = static_cast<std::size_t>(json_number(obj, "point"));
+  for (const JsonValue& v : json_array(obj, "values")) {
     if (v.kind != JsonValue::Kind::kNumber) {
-      throw ParseError{"values entry is not a number"};
+      throw JsonError{"values entry is not a number"};
     }
     sp.point.values.push_back(v.number);
   }
-  for (const JsonValue& v : array_field(obj, "labels")) {
+  for (const JsonValue& v : json_array(obj, "labels")) {
     if (v.kind != JsonValue::Kind::kString) {
-      throw ParseError{"labels entry is not a string"};
+      throw JsonError{"labels entry is not a string"};
     }
     sp.point.labels.push_back(v.text);
   }
-  sp.point.metric.mean = number_field(obj, "mean");
-  sp.point.metric.stddev = number_field(obj, "stddev");
-  sp.point.metric.min = number_field(obj, "min");
-  sp.point.metric.max = number_field(obj, "max");
-  sp.point.metric.count = static_cast<std::size_t>(number_field(obj, "count"));
+  sp.point.metric.mean = json_number(obj, "mean");
+  sp.point.metric.stddev = json_number(obj, "stddev");
+  sp.point.metric.min = json_number(obj, "min");
+  sp.point.metric.max = json_number(obj, "max");
+  sp.point.metric.count = static_cast<std::size_t>(json_number(obj, "count"));
   return sp;
 }
 
@@ -505,7 +320,7 @@ RunFile RunFile::load(const std::string& path) {
     if (!have_header) {
       try {
         run.header = parse_header(line);
-      } catch (const ParseError& e) {
+      } catch (const JsonError& e) {
         FLIM_REQUIRE(false, "bad run-file header in " + path + ": " + e.what);
       }
       FLIM_REQUIRE(run.header.format == kRunFormatVersion,
@@ -516,7 +331,7 @@ RunFile RunFile::load(const std::string& path) {
       StoredPoint sp;
       try {
         sp = parse_point(line);
-      } catch (const ParseError&) {
+      } catch (const JsonError&) {
         // Corrupt tail: accept the valid prefix, ignore the rest.
         run.truncated_tail = true;
         break;
@@ -542,6 +357,16 @@ bool RunFile::has(std::size_t flat_index) const {
   }
   return false;
 }
+
+std::size_t RunFile::owned_points() const {
+  std::size_t owned = 0;
+  for (std::size_t flat = 0; flat < header.total_points; ++flat) {
+    if (shard_owns(flat, header.shard_index, header.shard_count)) ++owned;
+  }
+  return owned;
+}
+
+bool RunFile::complete() const { return points.size() == owned_points(); }
 
 void RunStoreWriter::FileCloser::operator()(std::FILE* f) const {
   if (f != nullptr) std::fclose(f);

@@ -127,6 +127,14 @@ struct RunFile {
 
   /// True when the file holds a point for flat grid index `flat_index`.
   bool has(std::size_t flat_index) const;
+
+  /// Number of grid cells this file's shard owns under the deterministic
+  /// interleaved partition (the denominator of its progress fraction).
+  std::size_t owned_points() const;
+
+  /// True when every owned cell has a stored point: the shard is finished
+  /// and the file is ready to merge.
+  bool complete() const;
 };
 
 /// Append-only run-file writer. Every append() writes one complete JSONL

@@ -1,0 +1,269 @@
+#include "fleet/coordinator.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/check.hpp"
+#include "core/clock.hpp"
+#include "core/log.hpp"
+#include "core/minijson.hpp"
+#include "exp/store.hpp"
+#include "fleet/protocol.hpp"
+
+namespace flim::fleet {
+
+namespace {
+
+/// How often blocked accept/recv calls wake up to check the stop flag.
+constexpr std::int64_t kPollMs = 200;
+
+}  // namespace
+
+Coordinator::Coordinator(exp::ScenarioSpec spec, CoordinatorOptions options)
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
+      leases_(options_.shard_count, options_.lease_ttl_ms) {
+  exp::validate(spec_);
+  FLIM_REQUIRE(options_.heartbeat_ms >= 1, "heartbeat_ms must be >= 1");
+  FLIM_REQUIRE(options_.heartbeat_ms < options_.lease_ttl_ms,
+               "heartbeat_ms must be below lease_ttl_ms or every lease "
+               "expires between heartbeats");
+  FLIM_REQUIRE(options_.wait_retry_ms >= 1, "wait_retry_ms must be >= 1");
+  FLIM_REQUIRE(!options_.work_dir.empty(), "work_dir must be set");
+  fingerprint_ = exp::spec_fingerprint(spec_);
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+std::string Coordinator::shard_path(int shard_index) const {
+  return options_.work_dir + "/shard-" + std::to_string(shard_index) +
+         "-of-" + std::to_string(options_.shard_count) + ".run.jsonl";
+}
+
+void Coordinator::start() {
+  {
+    const core::MutexLock lock(mutex_);
+    FLIM_REQUIRE(!started_, "coordinator already started");
+    started_ = true;
+  }
+  std::filesystem::create_directories(options_.work_dir);
+  listener_ = listen_on(options_.host, options_.port);
+  port_ = local_port(listener_);
+  accept_thread_ = std::thread(&Coordinator::accept_loop, this);
+  FLIM_LOG_INFO << "fleet: coordinating " << options_.shard_count
+                << " shard(s) of '" << spec_.name << "' on " << options_.host
+                << ":" << port_ << " (fingerprint " << fingerprint_ << ")";
+}
+
+exp::ScenarioResult Coordinator::wait() {
+  {
+    core::CondLock lock(mutex_);
+    while (!stop_.load() && !leases_.all_done()) lock.wait(done_cv_);
+  }
+  if (!leases_.all_done()) {
+    throw std::runtime_error("fleet: coordinator stopped before completion");
+  }
+  std::vector<std::string> paths;
+  paths.reserve(static_cast<std::size_t>(options_.shard_count));
+  for (int i = 0; i < options_.shard_count; ++i) {
+    paths.push_back(shard_path(i));
+  }
+  return exp::merge_run_files(paths);
+}
+
+void Coordinator::stop() {
+  stop_.store(true);
+  {
+    // Taking the lock orders the flag store before any waiter's re-check,
+    // so the notify below cannot be lost.
+    const core::MutexLock lock(mutex_);
+  }
+  done_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::thread> handlers;
+  {
+    const core::MutexLock lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) t.join();
+}
+
+void Coordinator::accept_loop() {
+  while (!stop_.load()) {
+    std::optional<Socket> conn;
+    try {
+      conn = accept_with_timeout(listener_, kPollMs);
+    } catch (const std::runtime_error& e) {
+      if (stop_.load()) return;
+      FLIM_LOG_WARN << "fleet: accept failed: " << e.what();
+      continue;
+    }
+    if (!conn) continue;
+    const core::MutexLock lock(mutex_);
+    handlers_.emplace_back(&Coordinator::handle_connection, this,
+                           std::move(*conn));
+  }
+}
+
+void Coordinator::handle_connection(Socket socket) {
+  LineChannel chan(std::move(socket));
+  bool greeted = false;
+  try {
+    while (true) {
+      const RecvResult recv = chan.recv_line(kPollMs);
+      if (recv.status == RecvStatus::kEof) return;
+      if (recv.status == RecvStatus::kTimeout) {
+        if (!stop_.load()) continue;
+        // Shutting down: a worker blocked on its next lease_request would
+        // otherwise see a bare EOF and burn reconnect attempts; when the
+        // campaign is finished, tell it so first.
+        if (leases_.all_done()) chan.send_line(encode_done());
+        return;
+      }
+      Message msg;
+      try {
+        msg = parse_message(recv.line);
+        if (msg.type == "hello") {
+          const int protocol =
+              static_cast<int>(core::json_number(msg.fields, "protocol"));
+          if (protocol != kProtocolVersion) {
+            chan.send_line(encode_error(
+                "protocol version mismatch: coordinator speaks v" +
+                std::to_string(kProtocolVersion)));
+            return;
+          }
+          const std::string fp = core::json_string(msg.fields, "fingerprint");
+          if (fp != fingerprint_) {
+            // Different spec or different binary (the fingerprint mixes in
+            // the code fingerprint); either way this worker's numbers could
+            // differ from ours, so it contributes nothing.
+            chan.send_line(encode_error(
+                "spec fingerprint mismatch: coordinator has " + fingerprint_ +
+                ", worker sent " + fp));
+            return;
+          }
+          greeted = true;
+          chan.send_line(encode_hello_ok(options_.shard_count));
+        } else if (!greeted) {
+          chan.send_line(encode_error("hello must precede " + msg.type));
+          return;
+        } else if (msg.type == "lease_request") {
+          const std::string worker = core::json_string(msg.fields, "worker");
+          if (leases_.all_done()) {
+            chan.send_line(encode_done());
+          } else if (const auto grant =
+                         leases_.acquire(worker, core::steady_now_ms())) {
+            FLIM_LOG_INFO << "fleet: leased shard " << grant->shard_index
+                          << "/" << options_.shard_count << " to " << worker
+                          << " (token " << grant->token << ")";
+            chan.send_line(encode_lease_grant(grant->shard_index,
+                                              options_.shard_count,
+                                              grant->token,
+                                              options_.heartbeat_ms));
+          } else {
+            chan.send_line(encode_wait(options_.wait_retry_ms));
+          }
+        } else if (msg.type == "heartbeat") {
+          const int shard =
+              static_cast<int>(core::json_number(msg.fields, "shard_index"));
+          const auto token = static_cast<std::uint64_t>(
+              core::json_number(msg.fields, "token"));
+          const auto completed = static_cast<std::size_t>(
+              core::json_number(msg.fields, "completed"));
+          const auto owned = static_cast<std::size_t>(
+              core::json_number(msg.fields, "owned"));
+          const bool alive = leases_.heartbeat(shard, token, completed, owned,
+                                               core::steady_now_ms());
+          chan.send_line(alive ? encode_heartbeat_ok() : encode_lease_lost());
+        } else if (msg.type == "upload") {
+          const int shard =
+              static_cast<int>(core::json_number(msg.fields, "shard_index"));
+          const auto token = static_cast<std::uint64_t>(
+              core::json_number(msg.fields, "token"));
+          const std::string reason = accept_upload(
+              shard, token, core::json_string(msg.fields, "bytes"));
+          if (reason.empty()) {
+            FLIM_LOG_INFO << "fleet: shard " << shard << "/"
+                          << options_.shard_count << " uploaded ("
+                          << leases_.done_count() << " done)";
+            chan.send_line(encode_upload_ok());
+          } else {
+            chan.send_line(encode_error(reason));
+            return;
+          }
+        } else {
+          chan.send_line(encode_error("unknown message type: " + msg.type));
+          return;
+        }
+      } catch (const core::JsonError& e) {
+        chan.send_line(encode_error("protocol violation: " + e.what));
+        return;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Socket errors mean the worker vanished mid-exchange; its lease will
+    // expire and the shard will be re-granted. Nothing to unwind here.
+    FLIM_LOG_WARN << "fleet: connection dropped: " << e.what();
+  }
+}
+
+std::string Coordinator::accept_upload(int shard_index, std::uint64_t token,
+                                       const std::string& bytes) {
+  if (shard_index < 0 || shard_index >= options_.shard_count) {
+    return "upload shard index out of range";
+  }
+  const std::string final_path = shard_path(shard_index);
+  const std::string tmp_path = final_path + ".uploading";
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out.good()) return "cannot write upload to " + tmp_path;
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      out.flush();
+      if (!out.good()) return "short write to " + tmp_path;
+    }
+    // Validate before the rename: a malformed or foreign upload must never
+    // shadow the canonical shard path.
+    const exp::RunFile run = exp::RunFile::load(tmp_path);
+    if (run.header.fingerprint != fingerprint_) {
+      std::remove(tmp_path.c_str());
+      return "uploaded shard has fingerprint " + run.header.fingerprint +
+             ", expected " + fingerprint_;
+    }
+    if (run.header.shard_index != shard_index ||
+        run.header.shard_count != options_.shard_count) {
+      std::remove(tmp_path.c_str());
+      return "uploaded file is shard " +
+             std::to_string(run.header.shard_index) + "/" +
+             std::to_string(run.header.shard_count) + ", lease is shard " +
+             std::to_string(shard_index) + "/" +
+             std::to_string(options_.shard_count);
+    }
+    if (run.truncated_tail || !run.complete()) {
+      std::remove(tmp_path.c_str());
+      return "uploaded shard is incomplete (" +
+             std::to_string(run.points.size()) + " of " +
+             std::to_string(run.owned_points()) + " points)";
+    }
+    std::filesystem::rename(tmp_path, final_path);
+  } catch (const std::exception& e) {
+    std::remove(tmp_path.c_str());
+    return std::string("upload rejected: ") + e.what();
+  }
+  if (!leases_.complete(shard_index, token)) {
+    // The shard file on disk is complete and validated either way; only the
+    // fencing bookkeeping refuses a stale token (re-leased or already done).
+    return "lease lost: stale fencing token for shard " +
+           std::to_string(shard_index);
+  }
+  {
+    const core::MutexLock lock(mutex_);
+  }
+  done_cv_.notify_all();
+  return "";
+}
+
+}  // namespace flim::fleet

@@ -1,0 +1,115 @@
+// Campaign coordinator: leases shards to workers, merges their results.
+//
+// One coordinator owns one ScenarioSpec. It listens on a TCP port, vets
+// each worker's spec fingerprint on hello, hands out shard leases from a
+// LeaseTable, refreshes them on heartbeats, expires silent ones so another
+// worker can resume the shard's partial run file, and validates every
+// uploaded shard file (fingerprint, shard identity, completeness) before
+// accepting it. When all shards are uploaded it folds them through
+// exp::merge_run_files -- so the fleet's CSV is byte-identical to a
+// single-process run of the same spec. Threading is deliberately plain:
+// one accept thread plus one blocking handler thread per connection, all
+// joined in stop(). Docs: docs/fleet.md.
+#pragma once
+
+/// \file
+/// The fleet coordinator: TCP serve loop, lease handout/expiry, upload
+/// validation, and merge-on-completion.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
+#include "exp/scenario.hpp"
+#include "fleet/lease.hpp"
+#include "fleet/wire.hpp"
+
+namespace flim::fleet {
+
+/// Tuning for one coordinator instance.
+struct CoordinatorOptions {
+  /// Dotted IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read back with port()).
+  int port = 0;
+  /// Number of shards the grid is partitioned into (>= 1).
+  int shard_count = 1;
+  /// A lease expires this long after its grant or last heartbeat; expired
+  /// shards are re-leased. Must exceed the slowest grid point's evaluation
+  /// time (heartbeats fire between points, not during them).
+  std::int64_t lease_ttl_ms = 30000;
+  /// Heartbeat cadence advertised to workers in lease grants; sensible
+  /// values are well under lease_ttl_ms.
+  std::int64_t heartbeat_ms = 5000;
+  /// Retry delay advertised to workers when every shard is busy.
+  std::int64_t wait_retry_ms = 500;
+  /// Directory where validated shard uploads land (created on demand) as
+  /// shard-<i>-of-<n>.run.jsonl.
+  std::string work_dir = "fleet-work";
+};
+
+/// Serves one campaign to a worker fleet. start() binds and spawns the
+/// accept loop; wait() blocks until every shard is uploaded and returns the
+/// merged result; stop() tears the serve loop down (idempotent, also called
+/// by the destructor).
+class Coordinator {
+ public:
+  /// Validates the spec and options. Throws std::invalid_argument on bad
+  /// configuration.
+  Coordinator(exp::ScenarioSpec spec, CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the listener and starts serving. Throws std::runtime_error when
+  /// the bind fails.
+  void start();
+
+  /// The bound TCP port (valid after start()).
+  int port() const { return port_; }
+
+  /// Blocks until every shard is uploaded, then merges the shard files and
+  /// returns the complete campaign result. Throws std::runtime_error when
+  /// stop() interrupts the wait before completion.
+  exp::ScenarioResult wait();
+
+  /// Stops serving: closes the listener, wakes wait(), joins all threads.
+  void stop();
+
+  /// Lease-table introspection (status logging and tests).
+  const LeaseTable& leases() const { return leases_; }
+
+  /// Path the validated upload for `shard_index` is stored at.
+  std::string shard_path(int shard_index) const;
+
+ private:
+  void accept_loop();
+  void handle_connection(Socket socket);
+  /// Validates an uploaded shard file and moves it into place. Returns an
+  /// empty string on success, else the rejection reason.
+  std::string accept_upload(int shard_index, std::uint64_t token,
+                            const std::string& bytes);
+
+  exp::ScenarioSpec spec_;
+  CoordinatorOptions options_;
+  std::string fingerprint_;
+  LeaseTable leases_;
+  int port_ = 0;
+
+  Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  core::Mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> handlers_ FLIM_GUARDED_BY(mutex_);
+  bool started_ FLIM_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace flim::fleet

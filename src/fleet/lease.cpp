@@ -1,0 +1,97 @@
+#include "fleet/lease.hpp"
+
+#include "core/check.hpp"
+
+namespace flim::fleet {
+
+LeaseTable::LeaseTable(int shard_count, std::int64_t ttl_ms)
+    : ttl_ms_(ttl_ms) {
+  FLIM_REQUIRE(shard_count >= 1, "lease table needs at least one shard");
+  FLIM_REQUIRE(ttl_ms >= 1, "lease TTL must be >= 1 ms");
+  leases_.resize(static_cast<std::size_t>(shard_count));
+}
+
+std::optional<LeaseTable::Grant> LeaseTable::acquire(const std::string& worker,
+                                                     std::int64_t now_ms) {
+  const core::MutexLock lock(mutex_);
+  // Fresh shards first so a cold fleet spreads out; expired leases only
+  // when nothing fresh remains, so a slow-but-alive worker is not raced
+  // until it has actually missed its TTL.
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    LeaseInfo& lease = leases_[i];
+    if (lease.state != LeaseState::kUnleased) continue;
+    lease.state = LeaseState::kLeased;
+    lease.worker = worker;
+    lease.token = next_token_++;
+    lease.deadline_ms = now_ms + ttl_ms_;
+    return Grant{static_cast<int>(i), lease.token};
+  }
+  for (std::size_t i = 0; i < leases_.size(); ++i) {
+    LeaseInfo& lease = leases_[i];
+    if (lease.state != LeaseState::kLeased || lease.deadline_ms > now_ms) {
+      continue;
+    }
+    ++expired_count_;
+    lease.worker = worker;
+    lease.token = next_token_++;
+    lease.deadline_ms = now_ms + ttl_ms_;
+    return Grant{static_cast<int>(i), lease.token};
+  }
+  return std::nullopt;
+}
+
+bool LeaseTable::heartbeat(int shard_index, std::uint64_t token,
+                           std::size_t completed, std::size_t owned,
+                           std::int64_t now_ms) {
+  const core::MutexLock lock(mutex_);
+  FLIM_REQUIRE(shard_index >= 0 &&
+                   static_cast<std::size_t>(shard_index) < leases_.size(),
+               "heartbeat shard index out of range");
+  LeaseInfo& lease = leases_[static_cast<std::size_t>(shard_index)];
+  if (lease.state != LeaseState::kLeased || lease.token != token) return false;
+  lease.deadline_ms = now_ms + ttl_ms_;
+  lease.completed = completed;
+  lease.owned = owned;
+  return true;
+}
+
+bool LeaseTable::complete(int shard_index, std::uint64_t token) {
+  const core::MutexLock lock(mutex_);
+  FLIM_REQUIRE(shard_index >= 0 &&
+                   static_cast<std::size_t>(shard_index) < leases_.size(),
+               "complete shard index out of range");
+  LeaseInfo& lease = leases_[static_cast<std::size_t>(shard_index)];
+  if (lease.state != LeaseState::kLeased || lease.token != token) return false;
+  lease.state = LeaseState::kDone;
+  lease.completed = lease.owned;
+  return true;
+}
+
+bool LeaseTable::all_done() const {
+  const core::MutexLock lock(mutex_);
+  for (const LeaseInfo& lease : leases_) {
+    if (lease.state != LeaseState::kDone) return false;
+  }
+  return true;
+}
+
+int LeaseTable::done_count() const {
+  const core::MutexLock lock(mutex_);
+  int done = 0;
+  for (const LeaseInfo& lease : leases_) {
+    if (lease.state == LeaseState::kDone) ++done;
+  }
+  return done;
+}
+
+std::size_t LeaseTable::expired_releases() const {
+  const core::MutexLock lock(mutex_);
+  return expired_count_;
+}
+
+std::vector<LeaseInfo> LeaseTable::snapshot() const {
+  const core::MutexLock lock(mutex_);
+  return leases_;
+}
+
+}  // namespace flim::fleet

@@ -1,0 +1,90 @@
+#include "fleet/protocol.hpp"
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace flim::fleet {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  return '"' + core::json_escape(s) + '"';
+}
+
+}  // namespace
+
+Message parse_message(const std::string& line) {
+  Message msg;
+  msg.fields = core::parse_json_object_line(line);
+  msg.type = core::json_string(msg.fields, "type");
+  return msg;
+}
+
+std::string encode_hello(const std::string& worker,
+                         const std::string& fingerprint) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello\", \"protocol\": " << kProtocolVersion
+     << ", \"worker\": " << quote(worker)
+     << ", \"fingerprint\": " << quote(fingerprint) << "}";
+  return os.str();
+}
+
+std::string encode_lease_request(const std::string& worker) {
+  return "{\"type\": \"lease_request\", \"worker\": " + quote(worker) + "}";
+}
+
+std::string encode_heartbeat(int shard_index, std::uint64_t token,
+                             std::size_t completed, std::size_t owned) {
+  std::ostringstream os;
+  os << "{\"type\": \"heartbeat\", \"shard_index\": " << shard_index
+     << ", \"token\": " << token << ", \"completed\": " << completed
+     << ", \"owned\": " << owned << "}";
+  return os.str();
+}
+
+std::string encode_upload(int shard_index, std::uint64_t token,
+                          const std::string& file_bytes) {
+  std::ostringstream os;
+  os << "{\"type\": \"upload\", \"shard_index\": " << shard_index
+     << ", \"token\": " << token << ", \"bytes\": " << quote(file_bytes)
+     << "}";
+  return os.str();
+}
+
+std::string encode_hello_ok(int shard_count) {
+  std::ostringstream os;
+  os << "{\"type\": \"hello_ok\", \"protocol\": " << kProtocolVersion
+     << ", \"shard_count\": " << shard_count << "}";
+  return os.str();
+}
+
+std::string encode_lease_grant(int shard_index, int shard_count,
+                               std::uint64_t token,
+                               std::int64_t heartbeat_ms) {
+  std::ostringstream os;
+  os << "{\"type\": \"lease_grant\", \"shard_index\": " << shard_index
+     << ", \"shard_count\": " << shard_count << ", \"token\": " << token
+     << ", \"heartbeat_ms\": " << heartbeat_ms << "}";
+  return os.str();
+}
+
+std::string encode_wait(std::int64_t retry_ms) {
+  std::ostringstream os;
+  os << "{\"type\": \"wait\", \"retry_ms\": " << retry_ms << "}";
+  return os.str();
+}
+
+std::string encode_done() { return "{\"type\": \"done\"}"; }
+
+std::string encode_heartbeat_ok() { return "{\"type\": \"heartbeat_ok\"}"; }
+
+std::string encode_upload_ok() { return "{\"type\": \"upload_ok\"}"; }
+
+std::string encode_lease_lost() { return "{\"type\": \"lease_lost\"}"; }
+
+std::string encode_error(const std::string& what) {
+  return "{\"type\": \"error\", \"what\": " + quote(what) + "}";
+}
+
+}  // namespace flim::fleet

@@ -1,0 +1,93 @@
+// Fleet wire protocol: the message catalog.
+//
+// One JSON object per line, a "type" field naming the message, everything
+// else flat string/number fields (core/minijson vocabulary). The protocol
+// is deliberately request/response over one connection per worker: the
+// worker speaks (hello, lease_request, heartbeat, upload), the coordinator
+// answers each line with exactly one line, so neither side ever needs
+// message correlation. Docs: docs/fleet.md#wire-protocol.
+#pragma once
+
+/// \file
+/// Typed encode/decode for the fleet's line-delimited JSON messages.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/minijson.hpp"
+
+namespace flim::fleet {
+
+/// Protocol revision; both ends send it in hello/hello_ok and refuse
+/// mismatches, so a stale binary fails fast instead of misparsing.
+inline constexpr int kProtocolVersion = 1;
+
+/// A decoded message: its type tag plus the raw parsed fields. Field
+/// accessors (core::json_number / json_string) throw core::JsonError on
+/// missing or mistyped fields; callers treat that as a protocol violation.
+struct Message {
+  std::string type;
+  std::map<std::string, core::JsonValue> fields;
+};
+
+/// Parses one wire line. Throws core::JsonError on malformed JSON or a
+/// missing/mistyped "type" field.
+Message parse_message(const std::string& line);
+
+// --- Worker -> coordinator ------------------------------------------------
+
+/// First message on a connection: protocol version, the worker's name, and
+/// its spec fingerprint (spec_fingerprint(), which mixes in the code
+/// fingerprint -- so a worker built from different sources is rejected
+/// before it can contribute a single point).
+std::string encode_hello(const std::string& worker,
+                         const std::string& fingerprint);
+
+/// Asks for a shard lease.
+std::string encode_lease_request(const std::string& worker);
+
+/// Periodic liveness + progress for a held lease: `completed` of `owned`
+/// grid points are durably stored so far.
+std::string encode_heartbeat(int shard_index, std::uint64_t token,
+                             std::size_t completed, std::size_t owned);
+
+/// Uploads the completed shard's run file verbatim (the JSONL bytes travel
+/// as one JSON string; newlines ride as \n escapes).
+std::string encode_upload(int shard_index, std::uint64_t token,
+                          const std::string& file_bytes);
+
+// --- Coordinator -> worker ------------------------------------------------
+
+/// Accepts a hello.
+std::string encode_hello_ok(int shard_count);
+
+/// Grants shard `shard_index` of `shard_count` under fencing token `token`.
+/// The worker heartbeats at least every `heartbeat_ms`; silence past the
+/// coordinator's lease TTL forfeits the lease.
+std::string encode_lease_grant(int shard_index, int shard_count,
+                               std::uint64_t token, std::int64_t heartbeat_ms);
+
+/// No shard free right now (all leased, none expired); retry the
+/// lease_request after `retry_ms`.
+std::string encode_wait(std::int64_t retry_ms);
+
+/// Every shard is complete and uploaded; the worker can exit.
+std::string encode_done();
+
+/// Heartbeat acknowledged; the lease TTL was refreshed.
+std::string encode_heartbeat_ok();
+
+/// Upload validated and stored; the shard is done.
+std::string encode_upload_ok();
+
+/// The fencing token is stale: the lease expired and was re-granted. The
+/// worker abandons the shard immediately (its partial file stays on disk
+/// for the new lessee to resume).
+std::string encode_lease_lost();
+
+/// Fatal, connection-ending rejection (fingerprint mismatch, bad upload,
+/// protocol violation). `what` is a human-readable reason.
+std::string encode_error(const std::string& what);
+
+}  // namespace flim::fleet

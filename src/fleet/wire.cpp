@@ -1,0 +1,231 @@
+#include "fleet/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/check.hpp"
+#include "core/clock.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FLIM_FLEET_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FLIM_FLEET_POSIX 0
+#endif
+
+namespace flim::fleet {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+#if FLIM_FLEET_POSIX
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  FLIM_REQUIRE(port >= 0 && port <= 65535, "port must be in [0, 65535]");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const int rc = ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  FLIM_REQUIRE(rc == 1, "fleet host must be a dotted IPv4 address: " + host);
+  return addr;
+}
+
+// Waits for readability; true when readable, false on timeout. EINTR
+// restarts with the remaining budget so signals cannot shorten waits.
+bool poll_readable(int fd, std::int64_t timeout_ms) {
+  const bool forever = timeout_ms < 0;
+  const std::int64_t deadline = forever ? 0 : core::steady_now_ms() + timeout_ms;
+  while (true) {
+    std::int64_t remaining = -1;
+    if (!forever) {
+      remaining = deadline - core::steady_now_ms();
+      if (remaining < 0) remaining = 0;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno == EINTR) continue;
+    fail_errno("poll failed");
+  }
+}
+
+#endif  // FLIM_FLEET_POSIX
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+#if FLIM_FLEET_POSIX
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+#if FLIM_FLEET_POSIX
+
+Socket listen_on(const std::string& host, int port, int backlog) {
+  const sockaddr_in addr = make_addr(host, port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno("cannot create listener socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("cannot bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(s.fd(), backlog) != 0) fail_errno("cannot listen");
+  return s;
+}
+
+int local_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    fail_errno("getsockname failed");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+std::optional<Socket> accept_with_timeout(const Socket& listener,
+                                          std::int64_t timeout_ms) {
+  if (!poll_readable(listener.fd(), timeout_ms)) return std::nullopt;
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // The pending peer can vanish between poll and accept; that is a
+    // timeout-shaped outcome, not an error.
+    if (errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == EINTR) {
+      return std::nullopt;
+    }
+    fail_errno("accept failed");
+  }
+  return Socket(fd);
+}
+
+Socket connect_to(const std::string& host, int port) {
+  const sockaddr_in addr = make_addr(host, port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno("cannot create socket");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail_errno("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+void LineChannel::send_line(const std::string& line) {
+  FLIM_REQUIRE(line.find('\n') == std::string::npos,
+               "fleet messages are single lines");
+  const std::string framed = line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+#if defined(MSG_NOSIGNAL)
+    const int flags = MSG_NOSIGNAL;
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n =
+        ::send(socket_.fd(), framed.data() + sent, framed.size() - sent, flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+RecvResult LineChannel::recv_line(std::int64_t timeout_ms) {
+  const bool forever = timeout_ms < 0;
+  const std::int64_t deadline =
+      forever ? 0 : core::steady_now_ms() + timeout_ms;
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      RecvResult out{RecvStatus::kLine, buffer_.substr(0, nl)};
+      buffer_.erase(0, nl + 1);
+      return out;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      throw std::runtime_error("fleet message exceeds the line-length cap");
+    }
+    std::int64_t remaining = -1;
+    if (!forever) {
+      remaining = deadline - core::steady_now_ms();
+      if (remaining < 0) remaining = 0;
+    }
+    if (!poll_readable(socket_.fd(), remaining)) {
+      return {RecvStatus::kTimeout, {}};
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv failed");
+    }
+    if (n == 0) {
+      // Clean shutdown. A torn trailing fragment (no newline) is dropped,
+      // mirroring how the run-file loader treats torn tails.
+      return {RecvStatus::kEof, {}};
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+#else  // !FLIM_FLEET_POSIX
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("fleet networking requires POSIX sockets");
+}
+}  // namespace
+
+Socket listen_on(const std::string&, int, int) { unsupported(); }
+int local_port(const Socket&) { unsupported(); }
+std::optional<Socket> accept_with_timeout(const Socket&, std::int64_t) {
+  unsupported();
+}
+Socket connect_to(const std::string&, int) { unsupported(); }
+void LineChannel::send_line(const std::string&) { unsupported(); }
+RecvResult LineChannel::recv_line(std::int64_t) { unsupported(); }
+
+#endif  // FLIM_FLEET_POSIX
+
+Socket connect_with_retry(const std::string& host, int port,
+                          const core::BackoffPolicy& policy, int max_attempts,
+                          core::Rng& rng) {
+  core::validate(policy);
+  FLIM_REQUIRE(max_attempts >= 1, "max_attempts must be >= 1");
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return connect_to(host, port);
+    } catch (const std::runtime_error&) {
+      if (attempt + 1 >= max_attempts) throw;
+    }
+    core::sleep_ms(core::backoff_delay_ms(policy, attempt, rng));
+  }
+}
+
+}  // namespace flim::fleet

@@ -1,0 +1,114 @@
+// Blocking TCP sockets with RAII ownership and line framing.
+//
+// The fleet protocol is one JSON object per newline-terminated line over a
+// plain blocking TCP connection -- no third-party networking, no async
+// machinery. This header is the only place in src/fleet allowed to touch
+// raw socket file descriptors (tools/flim_lint.py's `fleet-naked-socket`
+// rule enforces that); everything above it sees RAII Socket handles and a
+// buffered LineChannel. Socket I/O failures throw std::runtime_error --
+// they are environmental, not configuration errors, and callers retry or
+// surface them distinctly from FLIM_REQUIRE violations.
+#pragma once
+
+/// \file
+/// RAII TCP sockets, poll-based timeouts, connect-with-backoff, and
+/// newline-delimited line framing for the fleet wire protocol.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/backoff.hpp"
+#include "core/rng.hpp"
+
+/// Distributed campaign fleet: coordinator/worker shard leasing over TCP.
+namespace flim::fleet {
+
+/// Owns one socket file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of `fd` (-1 means empty).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// The owned descriptor, or -1 when empty.
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:port` (port 0 picks an ephemeral port; read it
+/// back with local_port). Throws std::runtime_error on failure.
+Socket listen_on(const std::string& host, int port, int backlog = 16);
+
+/// The locally bound port of a listening socket.
+int local_port(const Socket& listener);
+
+/// Waits up to `timeout_ms` for a pending connection and accepts it.
+/// Returns nullopt on timeout; throws std::runtime_error on socket errors.
+std::optional<Socket> accept_with_timeout(const Socket& listener,
+                                          std::int64_t timeout_ms);
+
+/// One blocking connect attempt. Throws std::runtime_error on failure.
+Socket connect_to(const std::string& host, int port);
+
+/// Retries connect_to under the shared backoff policy until it succeeds or
+/// `max_attempts` connection attempts fail (then rethrows the last error).
+/// Jitter draws from `rng`, so retry schedules are reproducible in tests.
+Socket connect_with_retry(const std::string& host, int port,
+                          const core::BackoffPolicy& policy, int max_attempts,
+                          core::Rng& rng);
+
+/// Outcome of LineChannel::recv_line.
+enum class RecvStatus {
+  kLine,     ///< A complete line arrived (in RecvResult::line).
+  kEof,      ///< The peer closed the connection cleanly.
+  kTimeout,  ///< No complete line within the timeout.
+};
+
+/// One receive attempt: a status plus the line when status is kLine.
+struct RecvResult {
+  RecvStatus status = RecvStatus::kEof;
+  std::string line;
+};
+
+/// Buffered newline-delimited message framing over one connected Socket.
+/// Not thread-safe; each endpoint drives its channel from one thread.
+class LineChannel {
+ public:
+  /// Takes ownership of a connected socket.
+  explicit LineChannel(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends `line` plus a terminating newline, looping over partial writes.
+  /// Throws std::runtime_error on socket errors (including a closed peer)
+  /// and std::invalid_argument when `line` itself contains a newline.
+  void send_line(const std::string& line);
+
+  /// Receives the next newline-terminated line (without the newline).
+  /// `timeout_ms` < 0 blocks indefinitely. Lines beyond kMaxLineBytes throw
+  /// std::runtime_error (a peer speaking garbage, not a torn message).
+  RecvResult recv_line(std::int64_t timeout_ms);
+
+  /// Closes the underlying socket now.
+  void close() { socket_.close(); }
+
+  /// Framing sanity cap: no legal fleet message (including a whole uploaded
+  /// shard file) approaches this.
+  static constexpr std::size_t kMaxLineBytes = 256ull * 1024 * 1024;
+
+ private:
+  Socket socket_;
+  std::string buffer_;
+};
+
+}  // namespace flim::fleet

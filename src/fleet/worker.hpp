@@ -1,0 +1,90 @@
+// Fleet worker: runs leased shards and uploads their run files.
+//
+// A worker is a plain loop around the existing durable runner: connect
+// (with shared exponential backoff), prove the spec fingerprint on hello,
+// then lease shards until the coordinator says done. Each leased shard runs
+// through exp::ScenarioRunner with StoreOptions pointing at a *partial*
+// run file in the shared work directory -- resume-in-place, so a shard that
+// was abandoned (by this worker or a dead one) continues from its last
+// durable point instead of starting over. Heartbeats ride the same
+// connection between grid points; a lease_lost answer makes the worker
+// abandon mid-shard (the partial file stays for the new lessee). On
+// completion the worker uploads the file bytes and asks for the next lease.
+// Docs: docs/fleet.md.
+#pragma once
+
+/// \file
+/// The fleet worker loop: lease, run-with-resume, heartbeat, upload.
+
+#include <cstdint>
+#include <string>
+
+#include "core/backoff.hpp"
+#include "exp/scenario.hpp"
+
+namespace flim::fleet {
+
+/// Tuning for one worker process (or in-process worker thread).
+struct WorkerOptions {
+  /// Coordinator address.
+  std::string host = "127.0.0.1";
+  /// Coordinator port.
+  int port = 0;
+  /// Name reported in hello/lease messages (log readability only).
+  std::string name = "worker";
+  /// Directory holding the shared shard-<i>-of-<n>.partial.jsonl files.
+  /// Must be the same filesystem location for every worker that should be
+  /// able to resume another's abandoned shard.
+  std::string work_dir = "fleet-work";
+  /// Heartbeat cadence; 0 adopts the cadence advertised in the lease grant.
+  std::int64_t heartbeat_ms = 0;
+  /// Timeout for every awaited coordinator response.
+  std::int64_t io_timeout_ms = 30000;
+  /// Backoff schedule for connect retries.
+  core::BackoffPolicy connect_backoff;
+  /// Connection attempts before giving up (>= 1).
+  int max_connect_attempts = 8;
+  /// Seed for the backoff jitter stream (worker-local; never touches
+  /// campaign numbers).
+  std::uint64_t backoff_seed = 7;
+  /// Overrides ScenarioSpec::jobs when >= 1 (execution-only; outside the
+  /// spec fingerprint, so workers may differ freely).
+  int jobs = 0;
+  /// fsync each stored point (durable progress markers). Disable only in
+  /// tests on throwaway files.
+  bool fsync_each_point = true;
+  /// Test hook simulating a crash: after this many freshly evaluated
+  /// points the worker abandons everything mid-shard -- no upload, no
+  /// further heartbeats, partial file left behind. 0 disables.
+  std::size_t max_points = 0;
+};
+
+/// What a worker did before exiting (test assertions and CLI logging).
+struct WorkerReport {
+  /// Shards this worker completed and uploaded.
+  int shards_completed = 0;
+  /// Grid points this worker freshly evaluated (excludes resumed points).
+  std::size_t points_evaluated = 0;
+  /// Leases granted to this worker.
+  int leases_granted = 0;
+  /// Leases lost to expiry/fencing (abandoned mid-shard).
+  int leases_lost = 0;
+  /// True when the coordinator reported campaign completion.
+  bool saw_done = false;
+  /// True when the max_points crash hook fired.
+  bool aborted = false;
+};
+
+/// Runs the worker loop against a caller-provided workload until the
+/// coordinator reports done (or the max_points crash hook fires). Throws
+/// std::runtime_error on connection failure after retries, fingerprint
+/// rejection, or protocol violations.
+WorkerReport run_worker(const exp::ScenarioSpec& spec,
+                        const exp::Workload& workload,
+                        const WorkerOptions& options);
+
+/// Convenience overload that loads the spec's workload first.
+WorkerReport run_worker(const exp::ScenarioSpec& spec,
+                        const WorkerOptions& options);
+
+}  // namespace flim::fleet

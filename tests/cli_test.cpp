@@ -49,10 +49,23 @@ TEST(Args, DoubleListParsing) {
 
 TEST(Args, RejectsDuplicatesAndUnknown) {
   EXPECT_THROW(parse({"x", "--a", "1", "--a", "2"}), std::invalid_argument);
-  EXPECT_THROW(parse({"x", "positional"}), std::invalid_argument);
   const Args args = parse({"x", "--known", "1"});
   EXPECT_THROW(args.require_known({"other"}), std::invalid_argument);
   args.require_known({"known"});
+}
+
+TEST(Args, PositionalsPrecedeFlags) {
+  const Args args = parse({"campaign", "status", "a.jsonl", "--known", "1"});
+  EXPECT_EQ(args.command(), "campaign");
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"status", "a.jsonl"}));
+  // Bare tokens after flags began can only be mistyped flags.
+  EXPECT_THROW(parse({"x", "--a", "1", "stray", "extra"}),
+               std::invalid_argument);
+  // Commands that take no positionals keep rejecting them at require_known.
+  EXPECT_THROW(args.require_known({"known"}), std::invalid_argument);
+  args.require_known({"known"}, 2);
+  EXPECT_THROW(args.require_known({"known"}, 1), std::invalid_argument);
 }
 
 TEST(Cli, CampaignRejectsReferenceEngine) {

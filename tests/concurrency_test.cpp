@@ -4,8 +4,10 @@
 // job turns any data race or lock-discipline slip into a hard failure. Keep
 // iteration counts modest: TSan runs ~5-15x slower than native.
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "exp/store.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_registry.hpp"
+#include "fleet/lease.hpp"
 
 namespace flim {
 namespace {
@@ -374,6 +377,126 @@ TEST(RunStoreConcurrency, ParallelAppendThenResume) {
     EXPECT_EQ(sp.point.metric.mean, static_cast<double>(sp.flat_index));
   }
   std::filesystem::remove(path);
+}
+
+TEST(LeaseTableConcurrency, RacingAcquirersNeverShareAShard) {
+  // Many workers hammer acquire() at once; every shard must be granted to
+  // exactly one of them and every fencing token must be unique.
+  constexpr int kShards = 16;
+  constexpr int kWorkers = 8;
+  fleet::LeaseTable table(kShards, /*ttl_ms=*/1000000);
+  std::vector<std::vector<fleet::LeaseTable::Grant>> grants(kWorkers);
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      while (true) {
+        const auto grant = table.acquire("w" + std::to_string(w), 0);
+        if (!grant) break;
+        grants[static_cast<std::size_t>(w)].push_back(*grant);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  std::vector<int> owners(kShards, 0);
+  std::set<std::uint64_t> tokens;
+  for (const auto& per_worker : grants) {
+    for (const fleet::LeaseTable::Grant& g : per_worker) {
+      ++owners[static_cast<std::size_t>(g.shard_index)];
+      EXPECT_TRUE(tokens.insert(g.token).second) << "duplicate token";
+    }
+  }
+  for (int shard = 0; shard < kShards; ++shard) {
+    EXPECT_EQ(owners[static_cast<std::size_t>(shard)], 1) << "shard " << shard;
+  }
+}
+
+TEST(LeaseTableConcurrency, ExpiryReleaseAndFencingUnderContention) {
+  // One shard, many claimants racing at a time past every TTL: each round,
+  // exactly one thread wins the re-lease, and the loser's stale token must
+  // be rejected by heartbeat and complete alike.
+  fleet::LeaseTable table(1, /*ttl_ms=*/10);
+  const auto first = table.acquire("w0", /*now_ms=*/0);
+  ASSERT_TRUE(first.has_value());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> total_wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 1; round <= kRounds; ++round) {
+        // Time leaps far past the previous round's deadline, so the lease
+        // is expired for every contender simultaneously.
+        const std::int64_t now = static_cast<std::int64_t>(round) * 1000;
+        const auto grant = table.acquire("t" + std::to_string(t), now);
+        if (grant) {
+          total_wins.fetch_add(1);
+          // A heartbeat with the fresh token may already be fenced off if a
+          // later-round thread re-leased in between; either answer is legal,
+          // it just must not race.
+          (void)table.heartbeat(0, grant->token, 1, 2, now);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every round re-leases the shard exactly once (the initial grant's
+  // deadline has long passed by round 1's timestamp).
+  EXPECT_EQ(total_wins.load(), kRounds);
+  EXPECT_EQ(table.expired_releases(), static_cast<std::size_t>(kRounds));
+  // The original holder's token is long fenced off.
+  EXPECT_FALSE(table.heartbeat(0, first->token, 1, 2, kRounds * 1000));
+  EXPECT_FALSE(table.complete(0, first->token));
+  // The last winner can still complete; a second completion is refused.
+  const auto last = table.snapshot().front();
+  EXPECT_TRUE(table.complete(0, last.token));
+  EXPECT_FALSE(table.complete(0, last.token));
+  EXPECT_TRUE(table.all_done());
+}
+
+TEST(LeaseTableConcurrency, HeartbeatsRaceAcquirersSafely) {
+  // Heartbeat spam on live leases while other threads race acquire() over
+  // a mixed expired/fresh table: exercises every lock path concurrently.
+  constexpr int kShards = 4;
+  fleet::LeaseTable table(kShards, /*ttl_ms=*/50);
+  std::vector<fleet::LeaseTable::Grant> initial;
+  for (int i = 0; i < kShards; ++i) {
+    const auto g = table.acquire("seed", 0);
+    ASSERT_TRUE(g.has_value());
+    initial.push_back(*g);
+  }
+  std::atomic<bool> stop{false};
+  std::thread beater([&] {
+    // The beater's fake clock saturates at 1000, so its refreshes can push
+    // a deadline no further than 1050 -- racers with later timestamps are
+    // guaranteed to find the leases expired eventually.
+    std::int64_t now = 0;
+    while (!stop.load()) {
+      for (const auto& g : initial) {
+        (void)table.heartbeat(g.shard_index, g.token, 1, 1, now);
+      }
+      if (now < 1000) now += 7;
+    }
+  });
+  std::vector<std::thread> acquirers;
+  for (int t = 0; t < 4; ++t) {
+    acquirers.emplace_back([&, t] {
+      for (std::int64_t now = 0; now < 5000; now += 13) {
+        const auto g = table.acquire("racer" + std::to_string(t), now);
+        if (g) (void)table.complete(g->shard_index, g->token);
+        (void)table.snapshot();
+        (void)table.done_count();
+      }
+    });
+  }
+  for (std::thread& t : acquirers) t.join();
+  stop.store(true);
+  beater.join();
+  // Every racer sweeps its clock well past the beater's 1050 ceiling, so
+  // each shard is eventually re-leased from the seed holder and completed.
+  EXPECT_TRUE(table.all_done());
 }
 
 }  // namespace

@@ -7,8 +7,11 @@
 #include <fstream>
 #include <set>
 
+#include "core/backoff.hpp"
 #include "core/campaign.hpp"
 #include "core/check.hpp"
+#include "core/clock.hpp"
+#include "core/minijson.hpp"
 #include "core/report.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
@@ -478,6 +481,86 @@ TEST(Report, RoundTripDoubleIsExact) {
     const std::string text = format_double_roundtrip(v);
     EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
   }
+}
+
+TEST(Backoff, GrowsExponentiallyAndSaturates) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.max_delay_ms = 1000;
+  policy.multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(backoff_delay_ms(policy, 0, rng), 100);
+  EXPECT_EQ(backoff_delay_ms(policy, 1, rng), 200);
+  EXPECT_EQ(backoff_delay_ms(policy, 2, rng), 400);
+  EXPECT_EQ(backoff_delay_ms(policy, 3, rng), 800);
+  EXPECT_EQ(backoff_delay_ms(policy, 4, rng), 1000);
+  // Huge attempt counts must clamp to the ceiling, not overflow.
+  EXPECT_EQ(backoff_delay_ms(policy, 500, rng), 1000);
+}
+
+TEST(Backoff, JitterStaysInBandAndIsSeedDeterministic) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 1000;
+  policy.max_delay_ms = 1000;
+  policy.jitter_fraction = 0.2;
+  Rng a(42), b(42);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const std::int64_t delay = backoff_delay_ms(policy, attempt, a);
+    EXPECT_GE(delay, 800);
+    EXPECT_LE(delay, 1200);
+    EXPECT_EQ(delay, backoff_delay_ms(policy, attempt, b));
+  }
+}
+
+TEST(Backoff, ValidatesPolicyAndNeverSleepsZero) {
+  BackoffPolicy bad;
+  bad.initial_delay_ms = 0;
+  Rng rng(1);
+  EXPECT_THROW(backoff_delay_ms(bad, 0, rng), std::invalid_argument);
+  bad.initial_delay_ms = 10;
+  bad.max_delay_ms = 5;
+  EXPECT_THROW(backoff_delay_ms(bad, 0, rng), std::invalid_argument);
+  bad.max_delay_ms = 10;
+  bad.jitter_fraction = 1.0;
+  EXPECT_THROW(backoff_delay_ms(bad, 0, rng), std::invalid_argument);
+  // A tiny delay with maximal downward jitter still sleeps at least 1 ms.
+  BackoffPolicy tiny;
+  tiny.initial_delay_ms = 1;
+  tiny.max_delay_ms = 1;
+  tiny.jitter_fraction = 0.99;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(backoff_delay_ms(tiny, 0, rng), 1);
+  }
+}
+
+TEST(Clock, SteadyClockAdvancesMonotonically) {
+  const std::int64_t before = steady_now_ms();
+  sleep_ms(2);
+  const std::int64_t after = steady_now_ms();
+  EXPECT_GE(after - before, 1);
+  sleep_ms(0);   // no-op
+  sleep_ms(-5);  // no-op
+}
+
+TEST(MiniJson, ParsesNumbersStringsAndArrays) {
+  const auto obj = parse_json_object_line(
+      R"({"n": 1.5, "s": "a\nb", "a": [1, "two"], "e": []})");
+  EXPECT_DOUBLE_EQ(json_number(obj, "n"), 1.5);
+  EXPECT_EQ(json_string(obj, "s"), "a\nb");
+  ASSERT_EQ(json_array(obj, "a").size(), 2u);
+  EXPECT_DOUBLE_EQ(json_array(obj, "a")[0].number, 1.0);
+  EXPECT_EQ(json_array(obj, "a")[1].text, "two");
+  EXPECT_TRUE(json_array(obj, "e").empty());
+}
+
+TEST(MiniJson, RejectsMalformedInputWithJsonError) {
+  EXPECT_THROW(parse_json_object_line("{\"k\": }"), JsonError);
+  EXPECT_THROW(parse_json_object_line("{\"k\": 1} trailing"), JsonError);
+  EXPECT_THROW(parse_json_object_line("{\"unterminated"), JsonError);
+  const auto obj = parse_json_object_line("{\"k\": 1}");
+  EXPECT_THROW(json_string(obj, "k"), JsonError);
+  EXPECT_THROW(json_number(obj, "missing"), JsonError);
 }
 
 TEST(Check, RequireThrowsWithMessage) {

@@ -1,0 +1,378 @@
+// Tests for the distributed campaign fleet: wire framing over loopback
+// sockets, protocol message round-trips, lease-table semantics, and the
+// end-to-end coordinator/worker contract -- including the headline claim
+// that a fleet run with a worker killed mid-shard still merges to a CSV
+// byte-identical to the single-process run of the same spec.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "core/backoff.hpp"
+#include "core/minijson.hpp"
+#include "core/rng.hpp"
+#include "exp/scenario.hpp"
+#include "exp/store.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/lease.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/wire.hpp"
+#include "fleet/worker.hpp"
+
+namespace flim {
+namespace {
+
+/// ctest runs every test in its own concurrent process, so all scratch
+/// paths (work dirs, weight cache) are process-unique to keep the suite
+/// parallel-safe.
+std::string process_tag() {
+#if defined(__unix__) || defined(__APPLE__)
+  static const std::string tag = std::to_string(::getpid());
+#else
+  static const std::string tag = "solo";
+#endif
+  return tag;
+}
+
+std::string tmp_dir(const std::string& name) {
+  return ::testing::TempDir() + "flim_fleet_" + process_tag() + "_" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Wire: RAII sockets and line framing over loopback
+
+TEST(Wire, LineChannelRoundTripsLinesOverLoopback) {
+  const fleet::Socket listener = fleet::listen_on("127.0.0.1", 0);
+  const int port = fleet::local_port(listener);
+  ASSERT_GT(port, 0);
+
+  fleet::LineChannel client(fleet::connect_to("127.0.0.1", port));
+  auto accepted = fleet::accept_with_timeout(listener, 2000);
+  ASSERT_TRUE(accepted.has_value());
+  fleet::LineChannel server(std::move(*accepted));
+
+  client.send_line("ping 1");
+  client.send_line("ping 2");
+  fleet::RecvResult got = server.recv_line(2000);
+  ASSERT_EQ(got.status, fleet::RecvStatus::kLine);
+  EXPECT_EQ(got.line, "ping 1");
+  got = server.recv_line(2000);
+  ASSERT_EQ(got.status, fleet::RecvStatus::kLine);
+  EXPECT_EQ(got.line, "ping 2");
+
+  server.send_line("pong");
+  got = client.recv_line(2000);
+  ASSERT_EQ(got.status, fleet::RecvStatus::kLine);
+  EXPECT_EQ(got.line, "pong");
+
+  // No pending data: a short timeout reports kTimeout, not an error.
+  got = server.recv_line(10);
+  EXPECT_EQ(got.status, fleet::RecvStatus::kTimeout);
+
+  // Embedded newlines would tear the framing; send_line refuses them.
+  EXPECT_THROW(client.send_line("two\nlines"), std::invalid_argument);
+
+  // A clean peer close surfaces as kEof.
+  client.close();
+  got = server.recv_line(2000);
+  EXPECT_EQ(got.status, fleet::RecvStatus::kEof);
+}
+
+TEST(Wire, AcceptTimesOutWithoutAPendingConnection) {
+  const fleet::Socket listener = fleet::listen_on("127.0.0.1", 0);
+  const auto accepted = fleet::accept_with_timeout(listener, 20);
+  EXPECT_FALSE(accepted.has_value());
+}
+
+TEST(Wire, ConnectWithRetryGivesUpAfterMaxAttempts) {
+  // Bind an ephemeral port, then close it so nothing listens there.
+  int dead_port = 0;
+  {
+    const fleet::Socket listener = fleet::listen_on("127.0.0.1", 0);
+    dead_port = fleet::local_port(listener);
+  }
+  core::BackoffPolicy policy;
+  policy.initial_delay_ms = 1;
+  policy.max_delay_ms = 2;
+  core::Rng rng(99);
+  EXPECT_THROW(
+      fleet::connect_with_retry("127.0.0.1", dead_port, policy, 3, rng),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: every message round-trips through parse_message
+
+TEST(Protocol, WorkerMessagesRoundTrip) {
+  fleet::Message m = fleet::parse_message(fleet::encode_hello("w0", "deadbeef"));
+  EXPECT_EQ(m.type, "hello");
+  EXPECT_EQ(core::json_number(m.fields, "protocol"), fleet::kProtocolVersion);
+  EXPECT_EQ(core::json_string(m.fields, "worker"), "w0");
+  EXPECT_EQ(core::json_string(m.fields, "fingerprint"), "deadbeef");
+
+  m = fleet::parse_message(fleet::encode_lease_request("w0"));
+  EXPECT_EQ(m.type, "lease_request");
+  EXPECT_EQ(core::json_string(m.fields, "worker"), "w0");
+
+  m = fleet::parse_message(fleet::encode_heartbeat(3, 17, 5, 9));
+  EXPECT_EQ(m.type, "heartbeat");
+  EXPECT_EQ(core::json_number(m.fields, "shard_index"), 3);
+  EXPECT_EQ(core::json_number(m.fields, "token"), 17);
+  EXPECT_EQ(core::json_number(m.fields, "completed"), 5);
+  EXPECT_EQ(core::json_number(m.fields, "owned"), 9);
+
+  // Upload bytes travel as one JSON string; newlines and quotes must
+  // survive the escape round-trip byte-for-byte.
+  const std::string bytes = "{\"a\": 1}\n{\"b\": \"x\\ny\"}\ntail";
+  m = fleet::parse_message(fleet::encode_upload(1, 23, bytes));
+  EXPECT_EQ(m.type, "upload");
+  EXPECT_EQ(core::json_number(m.fields, "shard_index"), 1);
+  EXPECT_EQ(core::json_number(m.fields, "token"), 23);
+  EXPECT_EQ(core::json_string(m.fields, "bytes"), bytes);
+}
+
+TEST(Protocol, CoordinatorMessagesRoundTrip) {
+  fleet::Message m = fleet::parse_message(fleet::encode_hello_ok(4));
+  EXPECT_EQ(m.type, "hello_ok");
+  EXPECT_EQ(core::json_number(m.fields, "protocol"), fleet::kProtocolVersion);
+  EXPECT_EQ(core::json_number(m.fields, "shard_count"), 4);
+
+  m = fleet::parse_message(fleet::encode_lease_grant(2, 4, 7, 500));
+  EXPECT_EQ(m.type, "lease_grant");
+  EXPECT_EQ(core::json_number(m.fields, "shard_index"), 2);
+  EXPECT_EQ(core::json_number(m.fields, "shard_count"), 4);
+  EXPECT_EQ(core::json_number(m.fields, "token"), 7);
+  EXPECT_EQ(core::json_number(m.fields, "heartbeat_ms"), 500);
+
+  m = fleet::parse_message(fleet::encode_wait(250));
+  EXPECT_EQ(m.type, "wait");
+  EXPECT_EQ(core::json_number(m.fields, "retry_ms"), 250);
+
+  EXPECT_EQ(fleet::parse_message(fleet::encode_done()).type, "done");
+  EXPECT_EQ(fleet::parse_message(fleet::encode_heartbeat_ok()).type,
+            "heartbeat_ok");
+  EXPECT_EQ(fleet::parse_message(fleet::encode_upload_ok()).type, "upload_ok");
+  EXPECT_EQ(fleet::parse_message(fleet::encode_lease_lost()).type,
+            "lease_lost");
+
+  m = fleet::parse_message(fleet::encode_error("bad \"quote\""));
+  EXPECT_EQ(m.type, "error");
+  EXPECT_EQ(core::json_string(m.fields, "what"), "bad \"quote\"");
+}
+
+TEST(Protocol, RejectsMalformedLinesWithJsonError) {
+  EXPECT_THROW(fleet::parse_message("not json"), core::JsonError);
+  EXPECT_THROW(fleet::parse_message("{\"no_type\": 1}"), core::JsonError);
+  EXPECT_THROW(fleet::parse_message("{\"type\": 7}"), core::JsonError);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseTable: single-threaded semantics (races live in concurrency_test)
+
+TEST(LeaseTable, GrantsExpiresAndFencesInOrder) {
+  fleet::LeaseTable table(2, 100);
+  const auto a = table.acquire("a", 0);
+  const auto b = table.acquire("b", 0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->shard_index, 0);
+  EXPECT_EQ(b->shard_index, 1);
+  EXPECT_NE(a->token, b->token);
+  // Both held and fresh: nothing to grant.
+  EXPECT_FALSE(table.acquire("c", 50).has_value());
+
+  // `a` goes silent past the TTL; `b` heartbeats in time.
+  EXPECT_TRUE(table.heartbeat(1, b->token, 1, 2, 90));
+  const auto c = table.acquire("c", 120);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->shard_index, 0);
+  EXPECT_EQ(table.expired_releases(), 1u);
+
+  // The original holder is fenced off; the new holder completes.
+  EXPECT_FALSE(table.heartbeat(0, a->token, 1, 2, 121));
+  EXPECT_FALSE(table.complete(0, a->token));
+  EXPECT_TRUE(table.complete(0, c->token));
+  EXPECT_FALSE(table.all_done());
+  EXPECT_EQ(table.done_count(), 1);
+  EXPECT_TRUE(table.complete(1, b->token));
+  EXPECT_TRUE(table.all_done());
+  // Done shards are never re-granted, no matter how late the clock.
+  EXPECT_FALSE(table.acquire("d", 1000000).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: coordinator + two workers, one killed mid-shard
+
+using exp::ScenarioSpec;
+
+ScenarioSpec fleet_scenario() {
+  ScenarioSpec s;
+  s.name = "fleet-test";
+  s.workload.model = "lenet";
+  s.workload.eval_images = 16;
+  s.workload.epochs = 1;
+  s.workload.train_samples = 32;
+  s.workload.weights_dir = tmp_dir("weights");
+  s.axes = {exp::rate_axis({0.0, 0.15, 0.3}),
+            exp::layers_axis({"conv1", "combined"})};
+  s.repetitions = 2;
+  s.master_seed = 11;
+  return s;
+}
+
+const exp::Workload& fleet_workload() {
+  static const exp::Workload* w =
+      new exp::Workload(exp::load_workload(fleet_scenario().workload));
+  return *w;
+}
+
+TEST(Fleet, WorkerWithWrongFingerprintIsRejected) {
+  fleet::CoordinatorOptions copts;
+  copts.shard_count = 2;
+  copts.work_dir = tmp_dir("reject_work");
+  fleet::Coordinator coordinator(fleet_scenario(), copts);
+  coordinator.start();
+
+  // A different master seed is a different campaign; the hello must be
+  // refused before the worker can contribute a single point.
+  ScenarioSpec other = fleet_scenario();
+  other.master_seed = 12;
+  fleet::WorkerOptions wopts;
+  wopts.port = coordinator.port();
+  wopts.work_dir = copts.work_dir;
+  wopts.fsync_each_point = false;
+  EXPECT_THROW(fleet::run_worker(other, fleet_workload(), wopts),
+               std::runtime_error);
+  coordinator.stop();
+}
+
+TEST(Fleet, KilledWorkerIsReLeasedAndMergedCsvMatchesSingleProcess) {
+  const ScenarioSpec spec = fleet_scenario();
+  const exp::Workload& workload = fleet_workload();
+
+  // The reference: one uninterrupted single-process run.
+  const std::string reference_csv =
+      exp::ScenarioRunner(spec).run(workload).to_table().to_csv();
+
+  const std::string work_dir = tmp_dir("e2e_work");
+  std::filesystem::remove_all(work_dir);
+
+  fleet::CoordinatorOptions copts;
+  copts.shard_count = 2;
+  copts.lease_ttl_ms = 1500;
+  copts.heartbeat_ms = 100;
+  copts.wait_retry_ms = 25;
+  copts.work_dir = work_dir;
+  fleet::Coordinator coordinator(spec, copts);
+  coordinator.start();
+
+  // Worker "victim" dies after one evaluated point: no upload, no further
+  // heartbeats, a partial run file left in the shared work dir. Worker
+  // "survivor" completes its own shard, waits out the victim's lease TTL,
+  // re-leases the abandoned shard, resumes the partial file, and finishes
+  // the campaign.
+  fleet::WorkerOptions victim_opts;
+  victim_opts.name = "victim";
+  victim_opts.port = coordinator.port();
+  victim_opts.work_dir = work_dir;
+  victim_opts.fsync_each_point = false;
+  victim_opts.max_points = 1;
+
+  fleet::WorkerOptions survivor_opts;
+  survivor_opts.name = "survivor";
+  survivor_opts.port = coordinator.port();
+  survivor_opts.work_dir = work_dir;
+  survivor_opts.fsync_each_point = false;
+
+  // The victim runs (and dies) first so the abandoned shard deterministically
+  // exists by the time the survivor starts; the survivor then races the
+  // victim's lease TTL for it.
+  const fleet::WorkerReport victim =
+      fleet::run_worker(spec, workload, victim_opts);
+  const fleet::WorkerReport survivor =
+      fleet::run_worker(spec, workload, survivor_opts);
+
+  const exp::ScenarioResult merged = coordinator.wait();
+  coordinator.stop();
+
+  EXPECT_TRUE(victim.aborted);
+  EXPECT_EQ(victim.points_evaluated, 1u);
+  EXPECT_FALSE(victim.saw_done);
+  EXPECT_TRUE(survivor.saw_done);
+  EXPECT_FALSE(survivor.aborted);
+  EXPECT_EQ(survivor.shards_completed, 2);
+  // The victim's durable point was resumed, not re-evaluated: the survivor
+  // freshly evaluated exactly the remaining five of six grid points.
+  EXPECT_EQ(survivor.points_evaluated, 5u);
+  EXPECT_GE(coordinator.leases().expired_releases(), 1u);
+
+  ASSERT_TRUE(merged.complete());
+  EXPECT_EQ(merged.points.size(), 6u);
+  // The tentpole claim: fleet CSV is byte-identical to the single run.
+  EXPECT_EQ(merged.to_table().to_csv(), reference_csv);
+
+  std::filesystem::remove_all(work_dir);
+}
+
+TEST(Fleet, SecondWaveOfWorkersDrainsACampaignCleanly) {
+  // No crash anywhere: two concurrent workers split the shards, the merge
+  // covers the grid, and a late third worker is told done immediately.
+  const ScenarioSpec spec = fleet_scenario();
+  const exp::Workload& workload = fleet_workload();
+
+  const std::string work_dir = tmp_dir("clean_work");
+  std::filesystem::remove_all(work_dir);
+
+  fleet::CoordinatorOptions copts;
+  copts.shard_count = 2;
+  copts.work_dir = work_dir;
+  copts.wait_retry_ms = 25;
+  fleet::Coordinator coordinator(spec, copts);
+  coordinator.start();
+
+  fleet::WorkerOptions wopts;
+  wopts.port = coordinator.port();
+  wopts.work_dir = work_dir;
+  wopts.fsync_each_point = false;
+
+  fleet::WorkerReport a, b;
+  std::thread ta([&] {
+    fleet::WorkerOptions o = wopts;
+    o.name = "a";
+    a = fleet::run_worker(spec, workload, o);
+  });
+  std::thread tb([&] {
+    fleet::WorkerOptions o = wopts;
+    o.name = "b";
+    b = fleet::run_worker(spec, workload, o);
+  });
+  ta.join();
+  tb.join();
+
+  EXPECT_TRUE(a.saw_done);
+  EXPECT_TRUE(b.saw_done);
+  EXPECT_EQ(a.shards_completed + b.shards_completed, 2);
+  EXPECT_EQ(a.points_evaluated + b.points_evaluated, 6u);
+
+  // A worker arriving after completion gets done on its first request.
+  fleet::WorkerOptions late = wopts;
+  late.name = "late";
+  const fleet::WorkerReport c = fleet::run_worker(spec, workload, late);
+  EXPECT_TRUE(c.saw_done);
+  EXPECT_EQ(c.leases_granted, 0);
+
+  const exp::ScenarioResult merged = coordinator.wait();
+  coordinator.stop();
+  EXPECT_TRUE(merged.complete());
+  std::filesystem::remove_all(work_dir);
+}
+
+}  // namespace
+}  // namespace flim

@@ -28,6 +28,14 @@ the rule catalog and the allowlist workflow):
                      file using GUARDED_BY thread-safety annotations
                      (core/annotations.hpp), so Clang's -Wthread-safety can
                      actually see the lock discipline.
+  fleet-raw-mutex    no raw std::mutex / std::lock_guard / std::unique_lock
+                     in src/fleet; the fleet's coordinator state is guarded
+                     by core::Mutex + MutexLock/CondLock (core/sync.hpp) so
+                     -Wthread-safety covers every lock site.
+  fleet-naked-socket no raw POSIX socket calls in src/fleet outside the RAII
+                     wrapper (src/fleet/wire.*); everything above the wire
+                     layer handles Socket/LineChannel objects, never file
+                     descriptors, so no path can leak or double-close one.
 
 Findings print as `path:line: [rule] message` and exit non-zero. Vetted
 exceptions go in the allowlist file (default tools/lint_allowlist.txt), one
@@ -66,6 +74,9 @@ EMISSION_PATHS = (
 )
 
 RNG_EXEMPT = ("src/core/rng.",)
+
+# The fleet's RAII socket layer: the only files allowed to touch raw fds.
+WIRE_EXEMPT = ("src/fleet/wire.",)
 
 
 @dataclass
@@ -110,6 +121,16 @@ def emission_scope(path: str) -> bool:
 
 def header_scope(path: str) -> bool:
     return in_src(path) and Path(path).suffix in {".hpp", ".hh", ".h"}
+
+
+def fleet_scope(path: str) -> bool:
+    return path.startswith("src/fleet/")
+
+
+def fleet_nonwire_scope(path: str) -> bool:
+    return fleet_scope(path) and not any(
+        path.startswith(p) for p in WIRE_EXEMPT
+    )
 
 
 RULES = [
@@ -170,6 +191,34 @@ RULES = [
             r"^\s*(mutable\s+)?((std::)?(shared_)?mutex|(core::)?Mutex)\s+\w+"
         ),
         applies=header_scope,
+    ),
+    Rule(
+        name="fleet-raw-mutex",
+        message=(
+            "raw standard-library mutex in fleet code; use core::Mutex with "
+            "MutexLock/CondLock (core/sync.hpp) so Clang's -Wthread-safety "
+            "verifies the lock discipline"
+        ),
+        pattern=re.compile(
+            r"std::(recursive_|timed_|shared_)?mutex\b"
+            r"|std::(scoped_lock|lock_guard|unique_lock|shared_lock)\b"
+        ),
+        applies=fleet_scope,
+    ),
+    Rule(
+        name="fleet-naked-socket",
+        message=(
+            "raw socket call outside the wire layer; fleet code above "
+            "src/fleet/wire.* must hold RAII Socket/LineChannel handles, "
+            "never file descriptors"
+        ),
+        pattern=re.compile(
+            r"\b(socket|bind|listen|accept|accept4|connect|send|recv"
+            r"|recvfrom|sendto|setsockopt|getsockname|shutdown|poll"
+            r"|inet_pton)\s*\("
+            r"|::close\s*\("
+        ),
+        applies=fleet_nonwire_scope,
     ),
 ]
 

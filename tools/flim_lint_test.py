@@ -54,6 +54,30 @@ FIXTURES = {
         "  int value_ = 0;\n"
         "};\n"
     ),
+    # One fleet-raw-mutex violation (line 2): raw std::mutex in fleet code.
+    "src/fleet/state_fix.cpp": (
+        "#include <mutex>\n"
+        "std::mutex g_state_mutex;\n"
+    ),
+    # One fleet-naked-socket violation (line 2): raw socket() call above
+    # the wire layer.
+    "src/fleet/conn_fix.cpp": (
+        "#include <sys/socket.h>\n"
+        "int open_conn() { return ::socket(2, 1, 0); }\n"
+    ),
+    # The wire layer itself is the sanctioned home of raw socket calls and
+    # must not fire fleet-naked-socket; fleet code holding RAII handles and
+    # core::Mutex (with method names that merely contain socket-call tokens,
+    # like send_line/connect_to) must not fire either rule.
+    "src/fleet/wire_fix_clean.cpp": (
+        "#include \"core/sync.hpp\"\n"
+        "core::Mutex g_ok_mutex;\n"
+        "void pump() { send_line_all(); connect_to_peer(); }\n"
+    ),
+    "src/fleet/wire.cpp": (
+        "#include <sys/socket.h>\n"
+        "int raw() { return ::socket(2, 1, 0); }\n"
+    ),
     # Allowlisted exception: a CLI-style file that prints to stdout; the
     # fixture allowlist vets it file-level, mirroring src/cli in the repo.
     "src/cli/print_fix.cpp": (
@@ -118,6 +142,8 @@ class LintSelfTest(unittest.TestCase):
             ("src/tensor/ops_fix.cpp", 2, "cout-in-library"),
             ("src/fault/table_fix.hpp", 2, "float-keyed-map"),
             ("src/core/cache_fix.hpp", 4, "mutex-annotation"),
+            ("src/fleet/state_fix.cpp", 2, "fleet-raw-mutex"),
+            ("src/fleet/conn_fix.cpp", 2, "fleet-naked-socket"),
         }
         self.assertEqual(got, expect)
 
@@ -175,7 +201,9 @@ class LintSelfTest(unittest.TestCase):
             "unordered-emission src/exp/store_fix.cpp g_points\n"
             "cout-in-library src/tensor/ops_fix.cpp std::cout\n"
             "float-keyed-map src/fault/table_fix.hpp by_rate\n"
-            "mutex-annotation src/core/cache_fix.hpp std::mutex mutex_\n",
+            "mutex-annotation src/core/cache_fix.hpp std::mutex mutex_\n"
+            "fleet-raw-mutex src/fleet/state_fix.cpp g_state_mutex\n"
+            "fleet-naked-socket src/fleet/conn_fix.cpp ::socket\n",
             encoding="utf-8",
         )
         self.assertEqual(
