@@ -1,0 +1,184 @@
+// Serving-path latency: cold vs warm request cost through the PlanCache.
+//
+// The evaluation server's pitch is that everything before the forward
+// passes -- workload load (or training), ForwardPlan compilation, fault
+// expression parsing, workspace sizing -- is paid once per (model, engine,
+// fault-expr) key and amortized across requests. This bench measures that
+// directly: the first request against an empty cache (cold) vs repeated
+// requests against the warm entry, plus the batcher's same-key coalescing
+// counters for one submitted burst.
+//
+// Flags:
+//   --quick       tiny sizes for CI smoke runs
+//   --json PATH   machine-readable JSON output (default
+//                 $FLIM_BENCH_JSON or ./BENCH_serve_latency.json)
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/eval_point.hpp"
+#include "serve/batcher.hpp"
+#include "serve/plan_cache.hpp"
+
+using namespace flim;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = [] {
+    if (const char* v = std::getenv("FLIM_BENCH_JSON")) return std::string(v);
+    return std::string("BENCH_serve_latency.json");
+  }();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--quick] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  benchx::BenchOptions options = benchx::options_from_env();
+  if (quick) {
+    options.train_samples = std::min<std::int64_t>(options.train_samples, 256);
+    options.epochs = 1;
+    options.eval_images = std::min<std::int64_t>(options.eval_images, 64);
+  }
+  const int repetitions = quick ? 2 : options.repetitions;
+  const int warm_requests = quick ? 5 : 20;
+
+  exp::EvalPointSpec spec;
+  spec.workload = benchx::lenet_workload_spec(options);
+  spec.fault_expr = "stuckat(rate=2e-3,sa1=0.7)";
+  spec.repetitions = repetitions;
+  spec.master_seed = options.master_seed;
+
+  serve::PlanCache cache(4, 1);
+
+  // Cold: the first request pays workload load/training, plan compilation,
+  // expression parsing, and workspace growth on top of the forward passes.
+  std::cerr << "[serve] cold request (empty cache)...\n";
+  const auto cold_start = std::chrono::steady_clock::now();
+  std::shared_ptr<serve::CacheEntry> entry = cache.get_or_create(spec);
+  const std::string cold_payload =
+      entry->evaluate_payload(spec.repetitions, spec.master_seed, nullptr);
+  const double cold_ms = ms_since(cold_start);
+
+  // Warm: repeats of the same request hit the warm entry and pay only the
+  // forward passes. A differently spelled expression must land on the same
+  // entry (canonical keying), so it rides in the warm loop.
+  std::cerr << "[serve] " << warm_requests << " warm request(s)...\n";
+  exp::EvalPointSpec respelled = spec;
+  respelled.fault_expr = "stuckat(sa1=0.70, rate=0.002)";
+  double warm_total_ms = 0.0;
+  double warm_min_ms = 0.0;
+  for (int i = 0; i < warm_requests; ++i) {
+    const exp::EvalPointSpec& request = (i % 2 == 0) ? spec : respelled;
+    const auto start = std::chrono::steady_clock::now();
+    const std::shared_ptr<serve::CacheEntry> warm =
+        cache.get_or_create(request);
+    const std::string payload =
+        warm->evaluate_payload(request.repetitions, request.master_seed,
+                               nullptr);
+    const double ms = ms_since(start);
+    warm_total_ms += ms;
+    warm_min_ms = (i == 0) ? ms : std::min(warm_min_ms, ms);
+    if (warm.get() != entry.get() || payload != cold_payload) {
+      std::cerr << "serve bench: warm request diverged from the cold one\n";
+      return 1;
+    }
+  }
+  const double warm_mean_ms = warm_total_ms / warm_requests;
+  const double speedup = warm_mean_ms > 0.0 ? cold_ms / warm_mean_ms : 0.0;
+  const serve::CacheCounters cc = cache.counters();
+
+  // One same-key burst through the batcher: every request after the first
+  // coalesces into the batch and the identical protocol shares a single
+  // evaluation.
+  const int burst = 4;
+  serve::BatcherOptions bopts;
+  bopts.start_thread = false;
+  serve::Batcher batcher(bopts);
+  std::vector<std::shared_ptr<serve::Ticket>> tickets;
+  for (int i = 0; i < burst; ++i) {
+    tickets.push_back(std::make_shared<serve::Ticket>());
+    if (batcher.submit(entry, spec.repetitions, spec.master_seed, -1,
+                       tickets.back()) != serve::SubmitStatus::kAccepted) {
+      std::cerr << "serve bench: burst submit rejected\n";
+      return 1;
+    }
+  }
+  const auto burst_start = std::chrono::steady_clock::now();
+  while (batcher.pump()) {
+  }
+  const double burst_ms = ms_since(burst_start);
+  for (const auto& ticket : tickets) {
+    ticket->wait();
+    if (!ticket->ok() || ticket->payload() != cold_payload) {
+      std::cerr << "serve bench: batched payload diverged\n";
+      return 1;
+    }
+  }
+  const serve::BatcherCounters bc = batcher.counters();
+
+  std::cout << "serve latency (lenet, " << spec.fault_expr << ", reps="
+            << repetitions << ")\n"
+            << "  cold request        " << json_number(cold_ms) << " ms\n"
+            << "  warm request mean   " << json_number(warm_mean_ms)
+            << " ms  (min " << json_number(warm_min_ms) << " ms, n="
+            << warm_requests << ")\n"
+            << "  warm-path speedup   " << json_number(speedup) << "x\n"
+            << "  cache               " << cc.hits << " hit(s), " << cc.misses
+            << " miss(es)\n"
+            << "  burst of " << burst << "          " << json_number(burst_ms)
+            << " ms, " << bc.batches << " batch(es), " << bc.coalesced
+            << " coalesced\n";
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"bench\": \"serve_latency\",\n"
+     << "  \"model\": \"lenet\",\n"
+     << "  \"fault_expr\": \"stuckat(rate=2e-3,sa1=0.7)\",\n"
+     << "  \"repetitions\": " << repetitions << ",\n"
+     << "  \"eval_images\": " << options.eval_images << ",\n"
+     << "  \"cold_ms\": " << json_number(cold_ms) << ",\n"
+     << "  \"warm_mean_ms\": " << json_number(warm_mean_ms) << ",\n"
+     << "  \"warm_min_ms\": " << json_number(warm_min_ms) << ",\n"
+     << "  \"warm_requests\": " << warm_requests << ",\n"
+     << "  \"warm_speedup\": " << json_number(speedup) << ",\n"
+     << "  \"cache_hits\": " << cc.hits << ",\n"
+     << "  \"cache_misses\": " << cc.misses << ",\n"
+     << "  \"burst_requests\": " << burst << ",\n"
+     << "  \"burst_ms\": " << json_number(burst_ms) << ",\n"
+     << "  \"burst_batches\": " << bc.batches << ",\n"
+     << "  \"burst_coalesced\": " << bc.coalesced << "\n"
+     << "}\n";
+  std::ofstream out(json_path);
+  out << js.str();
+  std::cerr << "[serve] wrote " << json_path << "\n";
+  return 0;
+}

@@ -1,21 +1,32 @@
 #include "cli/commands.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 
 #include "bnn/plan.hpp"
+#include "core/backoff.hpp"
 #include "core/check.hpp"
+#include "core/clock.hpp"
+#include "core/minijson.hpp"
 #include "core/report.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "exp/eval_point.hpp"
 #include "exp/scenario.hpp"
 #include "exp/store.hpp"
 #include "fault/fault_generator.hpp"
 #include "fault/fault_registry.hpp"
 #include "fault/fault_vector_file.hpp"
 #include "fleet/coordinator.hpp"
+#include "fleet/protocol.hpp"
 #include "fleet/worker.hpp"
+#include "serve/server.hpp"
 #include "reliability/ecc.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/march.hpp"
@@ -80,6 +91,19 @@ lim::CrossbarGeometry parse_grid(const Args& args, const std::string& flag,
           std::stoll(grid_str.substr(x + 1))};
 }
 
+/// Writes an ephemeral-bound port for launch scripts, atomically (tmp +
+/// rename) so a polling launcher never reads a torn file. Empty path = off.
+void write_port_file(const std::string& path, int port) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    FLIM_REQUIRE(out.good(), "cannot write port file: " + tmp);
+    out << port << "\n";
+  }
+  std::filesystem::rename(tmp, path);
+}
+
 }  // namespace
 
 void print_usage() {
@@ -110,6 +134,27 @@ commands:
   evaluate   clean vs faulty accuracy
              --model M  --vectors FILE  [--images N] [--weights-dir DIR]
              [--engine flim|device|tmr]
+  eval       one fault-evaluation point (the serving request shape); prints
+             a canonical one-line JSON payload, byte-identical between the
+             direct and --connect paths for the same request
+             --model M  [--engine reference|flim|device|tmr] [--fault EXPR]
+             [--granularity output|term] [--grid RxC] [--reps N] [--seed S]
+             [--jobs N] [--out FILE (also write the payload line there)]
+             direct workload shape: [--images N] [--epochs N] [--samples N]
+             [--weights-dir DIR] [--retrain] [--verbose]
+             remote: [--connect HOST:PORT (ask a running serve instance;
+              the workload shape is the server's)] [--deadline-ms MS]
+             [--busy-retries N] [--io-timeout-ms MS] [--connect-attempts N]
+  serve      long-running evaluation server for `eval --connect`: keeps
+             trained workloads, compiled plans, and parsed fault stacks
+             warm between requests; coalesces same-key requests; answers
+             busy under load; drains gracefully on SIGTERM (docs/serving.md)
+             [--host A] [--port P (default 0 = ephemeral)] [--port-file F
+              (write the bound port for launch scripts)]
+             [--cache N (warm entries, default 8)] [--queue N (default 64)]
+             [--batch-max N (default 8)] [--jobs N (parallel repetitions)]
+             [--busy-retry-ms MS]  server-wide workload shape: [--images N]
+             [--epochs N] [--samples N] [--weights-dir DIR]
   campaign   repeated-seed sweep over injection rates or fault expressions
              --model M  --kind K  --rates 0,0.05,0.1  [--reps N]
              or --fault EXPR: sweep a composable fault stack; a '@'
@@ -129,7 +174,9 @@ commands:
              complete, then merge the uploaded shards (same spec flags as
              campaign; the merged CSV is byte-identical to a single-process
              run)
-             --shards N (default 2)  [--host A] [--port P (default 7641)]
+             --shards N (default 2)  [--host A] [--port P (default 7641;
+              0 binds an ephemeral port)] [--port-file F (write the bound
+              port for launch scripts)]
              [--lease-ttl-ms MS (default 30000; must exceed the slowest
               point)] [--heartbeat-ms MS] [--wait-retry-ms MS]
              [--work-dir DIR (default fleet-work)] [--csv FILE] [--json FILE]
@@ -542,9 +589,9 @@ std::string campaign_title(const BuiltCampaign& built,
 /// `campaign serve`: coordinate a worker fleet until the grid is complete.
 int cmd_campaign_serve(const Args& args) {
   args.require_known(
-      campaign_spec_flags({"shards", "host", "port", "lease-ttl-ms",
-                           "heartbeat-ms", "wait-retry-ms", "work-dir", "csv",
-                           "json"}),
+      campaign_spec_flags({"shards", "host", "port", "port-file",
+                           "lease-ttl-ms", "heartbeat-ms", "wait-retry-ms",
+                           "work-dir", "csv", "json"}),
       1);
   const BuiltCampaign built = campaign_spec_from(args);
 
@@ -559,9 +606,11 @@ int cmd_campaign_serve(const Args& args) {
 
   fleet::Coordinator coordinator(built.spec, options);
   coordinator.start();
+  write_port_file(args.get_string("port-file"), coordinator.port());
   std::cout << "fleet: serving " << options.shard_count << " shard(s) on "
             << options.host << ":" << coordinator.port() << " (work dir "
-            << options.work_dir << ")\n";
+            << options.work_dir << ")\n"
+            << std::flush;
   const exp::ScenarioResult result = coordinator.wait();
   coordinator.stop();
   emit_scenario_result(args,
@@ -687,6 +736,163 @@ int cmd_campaign(const Args& args) {
               << result.points.size() << "/" << result.total_points
               << " points)\n";
   }
+  return 0;
+}
+
+namespace {
+
+/// SIGTERM/SIGINT flag of `flim_cli serve` (async-signal-safe: the handler
+/// only stores; the serve loop polls).
+std::atomic<bool> g_serve_stop{false};
+
+void handle_serve_signal(int) { g_serve_stop.store(true); }
+
+/// Maps the shared eval flags onto the canonical single-point spec (the
+/// direct path; `--connect` sends the same fields over the wire instead).
+exp::EvalPointSpec eval_spec_from(const Args& args) {
+  exp::EvalPointSpec spec;
+  spec.workload = workload_from(args);
+  spec.engine.backend = exp::parse_backend(args.get_string("engine", "flim"));
+  const std::string expr = args.get_string("fault");
+  if (!expr.empty()) spec.fault_expr = fault::canonical_fault_expr(expr);
+  spec.granularity =
+      parse_granularity(args.get_string("granularity", "output"));
+  spec.grid = parse_grid(args, "grid", "64x64");
+  spec.repetitions = static_cast<int>(args.get_int("reps", 3));
+  spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  exp::validate(spec);
+  return spec;
+}
+
+/// `eval --connect`: one request/reply exchange with a serve instance,
+/// backing off on busy replies. Returns the payload line.
+std::string eval_remote(const Args& args) {
+  const std::string connect = args.get_string("connect");
+  const auto colon = connect.rfind(':');
+  FLIM_REQUIRE(colon != std::string::npos && colon + 1 < connect.size(),
+               "--connect expects HOST:PORT, e.g. 127.0.0.1:7642");
+  const std::string host = connect.substr(0, colon);
+  const int port = static_cast<int>(std::stol(connect.substr(colon + 1)));
+
+  fleet::EvalRequest req;
+  req.model = args.get_string("model", "lenet");
+  req.backend = args.get_string("engine", "flim");
+  req.fault_expr = args.get_string("fault");
+  req.granularity = args.get_string("granularity", "output");
+  req.grid = args.get_string("grid", "64x64");
+  req.repetitions = static_cast<int>(args.get_int("reps", 3));
+  req.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  req.deadline_ms = args.get_int("deadline-ms", -1);
+
+  core::Rng rng(req.master_seed);
+  core::BackoffPolicy policy;
+  fleet::Socket socket = fleet::connect_with_retry(
+      host, port, policy,
+      static_cast<int>(args.get_int("connect-attempts", 8)), rng);
+  fleet::LineChannel chan(std::move(socket));
+
+  const std::int64_t io_timeout_ms = args.get_int("io-timeout-ms", 600000);
+  const int busy_retries = static_cast<int>(args.get_int("busy-retries", 20));
+  for (int attempt = 0;; ++attempt) {
+    chan.send_line(fleet::encode_eval_request(req));
+    const fleet::RecvResult recv = chan.recv_line(io_timeout_ms);
+    if (recv.status != fleet::RecvStatus::kLine) {
+      throw std::runtime_error(
+          recv.status == fleet::RecvStatus::kEof
+              ? "eval: server closed the connection"
+              : "eval: timed out waiting for the server's reply");
+    }
+    const fleet::Message msg = fleet::parse_message(recv.line);
+    if (msg.type == "busy") {
+      FLIM_REQUIRE(attempt < busy_retries,
+                   "server stayed busy through " +
+                       std::to_string(busy_retries) + " retries");
+      // The server's hint floors the shared backoff schedule.
+      const auto hint =
+          static_cast<std::int64_t>(core::json_number(msg.fields, "retry_ms"));
+      core::sleep_ms(
+          std::max(hint, core::backoff_delay_ms(policy, attempt, rng)));
+      continue;
+    }
+    if (msg.type == "error") {
+      throw std::runtime_error("eval: server error: " +
+                               core::json_string(msg.fields, "what"));
+    }
+    FLIM_REQUIRE(msg.type == "eval_result",
+                 "unexpected server reply type: " + msg.type);
+    return fleet::decode_eval_result(msg);
+  }
+}
+
+}  // namespace
+
+int cmd_eval(const Args& args) {
+  args.require_known({"connect", "model", "engine", "fault", "granularity",
+                      "grid", "reps", "seed", "jobs", "out", "deadline-ms",
+                      "busy-retries", "io-timeout-ms", "connect-attempts",
+                      "images", "epochs", "samples", "weights-dir", "retrain",
+                      "verbose"});
+  std::string payload;
+  if (args.has("connect")) {
+    payload = eval_remote(args);
+  } else {
+    const exp::EvalPointSpec spec = eval_spec_from(args);
+    const exp::Workload workload = exp::load_workload(spec.workload);
+    const bnn::ForwardPlan plan(workload.model,
+                                workload.eval_batch.images.shape());
+    const int jobs = static_cast<int>(args.get_int("jobs", 1));
+    FLIM_REQUIRE(jobs >= 1, "--jobs must be >= 1");
+    std::optional<core::ThreadPool> pool;
+    if (jobs > 1) pool.emplace(static_cast<std::size_t>(jobs));
+    std::vector<tensor::Workspace> workspaces(pool ? pool->size() : 1);
+    const core::Summary summary = exp::evaluate_eval_point(
+        spec, workload, plan, workspaces, pool ? &*pool : nullptr);
+    payload = exp::format_eval_payload(spec, summary);
+  }
+  std::cout << payload << "\n";
+  const std::string out = args.get_string("out");
+  if (!out.empty()) {
+    std::ofstream file(out, std::ios::trunc);
+    FLIM_REQUIRE(file.good(), "cannot write --out file: " + out);
+    file << payload << "\n";
+  }
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  args.require_known({"host", "port", "port-file", "cache", "queue",
+                      "batch-max", "jobs", "busy-retry-ms", "images",
+                      "epochs", "samples", "weights-dir"});
+  serve::ServerOptions options;
+  options.host = args.get_string("host", "127.0.0.1");
+  options.port = static_cast<int>(args.get_int("port", 0));
+  options.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 8));
+  options.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+  options.batch_max = static_cast<std::size_t>(args.get_int("batch-max", 8));
+  options.jobs = static_cast<int>(args.get_int("jobs", 1));
+  options.busy_retry_ms = args.get_int("busy-retry-ms", 200);
+  options.eval_images = args.get_int("images", 300);
+  options.epochs = static_cast<int>(args.get_int("epochs", 3));
+  options.train_samples = args.get_int("samples", 3000);
+  if (args.has("weights-dir")) {
+    options.weights_dir = args.get_string("weights-dir");
+  }
+
+  serve::EvalServer server(options);
+  server.start();
+  write_port_file(args.get_string("port-file"), server.port());
+  std::cout << "serve: listening on " << options.host << ":" << server.port()
+            << "\n"
+            << std::flush;
+
+  g_serve_stop.store(false);
+  std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGINT, handle_serve_signal);
+  while (!g_serve_stop.load()) core::sleep_ms(50);
+
+  std::cout << "serve: draining\n" << std::flush;
+  server.stop();
+  std::cout << "serve: drained, exiting\n";
   return 0;
 }
 
@@ -994,6 +1200,8 @@ int run(const Args& args) {
   if (args.command() == "faults") return cmd_faults(args);
   if (args.command() == "train") return cmd_train(args);
   if (args.command() == "evaluate") return cmd_evaluate(args);
+  if (args.command() == "eval") return cmd_eval(args);
+  if (args.command() == "serve") return cmd_serve(args);
   if (args.command() == "campaign") return cmd_campaign(args);
   if (args.command() == "merge") return cmd_merge(args);
   if (args.command() == "march") return cmd_march(args);

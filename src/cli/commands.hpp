@@ -6,6 +6,11 @@
 //                         validate fault expressions
 //   flim_cli train     -- train a model and cache its weights
 //   flim_cli evaluate  -- clean vs faulty accuracy for a model + vector file
+//   flim_cli eval      -- one fault-evaluation point, printed as the
+//                         canonical one-line payload; --connect asks a
+//                         running serve instance instead
+//   flim_cli serve     -- long-running evaluation server with warm
+//                         plan/engine pools and request batching
 //   flim_cli campaign  -- repeated-seed injection-rate sweep (CSV output);
 //                         supports durable run files (--store), resumption
 //                         (--resume) and deterministic sharding (--shard)
@@ -34,6 +39,8 @@ int cmd_inspect(const Args& args);
 int cmd_faults(const Args& args);
 int cmd_train(const Args& args);
 int cmd_evaluate(const Args& args);
+int cmd_eval(const Args& args);
+int cmd_serve(const Args& args);
 int cmd_campaign(const Args& args);
 int cmd_merge(const Args& args);
 int cmd_march(const Args& args);

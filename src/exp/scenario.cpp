@@ -11,11 +11,11 @@
 #include "core/check.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
+#include "exp/eval_point.hpp"
 #include "exp/store.hpp"
 #include "tensor/workspace.hpp"
 #include "data/synthetic_imagenet.hpp"
 #include "data/synthetic_mnist.hpp"
-#include "fault/fault_generator.hpp"
 #include "fault/fault_registry.hpp"
 #include "models/pretrained.hpp"
 #include "models/zoo.hpp"
@@ -31,16 +31,7 @@ bool is_zoo_model(const std::string& name) {
   return false;
 }
 
-/// The fault configuration of one resolved grid point.
-struct PointConfig {
-  fault::FaultSpec spec;
-  /// Composable fault expression; empty selects the legacy single-kind
-  /// fields of `spec`.
-  std::string expr;
-  std::vector<std::string> filter;
-};
-
-void apply_axis_value(PointConfig& pc, const ScenarioAxis& axis,
+void apply_axis_value(PointFaultConfig& pc, const ScenarioAxis& axis,
                       const AxisValue& value) {
   switch (axis.kind) {
     case AxisKind::kInjectionRate:
@@ -76,9 +67,9 @@ void apply_axis_value(PointConfig& pc, const ScenarioAxis& axis,
   }
 }
 
-PointConfig resolve_point(const ScenarioSpec& spec,
-                          const std::vector<std::size_t>& indices) {
-  PointConfig pc{spec.fault, spec.fault_expr, spec.layer_filter};
+PointFaultConfig resolve_point(const ScenarioSpec& spec,
+                               const std::vector<std::size_t>& indices) {
+  PointFaultConfig pc{spec.fault, spec.fault_expr, spec.layer_filter};
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     apply_axis_value(pc, spec.axes[a], spec.axes[a].values[indices[a]]);
   }
@@ -114,90 +105,6 @@ void check_layer_filters(const ScenarioSpec& spec, const Workload& workload) {
     if (axis.kind != AxisKind::kLayers) continue;
     for (const AxisValue& value : axis.values) check(value.text);
   }
-}
-
-/// Draws the fault vectors of one repetition: one entry per selected
-/// binarized layer, masks drawn from `rng` in layer order. This is the
-/// exact realization order the pre-scenario benches used, which keeps CSV
-/// outputs byte-identical across the API boundary. A point with a fault
-/// expression realizes the parsed FaultStack instead (component entries);
-/// the legacy path keeps the single-kind entry layout and its RNG stream
-/// untouched.
-fault::FaultVectorFile realize_vectors(const ScenarioSpec& spec,
-                                       const Workload& workload,
-                                       const PointConfig& pc, core::Rng& rng) {
-  fault::FaultGenerator gen(spec.grid);
-  fault::RealizeContext ctx;
-  ctx.grid = spec.grid;
-  ctx.distribution = pc.spec.distribution;
-  ctx.cluster_count = pc.spec.cluster_count;
-  ctx.cluster_radius = pc.spec.cluster_radius;
-  fault::FaultStack stack;
-  if (!pc.expr.empty()) stack = fault::parse_fault_expr(pc.expr);
-
-  fault::FaultVectorFile file;
-  for (const bnn::LayerWorkload& layer : workload.layers) {
-    if (!pc.filter.empty()) {
-      bool selected = false;
-      for (const auto& f : pc.filter) {
-        if (f == layer.layer_name) selected = true;
-      }
-      if (!selected) continue;
-    }
-    if (!pc.expr.empty()) {
-      file.add(stack.realize_entry(layer.layer_name, pc.spec.granularity, ctx,
-                                   rng));
-      continue;
-    }
-    fault::FaultVectorEntry entry;
-    entry.layer_name = layer.layer_name;
-    entry.kind = pc.spec.kind;
-    entry.granularity = pc.spec.granularity;
-    entry.dynamic_period = pc.spec.dynamic_period;
-    entry.mask = gen.generate(pc.spec, rng);
-    file.add(std::move(entry));
-  }
-  return file;
-}
-
-/// One repetition: realize the fault vectors for `seed`, build the engine
-/// through the factory, evaluate through the compiled plan. The plan is
-/// built once per workload and shared read-only; `ws` is the calling
-/// worker's private arena, reused across every grid point and repetition
-/// (only the injector masks change between invocations). Accuracy values
-/// are bit-identical to the legacy Model::evaluate path.
-double evaluate_point(const ScenarioSpec& spec, const Workload& workload,
-                      const bnn::ForwardPlan& plan, tensor::Workspace& ws,
-                      const PointConfig& pc, std::uint64_t seed) {
-  switch (spec.engine.backend) {
-    case Backend::kReference: {
-      bnn::ReferenceEngine engine;
-      return plan.evaluate(workload.eval_batch, ws, engine);
-    }
-    case Backend::kFlim:
-    case Backend::kDevice: {
-      core::Rng rng(seed);
-      const fault::FaultVectorFile vectors =
-          realize_vectors(spec, workload, pc, rng);
-      const auto engine = make_engine(spec.engine, vectors);
-      return plan.evaluate(workload.eval_batch, ws, *engine);
-    }
-    case Backend::kTmr: {
-      // Replica r draws its masks from an independent child stream, so the
-      // redundant crossbars carry independent fault distributions.
-      const core::Rng master(seed);
-      std::vector<fault::FaultVectorFile> files;
-      files.reserve(static_cast<std::size_t>(spec.engine.tmr_replicas));
-      for (int r = 0; r < spec.engine.tmr_replicas; ++r) {
-        core::Rng rng = master.derive(static_cast<std::uint64_t>(r));
-        files.push_back(realize_vectors(spec, workload, pc, rng));
-      }
-      const auto engine = make_engine(spec.engine, files);
-      return plan.evaluate(workload.eval_batch, ws, *engine);
-    }
-  }
-  FLIM_REQUIRE(false, "unhandled backend");
-  return 0.0;
 }
 
 }  // namespace
@@ -355,7 +262,7 @@ void validate(const ScenarioSpec& spec) {
   // Expressions repeat across points, so parse each distinct one once.
   std::map<std::string, fault::FaultStack> parsed;
   for_each_cell(spec.axes, [&](const std::vector<std::size_t>& indices) {
-    const PointConfig pc = resolve_point(spec, indices);
+    const PointFaultConfig pc = resolve_point(spec, indices);
     if (pc.expr.empty()) {
       fault::validate(pc.spec);
       return;
@@ -599,9 +506,9 @@ ScenarioResult ScenarioRunner::run(
           campaign, core_axes, selector,
           [&](const std::vector<double>& coords, std::uint64_t seed,
               std::size_t worker) {
-            const PointConfig pc = resolve_point(spec_, to_indices(coords));
-            return evaluate_point(spec_, workload, plan, workspaces[worker],
-                                  pc, seed);
+            const PointFaultConfig pc = resolve_point(spec_, to_indices(coords));
+            return evaluate_fault_point(spec_.engine, spec_.grid, workload,
+                                        plan, workspaces[worker], pc, seed);
           },
           [&](const core::SelectedGridPoint& cell) {
             const ScenarioPoint p = to_scenario_point(cell.point);

@@ -87,4 +87,82 @@ std::string encode_error(const std::string& what) {
   return "{\"type\": \"error\", \"what\": " + quote(what) + "}";
 }
 
+std::string encode_eval_request(const EvalRequest& req) {
+  std::ostringstream os;
+  os << "{\"type\": \"eval_request\", \"protocol\": " << kProtocolVersion
+     << ", \"model\": " << quote(req.model)
+     << ", \"backend\": " << quote(req.backend)
+     << ", \"tmr_replicas\": " << req.tmr_replicas
+     << ", \"fault\": " << quote(req.fault_expr)
+     << ", \"granularity\": " << quote(req.granularity)
+     << ", \"grid\": " << quote(req.grid)
+     << ", \"reps\": " << req.repetitions << ", \"seed\": " << req.master_seed
+     << ", \"deadline_ms\": " << req.deadline_ms << "}";
+  return os.str();
+}
+
+EvalRequest decode_eval_request(const Message& msg) {
+  EvalRequest req;
+  req.model = core::json_string(msg.fields, "model");
+  req.backend = core::json_string(msg.fields, "backend");
+  req.tmr_replicas =
+      static_cast<int>(core::json_number(msg.fields, "tmr_replicas"));
+  req.fault_expr = core::json_string(msg.fields, "fault");
+  req.granularity = core::json_string(msg.fields, "granularity");
+  req.grid = core::json_string(msg.fields, "grid");
+  req.repetitions = static_cast<int>(core::json_number(msg.fields, "reps"));
+  req.master_seed =
+      static_cast<std::uint64_t>(core::json_number(msg.fields, "seed"));
+  req.deadline_ms =
+      static_cast<std::int64_t>(core::json_number(msg.fields, "deadline_ms"));
+  return req;
+}
+
+std::string encode_eval_result(const std::string& payload) {
+  return "{\"type\": \"eval_result\", \"payload\": " + quote(payload) + "}";
+}
+
+std::string decode_eval_result(const Message& msg) {
+  return core::json_string(msg.fields, "payload");
+}
+
+std::string encode_busy(std::int64_t retry_ms) {
+  std::ostringstream os;
+  os << "{\"type\": \"busy\", \"retry_ms\": " << retry_ms << "}";
+  return os.str();
+}
+
+std::string encode_stats_request() { return "{\"type\": \"stats\"}"; }
+
+std::string encode_stats_ok(const ServeStats& stats) {
+  std::ostringstream os;
+  os << "{\"type\": \"stats_ok\", \"cache_hits\": " << stats.cache_hits
+     << ", \"cache_misses\": " << stats.cache_misses
+     << ", \"cache_evictions\": " << stats.cache_evictions
+     << ", \"cache_entries\": " << stats.cache_entries
+     << ", \"requests_completed\": " << stats.requests_completed
+     << ", \"requests_expired\": " << stats.requests_expired
+     << ", \"requests_rejected\": " << stats.requests_rejected
+     << ", \"batches\": " << stats.batches
+     << ", \"coalesced\": " << stats.coalesced << "}";
+  return os.str();
+}
+
+ServeStats decode_stats_ok(const Message& msg) {
+  const auto u64 = [&](const char* key) {
+    return static_cast<std::uint64_t>(core::json_number(msg.fields, key));
+  };
+  ServeStats stats;
+  stats.cache_hits = u64("cache_hits");
+  stats.cache_misses = u64("cache_misses");
+  stats.cache_evictions = u64("cache_evictions");
+  stats.cache_entries = u64("cache_entries");
+  stats.requests_completed = u64("requests_completed");
+  stats.requests_expired = u64("requests_expired");
+  stats.requests_rejected = u64("requests_rejected");
+  stats.batches = u64("batches");
+  stats.coalesced = u64("coalesced");
+  return stats;
+}
+
 }  // namespace flim::fleet

@@ -90,4 +90,81 @@ std::string encode_lease_lost();
 /// protocol violation). `what` is a human-readable reason.
 std::string encode_error(const std::string& what);
 
+// --- Serving (src/serve) --------------------------------------------------
+//
+// The evaluation server speaks the same one-JSON-object-per-line wire
+// vocabulary: a client sends eval_request/stats lines, the server answers
+// each with exactly one line (eval_result, busy, stats_ok, or error).
+// Docs: docs/serving.md#wire-protocol.
+
+/// One single-point evaluation request (client -> server): which model /
+/// engine / fault stack to evaluate and the repetition protocol. The
+/// server owns the workload shape (eval images, training budget), so two
+/// clients asking for the same model share one warm cache entry.
+struct EvalRequest {
+  /// Model name ("lenet" or a Table-II zoo family).
+  std::string model = "lenet";
+  /// Execution substrate: reference|flim|device|tmr.
+  std::string backend = "flim";
+  /// kTmr replica count (ignored by the other backends).
+  int tmr_replicas = 3;
+  /// Composable fault expression (fault_registry grammar); "" = clean.
+  std::string fault_expr;
+  /// Mask granularity: output|term.
+  std::string granularity = "output";
+  /// Virtual crossbar grid as "RxC".
+  std::string grid = "64x64";
+  /// Repetition protocol.
+  int repetitions = 3;
+  std::uint64_t master_seed = 2023;
+  /// Per-request deadline budget in ms from submission; < 0 = none. A
+  /// request still queued when its budget elapses is answered with error
+  /// instead of being evaluated.
+  std::int64_t deadline_ms = -1;
+};
+
+/// Encodes an eval_request (carries kProtocolVersion; the server refuses
+/// mismatches before touching the cache).
+std::string encode_eval_request(const EvalRequest& req);
+
+/// Decodes a parsed eval_request message. Field access throws
+/// core::JsonError on missing/mistyped fields (a protocol violation).
+EvalRequest decode_eval_request(const Message& msg);
+
+/// The evaluation succeeded; `payload` is the canonical one-line JSON
+/// summary (exp::format_eval_payload), byte-identical to what a direct
+/// in-process evaluation of the same spec prints.
+std::string encode_eval_result(const std::string& payload);
+
+/// Extracts the payload of a parsed eval_result message.
+std::string decode_eval_result(const Message& msg);
+
+/// The submission queue is full; retry after `retry_ms` (clients back off
+/// with core::BackoffPolicy on top of this hint).
+std::string encode_busy(std::int64_t retry_ms);
+
+/// Asks the server for its cache/batcher counters.
+std::string encode_stats_request();
+
+/// Serving-path counters, snapshot at stats time.
+struct ServeStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  /// Warm entries currently resident.
+  std::uint64_t cache_entries = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_expired = 0;
+  std::uint64_t requests_rejected = 0;
+  /// Executed batches and the extra same-key requests that rode along.
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;
+};
+
+/// Answers a stats request.
+std::string encode_stats_ok(const ServeStats& stats);
+
+/// Decodes a parsed stats_ok message.
+ServeStats decode_stats_ok(const Message& msg);
+
 }  // namespace flim::fleet

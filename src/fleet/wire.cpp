@@ -97,15 +97,17 @@ Socket listen_on(const std::string& host, int port, int backlog) {
   return s;
 }
 
-int local_port(const Socket& listener) {
+int Socket::local_port() const {
+  FLIM_REQUIRE(valid(), "local_port on an empty socket");
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
-  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     fail_errno("getsockname failed");
   }
   return static_cast<int>(ntohs(addr.sin_port));
 }
+
+int local_port(const Socket& listener) { return listener.local_port(); }
 
 std::optional<Socket> accept_with_timeout(const Socket& listener,
                                           std::int64_t timeout_ms) {
@@ -203,6 +205,7 @@ namespace {
 }  // namespace
 
 Socket listen_on(const std::string&, int, int) { unsupported(); }
+int Socket::local_port() const { unsupported(); }
 int local_port(const Socket&) { unsupported(); }
 std::optional<Socket> accept_with_timeout(const Socket&, std::int64_t) {
   unsupported();

@@ -40,6 +40,10 @@ class Socket {
   /// The owned descriptor, or -1 when empty.
   int fd() const { return fd_; }
   bool valid() const { return fd_ >= 0; }
+  /// The locally bound TCP port of this socket (ephemeral port-0 binds read
+  /// their real port back through this). Throws std::runtime_error on an
+  /// empty socket or a failed query.
+  int local_port() const;
   /// Closes the descriptor now (idempotent).
   void close();
 
@@ -51,7 +55,8 @@ class Socket {
 /// back with local_port). Throws std::runtime_error on failure.
 Socket listen_on(const std::string& host, int port, int backlog = 16);
 
-/// The locally bound port of a listening socket.
+/// The locally bound port of a listening socket (delegates to
+/// Socket::local_port; kept for call sites reading better as a free call).
 int local_port(const Socket& listener);
 
 /// Waits up to `timeout_ms` for a pending connection and accepts it.

@@ -1,0 +1,170 @@
+#include "serve/batcher.hpp"
+
+#include <map>
+#include <utility>
+
+#include "core/check.hpp"
+#include "core/clock.hpp"
+
+namespace flim::serve {
+
+void Ticket::wait() {
+  core::CondLock lock(mutex_);
+  while (!done_) lock.wait(cv_);
+}
+
+void Ticket::complete(bool ok, std::string payload) {
+  {
+    const core::MutexLock lock(mutex_);
+    FLIM_REQUIRE(!done_, "ticket completed twice");
+    done_ = true;
+    ok_ = ok;
+    payload_ = std::move(payload);
+  }
+  cv_.notify_all();
+}
+
+bool Ticket::ok() {
+  const core::MutexLock lock(mutex_);
+  return ok_;
+}
+
+std::string Ticket::payload() {
+  const core::MutexLock lock(mutex_);
+  return payload_;
+}
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  FLIM_REQUIRE(options_.queue_capacity >= 1, "queue capacity must be >= 1");
+  FLIM_REQUIRE(options_.batch_max >= 1, "batch_max must be >= 1");
+  if (options_.start_thread) {
+    consumer_ = std::thread(&Batcher::consume_loop, this);
+  }
+}
+
+Batcher::~Batcher() { drain(); }
+
+SubmitStatus Batcher::submit(std::shared_ptr<CacheEntry> entry,
+                             int repetitions, std::uint64_t master_seed,
+                             std::int64_t deadline_ms,
+                             std::shared_ptr<Ticket> ticket) {
+  FLIM_REQUIRE(entry != nullptr, "submit needs a cache entry");
+  FLIM_REQUIRE(ticket != nullptr, "submit needs a ticket");
+  FLIM_REQUIRE(repetitions >= 1, "submit needs >= 1 repetition");
+  {
+    const core::MutexLock lock(mutex_);
+    if (draining_) return SubmitStatus::kDraining;
+    if (queue_.size() >= options_.queue_capacity) {
+      ++counters_.rejected_busy;
+      return SubmitStatus::kBusy;
+    }
+    Request req;
+    req.entry = std::move(entry);
+    req.repetitions = repetitions;
+    req.master_seed = master_seed;
+    req.deadline_ms = deadline_ms;
+    req.enqueue_ms = core::steady_now_ms();
+    req.ticket = std::move(ticket);
+    queue_.push_back(std::move(req));
+    ++counters_.submitted;
+  }
+  cv_.notify_all();
+  return SubmitStatus::kAccepted;
+}
+
+bool Batcher::pump() {
+  std::vector<Request> batch;
+  {
+    const core::MutexLock lock(mutex_);
+    if (queue_.empty()) return false;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    // Coalesce queued same-key followers (arrival order preserved); other
+    // keys stay queued in place for the next batch.
+    const std::string& key = batch.front().entry->key();
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < options_.batch_max;) {
+      if (it->entry->key() == key) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++counters_.batches;
+    counters_.coalesced += batch.size() - 1;
+  }
+  run_batch(std::move(batch));
+  return true;
+}
+
+void Batcher::run_batch(std::vector<Request> batch) {
+  // Identical repetition protocols within the batch evaluate once; the
+  // payload is deterministic in (key, reps, seed), so sharing it is
+  // indistinguishable from re-evaluating.
+  std::map<std::pair<int, std::uint64_t>, std::string> shared;
+  for (Request& req : batch) {
+    if (req.deadline_ms >= 0 &&
+        core::steady_now_ms() >= req.enqueue_ms + req.deadline_ms) {
+      {
+        const core::MutexLock lock(mutex_);
+        ++counters_.expired;
+      }
+      req.ticket->complete(false, "deadline of " +
+                                      std::to_string(req.deadline_ms) +
+                                      " ms expired while queued");
+      continue;
+    }
+    try {
+      const auto proto = std::make_pair(req.repetitions, req.master_seed);
+      auto it = shared.find(proto);
+      if (it == shared.end()) {
+        it = shared
+                 .emplace(proto, req.entry->evaluate_payload(
+                                     req.repetitions, req.master_seed,
+                                     options_.pool))
+                 .first;
+      }
+      {
+        const core::MutexLock lock(mutex_);
+        ++counters_.completed;
+      }
+      req.ticket->complete(true, it->second);
+    } catch (const std::exception& e) {
+      req.ticket->complete(false, e.what());
+    }
+  }
+}
+
+void Batcher::consume_loop() {
+  while (true) {
+    {
+      core::CondLock lock(mutex_);
+      while (queue_.empty() && !draining_) lock.wait(cv_);
+      if (queue_.empty() && draining_) return;
+    }
+    pump();
+  }
+}
+
+void Batcher::drain() {
+  {
+    const core::MutexLock lock(mutex_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+  if (consumer_.joinable()) {
+    consumer_.join();
+  } else {
+    // Manual mode: run the queue dry ourselves.
+    while (pump()) {
+    }
+  }
+}
+
+BatcherCounters Batcher::counters() const {
+  const core::MutexLock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace flim::serve

@@ -1,0 +1,163 @@
+// Request batching and backpressure for the evaluation server.
+//
+// Sessions submit (entry, repetition-protocol, deadline) requests into one
+// bounded queue and block on a per-request Ticket. A single consumer
+// drains the queue in arrival order, coalescing up to batch_max same-key
+// requests into one batch so they run back-to-back on the warm entry
+// (identical-protocol requests within a batch are evaluated once and share
+// the payload). A full queue rejects the submit -- the session answers
+// `busy` and the client backs off -- so a flood degrades to retries
+// instead of unbounded memory. Requests whose deadline elapsed while
+// queued complete with an error instead of evaluating. drain() runs the
+// queue dry and stops the consumer; later submits report kDraining. See
+// docs/serving.md#batching-and-backpressure.
+#pragma once
+
+/// \file
+/// The serving request queue: Ticket (one request's completion latch),
+/// Batcher (bounded queue + same-key coalescing consumer), submit
+/// statuses, and the batcher counters.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace flim::serve {
+
+/// One request's completion latch: the submitting session blocks in
+/// wait(), the batcher consumer calls complete() exactly once. `payload`
+/// carries the eval payload on success, the error message on failure.
+class Ticket {
+ public:
+  /// Blocks until complete() was called (returns immediately afterwards).
+  void wait();
+
+  /// Marks the request finished and wakes the waiter. Call once.
+  void complete(bool ok, std::string payload);
+
+  /// Whether the request succeeded (meaningful after wait()).
+  bool ok();
+
+  /// The result payload (success) or error message (failure); meaningful
+  /// after wait().
+  std::string payload();
+
+ private:
+  core::Mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ FLIM_GUARDED_BY(mutex_) = false;
+  bool ok_ FLIM_GUARDED_BY(mutex_) = false;
+  std::string payload_ FLIM_GUARDED_BY(mutex_);
+};
+
+/// Outcome of Batcher::submit.
+enum class SubmitStatus {
+  kAccepted,  ///< Queued; the ticket will complete.
+  kBusy,      ///< Queue full; the client should back off and retry.
+  kDraining,  ///< The batcher is shutting down; nothing was queued.
+};
+
+/// Monotonic batcher counters (stats wire message and tests).
+struct BatcherCounters {
+  /// Requests accepted into the queue.
+  std::uint64_t submitted = 0;
+  /// Requests completed with a payload.
+  std::uint64_t completed = 0;
+  /// Requests whose deadline elapsed while queued.
+  std::uint64_t expired = 0;
+  /// Submits rejected because the queue was full.
+  std::uint64_t rejected_busy = 0;
+  /// Executed batches.
+  std::uint64_t batches = 0;
+  /// Extra same-key requests that rode along in a batch.
+  std::uint64_t coalesced = 0;
+};
+
+/// Batcher tuning.
+struct BatcherOptions {
+  /// Bound of the submission queue; a full queue answers kBusy.
+  std::size_t queue_capacity = 64;
+  /// Maximum requests coalesced into one batch (>= 1).
+  std::size_t batch_max = 8;
+  /// Optional repetition pool handed to CacheEntry::evaluate.
+  core::ThreadPool* pool = nullptr;
+  /// Spawn the consumer thread (the server). False runs in manual mode:
+  /// nothing executes until pump() is called (deterministic tests).
+  bool start_thread = true;
+};
+
+/// The bounded request queue plus its consumer. Thread-safe; one instance
+/// serves every session of a server.
+class Batcher {
+ public:
+  /// Validates the options and, in threaded mode, spawns the consumer.
+  /// Throws std::invalid_argument on nonsense.
+  explicit Batcher(BatcherOptions options);
+  /// Drains (completes or expires everything queued) before destruction.
+  ~Batcher();
+
+  /// Noncopyable: sessions hold references to one shared instance.
+  Batcher(const Batcher&) = delete;
+  /// Noncopyable: sessions hold references to one shared instance.
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Queues one request against a warm entry. On kAccepted the ticket
+  /// completes eventually; on kBusy/kDraining nothing was queued and the
+  /// ticket stays pending (the session replies busy/error itself).
+  SubmitStatus submit(std::shared_ptr<CacheEntry> entry, int repetitions,
+                      std::uint64_t master_seed, std::int64_t deadline_ms,
+                      std::shared_ptr<Ticket> ticket);
+
+  /// Manual-mode step: takes one batch off the queue (front request plus
+  /// up to batch_max-1 queued same-key followers, order preserved) and
+  /// runs it. Returns false when the queue was empty. Also safe in
+  /// threaded mode (the lock arbitrates), though the consumer normally
+  /// races ahead of callers.
+  bool pump();
+
+  /// Stops accepting work (later submits report kDraining), runs the
+  /// queue dry, and joins the consumer thread. Idempotent; call from one
+  /// thread at a time.
+  void drain();
+
+  /// Snapshot of the counters.
+  BatcherCounters counters() const;
+
+ private:
+  /// One queued request.
+  struct Request {
+    std::shared_ptr<CacheEntry> entry;
+    int repetitions = 1;
+    std::uint64_t master_seed = 0;
+    /// Deadline budget from submission; < 0 = none.
+    std::int64_t deadline_ms = -1;
+    /// steady_now_ms() at submission (deadline anchor).
+    std::int64_t enqueue_ms = 0;
+    std::shared_ptr<Ticket> ticket;
+  };
+
+  void consume_loop();
+  /// Completes every request of one batch (expiry check, then evaluate;
+  /// identical (reps, seed) requests share one evaluation).
+  void run_batch(std::vector<Request> batch);
+
+  BatcherOptions options_;
+
+  mutable core::Mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_ FLIM_GUARDED_BY(mutex_);
+  bool draining_ FLIM_GUARDED_BY(mutex_) = false;
+  BatcherCounters counters_ FLIM_GUARDED_BY(mutex_);
+
+  std::thread consumer_;
+};
+
+}  // namespace flim::serve

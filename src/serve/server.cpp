@@ -1,0 +1,99 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "core/check.hpp"
+#include "core/log.hpp"
+#include "serve/session.hpp"
+
+namespace flim::serve {
+
+namespace {
+
+/// How often the blocked accept call wakes up to check the stop flag.
+constexpr std::int64_t kPollMs = 200;
+
+BatcherOptions batcher_options(const ServerOptions& options,
+                               core::ThreadPool* pool) {
+  BatcherOptions b;
+  b.queue_capacity = options.queue_capacity;
+  b.batch_max = options.batch_max;
+  b.pool = pool;
+  b.start_thread = true;
+  return b;
+}
+
+}  // namespace
+
+EvalServer::EvalServer(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(options_.jobs > 1
+                ? std::optional<core::ThreadPool>(
+                      std::in_place, static_cast<std::size_t>(options_.jobs))
+                : std::nullopt),
+      cache_(options_.cache_capacity,
+             pool_ ? pool_->size() : std::size_t{1}),
+      batcher_(batcher_options(options_, pool_ ? &*pool_ : nullptr)) {
+  FLIM_REQUIRE(options_.jobs >= 1, "jobs must be >= 1");
+  FLIM_REQUIRE(options_.busy_retry_ms >= 1, "busy_retry_ms must be >= 1");
+  FLIM_REQUIRE(options_.eval_images > 0, "eval_images must be positive");
+  FLIM_REQUIRE(options_.epochs >= 1, "epochs must be >= 1");
+  FLIM_REQUIRE(options_.train_samples > 0, "train_samples must be positive");
+}
+
+EvalServer::~EvalServer() { stop(); }
+
+void EvalServer::start() {
+  {
+    const core::MutexLock lock(mutex_);
+    FLIM_REQUIRE(!started_, "server already started");
+    started_ = true;
+  }
+  listener_ = fleet::listen_on(options_.host, options_.port);
+  port_ = listener_.local_port();
+  accept_thread_ = std::thread(&EvalServer::accept_loop, this);
+  FLIM_LOG_INFO << "serve: evaluation server on " << options_.host << ":"
+                << port_ << " (cache " << options_.cache_capacity
+                << " entries, queue " << options_.queue_capacity << ", jobs "
+                << options_.jobs << ")";
+}
+
+void EvalServer::stop() {
+  stop_.store(true);
+  // Drain first: every accepted request completes and its session sends
+  // the reply before the handler threads are joined. Requests arriving
+  // after this point are answered "server is draining".
+  batcher_.drain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::thread> handlers;
+  {
+    const core::MutexLock lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) t.join();
+}
+
+void EvalServer::accept_loop() {
+  while (!stop_.load()) {
+    std::optional<fleet::Socket> conn;
+    try {
+      conn = fleet::accept_with_timeout(listener_, kPollMs);
+    } catch (const std::runtime_error& e) {
+      if (stop_.load()) return;
+      FLIM_LOG_WARN << "serve: accept failed: " << e.what();
+      continue;
+    }
+    if (!conn) continue;
+    const core::MutexLock lock(mutex_);
+    if (stop_.load()) return;
+    handlers_.emplace_back(
+        [this](fleet::Socket socket) {
+          const SessionContext ctx{cache_, batcher_, options_, stop_};
+          run_session(fleet::LineChannel(std::move(socket)), ctx);
+        },
+        std::move(*conn));
+  }
+}
+
+}  // namespace flim::serve

@@ -1,0 +1,114 @@
+// The long-running evaluation server.
+//
+// `flim_cli serve` keeps warm state between requests: an EvalServer binds
+// a TCP port, accepts line-framed eval_request/stats messages (the fleet
+// wire vocabulary, fleet/protocol.hpp), answers each with exactly one
+// line, and owns the PlanCache + Batcher every session shares. Threading
+// mirrors the fleet coordinator deliberately: one accept thread, one
+// blocking handler thread per connection, a stop flag polled on every
+// timeout, everything joined in stop(). Graceful drain: stop() first runs
+// the batcher dry -- every accepted request still gets its reply -- then
+// tears the serve loop down. See docs/serving.md.
+#pragma once
+
+/// \file
+/// EvalServer: TCP serve loop over the warm-entry cache and request
+/// batcher, with graceful drain on stop().
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
+#include "core/thread_pool.hpp"
+#include "fleet/wire.hpp"
+#include "serve/batcher.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace flim::serve {
+
+/// Tuning for one server instance. The workload shape (evaluation images,
+/// training budget, weight cache) is server-wide: clients name a model,
+/// the server decides how it is trained and evaluated, so every client
+/// asking for one model shares one warm workload.
+struct ServerOptions {
+  /// Dotted IPv4 address to bind.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read back with port()).
+  int port = 0;
+  /// Warm-entry bound of the plan cache (>= 1).
+  std::size_t cache_capacity = 8;
+  /// Submission-queue bound; a full queue answers busy.
+  std::size_t queue_capacity = 64;
+  /// Maximum same-key requests coalesced into one batch.
+  std::size_t batch_max = 8;
+  /// Repetition pool width; > 1 runs each request's repetitions in
+  /// parallel (bit-identical to serial).
+  int jobs = 1;
+  /// Retry hint sent with busy replies.
+  std::int64_t busy_retry_ms = 200;
+  /// Held-out evaluation images per repetition (server-wide).
+  std::int64_t eval_images = 300;
+  /// Training epochs when the weight cache is cold (server-wide).
+  int epochs = 3;
+  /// Training samples when the weight cache is cold (server-wide).
+  std::int64_t train_samples = 3000;
+  /// Weight-cache directory; empty uses the pretrained default.
+  std::string weights_dir;
+};
+
+/// Serves eval_request/stats connections. start() binds and spawns the
+/// accept loop; stop() drains the batcher and tears everything down
+/// (idempotent, also called by the destructor).
+class EvalServer {
+ public:
+  /// Validates the options. Throws std::invalid_argument on nonsense.
+  explicit EvalServer(ServerOptions options);
+  /// Calls stop().
+  ~EvalServer();
+
+  /// Noncopyable: owns the listener, threads, and warm state.
+  EvalServer(const EvalServer&) = delete;
+  /// Noncopyable: owns the listener, threads, and warm state.
+  EvalServer& operator=(const EvalServer&) = delete;
+
+  /// Binds the listener and starts serving. Throws std::runtime_error when
+  /// the bind fails.
+  void start();
+
+  /// The bound TCP port (valid after start()).
+  int port() const { return port_; }
+
+  /// Graceful shutdown: completes every accepted request (drain), then
+  /// joins the accept and handler threads. Idempotent.
+  void stop();
+
+  /// The shared warm-entry cache (tests and stats).
+  PlanCache& cache() { return cache_; }
+
+  /// The shared request batcher (tests and stats).
+  Batcher& batcher() { return batcher_; }
+
+ private:
+  void accept_loop();
+
+  ServerOptions options_;
+  std::optional<core::ThreadPool> pool_;
+  PlanCache cache_;
+  Batcher batcher_;
+  int port_ = 0;
+
+  fleet::Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+
+  core::Mutex mutex_;
+  std::vector<std::thread> handlers_ FLIM_GUARDED_BY(mutex_);
+  bool started_ FLIM_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace flim::serve

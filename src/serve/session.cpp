@@ -1,0 +1,150 @@
+#include "serve/session.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "core/check.hpp"
+#include "core/log.hpp"
+#include "core/minijson.hpp"
+
+namespace flim::serve {
+
+namespace {
+
+/// How often a blocked recv wakes up to check the stop flag.
+constexpr std::int64_t kPollMs = 200;
+
+fault::FaultGranularity parse_granularity(const std::string& s) {
+  if (s == "output" || s == "output-element") {
+    return fault::FaultGranularity::kOutputElement;
+  }
+  if (s == "term" || s == "product-term") {
+    return fault::FaultGranularity::kProductTerm;
+  }
+  FLIM_REQUIRE(false, "unknown granularity: " + s + " (expected output|term)");
+  return fault::FaultGranularity::kOutputElement;
+}
+
+lim::CrossbarGeometry parse_grid(const std::string& grid_str) {
+  const auto x = grid_str.find('x');
+  FLIM_REQUIRE(x != std::string::npos,
+               "grid expects RxC, e.g. 64x64; got: " + grid_str);
+  try {
+    return {std::stoll(grid_str.substr(0, x)),
+            std::stoll(grid_str.substr(x + 1))};
+  } catch (const std::exception&) {
+    FLIM_REQUIRE(false, "grid expects RxC, e.g. 64x64; got: " + grid_str);
+  }
+  return {0, 0};
+}
+
+/// Builds a stats_ok reply from the live cache/batcher counters.
+fleet::ServeStats stats_snapshot(const SessionContext& ctx) {
+  const CacheCounters cache = ctx.cache.counters();
+  const BatcherCounters batch = ctx.batcher.counters();
+  fleet::ServeStats stats;
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_entries = ctx.cache.size();
+  stats.requests_completed = batch.completed;
+  stats.requests_expired = batch.expired;
+  stats.requests_rejected = batch.rejected_busy;
+  stats.batches = batch.batches;
+  stats.coalesced = batch.coalesced;
+  return stats;
+}
+
+/// Answers one eval_request: resolve -> warm entry -> batcher -> ticket.
+/// Throws std::invalid_argument on bad configuration (the caller turns it
+/// into an error reply) and core::JsonError on missing fields.
+std::string handle_eval(const fleet::Message& msg, const SessionContext& ctx) {
+  const int protocol = static_cast<int>(core::json_number(msg.fields,
+                                                          "protocol"));
+  if (protocol != fleet::kProtocolVersion) {
+    return fleet::encode_error(
+        "protocol version mismatch: server speaks " +
+        std::to_string(fleet::kProtocolVersion) + ", client sent " +
+        std::to_string(protocol));
+  }
+  const fleet::EvalRequest req = fleet::decode_eval_request(msg);
+  const exp::EvalPointSpec spec = spec_from_request(req, ctx.options);
+  const std::shared_ptr<CacheEntry> entry = ctx.cache.get_or_create(spec);
+  const auto ticket = std::make_shared<Ticket>();
+  const SubmitStatus status =
+      ctx.batcher.submit(entry, spec.repetitions, spec.master_seed,
+                         req.deadline_ms, ticket);
+  switch (status) {
+    case SubmitStatus::kBusy:
+      return fleet::encode_busy(ctx.options.busy_retry_ms);
+    case SubmitStatus::kDraining:
+      return fleet::encode_error("server is draining");
+    case SubmitStatus::kAccepted:
+      break;
+  }
+  ticket->wait();
+  if (!ticket->ok()) return fleet::encode_error(ticket->payload());
+  return fleet::encode_eval_result(ticket->payload());
+}
+
+}  // namespace
+
+exp::EvalPointSpec spec_from_request(const fleet::EvalRequest& req,
+                                     const ServerOptions& options) {
+  exp::EvalPointSpec spec;
+  spec.workload.model = req.model;
+  spec.workload.eval_images = options.eval_images;
+  spec.workload.epochs = options.epochs;
+  spec.workload.train_samples = options.train_samples;
+  spec.workload.weights_dir = options.weights_dir;
+  spec.engine.backend = exp::parse_backend(req.backend);
+  spec.engine.tmr_replicas = req.tmr_replicas;
+  if (!req.fault_expr.empty()) {
+    spec.fault_expr = fault::canonical_fault_expr(req.fault_expr);
+  }
+  spec.granularity = parse_granularity(req.granularity);
+  spec.grid = parse_grid(req.grid);
+  spec.repetitions = req.repetitions;
+  spec.master_seed = req.master_seed;
+  exp::validate(spec);
+  return spec;
+}
+
+void run_session(fleet::LineChannel chan, const SessionContext& ctx) {
+  try {
+    while (!ctx.stop.load()) {
+      const fleet::RecvResult recv = chan.recv_line(kPollMs);
+      if (recv.status == fleet::RecvStatus::kEof) return;
+      if (recv.status == fleet::RecvStatus::kTimeout) continue;
+      std::string reply;
+      try {
+        const fleet::Message msg = fleet::parse_message(recv.line);
+        if (msg.type == "eval_request") {
+          reply = handle_eval(msg, ctx);
+        } else if (msg.type == "stats") {
+          reply = fleet::encode_stats_ok(stats_snapshot(ctx));
+        } else {
+          reply = fleet::encode_error("unknown message type: " + msg.type);
+        }
+      } catch (const core::JsonError& e) {
+        // Malformed line or missing field: answer, then drop the
+        // connection -- the peer is not speaking the protocol.
+        chan.send_line(fleet::encode_error("protocol violation: " + e.what));
+        return;
+      } catch (const std::invalid_argument& e) {
+        // Bad configuration (unknown model, bad expression): answer and
+        // keep the connection; the client may correct and retry.
+        reply = fleet::encode_error(e.what());
+      }
+      chan.send_line(reply);
+    }
+  } catch (const std::runtime_error& e) {
+    // Socket error: the peer died mid-exchange (the kill-the-client test
+    // path) or the wire broke. Drop this session; the server keeps
+    // serving every other connection.
+    FLIM_LOG_WARN << "serve: session ended: " << e.what();
+  }
+}
+
+}  // namespace flim::serve

@@ -1,0 +1,52 @@
+// One client connection of the evaluation server.
+//
+// A session is the glue between the wire protocol and the warm machinery:
+// decode an eval_request, resolve it to a canonical EvalPointSpec (the
+// server-wide workload shape plus the request's engine/fault fields),
+// fetch the warm entry, submit to the batcher, block on the ticket, send
+// exactly one reply line. Failure policy is per-message: configuration
+// errors (bad model, bad expression) answer `error` and keep the
+// connection; protocol violations answer `error` and drop it; a dead peer
+// (send failure) just ends the session -- the server keeps serving
+// everyone else. See docs/serving.md#request-lifecycle.
+#pragma once
+
+/// \file
+/// run_session(): the per-connection serve loop, plus the request ->
+/// EvalPointSpec resolution it is built from.
+
+#include <atomic>
+
+#include "exp/eval_point.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/wire.hpp"
+#include "serve/server.hpp"
+
+namespace flim::serve {
+
+/// Everything a session borrows from its server. All references outlive
+/// the session (the server joins handlers before destruction).
+struct SessionContext {
+  /// Shared warm-entry cache.
+  PlanCache& cache;
+  /// Shared request batcher.
+  Batcher& batcher;
+  /// Server options (busy retry hint, workload shape).
+  const ServerOptions& options;
+  /// The server's stop flag; sessions exit at the next idle poll once set.
+  const std::atomic<bool>& stop;
+};
+
+/// Resolves a decoded eval_request to the canonical spec the cache is
+/// keyed on: workload shape from `options`, engine/fault fields parsed
+/// from the request, fault expression canonicalized. Throws
+/// std::invalid_argument on unknown backends/granularities, malformed
+/// grids, or specs exp::validate rejects.
+exp::EvalPointSpec spec_from_request(const fleet::EvalRequest& req,
+                                     const ServerOptions& options);
+
+/// Serves one connection until EOF, a protocol violation, a dead peer, or
+/// server stop. Replies exactly one line per received message.
+void run_session(fleet::LineChannel chan, const SessionContext& ctx);
+
+}  // namespace flim::serve

@@ -12,15 +12,22 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "core/campaign.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
+#include "exp/eval_point.hpp"
 #include "exp/store.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_registry.hpp"
 #include "fleet/lease.hpp"
+#include "serve/batcher.hpp"
+#include "serve/plan_cache.hpp"
 
 namespace flim {
 namespace {
@@ -497,6 +504,172 @@ TEST(LeaseTableConcurrency, HeartbeatsRaceAcquirersSafely) {
   // Every racer sweeps its clock well past the beater's 1050 ceiling, so
   // each shard is eventually re-leased from the seed holder and completed.
   EXPECT_TRUE(table.all_done());
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer: plan-cache and batcher races (semantics live in serve_test;
+// here the same surfaces are hammered from many threads for the TSan job).
+
+exp::EvalPointSpec serve_race_spec(const std::string& fault_expr) {
+  exp::EvalPointSpec spec;
+  spec.workload.model = "lenet";
+  spec.workload.eval_images = 16;
+  spec.workload.epochs = 1;
+  spec.workload.train_samples = 32;
+  // ctest runs each test in its own concurrent process; a process-unique
+  // weight cache keeps parallel trainings from clobbering each other.
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string tag = std::to_string(::getpid());
+#else
+  const std::string tag = "solo";
+#endif
+  spec.workload.weights_dir =
+      (std::filesystem::temp_directory_path() /
+       ("flim_concurrency_serve_weights_" + tag))
+          .string();
+  spec.fault_expr = fault_expr;
+  spec.repetitions = 1;
+  spec.master_seed = 7;
+  return spec;
+}
+
+TEST(PlanCacheConcurrency, RacingGetOrCreateOfOneKeyBuildsOnce) {
+  serve::PlanCache cache(4, 1);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<serve::CacheEntry>> entries(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Two spellings of one stack: every thread must land on one entry.
+      const std::string expr =
+          (t % 2 == 0) ? "stuckat(rate=2e-3)" : "stuckat(rate=0.002)";
+      entries[static_cast<std::size_t>(t)] =
+          cache.get_or_create(serve_race_spec(expr));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(t)].get(), entries[0].get());
+  }
+  const serve::CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheConcurrency, DistinctKeysBuildConcurrently) {
+  const std::vector<std::string> exprs = {
+      "stuckat(rate=1e-3)", "bitflip(rate=1e-3)", "dynamic(rate=1e-3)",
+      "stuckat(rate=2e-3)"};
+  serve::PlanCache cache(exprs.size(), 1);
+  std::vector<std::shared_ptr<serve::CacheEntry>> entries(exprs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(exprs.size());
+  for (std::size_t t = 0; t < exprs.size(); ++t) {
+    threads.emplace_back([&, t] {
+      entries[t] = cache.get_or_create(serve_race_spec(exprs[t]));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<const serve::CacheEntry*> distinct;
+  for (const auto& e : entries) {
+    ASSERT_NE(e, nullptr);
+    distinct.insert(e.get());
+  }
+  EXPECT_EQ(distinct.size(), exprs.size());
+  EXPECT_EQ(cache.counters().misses, exprs.size());
+  EXPECT_EQ(cache.size(), exprs.size());
+}
+
+TEST(PlanCacheConcurrency, EvictionRacesInFlightEvaluation) {
+  // Capacity one: every distinct key evicts the previous entry while a
+  // holder thread keeps evaluating its (possibly evicted) entry. The
+  // shared_ptr keeps the entry alive and its answers stable.
+  serve::PlanCache cache(1, 1);
+  const exp::EvalPointSpec held_spec = serve_race_spec("stuckat(rate=2e-3)");
+  const auto held = cache.get_or_create(held_spec);
+  const std::string expect =
+      held->evaluate_payload(held_spec.repetitions, held_spec.master_seed,
+                             nullptr);
+
+  std::atomic<bool> stop{false};
+  std::thread evaluator([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_EQ(held->evaluate_payload(held_spec.repetitions,
+                                       held_spec.master_seed, nullptr),
+                expect);
+    }
+  });
+  const std::vector<std::string> churn = {
+      "bitflip(rate=1e-3)", "dynamic(rate=1e-3)", "stuckat(rate=1e-3)"};
+  for (int round = 0; round < 4; ++round) {
+    for (const std::string& expr : churn) {
+      (void)cache.get_or_create(serve_race_spec(expr));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  evaluator.join();
+
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(cache.counters().evictions, 1u);
+  // The long-evicted held entry still answers correctly.
+  EXPECT_EQ(held->evaluate_payload(held_spec.repetitions,
+                                   held_spec.master_seed, nullptr),
+            expect);
+}
+
+TEST(BatcherConcurrency, SubmittersRaceTheConsumerAndDrain) {
+  serve::PlanCache cache(2, 1);
+  const exp::EvalPointSpec spec = serve_race_spec("stuckat(rate=2e-3)");
+  const auto entry = cache.get_or_create(spec);
+
+  serve::BatcherOptions options;
+  options.queue_capacity = 4;  // small: the busy path gets exercised too
+  serve::Batcher batcher(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::atomic<int> accepted{0};
+  std::atomic<int> busy{0};
+  std::vector<std::shared_ptr<serve::Ticket>> tickets;
+  core::Mutex tickets_mutex;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto ticket = std::make_shared<serve::Ticket>();
+        const serve::SubmitStatus status = batcher.submit(
+            entry, spec.repetitions, spec.master_seed, -1, ticket);
+        if (status == serve::SubmitStatus::kAccepted) {
+          accepted.fetch_add(1);
+          const core::MutexLock lock(tickets_mutex);
+          tickets.push_back(std::move(ticket));
+        } else {
+          busy.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  // Drain races the tail of consumption; every accepted ticket completes.
+  batcher.drain();
+  for (const auto& ticket : tickets) {
+    ticket->wait();
+    EXPECT_TRUE(ticket->ok());
+  }
+  EXPECT_EQ(accepted.load() + busy.load(), kThreads * kPerThread);
+
+  const serve::BatcherCounters c = batcher.counters();
+  EXPECT_EQ(c.completed, static_cast<std::uint64_t>(accepted.load()));
+  EXPECT_EQ(c.rejected_busy, static_cast<std::uint64_t>(busy.load()));
+  // Submits after drain are refused.
+  EXPECT_EQ(batcher.submit(entry, spec.repetitions, spec.master_seed, -1,
+                           std::make_shared<serve::Ticket>()),
+            serve::SubmitStatus::kDraining);
 }
 
 }  // namespace

@@ -36,6 +36,13 @@ the rule catalog and the allowlist workflow):
                      wrapper (src/fleet/wire.*); everything above the wire
                      layer handles Socket/LineChannel objects, never file
                      descriptors, so no path can leak or double-close one.
+  serve-raw-mutex    fleet-raw-mutex, mirrored over src/serve: the serving
+                     layer's shared state (plan cache, batcher queue) uses
+                     core::Mutex + MutexLock/CondLock exclusively.
+  serve-naked-socket fleet-naked-socket, mirrored over src/serve with no
+                     exemption at all: serve has no wire layer of its own --
+                     it reuses src/fleet/wire.*, so every serve file handles
+                     Socket/LineChannel objects, never file descriptors.
 
 Findings print as `path:line: [rule] message` and exit non-zero. Vetted
 exceptions go in the allowlist file (default tools/lint_allowlist.txt), one
@@ -133,6 +140,10 @@ def fleet_nonwire_scope(path: str) -> bool:
     )
 
 
+def serve_scope(path: str) -> bool:
+    return path.startswith("src/serve/")
+
+
 RULES = [
     Rule(
         name="rng-source",
@@ -219,6 +230,34 @@ RULES = [
             r"|::close\s*\("
         ),
         applies=fleet_nonwire_scope,
+    ),
+    Rule(
+        name="serve-raw-mutex",
+        message=(
+            "raw standard-library mutex in serving code; use core::Mutex "
+            "with MutexLock/CondLock (core/sync.hpp) so Clang's "
+            "-Wthread-safety verifies the lock discipline"
+        ),
+        pattern=re.compile(
+            r"std::(recursive_|timed_|shared_)?mutex\b"
+            r"|std::(scoped_lock|lock_guard|unique_lock|shared_lock)\b"
+        ),
+        applies=serve_scope,
+    ),
+    Rule(
+        name="serve-naked-socket",
+        message=(
+            "raw socket call in serving code; src/serve has no wire layer "
+            "of its own -- it must hold RAII Socket/LineChannel handles "
+            "from src/fleet/wire.*, never file descriptors"
+        ),
+        pattern=re.compile(
+            r"\b(socket|bind|listen|accept|accept4|connect|send|recv"
+            r"|recvfrom|sendto|setsockopt|getsockname|shutdown|poll"
+            r"|inet_pton)\s*\("
+            r"|::close\s*\("
+        ),
+        applies=serve_scope,
     ),
 ]
 

@@ -78,6 +78,24 @@ FIXTURES = {
         "#include <sys/socket.h>\n"
         "int raw() { return ::socket(2, 1, 0); }\n"
     ),
+    # One serve-raw-mutex violation (line 2): raw std::mutex in serving code.
+    "src/serve/pool_fix.cpp": (
+        "#include <mutex>\n"
+        "std::mutex g_pool_mutex;\n"
+    ),
+    # One serve-naked-socket violation (line 2): raw socket() call in the
+    # serving layer, which has no wire exemption at all.
+    "src/serve/sock_fix.cpp": (
+        "#include <sys/socket.h>\n"
+        "int open_serve() { return ::socket(2, 1, 0); }\n"
+    ),
+    # Serve code holding RAII wire handles and core::Mutex must not fire
+    # either serve rule, even when method names contain socket-call tokens.
+    "src/serve/clean_serve_fix.cpp": (
+        "#include \"core/sync.hpp\"\n"
+        "core::Mutex g_serve_mutex;\n"
+        "void pump() { send_line_all(); connect_to_peer(); }\n"
+    ),
     # Allowlisted exception: a CLI-style file that prints to stdout; the
     # fixture allowlist vets it file-level, mirroring src/cli in the repo.
     "src/cli/print_fix.cpp": (
@@ -144,6 +162,8 @@ class LintSelfTest(unittest.TestCase):
             ("src/core/cache_fix.hpp", 4, "mutex-annotation"),
             ("src/fleet/state_fix.cpp", 2, "fleet-raw-mutex"),
             ("src/fleet/conn_fix.cpp", 2, "fleet-naked-socket"),
+            ("src/serve/pool_fix.cpp", 2, "serve-raw-mutex"),
+            ("src/serve/sock_fix.cpp", 2, "serve-naked-socket"),
         }
         self.assertEqual(got, expect)
 
@@ -203,7 +223,9 @@ class LintSelfTest(unittest.TestCase):
             "float-keyed-map src/fault/table_fix.hpp by_rate\n"
             "mutex-annotation src/core/cache_fix.hpp std::mutex mutex_\n"
             "fleet-raw-mutex src/fleet/state_fix.cpp g_state_mutex\n"
-            "fleet-naked-socket src/fleet/conn_fix.cpp ::socket\n",
+            "fleet-naked-socket src/fleet/conn_fix.cpp ::socket\n"
+            "serve-raw-mutex src/serve/pool_fix.cpp g_pool_mutex\n"
+            "serve-naked-socket src/serve/sock_fix.cpp ::socket\n",
             encoding="utf-8",
         )
         self.assertEqual(
