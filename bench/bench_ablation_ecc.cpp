@@ -1,18 +1,38 @@
-// Ablation A4: SEC-DED code organization -- word size and interleaving.
+// Ablation A4: ECC design space at mask level.
 //
-// Sweeps the ECC design space at mask level: the fraction of stuck-at
-// faults hidden from computation ("correction rate") under random cell
-// defects and under burst defects (a damaged row segment), for word sizes
-// 32/64 and interleave 1/4, together with the parity-cell overhead each
-// organization pays. Demonstrates the design rule that interleaving, not
-// shorter words, is what rescues spatially correlated defects.
+// A4a-A4c sweep the legacy SEC-DED organization (word size x interleave):
+// the fraction of stuck-at faults hidden from computation ("correction
+// rate") under random cell defects and under burst defects (a damaged row
+// segment), plus the parity-cell overhead each organization pays. They
+// demonstrate the design rule that interleaving, not shorter words, is what
+// rescues spatially correlated defects.
+//
+// A4d is the codec Pareto table: every registered codec expression
+// (FLIM_BENCH_ECC_CODECS, ';'-separated) against the swept fault rates --
+// correction rate bought vs parity/column/cycle overhead paid. The --quick
+// JSON snapshot of this table is committed as BENCH_ecc_pareto.json so the
+// Pareto trajectory is tracked per PR.
+//
+//   --quick       tiny sizes for CI smoke runs
+//   --json PATH   machine-readable JSON of the Pareto table (default
+//                 $FLIM_BENCH_JSON or BENCH_ecc_pareto.json)
+//   FLIM_BENCH_FAULT_EXPR   fault expression with '@' as the swept-rate
+//                 placeholder (default stuck-at via the mask generator)
+//   FLIM_BENCH_ECC_CODECS   ';'-separated codec expressions for A4d
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "core/campaign.hpp"
 #include "core/rng.hpp"
 #include "fault/fault_generator.hpp"
+#include "fault/fault_registry.hpp"
+#include "fault/residual.hpp"
 #include "reliability/ecc.hpp"
+#include "reliability/ecc/registry.hpp"
 
 using namespace flim;
 
@@ -21,9 +41,28 @@ namespace {
 constexpr std::int64_t kRows = 64;
 constexpr std::int64_t kCols = 64;
 
-/// Random stuck-at defects at `rate`.
+/// Random defects at `rate`: the composable stack from
+/// $FLIM_BENCH_FAULT_EXPR ('@' = rate) when set, stuck-at cells otherwise.
 fault::FaultMask random_mask(double rate, std::uint64_t seed) {
   core::Rng rng(seed);
+  static const char* expr_env = std::getenv("FLIM_BENCH_FAULT_EXPR");
+  if (expr_env != nullptr && *expr_env != '\0') {
+    std::string expr;
+    for (const char* c = expr_env; *c != '\0'; ++c) {
+      if (*c == '@') {
+        expr += core::format_double_shortest(rate);
+      } else {
+        expr += *c;
+      }
+    }
+    const fault::FaultStack stack = fault::parse_fault_expr(expr);
+    fault::RealizeContext ctx;
+    ctx.grid = {kRows, kCols};
+    return stack
+        .realize_entry("bench", fault::FaultGranularity::kOutputElement, ctx,
+                       rng)
+        .combined_mask();
+  }
   fault::FaultSpec spec;
   spec.kind = fault::FaultKind::kStuckAt;
   spec.injection_rate = rate;
@@ -45,30 +84,70 @@ fault::FaultMask burst_mask(int bursts, std::uint64_t seed) {
   return mask;
 }
 
-/// Fraction of faulty bits removed by the scrub.
+/// Fraction of faulty bits removed by a scrub pass of `options`.
 double correction_rate(const fault::FaultMask& mask,
-                       const reliability::EccOptions& options) {
-  reliability::EccScrubStats stats;
-  (void)reliability::apply_secded_scrub(mask, options, &stats);
+                       const fault::ResidualOptions& options) {
+  fault::ResidualStats stats;
+  (void)fault::apply_word_residual(mask, options, &stats);
   if (stats.faulty_bits_before == 0) return 1.0;
   return 1.0 - static_cast<double>(stats.faulty_bits_after) /
                    static_cast<double>(stats.faulty_bits_before);
 }
 
+/// The A4d codec list: $FLIM_BENCH_ECC_CODECS (';'-separated expressions)
+/// or the built-in default spread.
+std::vector<std::string> pareto_codecs() {
+  std::string text = "secded;hamming(d=64,k=7);hsiao(d=64);bch(d=64,t=2)";
+  if (const char* env = std::getenv("FLIM_BENCH_ECC_CODECS")) {
+    if (*env != '\0') text = env;
+  }
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ';') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = [] {
+    if (const char* v = std::getenv("FLIM_BENCH_JSON")) return std::string(v);
+    return std::string("BENCH_ecc_pareto.json");
+  }();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_ablation_ecc [--quick] [--json PATH]\n";
+      return 2;
+    }
+  }
+
   const benchx::BenchOptions options = benchx::options_from_env();
   core::CampaignConfig campaign;
-  campaign.repetitions = options.repetitions;
+  campaign.repetitions = quick ? 3 : options.repetitions;
   campaign.master_seed = options.master_seed;
 
-  const std::vector<reliability::EccOptions> organizations{
-      {32, 1}, {64, 1}, {64, 4}, {64, 8}};
+  const std::vector<fault::ResidualOptions> organizations{
+      {32, 1, 1}, {64, 1, 1}, {64, 4, 1}, {64, 8, 1}};
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.001, 0.005, 0.02}
+            : std::vector<double>{0.0005, 0.001, 0.002, 0.005, 0.01, 0.02};
 
   core::Table random_table({"stuckat_rate_%", "w32_i1_%", "w64_i1_%",
                             "w64_i4_%", "w64_i8_%"});
-  for (const double rate : {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02}) {
+  for (const double rate : rates) {
     std::vector<std::string> row{core::format_double(rate * 100.0, 2)};
     for (const auto& org : organizations) {
       const core::Summary s =
@@ -103,12 +182,47 @@ int main() {
   core::Table overhead({"organization", "parity_overhead_%"});
   for (const auto& org : organizations) {
     reliability::EccScrubStats stats;
-    overhead.add("w" + std::to_string(org.word_bits) + "_i" +
-                     std::to_string(org.interleave),
-                 core::format_double(stats.overhead(org) * 100.0, 1));
+    overhead.add(
+        "w" + std::to_string(org.word_bits) + "_i" +
+            std::to_string(org.interleave),
+        core::format_double(
+            stats.overhead({org.word_bits, org.interleave}) * 100.0, 1));
   }
   benchx::emit("Ablation A4c: parity overhead per organization",
                "ablation_ecc_overhead", overhead);
+
+  // A4d: the codec Pareto table -- correction rate bought (per fault rate)
+  // vs parity/column/cycle overhead paid (per codec geometry). Built from
+  // the registry, so a codec added there shows up here with no bench edit.
+  const reliability::ecc::CodecRegistry& registry =
+      reliability::ecc::CodecRegistry::instance();
+  core::Table pareto({"codec", "rate_%", "corrected_%", "parity_overhead_%",
+                      "extra_cols", "scrub_ops"});
+  for (const std::string& expr : pareto_codecs()) {
+    const reliability::ecc::Codec& codec = registry.configure(expr);
+    const reliability::ecc::CostModel cost = codec.cost();
+    fault::ResidualOptions org;
+    org.word_bits = 64;
+    org.interleave = 1;
+    org.correct_per_word = codec.capability().correct_guarantee;
+    for (const double rate : rates) {
+      const core::Summary s =
+          core::run_repeated(campaign, [&](std::uint64_t seed) {
+            return correction_rate(random_mask(rate, seed), org);
+          });
+      pareto.add(codec.canonical(), core::format_double(rate * 100.0, 2),
+                 core::format_double(s.mean * 100.0, 1),
+                 core::format_double(cost.parity_overhead() * 100.0, 2),
+                 cost.extra_columns(kCols),
+                 cost.scrub_cycles(kRows * kCols));
+    }
+  }
+  benchx::emit(
+      "Ablation A4d: codec Pareto -- correction rate vs overhead "
+      "(w64, i1)",
+      "ablation_ecc_pareto", pareto);
+  pareto.write_json(json_path);
+  std::cout << "[json] " << json_path << "\n";
 
   std::cout
       << "expected shape: at low random rates every organization corrects "
@@ -116,6 +230,8 @@ int main() {
          "rates grow (fewer collisions per word). Bursts expose the design "
          "rule that the interleave degree must cover the burst length: an "
          "8-cell burst defeats interleave 1 and 4 (>= 2 faults per word) "
-         "and only interleave 8 isolates every cell.\n";
+         "and only interleave 8 isolates every cell. On the Pareto table "
+         "bch(t=2) buys the highest correction rate at the highest parity "
+         "and cycle cost; the SEC-DED family is the knee.\n";
   return 0;
 }

@@ -23,11 +23,15 @@
 #include "fault/fault_generator.hpp"
 #include "fault/fault_registry.hpp"
 #include "fault/fault_vector_file.hpp"
+#include "fault/residual.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/protocol.hpp"
 #include "fleet/worker.hpp"
 #include "serve/server.hpp"
 #include "reliability/ecc.hpp"
+#include "reliability/ecc/exhaust.hpp"
+#include "reliability/ecc/exhaust_store.hpp"
+#include "reliability/ecc/registry.hpp"
 #include "reliability/lifetime.hpp"
 #include "reliability/march.hpp"
 #include "reliability/monitor.hpp"
@@ -164,6 +168,9 @@ commands:
              [--engine flim|device|tmr]  [--jobs N (parallel repetitions)]
              [--granularity output|term] [--grid RxC] [--csv FILE]
              [--json FILE]
+             [--ecc EXPR (scrub every realized mask down to the codec's
+              residual before injection; "none" = off)]
+             [--ecc-word-bits N (default 64)] [--ecc-interleave K]
              durability: [--store RUNFILE (stream each completed point; an
               existing RUNFILE with a matching spec is resumed in place,
               never overwritten)]  [--resume RUNFILE (skip its points;
@@ -201,8 +208,33 @@ commands:
              coverage mode:     --coverage [--samples N] [--severity S]
              (KIND: stuckat0 stuckat1 stuckcurrent drift slowset slowreset
               readdisturb incorrectread)
-  scrub      SEC-DED ECC scrub of a fault-vector file
+  scrub      ECC scrub of a fault-vector file (residual = what the workload
+             actually sees after per-word correction)
              --in FILE --out FILE [--word-bits N] [--interleave K]
+             [--codec EXPR (default secded; e.g. bch(d=64,t=2) widens the
+              correction radius to 2 faults/word)]
+  ecc        codec registry tools (docs/ecc.md)
+             ecc [list]             registered families + default geometry
+             ecc --describe FAMILY  parameter schema, capability, cost
+             ecc exhaust            walk EVERY error placement of the given
+               weights through a codec and classify each as corrected,
+               detected, or aliased (silent corruption)
+               --codec EXPR  --weights 1,2,3  [--burst (contiguous windows
+                instead of combinations)]  [--chunk N] [--data-seed S]
+               [--jobs N] [--csv FILE] [--json FILE]
+               durability: [--store FILE (checkpoint; an existing store
+                with a matching spec resumes in place)]  [--shard I/N
+                (deterministic chunk slice; requires --store)]
+             ecc merge              fold shard stores into the full result
+               --inputs a.jsonl,b.jsonl,...  [--csv FILE] [--json FILE]
+               (byte-identical CSV to a single-process run)
+             ecc pareto             ECC-method x fault-expression sweep:
+               accuracy retained vs parity/column/cycle overhead
+               [--model M] [--faults 'e1;e2' (';'-separated)]
+               [--codecs 'none;secded;bch(d=64,t=2)'] [--reps N] [--seed S]
+               [--grid RxC] [--word-bits N] [--interleave K] [--jobs N]
+               [--csv FILE] [--json FILE]  workload shape: [--images N]
+               [--epochs N] [--samples N] [--weights-dir DIR]
   monitor    canary-monitor detection latency against a fault-vector file
              --vectors FILE --layer NAME [--period N] [--slots N]
              [--policy roundrobin|random] [--reps N] [--seed S]
@@ -518,7 +550,8 @@ std::set<std::string> campaign_spec_flags(
                                  "grid",        "images",  "weights-dir",
                                  "epochs",      "samples", "retrain",
                                  "verbose",     "seed",    "engine",
-                                 "jobs"};
+                                 "jobs",        "ecc",     "ecc-word-bits",
+                                 "ecc-interleave"};
   for (const char* flag : extra) flags.insert(flag);
   return flags;
 }
@@ -564,6 +597,15 @@ BuiltCampaign campaign_spec_from(const Args& args) {
     spec.fault.kind = parse_kind(args.get_string("kind", "bitflip"));
     spec.axes = {exp::rate_axis(rates)};
   }
+  // ECC residual scrub: "none"/"" keeps the historical no-scrub behavior
+  // (and the historical store fingerprints); an expression scrubs every
+  // realized mask down to the codec's residual before injection.
+  const std::string ecc = args.get_string("ecc");
+  if (!ecc.empty() && ecc != "none") {
+    spec.ecc_expr = reliability::ecc::canonical_codec_expr(ecc);
+  }
+  spec.ecc_word_bits = static_cast<int>(args.get_int("ecc-word-bits", 64));
+  spec.ecc_interleave = static_cast<int>(args.get_int("ecc-interleave", 1));
   spec.repetitions = static_cast<int>(args.get_int("reps", 10));
   spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
   spec.jobs = static_cast<int>(args.get_int("jobs", 1));
@@ -1010,60 +1052,302 @@ int cmd_march(const Args& args) {
 }
 
 int cmd_scrub(const Args& args) {
-  args.require_known({"in", "out", "word-bits", "interleave"});
+  args.require_known({"in", "out", "word-bits", "interleave", "codec"});
   const std::string in_path = args.get_string("in");
   const std::string out_path = args.get_string("out");
   FLIM_REQUIRE(!in_path.empty(), "--in is required");
   FLIM_REQUIRE(!out_path.empty(), "--out is required");
 
-  reliability::EccOptions options;
+  fault::ResidualOptions options;
   options.word_bits = static_cast<int>(args.get_int("word-bits", 64));
   options.interleave = static_cast<int>(args.get_int("interleave", 1));
+  // Default stays SEC-DED (radius 1); --codec widens the radius to the
+  // configured code's correction guarantee (e.g. 2 for bch(t=2)).
+  const std::string codec_expr = args.get_string("codec", "secded");
+  const reliability::ecc::Codec& codec =
+      reliability::ecc::CodecRegistry::instance().configure(codec_expr);
+  options.correct_per_word = codec.capability().correct_guarantee;
 
   const fault::FaultVectorFile input = fault::FaultVectorFile::load(in_path);
   fault::FaultVectorFile output;
   core::Table table({"layer", "words", "corrected", "uncorrectable",
                      "faulty_bits_before", "faulty_bits_after"});
   for (const auto& entry : input.entries()) {
-    reliability::EccScrubStats stats;
+    fault::ResidualStats stats;
     fault::FaultVectorEntry scrubbed = entry;
-    if (entry.components.empty()) {
-      scrubbed.mask =
-          reliability::apply_secded_scrub(entry.mask, options, &stats);
-    } else {
-      // Composable entries: SEC-DED sees the *physical* word, i.e. the
-      // union of every component's planes -- a word holding faults from
-      // two components is uncorrectable even when each component alone
-      // looks single-fault. Scrub the combined mask once, then clear
-      // per-component bits only at the slots the combined scrub repaired.
-      const fault::FaultMask combined = entry.combined_mask();
-      const fault::FaultMask repaired =
-          reliability::apply_secded_scrub(combined, options, &stats);
-      const auto faulty = [](const fault::FaultMask& mask,
-                             std::int64_t slot) {
-        return mask.flip(slot) || mask.sa0(slot) || mask.sa1(slot);
-      };
-      for (std::int64_t slot = 0; slot < combined.num_slots(); ++slot) {
-        if (!faulty(combined, slot) || faulty(repaired, slot)) continue;
-        for (fault::RealizedFault& component : scrubbed.components) {
-          component.mask.set_flip(slot, false);
-          component.mask.set_sa0(slot, false);
-          component.mask.set_sa1(slot, false);
-        }
-      }
-    }
+    fault::apply_entry_residual(scrubbed, options, &stats);
     table.add(entry.layer_name, stats.words, stats.corrected_words,
               stats.uncorrectable_words, stats.faulty_bits_before,
               stats.faulty_bits_after);
     output.add(std::move(scrubbed));
   }
   output.save(out_path);
-  core::print_table(std::cout,
-                    "SEC-DED scrub (w" + std::to_string(options.word_bits) +
-                        ", i" + std::to_string(options.interleave) + ")",
-                    table);
+  core::print_table(
+      std::cout,
+      codec.canonical() + " scrub (w" + std::to_string(options.word_bits) +
+          ", i" + std::to_string(options.interleave) + ")",
+      table);
   std::cout << "wrote residual vectors to " << out_path << "\n";
   return 0;
+}
+
+namespace {
+
+/// ';'-separated expression list. Codec and fault expressions contain
+/// commas ("bch(d=64,t=2)"), so the generic comma-list accessor cannot
+/// split them.
+std::vector<std::string> split_exprs(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (c == ';') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+/// Prints `table` and honors --csv / --json (the shared Table emission
+/// path, same contract as emit_scenario_result).
+void emit_table(const Args& args, const std::string& title,
+                const core::Table& table) {
+  core::print_table(std::cout, title, table);
+  const std::string csv = args.get_string("csv");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+  const std::string json = args.get_string("json");
+  if (!json.empty()) {
+    table.write_json(json);
+    std::cout << "wrote " << json << "\n";
+  }
+}
+
+/// `ecc list` (and bare `ecc`): the registered code families, with the
+/// capability/cost summary of each family's default configuration.
+int cmd_ecc_list() {
+  const reliability::ecc::CodecRegistry& registry =
+      reliability::ecc::CodecRegistry::instance();
+  core::Table table({"family", "params", "default", "n", "d", "correct",
+                     "detect", "overhead_%", "summary"});
+  for (const reliability::ecc::CodecFamily* family : registry.families()) {
+    const reliability::ecc::CodecInfo& meta = family->info();
+    std::string params;
+    for (const reliability::ecc::ParamInfo& p : meta.params) {
+      if (!params.empty()) params += ",";
+      params += p.name;
+    }
+    if (params.empty()) params = "-";
+    const reliability::ecc::Codec& codec = registry.configure(meta.name);
+    const reliability::ecc::Capability& cap = codec.capability();
+    table.add(meta.name, params, codec.canonical(), cap.code_bits,
+              cap.data_bits, cap.correct_guarantee, cap.detect_guarantee,
+              core::format_double(codec.cost().parity_overhead() * 100.0, 1),
+              meta.summary);
+  }
+  core::print_table(std::cout, "registered ECC codec families", table);
+  std::cout << "describe one with: flim_cli ecc --describe FAMILY\n"
+            << "configure with an expression, e.g. \"bch(d=64,t=2)\" "
+               "(no '+' composition: one code per codeword)\n";
+  return 0;
+}
+
+/// `ecc --describe FAMILY`: parameter schema plus the default
+/// configuration's capability and in-crossbar cost.
+int cmd_ecc_describe(const std::string& name) {
+  const reliability::ecc::CodecRegistry& registry =
+      reliability::ecc::CodecRegistry::instance();
+  const reliability::ecc::CodecFamily& family = registry.get(name);
+  const reliability::ecc::CodecInfo& meta = family.info();
+  std::cout << meta.name << ": " << meta.summary << "\n";
+  core::Table params({"param", "default", "range", "doc"});
+  for (const reliability::ecc::ParamInfo& p : meta.params) {
+    const std::string lo = std::isinf(p.min_value)
+                               ? std::string("-inf")
+                               : core::format_double_shortest(p.min_value);
+    const std::string hi = std::isinf(p.max_value)
+                               ? std::string("inf")
+                               : core::format_double_shortest(p.max_value);
+    params.add(p.name, core::format_double_shortest(p.default_value),
+               "[" + lo + ", " + hi + "]" + (p.integer ? " int" : ""), p.doc);
+  }
+  core::print_table(std::cout, "parameters of " + meta.name, params);
+
+  const reliability::ecc::Codec& codec = registry.configure(name);
+  const reliability::ecc::Capability& cap = codec.capability();
+  const reliability::ecc::CostModel cost = codec.cost();
+  core::Table caps({"metric", "value"});
+  caps.add("canonical", codec.canonical());
+  caps.add("codeword bits (n)", cap.code_bits);
+  caps.add("data bits (d)", cap.data_bits);
+  caps.add("parity bits (k)", cap.parity_bits);
+  caps.add("corrects (errors/word)", cap.correct_guarantee);
+  caps.add("detects (errors/word)", cap.detect_guarantee);
+  caps.add("parity overhead %",
+           core::format_double(cost.parity_overhead() * 100.0, 2));
+  caps.add("extra columns @ 64-col crossbar", cost.extra_columns(64));
+  caps.add("syndrome ops / word", cost.syndrome_ops_per_word);
+  core::print_table(std::cout, "default configuration " + codec.canonical(),
+                    caps);
+  return 0;
+}
+
+/// `ecc exhaust`: walk EVERY error placement of the requested weights (or
+/// burst windows) through a codec; durable, sharded, resumable.
+int cmd_ecc_exhaust(const Args& args) {
+  args.require_known({"codec", "weights", "burst", "chunk", "data-seed",
+                      "store", "shard", "jobs", "csv", "json"},
+                     1);
+  reliability::ecc::ExhaustSpec spec;
+  spec.codec_expr = args.get_string("codec", "secded");
+  const std::vector<double> weights = args.get_double_list("weights");
+  if (!weights.empty()) {
+    spec.weights.clear();
+    for (const double w : weights) spec.weights.push_back(static_cast<int>(w));
+  }
+  spec.burst = args.has("burst");
+  spec.chunk = static_cast<std::uint64_t>(args.get_int("chunk", 4096));
+  spec.data_seed = static_cast<std::uint64_t>(args.get_int("data-seed", 2023));
+
+  exp::StoreOptions shard;
+  parse_shard(args, shard);
+  const std::string store = args.get_string("store");
+  FLIM_REQUIRE(shard.shard_count == 1 || !store.empty(),
+               "--shard needs --store so the slices can be merged later");
+
+  const reliability::ecc::ExhaustResult result = reliability::ecc::run_exhaust(
+      spec, store, shard.shard_index, shard.shard_count,
+      static_cast<int>(args.get_int("jobs", 0)));
+
+  std::string title = result.codec_expr +
+                      (result.burst ? " burst" : " exhaustive") +
+                      " enumeration (n=" + std::to_string(result.code_bits) +
+                      ")";
+  if (shard.shard_count > 1) {
+    title += " [shard " + std::to_string(shard.shard_index) + "/" +
+             std::to_string(shard.shard_count) + "]";
+  }
+  emit_table(args, title, result.to_table());
+  if (!store.empty()) std::cout << "exhaust store: " << store << "\n";
+  return 0;
+}
+
+/// `ecc merge`: fold shard exhaust stores into the complete enumeration.
+int cmd_ecc_merge(const Args& args) {
+  args.require_known({"inputs", "csv", "json"}, 1);
+  const std::vector<std::string> inputs = args.get_list("inputs");
+  FLIM_REQUIRE(!inputs.empty(),
+               "--inputs is required (comma-separated exhaust stores)");
+  const reliability::ecc::ExhaustResult result =
+      reliability::ecc::merge_exhaust_files(inputs);
+  emit_table(args,
+             result.codec_expr + (result.burst ? " burst" : " exhaustive") +
+                 " enumeration (merged " + std::to_string(inputs.size()) +
+                 " shard files)",
+             result.to_table());
+  return 0;
+}
+
+/// `ecc pareto`: ECC-method x fault-expression sweep over a real workload --
+/// accuracy retained against the parity/column/cycle overhead each codec
+/// pays for it. Rides the scenario runner, so the codec axis, residual
+/// scrub, and repetition protocol are exactly the campaign path's.
+int cmd_ecc_pareto(const Args& args) {
+  args.require_known({"model", "images", "epochs", "samples", "weights-dir",
+                      "retrain", "verbose", "faults", "codecs", "engine",
+                      "granularity", "grid", "reps", "seed", "jobs",
+                      "word-bits", "interleave", "csv", "json"},
+                     1);
+  exp::ScenarioSpec spec;
+  spec.name = "ecc-pareto";
+  spec.workload = workload_from(args);
+  spec.workload.measure_clean_accuracy = true;
+  spec.engine.backend = exp::parse_backend(args.get_string("engine", "flim"));
+  FLIM_REQUIRE(spec.engine.backend != exp::Backend::kReference,
+               "--engine reference would inject nothing; pick flim|device|tmr");
+  spec.fault.granularity =
+      parse_granularity(args.get_string("granularity", "output"));
+  spec.grid = parse_grid(args, "grid", "64x64");
+  const std::vector<std::string> faults = split_exprs(args.get_string(
+      "faults", "stuckat(rate=0.002,sa1=0.7);stuckat(rate=0.01,sa1=0.7)"));
+  const std::vector<std::string> codecs = split_exprs(
+      args.get_string("codecs", "none;secded;bch(d=64,t=2)"));
+  FLIM_REQUIRE(!faults.empty(), "--faults needs >= 1 expression");
+  FLIM_REQUIRE(!codecs.empty(), "--codecs needs >= 1 expression");
+  spec.axes = {exp::fault_expr_axis(faults), exp::ecc_codec_axis(codecs)};
+  spec.ecc_word_bits = static_cast<int>(args.get_int("word-bits", 64));
+  spec.ecc_interleave = static_cast<int>(args.get_int("interleave", 1));
+  spec.repetitions = static_cast<int>(args.get_int("reps", 3));
+  spec.master_seed = static_cast<std::uint64_t>(args.get_int("seed", 2023));
+  spec.jobs = static_cast<int>(args.get_int("jobs", 1));
+
+  exp::ScenarioRunner runner(spec);
+  const exp::Workload loaded = exp::load_workload(spec.workload);
+  const exp::ScenarioResult result = runner.run(loaded, exp::StoreOptions{});
+
+  // The codec's geometric cost rides along each row so the CSV alone holds
+  // the Pareto frontier: accuracy retained (y) vs overhead (x).
+  const std::int64_t cells = spec.grid.rows * spec.grid.cols;
+  core::Table table({"fault", "ecc", "accuracy_%", "retained_%",
+                     "parity_overhead_%", "extra_cols", "scrub_ops"});
+  for (const exp::ScenarioPoint& point : result.points) {
+    const std::string& ecc_label = point.labels[1];
+    double overhead = 0.0;
+    std::int64_t extra_cols = 0;
+    std::int64_t scrub_ops = 0;
+    if (ecc_label != "none") {
+      const reliability::ecc::CostModel cost =
+          reliability::ecc::CodecRegistry::instance()
+              .configure(ecc_label)
+              .cost();
+      overhead = cost.parity_overhead() * 100.0;
+      extra_cols = cost.extra_columns(spec.grid.cols);
+      scrub_ops = cost.scrub_cycles(cells);
+    }
+    const double retained = result.clean_accuracy > 0.0
+                                ? point.metric.mean / result.clean_accuracy
+                                : 0.0;
+    table.add(point.labels[0], ecc_label,
+              core::format_double(point.metric.mean * 100.0, 2),
+              core::format_double(retained * 100.0, 2),
+              core::format_double(overhead, 2), extra_cols, scrub_ops);
+  }
+  std::cout << "clean accuracy: "
+            << core::format_double(result.clean_accuracy * 100.0, 2) << "%\n";
+  emit_table(args,
+             loaded.model.name() + " ECC Pareto (" +
+                 exp::to_string(spec.engine.backend) + ", w" +
+                 std::to_string(spec.ecc_word_bits) + ", i" +
+                 std::to_string(spec.ecc_interleave) + ")",
+             table);
+  return 0;
+}
+
+}  // namespace
+
+int cmd_ecc(const Args& args) {
+  if (args.has("describe")) {
+    args.require_known({"describe"}, 1);
+    return cmd_ecc_describe(args.get_string("describe"));
+  }
+  if (args.positionals().empty()) return cmd_ecc_list();
+  const std::string& sub = args.positionals().front();
+  if (sub == "list") {
+    args.require_known({}, 1);
+    return cmd_ecc_list();
+  }
+  if (sub == "exhaust") return cmd_ecc_exhaust(args);
+  if (sub == "merge") return cmd_ecc_merge(args);
+  if (sub == "pareto") return cmd_ecc_pareto(args);
+  FLIM_REQUIRE(false, "unknown ecc subcommand: " + sub +
+                          " (expected list|exhaust|merge|pareto, or "
+                          "--describe FAMILY)");
+  return 2;
 }
 
 int cmd_monitor(const Args& args) {
@@ -1206,6 +1490,7 @@ int run(const Args& args) {
   if (args.command() == "merge") return cmd_merge(args);
   if (args.command() == "march") return cmd_march(args);
   if (args.command() == "scrub") return cmd_scrub(args);
+  if (args.command() == "ecc") return cmd_ecc(args);
   if (args.command() == "monitor") return cmd_monitor(args);
   if (args.command() == "lifetime") return cmd_lifetime(args);
   std::cerr << "unknown command: " << args.command() << "\n";

@@ -16,7 +16,11 @@
 //                         (--resume) and deterministic sharding (--shard)
 //   flim_cli merge     -- fold shard run files into one campaign result
 //   flim_cli march     -- offline March test / coverage on a device array
-//   flim_cli scrub     -- SEC-DED ECC scrub of a fault-vector file
+//   flim_cli scrub     -- ECC scrub of a fault-vector file (codec-aware)
+//   flim_cli ecc       -- codec registry tools: list/describe codecs,
+//                         exhaustive error-pattern enumeration (sharded,
+//                         durable, resumable), shard merging, and the
+//                         codec-vs-fault Pareto report
 //   flim_cli monitor   -- canary-monitor detection latency for a vector file
 //   flim_cli lifetime  -- accuracy-over-lifetime simulation with mitigation
 //
@@ -45,6 +49,7 @@ int cmd_campaign(const Args& args);
 int cmd_merge(const Args& args);
 int cmd_march(const Args& args);
 int cmd_scrub(const Args& args);
+int cmd_ecc(const Args& args);
 int cmd_monitor(const Args& args);
 int cmd_lifetime(const Args& args);
 

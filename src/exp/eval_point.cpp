@@ -8,7 +8,9 @@
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "fault/fault_generator.hpp"
+#include "fault/residual.hpp"
 #include "models/zoo.hpp"
+#include "reliability/ecc/registry.hpp"
 
 namespace flim::exp {
 
@@ -63,6 +65,21 @@ fault::FaultVectorFile realize_point_vectors(const lim::CrossbarGeometry& grid,
     entry.dynamic_period = pc.spec.dynamic_period;
     entry.mask = gen.generate(pc.spec, rng);
     file.add(std::move(entry));
+  }
+  // The ECC scrub runs AFTER realization: every mask above was drawn from
+  // exactly the RNG stream a no-codec run draws, so adding a codec never
+  // perturbs the faults it is judged against (and the empty-codec path is
+  // bit-identical to pre-ECC builds).
+  if (!pc.ecc_expr.empty()) {
+    const reliability::ecc::Codec& codec =
+        reliability::ecc::CodecRegistry::instance().configure(pc.ecc_expr);
+    fault::ResidualOptions residual;
+    residual.word_bits = pc.ecc_word_bits;
+    residual.interleave = pc.ecc_interleave;
+    residual.correct_per_word = codec.capability().correct_guarantee;
+    for (fault::FaultVectorEntry& entry : file.mutable_entries()) {
+      fault::apply_entry_residual(entry, residual);
+    }
   }
   return file;
 }

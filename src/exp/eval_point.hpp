@@ -41,6 +41,15 @@ struct PointFaultConfig {
   std::string expr;
   /// Layer filter (empty = all binarized layers).
   std::vector<std::string> filter;
+  /// ECC scrub codec expression (registry grammar); empty = no scrub. When
+  /// set, realized masks are scrubbed down to their residual before the
+  /// injector sees them -- AFTER mask realization, so the RNG stream (and
+  /// therefore every no-codec result) is untouched.
+  std::string ecc_expr;
+  /// Data cells per ECC word of the scrub organization.
+  int ecc_word_bits = 64;
+  /// Bit-interleaving degree of the scrub organization.
+  int ecc_interleave = 1;
 };
 
 /// Draws the fault vectors of one repetition: one entry per selected

@@ -19,6 +19,7 @@
 #include "fault/fault_registry.hpp"
 #include "models/pretrained.hpp"
 #include "models/zoo.hpp"
+#include "reliability/ecc/registry.hpp"
 
 namespace flim::exp {
 
@@ -64,12 +65,21 @@ void apply_axis_value(PointFaultConfig& pc, const ScenarioAxis& axis,
     case AxisKind::kFaultExpr:
       pc.expr = value.text;
       break;
+    case AxisKind::kEccCodec:
+      pc.ecc_expr = value.text;
+      break;
   }
 }
 
 PointFaultConfig resolve_point(const ScenarioSpec& spec,
                                const std::vector<std::size_t>& indices) {
-  PointFaultConfig pc{spec.fault, spec.fault_expr, spec.layer_filter};
+  PointFaultConfig pc;
+  pc.spec = spec.fault;
+  pc.expr = spec.fault_expr;
+  pc.filter = spec.layer_filter;
+  pc.ecc_expr = spec.ecc_expr;
+  pc.ecc_word_bits = spec.ecc_word_bits;
+  pc.ecc_interleave = spec.ecc_interleave;
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     apply_axis_value(pc, spec.axes[a], spec.axes[a].values[indices[a]]);
   }
@@ -230,6 +240,23 @@ ScenarioAxis fault_expr_axis(const std::string& pattern,
   return fault_expr_axis(exprs);
 }
 
+ScenarioAxis ecc_codec_axis(const std::vector<std::string>& exprs) {
+  ScenarioAxis axis{AxisKind::kEccCodec, "ecc", {}};
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    // The no-scrub sentinel keeps its "none" label but stores empty text,
+    // so resolve_point sees the same empty-means-off convention as
+    // ScenarioSpec::ecc_expr. Real expressions canonicalize so spellings
+    // share labels and store fingerprints, like fault_expr_axis.
+    if (exprs[i].empty() || exprs[i] == "none") {
+      axis.values.push_back({static_cast<double>(i), "", "none"});
+      continue;
+    }
+    const std::string canonical = reliability::ecc::canonical_codec_expr(exprs[i]);
+    axis.values.push_back({static_cast<double>(i), canonical, canonical});
+  }
+  return axis;
+}
+
 ScenarioAxis layers_axis(const std::vector<std::string>& series) {
   ScenarioAxis axis{AxisKind::kLayers, "layer", {}};
   for (std::size_t i = 0; i < series.size(); ++i) {
@@ -254,6 +281,8 @@ void validate(const ScenarioSpec& spec) {
   FLIM_REQUIRE(spec.grid.rows > 0 && spec.grid.cols > 0,
                "fault grid must be positive");
   validate(spec.engine);
+  FLIM_REQUIRE(spec.ecc_word_bits > 0, "ecc_word_bits must be positive");
+  FLIM_REQUIRE(spec.ecc_interleave > 0, "ecc_interleave must be positive");
   for (const ScenarioAxis& axis : spec.axes) {
     FLIM_REQUIRE(!axis.values.empty(),
                  "sweep axis '" + axis.name + "' has no values");
@@ -263,6 +292,11 @@ void validate(const ScenarioSpec& spec) {
   std::map<std::string, fault::FaultStack> parsed;
   for_each_cell(spec.axes, [&](const std::vector<std::size_t>& indices) {
     const PointFaultConfig pc = resolve_point(spec, indices);
+    if (!pc.ecc_expr.empty()) {
+      // configure() caches per canonical expression, so re-validating each
+      // grid point is a map lookup, and a bad codec fails now, not mid-run.
+      reliability::ecc::CodecRegistry::instance().configure(pc.ecc_expr);
+    }
     if (pc.expr.empty()) {
       fault::validate(pc.spec);
       return;

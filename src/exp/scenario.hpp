@@ -83,6 +83,7 @@ enum class AxisKind : std::uint8_t {
   kFaultKind = 5,          ///< FaultSpec::kind
   kStuckAtOneFraction = 6, ///< FaultSpec::stuck_at_one_fraction
   kFaultExpr = 7,          ///< ScenarioSpec::fault_expr (composable stacks)
+  kEccCodec = 8,           ///< ScenarioSpec::ecc_expr (ECC scrub codec)
 };
 
 /// One value of a sweep axis. Numeric axes use `number`; kLayers uses
@@ -136,6 +137,12 @@ ScenarioAxis fault_expr_axis(const std::string& pattern,
 /// `series` entries are layer names; "combined" (or "" / "all") selects
 /// every binarized layer at once, reproducing the figures' combined curve.
 ScenarioAxis layers_axis(const std::vector<std::string>& series);
+/// Builds a kEccCodec axis from codec expressions such as "secded" or
+/// "bch(d=64,t=2)" (reliability/ecc/registry.hpp grammar). The sentinel
+/// "none" (or "") means no scrub at that grid point. Expressions are
+/// validated against the codec registry and stored canonically, so two
+/// spellings of one codec share labels and store fingerprints.
+ScenarioAxis ecc_codec_axis(const std::vector<std::string>& exprs);
 
 /// The whole fault campaign as data: workload, substrate, base fault spec,
 /// sweep axes, and the repetition protocol.
@@ -156,6 +163,17 @@ struct ScenarioSpec {
   /// and the distribution/cluster placement settings still come from
   /// `fault`. A kFaultExpr axis overrides it per grid point.
   std::string fault_expr;
+  /// ECC scrub codec expression (reliability/ecc/registry.hpp grammar,
+  /// e.g. "secded" or "bch(d=64,t=2)"). When non-empty, every realized
+  /// fault mask is scrubbed before evaluation: words within the codec's
+  /// correction radius are repaired and only the residual faults reach the
+  /// engine. Empty = no scrub (the historical behavior; fingerprints of
+  /// such specs are unchanged). A kEccCodec axis overrides it per point.
+  std::string ecc_expr;
+  /// Data cells per ECC word of the scrub organization.
+  int ecc_word_bits = 64;
+  /// Bit-interleaving degree of the scrub organization.
+  int ecc_interleave = 1;
   /// Virtual crossbar grid the masks are drawn on.
   lim::CrossbarGeometry grid{64, 64};
   /// Base layer filter (empty = all binarized layers); a kLayers axis

@@ -13,6 +13,7 @@
 #include "core/sysinfo.hpp"
 #include "fault/fault_registry.hpp"
 #include "lim/logic_family.hpp"
+#include "reliability/ecc/registry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -231,6 +232,15 @@ std::string canonical_spec(const ScenarioSpec& spec) {
   // one stack fingerprint identically.
   if (!spec.fault_expr.empty()) {
     put_s(os, "fault.expr", fault::canonical_fault_expr(spec.fault_expr));
+  }
+  // Same only-when-set rule as fault.expr: a spec without an ECC codec
+  // fingerprints exactly as it did before the codec subsystem existed, so
+  // every legacy run file stays resumable. The word organization rides
+  // along with the codec because it changes the residual, not on its own.
+  if (!spec.ecc_expr.empty()) {
+    put_s(os, "ecc.expr", reliability::ecc::canonical_codec_expr(spec.ecc_expr));
+    put_i(os, "ecc.word_bits", spec.ecc_word_bits);
+    put_i(os, "ecc.interleave", spec.ecc_interleave);
   }
 
   put_i(os, "grid.rows", spec.grid.rows);

@@ -77,6 +77,9 @@ class FaultVectorFile {
 
   void add(FaultVectorEntry entry) { entries_.push_back(std::move(entry)); }
   const std::vector<FaultVectorEntry>& entries() const { return entries_; }
+  /// Mutable view, for post-realization rewrites (the ECC residual scrub
+  /// edits masks in place so the realization RNG stream stays untouched).
+  std::vector<FaultVectorEntry>& mutable_entries() { return entries_; }
   std::size_t size() const { return entries_.size(); }
 
   /// Finds the entry for a layer; nullptr when absent.

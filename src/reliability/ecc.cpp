@@ -2,9 +2,10 @@
 
 #include <array>
 #include <bit>
-#include <vector>
 
 #include "core/check.hpp"
+#include "fault/residual.hpp"
+#include "reliability/ecc/codec.hpp"
 
 namespace flim::reliability {
 
@@ -122,63 +123,35 @@ SecDedCodec::DecodeResult SecDedCodec::decode(const Codeword& word) const {
   return result;
 }
 
+double EccScrubStats::overhead(const EccOptions& options) const {
+  FLIM_REQUIRE(options.word_bits > 0, "word_bits must be positive");
+  // Hamming parity for the configured width plus the overall bit -- NOT
+  // the (72,64) constant: a 32-bit organization needs 6+1 parity cells.
+  const int parity = ecc::hamming_parity_bits(options.word_bits) + 1;
+  return static_cast<double>(parity) / static_cast<double>(options.word_bits);
+}
+
 fault::FaultMask apply_secded_scrub(const fault::FaultMask& mask,
                                     const EccOptions& options,
                                     EccScrubStats* stats) {
-  FLIM_REQUIRE(options.word_bits > 0, "word_bits must be positive");
-  FLIM_REQUIRE(options.interleave > 0, "interleave must be positive");
-
-  fault::FaultMask residual = mask;
-  EccScrubStats local;
-
-  const std::int64_t rows = mask.rows();
-  const std::int64_t cols = mask.cols();
-  const auto faulty = [&](std::int64_t slot) {
-    return mask.flip(slot) || mask.sa0(slot) || mask.sa1(slot);
-  };
-
-  std::vector<std::int64_t> word_slots;
-  word_slots.reserve(static_cast<std::size_t>(options.word_bits));
-
-  const auto scrub_word = [&] {
-    ++local.words;
-    int faulty_count = 0;
-    for (const std::int64_t s : word_slots) {
-      if (faulty(s)) ++faulty_count;
-    }
-    local.faulty_bits_before += faulty_count;
-    if (faulty_count == 0) {
-      ++local.clean_words;
-    } else if (faulty_count == 1) {
-      ++local.corrected_words;
-      for (const std::int64_t s : word_slots) {
-        residual.set_flip(s, false);
-        residual.set_sa0(s, false);
-        residual.set_sa1(s, false);
-      }
-    } else {
-      ++local.uncorrectable_words;
-      local.faulty_bits_after += faulty_count;
-    }
-    word_slots.clear();
-  };
-
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (int lane = 0; lane < options.interleave; ++lane) {
-      // Cells of this row belonging to `lane`, in ascending column order,
-      // chunked into words of word_bits cells (the final word may be short).
-      for (std::int64_t c = lane; c < cols; c += options.interleave) {
-        word_slots.push_back(r * cols + c);
-        if (word_slots.size() ==
-            static_cast<std::size_t>(options.word_bits)) {
-          scrub_word();
-        }
-      }
-      if (!word_slots.empty()) scrub_word();
-    }
+  // The word walk is codec-agnostic and lives in fault/residual.hpp;
+  // SEC-DED is the radius-1 configuration of it (bit-identical to the
+  // historical inline loop).
+  fault::ResidualOptions residual_options;
+  residual_options.word_bits = options.word_bits;
+  residual_options.interleave = options.interleave;
+  residual_options.correct_per_word = 1;
+  fault::ResidualStats residual_stats;
+  fault::FaultMask residual =
+      fault::apply_word_residual(mask, residual_options, &residual_stats);
+  if (stats != nullptr) {
+    stats->words = residual_stats.words;
+    stats->clean_words = residual_stats.clean_words;
+    stats->corrected_words = residual_stats.corrected_words;
+    stats->uncorrectable_words = residual_stats.uncorrectable_words;
+    stats->faulty_bits_before = residual_stats.faulty_bits_before;
+    stats->faulty_bits_after = residual_stats.faulty_bits_after;
   }
-
-  if (stats != nullptr) *stats = local;
   return residual;
 }
 

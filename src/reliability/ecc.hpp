@@ -9,6 +9,13 @@
 // the XNOR evaluation itself -- which is exactly how we model it: an ECC
 // scrub transforms a fault mask into the residual mask of uncorrectable
 // words.
+//
+// This header keeps the original hardwired (72,64) codec and scrub entry
+// points. The generalized codec subsystem -- registry-resolved Hamming /
+// Hsiao / BCH families, exhaustive error enumeration, cost models -- lives
+// in reliability/ecc/ (see docs/ecc.md); the word walk itself moved to
+// fault/residual.hpp and apply_secded_scrub delegates to it with a
+// correction radius of 1, bit-identically.
 #pragma once
 
 #include <cstdint>
@@ -73,11 +80,12 @@ struct EccScrubStats {
   std::int64_t faulty_bits_before = 0;
   std::int64_t faulty_bits_after = 0;
 
-  /// Parity storage overhead of the configured code.
-  double overhead(const EccOptions& options) const {
-    return static_cast<double>(SecDedCodec::kParityBits) /
-           static_cast<double>(options.word_bits);
-  }
+  /// Parity storage overhead of the configured code: the SEC-DED parity
+  /// cells a word of `options.word_bits` data cells needs (the Hamming
+  /// parity count for that width plus the overall bit -- 8 for 64-bit
+  /// words, 7 for 32-bit words), NOT a constant: narrower words pay
+  /// proportionally more.
+  double overhead(const EccOptions& options) const;
 };
 
 /// Models a SEC-DED scrubbing pass over a fault mask: cells of each grid

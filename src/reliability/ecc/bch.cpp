@@ -1,0 +1,374 @@
+// Binary BCH codes over GF(2^m): shortened systematic encoding, and
+// syndrome / Berlekamp-Massey / Chien-search decoding. Correction radius t
+// is a parameter -- this is the only family in the registry that corrects
+// multi-bit errors within one codeword, which is what makes the
+// ECC-vs-fault-model Pareto interesting for burst faults.
+#include <array>
+#include <utility>
+
+#include "core/check.hpp"
+#include "reliability/ecc/codec.hpp"
+#include "reliability/ecc/registry.hpp"
+
+namespace flim::reliability::ecc {
+
+namespace {
+
+/// One primitive polynomial per field degree (bit i = coefficient of x^i,
+/// x^m term included), m = 3..14.
+constexpr int kMinFieldDegree = 3;
+constexpr int kMaxFieldDegree = 14;
+constexpr std::array<std::uint32_t, 12> kPrimitivePoly = {
+    0b1011,            // m=3:  x^3 + x + 1
+    0b10011,           // m=4:  x^4 + x + 1
+    0b100101,          // m=5:  x^5 + x^2 + 1
+    0b1000011,         // m=6:  x^6 + x + 1
+    0b10001001,        // m=7:  x^7 + x^3 + 1
+    0b100011101,       // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,      // m=9:  x^9 + x^4 + 1
+    0b10000001001,     // m=10: x^10 + x^3 + 1
+    0b100000000101,    // m=11: x^11 + x^2 + 1
+    0b1000001010011,   // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0b100010001000011, // m=14: x^14 + x^10 + x^6 + x + 1
+};
+
+/// GF(2^m) with log/antilog tables.
+class Field {
+ public:
+  explicit Field(int m) : m_(m), q_minus_1_((1 << m) - 1) {
+    FLIM_REQUIRE(m >= kMinFieldDegree && m <= kMaxFieldDegree,
+                 "bch: field degree m must be in [" +
+                     std::to_string(kMinFieldDegree) + ", " +
+                     std::to_string(kMaxFieldDegree) + "]; got " +
+                     std::to_string(m));
+    const std::uint32_t poly =
+        kPrimitivePoly[static_cast<std::size_t>(m - kMinFieldDegree)];
+    alpha_to_.assign(static_cast<std::size_t>(q_minus_1_), 0);
+    index_of_.assign(static_cast<std::size_t>(q_minus_1_) + 1, -1);
+    std::uint32_t x = 1;
+    for (int i = 0; i < q_minus_1_; ++i) {
+      alpha_to_[static_cast<std::size_t>(i)] = x;
+      index_of_[x] = i;
+      x <<= 1;
+      if ((x >> m) & 1u) x ^= poly;
+    }
+    FLIM_ASSERT(x == 1);  // alpha has full order: the polynomial is primitive
+  }
+
+  int order() const { return q_minus_1_; }
+
+  /// alpha^e for any integer exponent (reduced mod 2^m - 1).
+  std::uint32_t pow_alpha(std::int64_t e) const {
+    e %= q_minus_1_;
+    if (e < 0) e += q_minus_1_;
+    return alpha_to_[static_cast<std::size_t>(e)];
+  }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return pow_alpha(static_cast<std::int64_t>(index_of_[a]) + index_of_[b]);
+  }
+
+  std::uint32_t inv(std::uint32_t a) const {
+    FLIM_ASSERT(a != 0);
+    return pow_alpha(-static_cast<std::int64_t>(index_of_[a]));
+  }
+
+ private:
+  int m_;
+  int q_minus_1_;
+  std::vector<std::uint32_t> alpha_to_;
+  std::vector<int> index_of_;
+};
+
+/// Generator polynomial of the t-error-correcting BCH code over `field`:
+/// the product of the distinct minimal polynomials of alpha^i for odd i in
+/// 1..2t-1 (even powers share cosets with odd ones). Bit j of the returned
+/// coefficient vector entry is unused -- coefficients are GF(2), entries
+/// are 0/1.
+std::vector<std::uint8_t> bch_generator(const Field& field, int t) {
+  // Collect the union of the cyclotomic cosets {i * 2^j mod (2^m - 1)}.
+  std::vector<char> root(static_cast<std::size_t>(field.order()), 0);
+  for (int i = 1; i <= 2 * t - 1; i += 2) {
+    std::int64_t e = i % field.order();
+    while (root[static_cast<std::size_t>(e)] == 0) {
+      root[static_cast<std::size_t>(e)] = 1;
+      e = (e * 2) % field.order();
+    }
+  }
+  // g(x) = product over marked exponents e of (x + alpha^e), computed with
+  // GF(2^m) coefficients; the result must collapse to GF(2).
+  std::vector<std::uint32_t> g = {1};
+  for (int e = 0; e < field.order(); ++e) {
+    if (root[static_cast<std::size_t>(e)] == 0) continue;
+    const std::uint32_t a = field.pow_alpha(e);
+    g.push_back(0);
+    for (std::size_t j = g.size() - 1; j > 0; --j) {
+      g[j] = g[j - 1] ^ field.mul(g[j], a);
+    }
+    g[0] = field.mul(g[0], a);
+  }
+  std::vector<std::uint8_t> out(g.size());
+  for (std::size_t j = 0; j < g.size(); ++j) {
+    FLIM_ASSERT(g[j] <= 1);  // conjugate-closed root set => binary coefficients
+    out[j] = static_cast<std::uint8_t>(g[j]);
+  }
+  FLIM_ASSERT(out.back() == 1);
+  return out;
+}
+
+/// Smallest field degree that fits d data bits plus (at most m*t) parity
+/// bits into the 2^m - 1 code length.
+int bch_auto_field_degree(int data_bits, int t) {
+  for (int m = kMinFieldDegree; m <= kMaxFieldDegree; ++m) {
+    if ((1 << m) - 1 >= data_bits + m * t) return m;
+  }
+  FLIM_REQUIRE(false, "bch: no field degree up to " +
+                          std::to_string(kMaxFieldDegree) + " fits d=" +
+                          std::to_string(data_bits) + ", t=" +
+                          std::to_string(t));
+  return 0;
+}
+
+/// Shortened systematic BCH codeword layout: vector indices 0..d-1 are the
+/// data bits, d..d+r-1 the parity bits (r = deg g). In polynomial terms
+/// data bit i is the coefficient of x^(r+i) and parity bit j of x^j, so
+/// the codeword polynomial is divisible by g(x).
+class BchCodec : public Codec {
+ public:
+  BchCodec(std::string canonical, int data_bits, int t, int m)
+      : family_("bch"),
+        canonical_(std::move(canonical)),
+        t_(t),
+        field_(m),
+        generator_(bch_generator(field_, t)) {
+    const int r = static_cast<int>(generator_.size()) - 1;
+    FLIM_REQUIRE(data_bits + r <= field_.order(),
+                 "bch: d=" + std::to_string(data_bits) + ", t=" +
+                     std::to_string(t) + " needs " + std::to_string(r) +
+                     " parity bits and does not fit GF(2^" +
+                     std::to_string(m) + ")'s code length " +
+                     std::to_string(field_.order()) +
+                     "; raise m or shrink d");
+    capability_.data_bits = data_bits;
+    capability_.parity_bits = r;
+    capability_.code_bits = data_bits + r;
+    capability_.correct_guarantee = t;
+    // Weight t+1..2t errors land outside every radius-t ball around the
+    // true codeword but may fall inside another's: bounded-distance
+    // decoding can miscorrect them, so only weight <= t is guaranteed
+    // flagged-or-fixed. exhaust.hpp measures the aliasing rate beyond t.
+    capability_.detect_guarantee = t;
+  }
+
+  const std::string& family() const override { return family_; }
+  const std::string& canonical() const override { return canonical_; }
+  const Capability& capability() const override { return capability_; }
+  CostModel cost() const override {
+    // Each of the 2t syndromes is one multiply-accumulate per code bit.
+    return CostModel{capability_.data_bits, capability_.parity_bits,
+                     static_cast<std::int64_t>(2 * t_) *
+                         capability_.code_bits};
+  }
+
+  BitVec encode(const BitVec& data) const override {
+    FLIM_REQUIRE(data.size() ==
+                     static_cast<std::size_t>(capability_.data_bits),
+                 canonical_ + ": expected " +
+                     std::to_string(capability_.data_bits) +
+                     " data bits, got " + std::to_string(data.size()));
+    const int r = capability_.parity_bits;
+    // remainder of x^r * data(x) mod g(x), synthetic long division.
+    std::vector<std::uint8_t> rem(static_cast<std::size_t>(r), 0);
+    for (std::size_t i = data.size(); i-- > 0;) {
+      const std::uint8_t feedback =
+          static_cast<std::uint8_t>(data[i] ^ rem[static_cast<std::size_t>(r) - 1]);
+      for (std::size_t j = static_cast<std::size_t>(r) - 1; j > 0; --j) {
+        rem[j] = static_cast<std::uint8_t>(rem[j - 1] ^
+                                           (feedback & generator_[j]));
+      }
+      rem[0] = static_cast<std::uint8_t>(feedback & generator_[0]);
+    }
+    BitVec code(static_cast<std::size_t>(capability_.code_bits), 0);
+    for (std::size_t i = 0; i < data.size(); ++i) code[i] = data[i];
+    for (int j = 0; j < r; ++j) {
+      code[data.size() + static_cast<std::size_t>(j)] =
+          rem[static_cast<std::size_t>(j)];
+    }
+    return code;
+  }
+
+  DecodeOutcome decode(const BitVec& code) const override {
+    FLIM_REQUIRE(code.size() ==
+                     static_cast<std::size_t>(capability_.code_bits),
+                 canonical_ + ": expected " +
+                     std::to_string(capability_.code_bits) +
+                     " code bits, got " + std::to_string(code.size()));
+    DecodeOutcome out;
+    out.data.assign(code.begin(),
+                    code.begin() + capability_.data_bits);
+
+    // Syndromes S_j = sum over set bits (at polynomial degree e) of
+    // alpha^(j*e), j = 1..2t.
+    std::vector<std::uint32_t> syn(static_cast<std::size_t>(2 * t_), 0);
+    bool any = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == 0) continue;
+      const std::int64_t e = degree_of(i);
+      for (int j = 1; j <= 2 * t_; ++j) {
+        syn[static_cast<std::size_t>(j - 1)] ^= field_.pow_alpha(j * e);
+      }
+    }
+    for (const std::uint32_t s : syn) any = any || (s != 0);
+    if (!any) {
+      out.status = DecodeStatus::kClean;
+      return out;
+    }
+
+    // Berlekamp-Massey: the shortest LFSR sigma(x) generating the
+    // syndrome sequence is the error-locator polynomial.
+    std::vector<std::uint32_t> sigma = {1};
+    std::vector<std::uint32_t> prev = {1};
+    int len = 0;
+    int shift = 1;
+    std::uint32_t prev_disc = 1;
+    for (int n = 0; n < 2 * t_; ++n) {
+      std::uint32_t disc = syn[static_cast<std::size_t>(n)];
+      for (int i = 1; i <= len; ++i) {
+        if (static_cast<std::size_t>(i) < sigma.size()) {
+          disc ^= field_.mul(sigma[static_cast<std::size_t>(i)],
+                             syn[static_cast<std::size_t>(n - i)]);
+        }
+      }
+      if (disc == 0) {
+        ++shift;
+        continue;
+      }
+      const std::uint32_t scale = field_.mul(disc, field_.inv(prev_disc));
+      std::vector<std::uint32_t> next = sigma;
+      if (next.size() < prev.size() + static_cast<std::size_t>(shift)) {
+        next.resize(prev.size() + static_cast<std::size_t>(shift), 0);
+      }
+      for (std::size_t i = 0; i < prev.size(); ++i) {
+        next[i + static_cast<std::size_t>(shift)] ^=
+            field_.mul(scale, prev[i]);
+      }
+      if (2 * len <= n) {
+        prev = std::move(sigma);
+        prev_disc = disc;
+        len = n + 1 - len;
+        shift = 1;
+      } else {
+        ++shift;
+      }
+      sigma = std::move(next);
+    }
+    while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+    const int degree = static_cast<int>(sigma.size()) - 1;
+    if (len > t_ || degree != len) {
+      out.status = DecodeStatus::kDetected;
+      return out;
+    }
+
+    // Chien search over the shortened positions only: sigma's roots are
+    // alpha^(-e) for each error degree e.
+    std::vector<std::size_t> flips;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const std::int64_t e = degree_of(i);
+      std::uint32_t value = 0;
+      for (std::size_t j = 0; j < sigma.size(); ++j) {
+        value ^= field_.mul(
+            sigma[j], field_.pow_alpha(-e * static_cast<std::int64_t>(j)));
+      }
+      if (value == 0) flips.push_back(i);
+    }
+    if (static_cast<int>(flips.size()) != degree) {
+      // Locator roots outside the shortened code (or repeated): the error
+      // pattern exceeds the correction radius.
+      out.status = DecodeStatus::kDetected;
+      return out;
+    }
+    for (const std::size_t i : flips) {
+      if (i < static_cast<std::size_t>(capability_.data_bits)) {
+        out.data[i] ^= 1;
+      }
+    }
+    out.status = DecodeStatus::kCorrected;
+    return out;
+  }
+
+ private:
+  /// Polynomial degree of codeword vector index i (see class comment).
+  std::int64_t degree_of(std::size_t i) const {
+    const auto d = static_cast<std::size_t>(capability_.data_bits);
+    const auto r = static_cast<std::int64_t>(capability_.parity_bits);
+    if (i < d) return r + static_cast<std::int64_t>(i);
+    return static_cast<std::int64_t>(i - d);
+  }
+
+  std::string family_;
+  std::string canonical_;
+  int t_;
+  Field field_;
+  std::vector<std::uint8_t> generator_;  // g(x) coefficients, GF(2)
+  Capability capability_;
+};
+
+class BchFamily : public CodecFamily {
+ public:
+  BchFamily() {
+    info_.name = "bch";
+    info_.summary =
+        "shortened binary BCH: corrects any t errors per codeword "
+        "(Berlekamp-Massey + Chien decoding)";
+    info_.params = {
+        {"d", 64.0, 1.0, 1024.0, true, "data bits per codeword"},
+        {"t", 2.0, 1.0, 8.0, true, "correctable errors per codeword"},
+        {"m", 0.0, 0.0, 14.0, true,
+         "GF(2^m) field degree (0 auto-sizes to the smallest fit)"},
+    };
+  }
+
+  const CodecInfo& info() const override { return info_; }
+
+  void validate(const ModelParams& params) const override {
+    CodecFamily::validate(params);
+    const int d = static_cast<int>(params.get("d", 64.0));
+    const int t = static_cast<int>(params.get("t", 2.0));
+    const int m = static_cast<int>(params.get("m", 0.0));
+    if (m != 0) {
+      FLIM_REQUIRE(m >= kMinFieldDegree,
+                   "bch: field degree m must be 0 (auto) or >= " +
+                       std::to_string(kMinFieldDegree) + "; got " +
+                       std::to_string(m));
+      FLIM_REQUIRE((1 << m) - 1 >= d + m * t,
+                   "bch: GF(2^" + std::to_string(m) + ") code length " +
+                       std::to_string((1 << m) - 1) + " cannot fit d=" +
+                       std::to_string(d) + " plus up to " +
+                       std::to_string(m * t) + " parity bits");
+    } else {
+      bch_auto_field_degree(d, t);  // throws when nothing up to m=14 fits
+    }
+  }
+
+  std::unique_ptr<Codec> make(const ModelParams& params) const override {
+    const int d = static_cast<int>(params.get("d", 64.0));
+    const int t = static_cast<int>(params.get("t", 2.0));
+    int m = static_cast<int>(params.get("m", 0.0));
+    if (m == 0) m = bch_auto_field_degree(d, t);
+    return std::make_unique<BchCodec>(canonical_codec_text(info_.name, params),
+                                      d, t, m);
+  }
+
+ private:
+  CodecInfo info_;
+};
+
+}  // namespace
+
+std::unique_ptr<CodecFamily> make_bch_family() {
+  return std::make_unique<BchFamily>();
+}
+
+}  // namespace flim::reliability::ecc

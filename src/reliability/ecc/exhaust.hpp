@@ -1,0 +1,167 @@
+// Exhaustive-enumeration ECC campaigns.
+//
+// Sampling fault placements answers "how often does the scrub save this
+// workload"; it cannot answer "does this codec EVER alias a double error
+// into silently wrong data". This module walks EVERY error placement of
+// each requested weight through a configured codec -- all C(n, w)
+// combinations per codeword (or every contiguous burst window) -- and
+// classifies each as corrected, detected, or aliased. The placement space
+// is flat-indexed through combinatorial unranking, so it shards over
+// processes exactly like campaign grids (chunk % shard_count == shard) and
+// chunks checkpoint to a durable JSONL store (exhaust_store.hpp) that
+// resumes after a kill and merges shard files into results byte-identical
+// to a single-process run.
+#pragma once
+
+/// \file
+/// Exhaustive-enumeration ECC campaigns: every C(n, w) error placement
+/// (or contiguous burst window) classified as corrected/detected/aliased,
+/// flat-indexed by combinatorial unranking so the space chunks, shards,
+/// checkpoints, and merges like campaign grids. See docs/ecc.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace flim::reliability::ecc {
+
+/// One exhaustive-enumeration request. `weights` are error multiplicities
+/// (combination mode) or burst window lengths (burst mode, every window of
+/// that many CONSECUTIVE codeword bits flipped). normalize_exhaust_spec()
+/// sorts/dedupes weights and canonicalizes the codec expression.
+struct ExhaustSpec {
+  /// Codec expression (registry.hpp grammar), e.g. "bch(d=64,t=2)".
+  std::string codec_expr = "secded";
+  /// Error weights (combination mode) or burst lengths (burst mode).
+  std::vector<int> weights = {1, 2};
+  /// Enumerate contiguous burst windows instead of all combinations.
+  bool burst = false;
+  /// Seed for the per-placement random data words (each flat placement
+  /// index derives an independent word, so results are order-free).
+  std::uint64_t data_seed = 2023;
+  /// Placements per durable chunk (the checkpoint/shard granule).
+  std::uint64_t chunk = 4096;
+};
+
+/// Binomial coefficient C(n, r) in exact 64-bit arithmetic; throws
+/// std::invalid_argument when the count overflows std::uint64_t (the
+/// enumeration would be infeasible anyway).
+std::uint64_t ncr(int n, int r);
+
+/// The `rank`-th (0-based, lexicographic) r-subset of {0..n-1} in the
+/// combinatorial number system: the inverse of ranking, O(n) per call.
+/// Requires rank < ncr(n, r).
+std::vector<int> unrank_combination(int n, int r, std::uint64_t rank);
+
+/// Returns `spec` with the codec expression canonicalized (validating it)
+/// and weights sorted ascending, deduplicated, and range-checked against
+/// the codec's codeword length.
+ExhaustSpec normalize_exhaust_spec(const ExhaustSpec& spec);
+
+/// Deterministic text form of a normalized spec -- the string the store
+/// fingerprint hashes, so two spellings of one request resume each other's
+/// files.
+std::string canonical_exhaust_spec(const ExhaustSpec& spec);
+
+/// 16-hex-digit fingerprint of canonical_exhaust_spec() mixed with the
+/// code fingerprint; store headers carry it and resume/merge refuse
+/// mismatches.
+std::string exhaust_fingerprint(const ExhaustSpec& spec);
+
+/// One weight's contiguous block within the flat placement space.
+struct WeightBlock {
+  /// Error weight (combination mode) or burst length (burst mode).
+  int weight = 0;
+  /// Flat index of the block's first placement.
+  std::uint64_t first = 0;
+  /// Number of placements: C(code_bits, weight), or code_bits - weight + 1
+  /// in burst mode.
+  std::uint64_t placements = 0;
+};
+
+/// The flat placement space of a normalized spec: weight blocks
+/// concatenated in ascending-weight order, partitioned into fixed-size
+/// chunks (the last chunk may be short).
+struct ExhaustPlan {
+  /// Codeword length of the configured codec.
+  int code_bits = 0;
+  /// Per-weight blocks in ascending-weight order.
+  std::vector<WeightBlock> blocks;
+  /// Sum of every block's placements.
+  std::uint64_t total_placements = 0;
+  /// ceil(total_placements / chunk).
+  std::uint64_t total_chunks = 0;
+};
+
+/// Lays out the placement space of a NORMALIZED spec.
+ExhaustPlan plan_exhaust(const ExhaustSpec& spec);
+
+/// Outcome tallies for one weight (decode verdicts are judged on DATA
+/// integrity: a decode that returns the original data bits counts as
+/// corrected even if parity cells stay disturbed; an undetected decode to
+/// DIFFERENT data is aliased -- the silent-corruption case ECC exists to
+/// prevent).
+struct WeightCounts {
+  /// Error weight (combination mode) or burst length (burst mode).
+  int weight = 0;
+  /// Placements tallied at this weight.
+  std::uint64_t placements = 0;
+  /// Placements decoded back to the original data.
+  std::uint64_t corrected = 0;
+  /// Placements flagged uncorrectable (data not repaired).
+  std::uint64_t detected = 0;
+  /// Placements silently decoded to DIFFERENT data.
+  std::uint64_t aliased = 0;
+};
+
+/// Tallies for one chunk of the flat placement space.
+struct ChunkCounts {
+  /// Position of this chunk in the plan's flat placement space.
+  std::uint64_t chunk_index = 0;
+  /// Ascending-weight entries for the weights this chunk touches (a chunk
+  /// can straddle a block boundary).
+  std::vector<WeightCounts> counts;
+};
+
+/// Classifies every placement in chunk `chunk_index` of the plan.
+/// Deterministic and side-effect free: safe to call from any thread, in
+/// any order, on any process.
+ChunkCounts run_exhaust_chunk(const ExhaustSpec& spec, const ExhaustPlan& plan,
+                              std::uint64_t chunk_index);
+
+/// Aggregated outcome of a complete enumeration.
+struct ExhaustResult {
+  /// Canonical codec expression.
+  std::string codec_expr;
+  /// True when burst windows were enumerated instead of combinations.
+  bool burst = false;
+  /// Codeword length of the configured codec.
+  int code_bits = 0;
+  /// Ascending-weight totals; placements match the closed-form counts.
+  std::vector<WeightCounts> per_weight;
+
+  /// weight/placements/corrected/detected/aliased plus percentage columns.
+  /// Built from integer totals only, so merged shards render byte-identical
+  /// CSV to a single-process run.
+  core::Table to_table() const;
+};
+
+/// Folds chunk tallies (every chunk exactly once) into per-weight totals.
+ExhaustResult fold_exhaust_counts(const ExhaustSpec& spec,
+                                  const ExhaustPlan& plan,
+                                  const std::vector<ChunkCounts>& chunks);
+
+/// Runs this shard's chunks of the enumeration, in parallel over `jobs`
+/// threads (0 = hardware concurrency). With a non-empty `store_path` the
+/// run is durable: an existing store with a matching fingerprint is
+/// resumed (finished chunks are skipped), chunks checkpoint as they
+/// complete, and the function returns only this shard's totals -- merge
+/// the shard files with merge_exhaust_files() for the full result. With an
+/// empty path the run is in-memory and must be unsharded.
+ExhaustResult run_exhaust(const ExhaustSpec& spec, const std::string& store_path,
+                          int shard_index = 0, int shard_count = 1,
+                          int jobs = 0);
+
+}  // namespace flim::reliability::ecc

@@ -1,0 +1,345 @@
+#include "reliability/ecc/exhaust_store.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/check.hpp"
+#include "core/minijson.hpp"
+#include "core/report.hpp"
+#include "core/sysinfo.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace flim::reliability::ecc {
+
+namespace {
+
+using core::JsonError;
+using core::JsonValue;
+using core::json_array;
+using core::json_number;
+using core::json_string;
+
+std::string quote(const std::string& s) {
+  return '"' + core::json_escape(s) + '"';
+}
+
+std::string header_line(const ExhaustHeader& h) {
+  std::ostringstream os;
+  os << "{\"flim_exhaust_format\": " << h.format
+     << ", \"codec\": " << quote(h.codec)
+     << ", \"fingerprint\": " << quote(h.fingerprint)
+     << ", \"library_version\": " << quote(h.library_version)
+     // 64-bit values go as strings: JSON numbers decay to binary64 on
+     // parse, which cannot hold every value exactly.
+     << ", \"data_seed\": \"" << h.data_seed << '"'
+     << ", \"mode\": " << quote(h.burst ? "burst" : "combination")
+     << ", \"chunk\": \"" << h.chunk << '"' << ", \"weights\": [";
+  for (std::size_t i = 0; i < h.weights.size(); ++i) {
+    if (i) os << ", ";
+    os << h.weights[i];
+  }
+  os << "], \"code_bits\": " << h.code_bits << ", \"total_chunks\": \""
+     << h.total_chunks << "\", \"total_placements\": \""
+     << h.total_placements << "\", \"shard_index\": " << h.shard_index
+     << ", \"shard_count\": " << h.shard_count << "}";
+  return os.str();
+}
+
+/// One chunk per line. Per-weight tallies are flattened into one numeric
+/// array in groups of five (weight, placements, corrected, detected,
+/// aliased): minijson only speaks flat arrays of numbers/strings. Tallies
+/// are bounded by the chunk size, so binary64 holds them exactly.
+std::string chunk_line(const ChunkCounts& c) {
+  std::ostringstream os;
+  os << "{\"chunk\": \"" << c.chunk_index << "\", \"counts\": [";
+  for (std::size_t i = 0; i < c.counts.size(); ++i) {
+    const WeightCounts& wc = c.counts[i];
+    if (i) os << ", ";
+    os << wc.weight << ", " << wc.placements << ", " << wc.corrected << ", "
+       << wc.detected << ", " << wc.aliased;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+ExhaustHeader parse_header(const std::string& line) {
+  const auto obj = core::parse_json_object_line(line);
+  ExhaustHeader h;
+  h.format = static_cast<int>(json_number(obj, "flim_exhaust_format"));
+  h.codec = json_string(obj, "codec");
+  h.fingerprint = json_string(obj, "fingerprint");
+  h.library_version = json_string(obj, "library_version");
+  h.data_seed = parse_u64(json_string(obj, "data_seed"));
+  const std::string mode = json_string(obj, "mode");
+  if (mode != "burst" && mode != "combination") {
+    throw JsonError{"unknown exhaust mode: " + mode};
+  }
+  h.burst = (mode == "burst");
+  h.chunk = parse_u64(json_string(obj, "chunk"));
+  for (const JsonValue& v : json_array(obj, "weights")) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      throw JsonError{"weights entry is not a number"};
+    }
+    h.weights.push_back(static_cast<int>(v.number));
+  }
+  h.code_bits = static_cast<int>(json_number(obj, "code_bits"));
+  h.total_chunks = parse_u64(json_string(obj, "total_chunks"));
+  h.total_placements = parse_u64(json_string(obj, "total_placements"));
+  h.shard_index = static_cast<int>(json_number(obj, "shard_index"));
+  h.shard_count = static_cast<int>(json_number(obj, "shard_count"));
+  return h;
+}
+
+ChunkCounts parse_chunk(const std::string& line) {
+  const auto obj = core::parse_json_object_line(line);
+  ChunkCounts c;
+  c.chunk_index = parse_u64(json_string(obj, "chunk"));
+  const std::vector<JsonValue>& flat = json_array(obj, "counts");
+  if (flat.size() % 5 != 0) {
+    throw JsonError{"counts array is not a multiple of five"};
+  }
+  for (std::size_t i = 0; i < flat.size(); i += 5) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (flat[i + j].kind != JsonValue::Kind::kNumber) {
+        throw JsonError{"counts entry is not a number"};
+      }
+    }
+    WeightCounts wc;
+    wc.weight = static_cast<int>(flat[i].number);
+    wc.placements = static_cast<std::uint64_t>(flat[i + 1].number);
+    wc.corrected = static_cast<std::uint64_t>(flat[i + 2].number);
+    wc.detected = static_cast<std::uint64_t>(flat[i + 3].number);
+    wc.aliased = static_cast<std::uint64_t>(flat[i + 4].number);
+    c.counts.push_back(wc);
+  }
+  return c;
+}
+
+void sync_now(std::FILE* f) {
+  std::fflush(f);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(f));
+#endif
+}
+
+}  // namespace
+
+ExhaustHeader make_exhaust_header(const ExhaustSpec& spec,
+                                  const ExhaustPlan& plan, int shard_index,
+                                  int shard_count) {
+  FLIM_REQUIRE(shard_count >= 1 && shard_index >= 0 &&
+                   shard_index < shard_count,
+               "shard index must be in [0, shard_count)");
+  ExhaustHeader h;
+  h.codec = spec.codec_expr;
+  h.fingerprint = exhaust_fingerprint(spec);
+  h.library_version = core::code_fingerprint();
+  h.data_seed = spec.data_seed;
+  h.burst = spec.burst;
+  h.chunk = spec.chunk;
+  h.weights = spec.weights;
+  h.code_bits = plan.code_bits;
+  h.total_chunks = plan.total_chunks;
+  h.total_placements = plan.total_placements;
+  h.shard_index = shard_index;
+  h.shard_count = shard_count;
+  return h;
+}
+
+bool exhaust_shard_owns(std::uint64_t chunk_index, int shard_index,
+                        int shard_count) {
+  FLIM_REQUIRE(shard_count >= 1 && shard_index >= 0 &&
+                   shard_index < shard_count,
+               "shard index must be in [0, shard_count)");
+  return chunk_index % static_cast<std::uint64_t>(shard_count) ==
+         static_cast<std::uint64_t>(shard_index);
+}
+
+ExhaustFile ExhaustFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FLIM_REQUIRE(in.good(), "cannot open exhaust store: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  ExhaustFile file;
+  std::set<std::uint64_t> seen;
+  bool have_header = false;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: a torn final write; the fragment is
+      // dropped and the valid prefix stands.
+      file.truncated_tail = true;
+      break;
+    }
+    const std::string line = data.substr(pos, nl - pos);
+    const std::size_t line_end = nl + 1;
+    if (!have_header) {
+      try {
+        file.header = parse_header(line);
+      } catch (const JsonError& e) {
+        FLIM_REQUIRE(false,
+                     "bad exhaust-store header in " + path + ": " + e.what);
+      }
+      FLIM_REQUIRE(file.header.format == kExhaustFormatVersion,
+                   "unsupported exhaust-store format version " +
+                       std::to_string(file.header.format) + " in " + path);
+      have_header = true;
+    } else {
+      ChunkCounts c;
+      try {
+        c = parse_chunk(line);
+      } catch (const JsonError&) {
+        // Corrupt tail: accept the valid prefix, ignore the rest.
+        file.truncated_tail = true;
+        break;
+      }
+      FLIM_REQUIRE(c.chunk_index < file.header.total_chunks,
+                   "exhaust store " + path + " has an out-of-range chunk");
+      if (seen.insert(c.chunk_index).second) {
+        file.chunks.push_back(std::move(c));
+      }
+    }
+    file.valid_prefix_bytes = line_end;
+    pos = line_end;
+  }
+  FLIM_REQUIRE(have_header, "exhaust store has no header line: " + path);
+  return file;
+}
+
+bool ExhaustFile::has(std::uint64_t chunk_index) const {
+  for (const ChunkCounts& c : chunks) {
+    if (c.chunk_index == chunk_index) return true;
+  }
+  return false;
+}
+
+std::uint64_t ExhaustFile::owned_chunks() const {
+  std::uint64_t owned = 0;
+  for (std::uint64_t c = 0; c < header.total_chunks; ++c) {
+    if (exhaust_shard_owns(c, header.shard_index, header.shard_count)) {
+      ++owned;
+    }
+  }
+  return owned;
+}
+
+bool ExhaustFile::complete() const {
+  return static_cast<std::uint64_t>(chunks.size()) == owned_chunks();
+}
+
+void ExhaustStoreWriter::FileCloser::operator()(std::FILE* f) const {
+  if (f != nullptr) std::fclose(f);
+}
+
+ExhaustStoreWriter::ExhaustStoreWriter()
+    : mutex_(std::make_unique<core::Mutex>()) {}
+
+ExhaustStoreWriter::ExhaustStoreWriter(const std::string& path,
+                                       const ExhaustHeader& header)
+    : path_(path), mutex_(std::make_unique<core::Mutex>()) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  file_.reset(std::fopen(path.c_str(), "wb"));
+  FLIM_REQUIRE(file_ != nullptr, "cannot create exhaust store: " + path);
+  const core::MutexLock lock(*mutex_);
+  const std::string line = header_line(header) + "\n";
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_.get());
+  FLIM_REQUIRE(written == line.size(), "short write to exhaust store: " + path);
+  sync_now(file_.get());
+}
+
+ExhaustStoreWriter ExhaustStoreWriter::resume(const std::string& path,
+                                              std::size_t valid_prefix_bytes) {
+  FLIM_REQUIRE(std::filesystem::exists(path),
+               "cannot resume missing exhaust store: " + path);
+  // Drop any torn tail before appending, exactly like the run store: once
+  // truncated the file is a clean prefix and future lines land on line
+  // boundaries.
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_prefix_bytes, ec);
+  FLIM_REQUIRE(!ec, "cannot truncate exhaust-store tail: " + path);
+  ExhaustStoreWriter w;
+  w.path_ = path;
+  w.file_.reset(std::fopen(path.c_str(), "ab"));
+  FLIM_REQUIRE(w.file_ != nullptr,
+               "cannot open exhaust store for append: " + path);
+  return w;
+}
+
+void ExhaustStoreWriter::append(const ChunkCounts& chunk) {
+  const std::string line = chunk_line(chunk) + "\n";
+  FLIM_REQUIRE(mutex_ != nullptr, "exhaust-store writer was moved from");
+  const core::MutexLock lock(*mutex_);
+  FLIM_REQUIRE(file_ != nullptr, "exhaust-store writer is closed");
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_.get());
+  FLIM_REQUIRE(written == line.size(),
+               "short write to exhaust store: " + path_);
+  sync_now(file_.get());
+}
+
+ExhaustResult merge_exhaust_files(const std::vector<std::string>& paths) {
+  FLIM_REQUIRE(!paths.empty(), "merge needs at least one exhaust store");
+  std::vector<ExhaustFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    files.push_back(ExhaustFile::load(path));
+  }
+
+  const ExhaustHeader& first = files.front().header;
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    const ExhaustHeader& h = files[i].header;
+    FLIM_REQUIRE(h.fingerprint == first.fingerprint,
+                 "exhaust fingerprint mismatch between " + paths[0] + " and " +
+                     paths[i]);
+  }
+
+  // Rebuild the spec/plan from the (fingerprint-validated) header so the
+  // fold checks chunk ranges and weights against the original layout.
+  ExhaustSpec spec;
+  spec.codec_expr = first.codec;
+  spec.weights = first.weights;
+  spec.burst = first.burst;
+  spec.data_seed = first.data_seed;
+  spec.chunk = first.chunk;
+  const ExhaustPlan plan = plan_exhaust(spec);
+
+  std::map<std::uint64_t, const ChunkCounts*> merged;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const ChunkCounts& c : files[i].chunks) {
+      const auto inserted = merged.emplace(c.chunk_index, &c);
+      FLIM_REQUIRE(inserted.second,
+                   "overlapping chunk " + std::to_string(c.chunk_index) +
+                       " in " + paths[i] +
+                       " (shard stores must be disjoint)");
+    }
+  }
+  FLIM_REQUIRE(merged.size() == plan.total_chunks,
+               "merged exhaust stores cover " + std::to_string(merged.size()) +
+                   " of " + std::to_string(plan.total_chunks) +
+                   " chunks (missing shards?)");
+
+  std::vector<ChunkCounts> chunks;
+  chunks.reserve(merged.size());
+  for (const auto& [index, chunk] : merged) chunks.push_back(*chunk);
+  return fold_exhaust_counts(spec, plan, chunks);
+}
+
+}  // namespace flim::reliability::ecc

@@ -1,0 +1,104 @@
+// String-keyed ECC codec registry and the codec-expression language.
+//
+// Every CodecFamily registers under a unique name; campaigns, the scrub,
+// and the Pareto report select a configured codec with a declarative
+// expression:
+//
+//   expr  := name | name '(' [param {',' param}] ')'
+//   param := key '=' number
+//
+// e.g. "secded", "hamming(d=64,k=8)", "hsiao(d=64,k=0)", "bch(d=64,t=2)".
+// Unlike fault expressions there is no '+' composition: a codeword is
+// protected by exactly one code. canonical_codec_expr() renders the parsed
+// form with sorted parameters and round-trip number formatting -- the form
+// store fingerprints hash, so two spellings of one codec resume each
+// other's run files.
+//
+// configure() caches one immutable Codec instance per canonical expression
+// (BCH table construction is not free); returned pointers stay valid for
+// the process lifetime, mirroring the FaultRegistry contract.
+#pragma once
+
+/// \file
+/// String-keyed ECC codec registry and the "name(key=value,...)"
+/// codec-expression language with canonical spellings. See docs/ecc.md.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/sync.hpp"
+#include "reliability/ecc/codec.hpp"
+
+namespace flim::reliability::ecc {
+
+/// Process-wide codec registry. add() is meant for startup wiring (tests,
+/// embedders), but both tables are mutex-guarded so a late registration
+/// cannot race the lookups of campaign workers; returned CodecFamily and
+/// Codec pointers stay valid for the process lifetime (never removed).
+class CodecRegistry {
+ public:
+  /// The singleton, with the built-in families pre-registered
+  /// (hamming, hsiao, bch, secded).
+  static CodecRegistry& instance();
+
+  /// Registers a family; rejects duplicate names.
+  void add(std::unique_ptr<CodecFamily> family);
+
+  /// Family by name; nullptr when unknown.
+  const CodecFamily* find(const std::string& name) const;
+
+  /// Family by name; throws std::invalid_argument naming the known
+  /// families when unknown.
+  const CodecFamily& get(const std::string& name) const;
+
+  /// All registered families, sorted by name.
+  std::vector<const CodecFamily*> families() const;
+
+  /// Parses `expr`, validates it against the named family's schema, and
+  /// returns the configured instance -- cached per canonical expression,
+  /// so repeated configuration (every campaign point) is a lookup, not a
+  /// table build. The reference stays valid for the process lifetime.
+  const Codec& configure(const std::string& expr) const;
+
+ private:
+  CodecRegistry();
+  struct Slot {
+    std::string name;
+    std::unique_ptr<CodecFamily> family;
+  };
+  struct Configured {
+    std::string canonical;
+    std::unique_ptr<Codec> codec;
+  };
+  /// Unlocked lookup shared by find() and get().
+  const CodecFamily* find_locked(const std::string& name) const
+      FLIM_REQUIRES(mutex_);
+
+  mutable core::Mutex mutex_;
+  std::vector<Slot> slots_ FLIM_GUARDED_BY(mutex_);  // name-sorted
+  /// Canonical-expression-keyed instance cache, key-sorted.
+  mutable std::vector<Configured> configured_ FLIM_GUARDED_BY(mutex_);
+};
+
+/// A parsed (not yet instantiated) codec expression.
+struct ParsedCodec {
+  /// Registry-owned family (never null).
+  const CodecFamily* family = nullptr;
+  /// Resolved (validated) parameters.
+  ModelParams params;
+
+  /// Canonical expression of this configuration.
+  std::string canonical() const;
+};
+
+/// Parses a codec expression against the registry; throws
+/// std::invalid_argument with the offending token on malformed input,
+/// unknown families, or invalid parameters.
+ParsedCodec parse_codec_expr(const std::string& expr);
+
+/// parse + canonical in one step (validates `expr` as a side effect).
+std::string canonical_codec_expr(const std::string& expr);
+
+}  // namespace flim::reliability::ecc

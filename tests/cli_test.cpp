@@ -390,6 +390,57 @@ TEST(Cli, ScrubValidatesInput) {
                std::exception);
 }
 
+TEST(Cli, EccListAndDescribe) {
+  EXPECT_EQ(cmd_ecc(parse({"ecc"})), 0);
+  EXPECT_EQ(cmd_ecc(parse({"ecc", "list"})), 0);
+  EXPECT_EQ(cmd_ecc(parse({"ecc", "--describe", "bch"})), 0);
+  EXPECT_THROW(cmd_ecc(parse({"ecc", "--describe", "bogus"})),
+               std::invalid_argument);
+  EXPECT_THROW(cmd_ecc(parse({"ecc", "bogus"})), std::invalid_argument);
+}
+
+TEST(Cli, EccExhaustShardMergeMatchesSingleProcess) {
+  const std::string dir = ::testing::TempDir();
+  const std::string single_csv = dir + "/cli_ecc_single.csv";
+  const std::string merged_csv = dir + "/cli_ecc_merged.csv";
+  const std::string s0 = dir + "/cli_ecc_s0.jsonl";
+  const std::string s1 = dir + "/cli_ecc_s1.jsonl";
+  std::filesystem::remove(s0);
+  std::filesystem::remove(s1);
+  ASSERT_EQ(cmd_ecc(parse({"ecc", "exhaust", "--codec", "hamming(d=8,k=5)",
+                           "--weights", "1,2", "--chunk", "7", "--csv",
+                           single_csv.c_str()})),
+            0);
+  ASSERT_EQ(cmd_ecc(parse({"ecc", "exhaust", "--codec", "hamming(d=8,k=5)",
+                           "--weights", "1,2", "--chunk", "7", "--shard",
+                           "0/2", "--store", s0.c_str()})),
+            0);
+  ASSERT_EQ(cmd_ecc(parse({"ecc", "exhaust", "--codec", "hamming(d=8,k=5)",
+                           "--weights", "1,2", "--chunk", "7", "--shard",
+                           "1/2", "--store", s1.c_str()})),
+            0);
+  const std::string inputs = s0 + "," + s1;
+  ASSERT_EQ(cmd_ecc(parse({"ecc", "merge", "--inputs", inputs.c_str(),
+                           "--csv", merged_csv.c_str()})),
+            0);
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  const std::string single = slurp(single_csv);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, slurp(merged_csv));
+  // A sharded run without a durable store cannot be merged later.
+  EXPECT_THROW(cmd_ecc(parse({"ecc", "exhaust", "--codec", "secded",
+                              "--shard", "0/2"})),
+               std::invalid_argument);
+  for (const std::string& p : {single_csv, merged_csv, s0, s1}) {
+    std::filesystem::remove(p);
+  }
+}
+
 TEST(Cli, MonitorDetectsVectorFileFaults) {
   const std::string path = ::testing::TempDir() + "/cli_monitor.bin";
   ASSERT_EQ(cmd_generate(parse({"generate", "--out", path.c_str(),

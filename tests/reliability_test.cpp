@@ -389,8 +389,12 @@ TEST(EccScrub, RejectsNonsenseOptions) {
 
 TEST(EccScrub, OverheadReflectsCodeRate) {
   EccScrubStats stats;
+  // SEC-DED over w data bits costs hamming_parity_bits(w) + 1 parity
+  // cells: (72,64) -> 8/64, (39,32) -> 7/32. The old implementation
+  // hardcoded the 64-bit parity count for every organization.
   EXPECT_DOUBLE_EQ(stats.overhead({64, 1}), 0.125);
-  EXPECT_DOUBLE_EQ(stats.overhead({32, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(stats.overhead({32, 1}), 7.0 / 32.0);
+  EXPECT_DOUBLE_EQ(stats.overhead({8, 1}), 5.0 / 8.0);
 }
 
 // ---- online canary monitor -----------------------------------------------------

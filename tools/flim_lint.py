@@ -77,6 +77,7 @@ EMISSION_PATHS = (
     "src/exp/store",
     "src/exp/scenario",
     "src/fault/fault_registry",
+    "src/reliability/ecc/",
     "src/cli/",
 )
 
